@@ -1,0 +1,219 @@
+//! Spectral pitch tracking via the Harmonic Product Spectrum.
+//!
+//! An alternative front end to the time-domain autocorrelation tracker in
+//! [`crate::pitch`]: each frame is Hann-windowed, zero-padded, transformed
+//! with the workspace FFT, and the magnitude spectrum is multiplied with its
+//! own 2×/3×/4× downsampled copies — harmonics of the true fundamental pile
+//! up at the fundamental's bin, suppressing both octave-up errors (energy at
+//! 2f0) and noise peaks. Useful as an independent cross-check of the
+//! autocorrelation tracker and as the better choice for very harmonic-rich
+//! voices.
+
+use hum_linalg::fft::dft_real;
+
+use crate::hz_to_midi;
+use crate::pitch::{PitchTrack, PitchTrackerConfig};
+
+/// Number of downsampled spectra multiplied into the product (fundamental
+/// plus harmonics 2..=HARMONICS).
+const HARMONICS: usize = 4;
+/// Zero-padded FFT size (8 kHz / 2048 ≈ 3.9 Hz bins before interpolation).
+const FFT_SIZE: usize = 2048;
+
+/// Tracks pitch with the Harmonic Product Spectrum method: same hop,
+/// voicing gates and median smoothing as [`crate::pitch::track_pitch`], but
+/// with an analysis window of at least 64 ms (spectral resolution), so the
+/// frame count can be slightly lower on short inputs.
+///
+/// # Panics
+/// Panics on the same degenerate configurations as the autocorrelation
+/// tracker.
+pub fn track_pitch_hps(samples: &[f64], config: &PitchTrackerConfig) -> PitchTrack {
+    let sr = config.sample_rate as f64;
+    assert!(config.sample_rate > 0, "sample rate must be positive");
+    assert!(config.frame_seconds > 0.0 && config.window_seconds >= config.frame_seconds);
+    assert!(config.min_hz > 0.0 && config.max_hz > config.min_hz);
+    assert!(config.max_hz <= sr / 2.0, "max_hz beyond Nyquist");
+
+    let hop = (config.frame_seconds * sr).round() as usize;
+    // Spectral resolution needs a longer window than the time-domain
+    // tracker: at least 64 ms, or low fundamentals smear across the whole
+    // harmonic product surface.
+    let window = ((config.window_seconds.max(0.064) * sr).round() as usize).min(FFT_SIZE);
+
+    let mut frames = Vec::new();
+    let mut start = 0usize;
+    while start + window <= samples.len() {
+        frames.push(analyze_frame(&samples[start..start + window], sr, config));
+        start += hop;
+    }
+    let mut track = PitchTrack { frames, frame_seconds: config.frame_seconds };
+    if config.median_half_width > 0 {
+        crate::pitch::median_filter_public(&mut track.frames, config.median_half_width);
+    }
+    track
+}
+
+fn analyze_frame(frame: &[f64], sr: f64, config: &PitchTrackerConfig) -> Option<f64> {
+    let n = frame.len();
+    let energy: f64 = frame.iter().map(|s| s * s).sum::<f64>() / n as f64;
+    if energy.sqrt() < config.energy_threshold {
+        return None;
+    }
+
+    // Hann window, zero-pad, magnitude spectrum.
+    let mut padded = vec![0.0f64; FFT_SIZE];
+    for (i, &s) in frame.iter().enumerate() {
+        let w = 0.5 * (1.0 - (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos());
+        padded[i] = s * w;
+    }
+    let spectrum = dft_real(&padded);
+    let half = FFT_SIZE / 2;
+    let magnitude: Vec<f64> = spectrum[..half].iter().map(|z| z.abs()).collect();
+
+    // Harmonic sum: Σ_h |X[h·bin]| over the fundamental range. A *linear*
+    // sum is dominated by true spectral peaks; leakage tails (which sit an
+    // order of magnitude below the peaks) cannot accumulate into a false
+    // fundamental the way they can in a log-domain product.
+    let bin_hz = sr / FFT_SIZE as f64;
+    let lo_bin = (config.min_hz / bin_hz).floor().max(1.0) as usize;
+    let hi_bin = ((config.max_hz / bin_hz).ceil() as usize).min(half / HARMONICS - 1);
+    if lo_bin >= hi_bin {
+        return None;
+    }
+    let mut best_bin = lo_bin;
+    let mut best_score = f64::NEG_INFINITY;
+    let mut scores = vec![0.0f64; hi_bin + 2];
+    for bin in lo_bin..=hi_bin {
+        let mut score = 0.0;
+        for h in 1..=HARMONICS {
+            score += magnitude[bin * h];
+        }
+        scores[bin] = score;
+        if score > best_score {
+            best_score = score;
+            best_bin = bin;
+        }
+    }
+
+    // Sub-octave guard: a candidate at f0/2 collects |X[f0]| + |X[2f0]|
+    // through its even "harmonics" and can tie the true fundamental. If the
+    // octave above scores comparably, it is the true fundamental.
+    while best_bin * 2 <= hi_bin && scores[best_bin * 2] >= 0.8 * scores[best_bin] {
+        best_bin *= 2;
+    }
+    best_score = scores[best_bin];
+
+    // Voicing: the winning harmonic sum must stand clearly above the level
+    // a flat (noise) spectrum would produce.
+    let mean_magnitude: f64 =
+        magnitude[lo_bin..half].iter().sum::<f64>() / (half - lo_bin) as f64;
+    if best_score < 2.5 * HARMONICS as f64 * mean_magnitude {
+        return None;
+    }
+
+    // Parabolic interpolation over the HPS scores for sub-bin precision.
+    let refined_bin = if best_bin > lo_bin && best_bin < hi_bin {
+        let (a, b, c) = (scores[best_bin - 1], scores[best_bin], scores[best_bin + 1]);
+        let denom = a - 2.0 * b + c;
+        if denom.abs() > 1e-12 {
+            best_bin as f64 + 0.5 * (a - c) / denom
+        } else {
+            best_bin as f64
+        }
+    } else {
+        best_bin as f64
+    };
+    Some(hz_to_midi(refined_bin * bin_hz))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pitch::track_pitch;
+    use crate::synth::{HumNote, HumSynthesizer, SynthConfig};
+
+    fn tone(freq: f64, seconds: f64) -> Vec<f64> {
+        let sr = 8_000.0;
+        (0..(seconds * sr) as usize)
+            .map(|i| 0.8 * (2.0 * std::f64::consts::PI * freq * i as f64 / sr).sin())
+            .collect()
+    }
+
+    #[test]
+    fn pure_tones_are_tracked_within_a_quarter_tone() {
+        for freq in [110.0, 220.0, 330.0, 440.0, 660.0] {
+            let track = track_pitch_hps(&tone(freq, 0.5), &PitchTrackerConfig::default());
+            assert!(track.voicing_rate() > 0.8, "{freq} Hz voicing {}", track.voicing_rate());
+            let expect = hz_to_midi(freq);
+            for p in track.voiced_series() {
+                assert!((p - expect).abs() < 0.5, "{freq} Hz tracked at {p}, expected {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn harmonic_rich_tone_does_not_octave_up() {
+        // Strong 2nd/3rd harmonics tempt naive spectral peak-picking to
+        // report 2f0; HPS must not.
+        let sr = 8_000.0;
+        let f0 = 180.0;
+        let samples: Vec<f64> = (0..8_000)
+            .map(|i| {
+                let t = i as f64 / sr;
+                0.3 * (2.0 * std::f64::consts::PI * f0 * t).sin()
+                    + 0.5 * (2.0 * std::f64::consts::PI * 2.0 * f0 * t).sin()
+                    + 0.4 * (2.0 * std::f64::consts::PI * 3.0 * f0 * t).sin()
+            })
+            .collect();
+        let track = track_pitch_hps(&samples, &PitchTrackerConfig::default());
+        let expect = hz_to_midi(f0);
+        let mut voiced = track.voiced_series();
+        voiced.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = voiced[voiced.len() / 2];
+        assert!((median - expect).abs() < 1.0, "median {median} vs {expect}");
+    }
+
+    #[test]
+    fn silence_and_noise_are_unvoiced() {
+        let cfg = PitchTrackerConfig::default();
+        assert_eq!(track_pitch_hps(&vec![0.0; 4000], &cfg).voicing_rate(), 0.0);
+        let mut state = 99u64;
+        let noise: Vec<f64> = (0..8000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect();
+        let track = track_pitch_hps(&noise, &cfg);
+        assert!(track.voicing_rate() < 0.3, "noise voicing {}", track.voicing_rate());
+    }
+
+    #[test]
+    fn agrees_with_the_autocorrelation_tracker_on_hums() {
+        let synth = HumSynthesizer::new(SynthConfig::default());
+        let audio = synth.render(&[
+            HumNote { midi: 57.0, seconds: 0.5 },
+            HumNote { midi: 64.0, seconds: 0.5 },
+            HumNote { midi: 60.0, seconds: 0.5 },
+        ]);
+        // Equal windows -> frame-aligned outputs.
+        let cfg = PitchTrackerConfig { window_seconds: 0.064, ..PitchTrackerConfig::default() };
+        let acf = track_pitch(&audio, &cfg);
+        let hps = track_pitch_hps(&audio, &cfg);
+        assert_eq!(acf.frames.len(), hps.frames.len());
+        let mut diffs: Vec<f64> = acf
+            .frames
+            .iter()
+            .zip(&hps.frames)
+            .filter_map(|(a, b)| match (a, b) {
+                (Some(x), Some(y)) => Some((x - y).abs()),
+                _ => None,
+            })
+            .collect();
+        assert!(diffs.len() > 50, "too few co-voiced frames: {}", diffs.len());
+        diffs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = diffs[diffs.len() / 2];
+        assert!(median < 0.5, "trackers disagree by {median} semitones (median)");
+    }
+}

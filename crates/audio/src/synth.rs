@@ -1,0 +1,248 @@
+//! Hum synthesis.
+//!
+//! Renders a melody as the waveform a hummer would produce into a
+//! microphone: a harmonic tone with vibrato, smooth pitch glides between
+//! notes (humming is legato — the property that defeats note segmentation,
+//! paper §2), breath noise, and per-note amplitude envelopes with optional
+//! inter-note dips rather than true silence.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::midi_to_hz;
+
+/// One note of the hum to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HumNote {
+    /// Target pitch as a (possibly fractional) MIDI note number.
+    pub midi: f64,
+    /// Duration in seconds.
+    pub seconds: f64,
+}
+
+/// Synthesis parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Output sample rate in Hz.
+    pub sample_rate: u32,
+    /// Vibrato depth in semitones (typical hummers: 0.1–0.5).
+    pub vibrato_semitones: f64,
+    /// Vibrato rate in Hz (typical: 4–7).
+    pub vibrato_hz: f64,
+    /// Portamento time between notes in seconds (legato glide).
+    pub glide_seconds: f64,
+    /// Relative amplitudes of harmonics 1..=N (fundamental first).
+    pub harmonics: [f64; 4],
+    /// Breath-noise amplitude relative to the tone.
+    pub noise_level: f64,
+    /// Attack/release time of each note's amplitude envelope, seconds.
+    pub envelope_seconds: f64,
+    /// Amplitude dip between notes (0 = fully connected legato, 1 = full
+    /// silence between notes).
+    pub articulation_dip: f64,
+    /// Depth of slow amplitude tremolo (0..1): hummers do not hold steady
+    /// loudness, which makes frames drop in and out of the tracker's
+    /// voicing gate exactly as real recordings do.
+    pub tremolo_depth: f64,
+    /// Tremolo rate in Hz.
+    pub tremolo_hz: f64,
+    /// RNG seed for the noise component.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            sample_rate: 8_000,
+            vibrato_semitones: 0.25,
+            vibrato_hz: 5.0,
+            glide_seconds: 0.04,
+            harmonics: [1.0, 0.35, 0.15, 0.05],
+            noise_level: 0.02,
+            envelope_seconds: 0.02,
+            articulation_dip: 0.25,
+            tremolo_depth: 0.35,
+            tremolo_hz: 2.3,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A melody-to-waveform synthesizer.
+#[derive(Debug, Clone)]
+pub struct HumSynthesizer {
+    config: SynthConfig,
+}
+
+impl HumSynthesizer {
+    /// Creates a synthesizer with the given parameters.
+    ///
+    /// # Panics
+    /// Panics on a zero sample rate.
+    pub fn new(config: SynthConfig) -> Self {
+        assert!(config.sample_rate > 0, "sample rate must be positive");
+        HumSynthesizer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// Renders the melody, returning samples in `[-1, 1]`.
+    ///
+    /// Returns an empty buffer for an empty melody.
+    pub fn render(&self, melody: &[HumNote]) -> Vec<f64> {
+        let cfg = &self.config;
+        let sr = cfg.sample_rate as f64;
+        let total_seconds: f64 = melody.iter().map(|n| n.seconds.max(0.0)).sum();
+        let total_samples = (total_seconds * sr).round() as usize;
+        let mut out = Vec::with_capacity(total_samples);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let mut phase = 0.0f64;
+        let mut prev_midi: Option<f64> = None;
+        for note in melody {
+            let n_samples = (note.seconds.max(0.0) * sr).round() as usize;
+            if n_samples == 0 {
+                continue;
+            }
+            let glide_samples =
+                ((cfg.glide_seconds * sr).round() as usize).min(n_samples / 2).max(1);
+            let env_samples =
+                ((cfg.envelope_seconds * sr).round() as usize).min(n_samples / 2).max(1);
+            let from_midi = prev_midi.unwrap_or(note.midi);
+            // Loudness varies note to note (breath support).
+            let note_amp = 0.6 + 0.4 * rng.random::<f64>();
+            let tremolo_phase = rng.random::<f64>() * std::f64::consts::TAU;
+            for i in 0..n_samples {
+                let t = out.len() as f64 / sr;
+                // Pitch: glide from the previous note, then vibrato.
+                let glide = if i < glide_samples {
+                    let u = i as f64 / glide_samples as f64;
+                    from_midi + (note.midi - from_midi) * smoothstep(u)
+                } else {
+                    note.midi
+                };
+                let vibrato = cfg.vibrato_semitones
+                    * (2.0 * std::f64::consts::PI * cfg.vibrato_hz * t).sin();
+                let freq = midi_to_hz(glide + vibrato);
+                phase += 2.0 * std::f64::consts::PI * freq / sr;
+
+                // Harmonic tone.
+                let mut tone = 0.0;
+                for (h, &amp) in cfg.harmonics.iter().enumerate() {
+                    tone += amp * (phase * (h + 1) as f64).sin();
+                }
+                let norm: f64 = cfg.harmonics.iter().sum();
+                tone /= norm.max(1e-9);
+
+                // Envelope: attack, optional articulation dip at the end.
+                let mut env = 1.0;
+                if i < env_samples {
+                    env *= i as f64 / env_samples as f64;
+                }
+                if i + env_samples >= n_samples {
+                    let u = (n_samples - i) as f64 / env_samples as f64;
+                    env *= 1.0 - cfg.articulation_dip * (1.0 - u);
+                }
+
+                let tremolo = 1.0
+                    - cfg.tremolo_depth
+                        * (0.5 + 0.5
+                            * (2.0 * std::f64::consts::PI * cfg.tremolo_hz * t + tremolo_phase)
+                                .sin());
+                let noise = cfg.noise_level * (rng.random::<f64>() * 2.0 - 1.0);
+                out.push((0.6 * note_amp * tremolo * env * tone + noise).clamp(-1.0, 1.0));
+            }
+            prev_midi = Some(note.midi);
+        }
+        out
+    }
+}
+
+/// Cubic smoothstep on `[0, 1]`.
+fn smoothstep(u: f64) -> f64 {
+    let u = u.clamp(0.0, 1.0);
+    u * u * (3.0 - 2.0 * u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SynthConfig {
+        SynthConfig::default()
+    }
+
+    #[test]
+    fn output_length_matches_melody_duration() {
+        let synth = HumSynthesizer::new(config());
+        let melody = vec![
+            HumNote { midi: 60.0, seconds: 0.5 },
+            HumNote { midi: 64.0, seconds: 0.25 },
+        ];
+        let samples = synth.render(&melody);
+        assert_eq!(samples.len(), (0.75 * 8000.0) as usize);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let synth = HumSynthesizer::new(config());
+        let melody = vec![HumNote { midi: 72.0, seconds: 0.3 }];
+        for s in synth.render(&melody) {
+            assert!((-1.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn dominant_frequency_matches_note() {
+        // Render a steady tone and estimate its period from zero crossings.
+        let mut cfg = config();
+        cfg.vibrato_semitones = 0.0;
+        cfg.noise_level = 0.0;
+        cfg.harmonics = [1.0, 0.0, 0.0, 0.0];
+        let synth = HumSynthesizer::new(cfg);
+        let melody = vec![HumNote { midi: 69.0, seconds: 1.0 }]; // A4 = 440 Hz
+        let samples = synth.render(&melody);
+        // Skip the attack, count upward zero crossings over 0.5 s.
+        let body = &samples[2000..6000];
+        let crossings = body.windows(2).filter(|w| w[0] < 0.0 && w[1] >= 0.0).count();
+        let est_hz = crossings as f64 / 0.5;
+        assert!((est_hz - 440.0).abs() < 10.0, "estimated {est_hz} Hz");
+    }
+
+    #[test]
+    fn rendering_is_deterministic_for_a_seed() {
+        let synth = HumSynthesizer::new(config());
+        let melody = vec![HumNote { midi: 65.0, seconds: 0.2 }];
+        assert_eq!(synth.render(&melody), synth.render(&melody));
+    }
+
+    #[test]
+    fn different_seeds_differ_in_noise() {
+        let mut a_cfg = config();
+        a_cfg.noise_level = 0.05;
+        let mut b_cfg = a_cfg;
+        b_cfg.seed = 999;
+        let melody = vec![HumNote { midi: 65.0, seconds: 0.2 }];
+        let a = HumSynthesizer::new(a_cfg).render(&melody);
+        let b = HumSynthesizer::new(b_cfg).render(&melody);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_and_zero_duration_melodies() {
+        let synth = HumSynthesizer::new(config());
+        assert!(synth.render(&[]).is_empty());
+        assert!(synth.render(&[HumNote { midi: 60.0, seconds: 0.0 }]).is_empty());
+    }
+
+    #[test]
+    fn smoothstep_endpoints() {
+        assert_eq!(smoothstep(0.0), 0.0);
+        assert_eq!(smoothstep(1.0), 1.0);
+        assert_eq!(smoothstep(0.5), 0.5);
+        assert_eq!(smoothstep(-1.0), 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Mono PCM16 WAV (RIFF) read/write.
+
+/// Errors produced while parsing WAV data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WavError {
+    /// Missing or malformed RIFF/WAVE/fmt/data structure.
+    BadFormat(String),
+    /// The byte stream ended mid-structure.
+    UnexpectedEof,
+    /// Valid WAV, but not mono 16-bit PCM.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for WavError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WavError::BadFormat(msg) => write!(f, "bad WAV data: {msg}"),
+            WavError::UnexpectedEof => write!(f, "unexpected end of WAV data"),
+            WavError::Unsupported(msg) => write!(f, "unsupported WAV variant: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WavError {}
+
+/// Serializes mono samples (clamped to `[-1, 1]`) as a 16-bit PCM WAV file.
+///
+/// # Panics
+/// Panics if `sample_rate` is zero.
+pub fn write_wav_mono(samples: &[f64], sample_rate: u32) -> Vec<u8> {
+    assert!(sample_rate > 0, "sample rate must be positive");
+    let data_len = samples.len() * 2;
+    let mut out = Vec::with_capacity(44 + data_len);
+    out.extend_from_slice(b"RIFF");
+    out.extend_from_slice(&((36 + data_len) as u32).to_le_bytes());
+    out.extend_from_slice(b"WAVE");
+    out.extend_from_slice(b"fmt ");
+    out.extend_from_slice(&16u32.to_le_bytes()); // fmt chunk size
+    out.extend_from_slice(&1u16.to_le_bytes()); // PCM
+    out.extend_from_slice(&1u16.to_le_bytes()); // mono
+    out.extend_from_slice(&sample_rate.to_le_bytes());
+    out.extend_from_slice(&(sample_rate * 2).to_le_bytes()); // byte rate
+    out.extend_from_slice(&2u16.to_le_bytes()); // block align
+    out.extend_from_slice(&16u16.to_le_bytes()); // bits per sample
+    out.extend_from_slice(b"data");
+    out.extend_from_slice(&(data_len as u32).to_le_bytes());
+    for &s in samples {
+        let clamped = s.clamp(-1.0, 1.0);
+        let q = (clamped * i16::MAX as f64).round() as i16;
+        out.extend_from_slice(&q.to_le_bytes());
+    }
+    out
+}
+
+/// Parses a mono 16-bit PCM WAV file, returning `(samples, sample_rate)`
+/// with samples scaled to `[-1, 1]`.
+pub fn read_wav_mono(data: &[u8]) -> Result<(Vec<f64>, u32), WavError> {
+    if data.len() < 12 {
+        return Err(WavError::UnexpectedEof);
+    }
+    if &data[0..4] != b"RIFF" || &data[8..12] != b"WAVE" {
+        return Err(WavError::BadFormat("missing RIFF/WAVE magic".into()));
+    }
+    let mut pos = 12usize;
+    let mut fmt: Option<(u16, u16, u32, u16)> = None; // (codec, channels, rate, bits)
+    let mut pcm: Option<Vec<f64>> = None;
+
+    while pos + 8 <= data.len() {
+        let id = &data[pos..pos + 4];
+        let len = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
+        pos += 8;
+        if data.len() < pos + len {
+            return Err(WavError::UnexpectedEof);
+        }
+        let body = &data[pos..pos + len];
+        match id {
+            b"fmt " => {
+                if len < 16 {
+                    return Err(WavError::BadFormat("fmt chunk too short".into()));
+                }
+                fmt = Some((
+                    u16::from_le_bytes([body[0], body[1]]),
+                    u16::from_le_bytes([body[2], body[3]]),
+                    u32::from_le_bytes(body[4..8].try_into().expect("4 bytes")),
+                    u16::from_le_bytes([body[14], body[15]]),
+                ));
+            }
+            b"data" => {
+                let samples = body
+                    .chunks_exact(2)
+                    .map(|c| i16::from_le_bytes([c[0], c[1]]) as f64 / i16::MAX as f64)
+                    .collect();
+                pcm = Some(samples);
+            }
+            _ => {} // skip LIST/INFO/etc.
+        }
+        pos += len + (len & 1); // chunks are word-aligned
+    }
+
+    let (codec, channels, rate, bits) =
+        fmt.ok_or_else(|| WavError::BadFormat("missing fmt chunk".into()))?;
+    if codec != 1 {
+        return Err(WavError::Unsupported(format!("codec {codec}")));
+    }
+    if channels != 1 {
+        return Err(WavError::Unsupported(format!("{channels} channels")));
+    }
+    if bits != 16 {
+        return Err(WavError::Unsupported(format!("{bits} bits per sample")));
+    }
+    let samples = pcm.ok_or_else(|| WavError::BadFormat("missing data chunk".into()))?;
+    Ok((samples, rate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_samples_within_quantization() {
+        let samples: Vec<f64> = (0..500).map(|i| (i as f64 * 0.05).sin() * 0.8).collect();
+        let bytes = write_wav_mono(&samples, 16_000);
+        let (back, rate) = read_wav_mono(&bytes).unwrap();
+        assert_eq!(rate, 16_000);
+        assert_eq!(back.len(), samples.len());
+        for (a, b) in samples.iter().zip(&back) {
+            assert!((a - b).abs() < 1.0 / 16384.0);
+        }
+    }
+
+    #[test]
+    fn clipping_is_applied() {
+        let bytes = write_wav_mono(&[2.0, -3.0], 8_000);
+        let (back, _) = read_wav_mono(&bytes).unwrap();
+        assert!((back[0] - 1.0).abs() < 1e-4);
+        assert!((back[1] + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn header_fields_are_correct() {
+        let bytes = write_wav_mono(&[0.0; 10], 44_100);
+        assert_eq!(&bytes[0..4], b"RIFF");
+        assert_eq!(&bytes[8..12], b"WAVE");
+        assert_eq!(u32::from_le_bytes(bytes[24..28].try_into().unwrap()), 44_100);
+        assert_eq!(u16::from_le_bytes(bytes[22..24].try_into().unwrap()), 1); // mono
+        assert_eq!(u32::from_le_bytes(bytes[40..44].try_into().unwrap()), 20); // data len
+    }
+
+    #[test]
+    fn stereo_is_rejected() {
+        let mut bytes = write_wav_mono(&[0.0; 4], 8_000);
+        bytes[22] = 2; // channels
+        assert!(matches!(read_wav_mono(&bytes), Err(WavError::Unsupported(_))));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = write_wav_mono(&[0.1; 100], 8_000);
+        assert_eq!(read_wav_mono(&bytes[..50]), Err(WavError::UnexpectedEof));
+    }
+
+    #[test]
+    fn unknown_chunks_are_skipped() {
+        // Insert a LIST chunk between fmt and data.
+        let clean = write_wav_mono(&[0.5, -0.5], 8_000);
+        let mut bytes = clean[..36].to_vec();
+        bytes.extend_from_slice(b"LIST");
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(b"INFO");
+        bytes.extend_from_slice(&clean[36..]);
+        // Patch RIFF size.
+        let total = bytes.len() as u32 - 8;
+        bytes[4..8].copy_from_slice(&total.to_le_bytes());
+        let (samples, _) = read_wav_mono(&bytes).unwrap();
+        assert_eq!(samples.len(), 2);
+    }
+
+    #[test]
+    fn empty_audio_roundtrips() {
+        let bytes = write_wav_mono(&[], 8_000);
+        let (samples, _) = read_wav_mono(&bytes).unwrap();
+        assert!(samples.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the audio substrate.
+
+use hum_audio::{
+    hz_to_midi, midi_to_hz, read_wav_mono, track_pitch, write_wav_mono, PitchTrackerConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wav_roundtrip_any_samples(
+        samples in proptest::collection::vec(-1.0f64..1.0, 0..500),
+        rate in prop_oneof![Just(8_000u32), Just(16_000), Just(44_100)],
+    ) {
+        let bytes = write_wav_mono(&samples, rate);
+        let (back, got_rate) = read_wav_mono(&bytes).expect("own output must parse");
+        prop_assert_eq!(got_rate, rate);
+        prop_assert_eq!(back.len(), samples.len());
+        for (a, b) in samples.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1.0 / 16_000.0);
+        }
+    }
+
+    #[test]
+    fn wav_parser_never_panics_on_mutation(
+        samples in proptest::collection::vec(-1.0f64..1.0, 1..100),
+        flips in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..6),
+    ) {
+        let mut bytes = write_wav_mono(&samples, 8_000);
+        for (idx, val) in flips {
+            let at = idx.index(bytes.len());
+            bytes[at] = val;
+        }
+        let _ = read_wav_mono(&bytes);
+    }
+
+    #[test]
+    fn midi_hz_conversion_is_monotone_and_invertible(m in 20.0f64..110.0) {
+        let hz = midi_to_hz(m);
+        prop_assert!(hz > 0.0);
+        prop_assert!((hz_to_midi(hz) - m).abs() < 1e-9);
+        prop_assert!(midi_to_hz(m + 1.0) > hz);
+        // One octave doubles the frequency.
+        prop_assert!((midi_to_hz(m + 12.0) / hz - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracker_finds_pure_tones_within_a_quarter_tone(freq in 100.0f64..900.0) {
+        let sr = 8_000.0;
+        let samples: Vec<f64> = (0..8_000)
+            .map(|i| 0.8 * (2.0 * std::f64::consts::PI * freq * i as f64 / sr).sin())
+            .collect();
+        let track = track_pitch(&samples, &PitchTrackerConfig::default());
+        prop_assert!(track.voicing_rate() > 0.9, "voicing {}", track.voicing_rate());
+        let expect = hz_to_midi(freq);
+        for p in track.voiced_series() {
+            prop_assert!((p - expect).abs() < 0.5, "tracked {} expected {}", p, expect);
+        }
+    }
+
+    #[test]
+    fn tracker_gates_out_quiet_signals(gain in 0.0f64..0.005) {
+        let sr = 8_000.0;
+        let samples: Vec<f64> = (0..4_000)
+            .map(|i| gain * (2.0 * std::f64::consts::PI * 220.0 * i as f64 / sr).sin())
+            .collect();
+        let track = track_pitch(&samples, &PitchTrackerConfig::default());
+        prop_assert_eq!(track.voicing_rate(), 0.0);
+    }
+}

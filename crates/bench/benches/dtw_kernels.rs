@@ -1,0 +1,54 @@
+//! Micro-benchmarks for the distance kernels: banded LDTW vs unconstrained
+//! DTW, envelope construction, and the envelope lower bound. Quantifies the
+//! O(nk) vs O(n²) gap that motivates Local DTW (paper §4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hum_core::dtw::{band_for_warping_width, dtw_distance_sq, ldtw_distance_sq};
+use hum_core::envelope::Envelope;
+use hum_datasets::{generate, DatasetFamily};
+use std::hint::black_box;
+
+fn series_pair(len: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut v = generate(DatasetFamily::RandomWalk, 2, len, 99);
+    let b = v.pop().expect("two series");
+    let a = v.pop().expect("two series");
+    (a, b)
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw");
+    for len in [128usize, 256] {
+        let (x, y) = series_pair(len);
+        group.bench_with_input(BenchmarkId::new("full", len), &len, |b, _| {
+            b.iter(|| dtw_distance_sq(black_box(&x), black_box(&y)))
+        });
+        for delta in [0.05, 0.1, 0.2] {
+            let k = band_for_warping_width(delta, len);
+            group.bench_with_input(
+                BenchmarkId::new(format!("banded_delta_{delta}"), len),
+                &len,
+                |b, _| b.iter(|| ldtw_distance_sq(black_box(&x), black_box(&y), k)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_envelope(c: &mut Criterion) {
+    let mut group = c.benchmark_group("envelope");
+    for len in [128usize, 256, 1024] {
+        let (x, y) = series_pair(len);
+        let k = band_for_warping_width(0.1, len);
+        group.bench_with_input(BenchmarkId::new("compute_deque", len), &len, |b, _| {
+            b.iter(|| Envelope::compute(black_box(&y), k))
+        });
+        let env = Envelope::compute(&y, k);
+        group.bench_with_input(BenchmarkId::new("lb_distance", len), &len, |b, _| {
+            b.iter(|| env.distance_sq(black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dtw, bench_envelope);
+criterion_main!(benches);

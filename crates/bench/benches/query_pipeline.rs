@@ -1,0 +1,120 @@
+//! End-to-end query latency — the paper's §5.3 timing claim ("from 1 second
+//! for the smallest warping width to 10 seconds for the largest" on a
+//! Pentium 4): range queries against a 10,000-melody database at increasing
+//! warping widths, for the indexed engine vs the brute-force scan the
+//! related work used.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hum_core::dtw::band_for_warping_width;
+use hum_core::normal::NormalForm;
+use hum_music::{SingerProfile, SongbookConfig};
+use hum_qbh::corpus::MelodyDatabase;
+use hum_qbh::eval::generate_hums;
+use hum_qbh::system::{Backend, QbhConfig, QbhSystem, TransformKind};
+use std::hint::black_box;
+
+const LEN: usize = 128;
+
+fn setup() -> (QbhSystem, QbhSystem, Vec<Vec<f64>>) {
+    let db = MelodyDatabase::from_songbook(&SongbookConfig {
+        songs: 500,
+        phrases_per_song: 20,
+        ..SongbookConfig::default()
+    });
+    let indexed = QbhSystem::build(
+        &db,
+        &QbhConfig { transform: TransformKind::NewPaa, ..QbhConfig::default() },
+    );
+    let keogh = QbhSystem::build(
+        &db,
+        &QbhConfig { transform: TransformKind::KeoghPaa, ..QbhConfig::default() },
+    );
+    let normal = NormalForm::with_length(LEN);
+    let queries: Vec<Vec<f64>> = generate_hums(&db, SingerProfile::good(), 4, 5)
+        .into_iter()
+        .map(|h| normal.apply(&h.series))
+        .collect();
+    (indexed, keogh, queries)
+}
+
+fn bench_range_by_width(c: &mut Criterion) {
+    let (new_paa, keogh_paa, queries) = setup();
+    let radius = (LEN as f64 * 0.2).sqrt();
+    let mut group = c.benchmark_group("range_query_10k_melodies");
+    group.sample_size(10);
+    for delta in [0.02, 0.1, 0.2] {
+        let band = band_for_warping_width(delta, LEN);
+        group.bench_with_input(BenchmarkId::new("new_paa", delta), &delta, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(new_paa.engine().range_query(q, band, radius));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("keogh_paa", delta), &delta, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(keogh_paa.engine().range_query(q, band, radius));
+                }
+            })
+        });
+    }
+    // The brute-force comparator ("clearly a brute-force approach and it is
+    // very slow", Mazzoni & Dannenberg via paper §2) at one width.
+    let band = band_for_warping_width(0.1, LEN);
+    group.bench_function("brute_force_scan", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(new_paa.engine().scan_range(q, band, radius));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let (new_paa, _, queries) = setup();
+    let mut group = c.benchmark_group("knn10_10k_melodies");
+    group.sample_size(10);
+    let band = band_for_warping_width(0.1, LEN);
+    group.bench_function("indexed", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(new_paa.engine().knn(q, band, 10));
+            }
+        })
+    });
+    group.bench_function("scan", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(new_paa.engine().scan_knn(q, band, 10));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_build");
+    group.sample_size(10);
+    let db = MelodyDatabase::from_songbook(&SongbookConfig {
+        songs: 100,
+        phrases_per_song: 20,
+        ..SongbookConfig::default()
+    });
+    for backend in [Backend::RStar, Backend::Grid] {
+        group.bench_with_input(
+            BenchmarkId::new("2k_melodies", format!("{backend:?}")),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    QbhSystem::build(&db, &QbhConfig { backend, ..QbhConfig::default() })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_by_width, bench_knn, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Micro-benchmarks for the dimensionality-reduction transforms: feature
+//! projection, envelope projection (the Lemma 3 sign-split), SVD fitting,
+//! and the radix-2 FFT against the naive DFT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hum_core::envelope::Envelope;
+use hum_core::transform::dft::Dft;
+use hum_core::transform::dwt::Dwt;
+use hum_core::transform::paa::{KeoghPaa, NewPaa};
+use hum_core::transform::svd::SvdTransform;
+use hum_core::transform::EnvelopeTransform;
+use hum_datasets::{generate, DatasetFamily};
+use hum_linalg::fft::dft_real;
+use std::hint::black_box;
+
+const LEN: usize = 256;
+const DIMS: usize = 8;
+
+fn transforms() -> Vec<(&'static str, Box<dyn EnvelopeTransform>)> {
+    let sample = generate(DatasetFamily::RandomWalk, 64, LEN, 4);
+    vec![
+        ("new_paa", Box::new(NewPaa::new(LEN, DIMS))),
+        ("keogh_paa", Box::new(KeoghPaa::new(LEN, DIMS))),
+        ("dft", Box::new(Dft::new(LEN, DIMS))),
+        ("dwt", Box::new(Dwt::new(LEN, DIMS))),
+        ("svd", Box::new(SvdTransform::fit(&sample, DIMS))),
+    ]
+}
+
+fn bench_project(c: &mut Criterion) {
+    let x = generate(DatasetFamily::RandomWalk, 1, LEN, 7).remove(0);
+    let env = Envelope::compute(&x, 12);
+    let mut group = c.benchmark_group("transform");
+    for (name, t) in transforms() {
+        group.bench_function(BenchmarkId::new("project", name), |b| {
+            b.iter(|| t.project(black_box(&x)))
+        });
+        group.bench_function(BenchmarkId::new("project_envelope", name), |b| {
+            b.iter(|| t.project_envelope(black_box(&env)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_svd_fit(c: &mut Criterion) {
+    let sample = generate(DatasetFamily::RandomWalk, 128, 64, 4);
+    c.bench_function("svd_fit_128x64", |b| {
+        b.iter(|| SvdTransform::fit(black_box(&sample), DIMS))
+    });
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    // Power-of-two lengths take the radix-2 path; 250 takes the naive path.
+    for len in [250usize, 256, 1024] {
+        let x: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| dft_real(black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_project, bench_svd_fit, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! Figure 6 — "Mean value of the tightness of lower bound, using LB,
+//! New_PAA and Keogh_PAA for different time series data sets".
+//!
+//! Protocol (paper §5.2): series of length 256, warping width 0.1,
+//! dimensionality reduced from 256 to 4 by PAA, 50 series per dataset with
+//! the mean subtracted, tightness averaged over all pairs.
+
+use serde::Serialize;
+
+use hum_core::dtw::band_for_warping_width;
+use hum_core::normal::NormalForm;
+use hum_core::tightness::{envelope_tightness, transform_tightness};
+use hum_core::transform::paa::{KeoghPaa, NewPaa};
+use hum_datasets::{generate, ALL_FAMILIES};
+
+use crate::report::{fmt3, TextTable};
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Series length (paper: 256).
+    pub length: usize,
+    /// Reduced dimensionality (paper: 4).
+    pub dims: usize,
+    /// Warping width δ (paper: 0.1).
+    pub warping_width: f64,
+    /// Series sampled per dataset (paper: 50).
+    pub series_per_dataset: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Paper scale.
+    pub fn paper() -> Self {
+        Params { length: 256, dims: 4, warping_width: 0.1, series_per_dataset: 50, seed: 6 }
+    }
+
+    /// Smoke-test scale.
+    pub fn quick() -> Self {
+        Params { series_per_dataset: 10, ..Params::paper() }
+    }
+}
+
+/// Mean tightness of the three methods on one dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct DatasetRow {
+    /// 1-based Fig 6 index.
+    pub index: usize,
+    /// Dataset name.
+    pub name: String,
+    /// Full-envelope LB (no reduction — the sanity ceiling).
+    pub lb: f64,
+    /// The paper's New_PAA.
+    pub new_paa: f64,
+    /// Keogh's original PAA reduction.
+    pub keogh_paa: f64,
+}
+
+/// Experiment output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Output {
+    /// Per-dataset rows in figure order.
+    pub rows: Vec<DatasetRow>,
+    /// Mean of `new_paa / keogh_paa` over datasets where both are positive —
+    /// the paper reports "approximately 2 times ... on average".
+    pub mean_improvement_ratio: f64,
+}
+
+/// Runs the experiment.
+pub fn run(params: &Params) -> Output {
+    let band = band_for_warping_width(params.warping_width, params.length);
+    let new_paa = NewPaa::new(params.length, params.dims);
+    let keogh_paa = KeoghPaa::new(params.length, params.dims);
+    let normal = NormalForm::with_length(params.length);
+
+    let mut rows = Vec::with_capacity(ALL_FAMILIES.len());
+    for &family in ALL_FAMILIES {
+        let series: Vec<Vec<f64>> =
+            generate(family, params.series_per_dataset, params.length, params.seed)
+                .into_iter()
+                .map(|s| normal.apply(&s))
+                .collect();
+        let mut sums = [0.0f64; 3];
+        let mut count = 0usize;
+        for i in 0..series.len() {
+            for j in (i + 1)..series.len() {
+                let (x, y) = (&series[i], &series[j]);
+                sums[0] += envelope_tightness(x, y, band);
+                sums[1] += transform_tightness(&new_paa, x, y, band);
+                sums[2] += transform_tightness(&keogh_paa, x, y, band);
+                count += 1;
+            }
+        }
+        let n = count.max(1) as f64;
+        rows.push(DatasetRow {
+            index: family.figure_index(),
+            name: family.name().to_string(),
+            lb: sums[0] / n,
+            new_paa: sums[1] / n,
+            keogh_paa: sums[2] / n,
+        });
+    }
+    // Ratio of mean tightnesses across all datasets — the paper's
+    // "approximately 2 times that of Keogh_PAA on average for all datasets".
+    let new_mean: f64 = rows.iter().map(|r| r.new_paa).sum::<f64>() / rows.len() as f64;
+    let keogh_mean: f64 = rows.iter().map(|r| r.keogh_paa).sum::<f64>() / rows.len() as f64;
+    let mean_improvement_ratio = if keogh_mean > 1e-12 { new_mean / keogh_mean } else { 0.0 };
+    Output { rows, mean_improvement_ratio }
+}
+
+/// Renders the figure as a table of series.
+pub fn render(output: &Output) -> (String, TextTable) {
+    let mut table = TextTable::new(vec!["#", "Dataset", "LB", "New_PAA", "Keogh_PAA"]);
+    for row in &output.rows {
+        table.row(vec![
+            row.index.to_string(),
+            row.name.clone(),
+            fmt3(row.lb),
+            fmt3(row.new_paa),
+            fmt3(row.keogh_paa),
+        ]);
+    }
+    let text = format!(
+        "Figure 6: mean tightness of lower bound per dataset (n=256, N=4, delta=0.1)\n\n{}\nMean New_PAA/Keogh_PAA improvement ratio: {:.2}x\n",
+        table.render(),
+        output.mean_improvement_ratio
+    );
+    (text, table)
+}
+
+/// Checks the paper's qualitative claims on an output; returns the failed
+/// claims (empty = all hold). Used by tests and the repro binary.
+pub fn verify_shape(output: &Output) -> Vec<String> {
+    let mut failures = Vec::new();
+    for row in &output.rows {
+        if row.lb + 1e-9 < row.new_paa {
+            failures.push(format!("{}: LB below New_PAA", row.name));
+        }
+        if row.new_paa + 1e-9 < row.keogh_paa {
+            failures.push(format!("{}: New_PAA below Keogh_PAA", row.name));
+        }
+    }
+    if output.mean_improvement_ratio < 1.2 {
+        failures.push(format!(
+            "mean improvement ratio {:.2} is not clearly above 1",
+            output.mean_improvement_ratio
+        ));
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_covers_all_24_datasets_and_holds_orderings() {
+        let out = run(&Params::quick());
+        assert_eq!(out.rows.len(), 24);
+        for row in &out.rows {
+            for v in [row.lb, row.new_paa, row.keogh_paa] {
+                assert!((0.0..=1.0).contains(&v), "{}: {v}", row.name);
+            }
+        }
+        let failures = verify_shape(&out);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn render_lists_every_dataset() {
+        let out = run(&Params { series_per_dataset: 4, ..Params::paper() });
+        let (text, _) = render(&out);
+        assert!(text.contains("Sunspot") && text.contains("Random walk"));
+    }
+}

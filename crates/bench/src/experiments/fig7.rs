@@ -1,0 +1,192 @@
+//! Figure 7 — "Mean value of the tightness of lower bound changes with the
+//! warping widths, using LB, New_PAA, Keogh_PAA, SVD and DFT for the random
+//! walk time series data set".
+//!
+//! Protocol (paper §5.2): random walks of length 256, dimensionality 4,
+//! warping widths 0 → 0.1, each point the average of 500 experiments. The
+//! shape to reproduce: SVD wins at width 0 (it is the optimal Euclidean
+//! reduction), but the all-positive PAA coefficients make New_PAA overtake
+//! SVD and DFT as the width grows, and New_PAA dominates Keogh_PAA
+//! throughout.
+
+use serde::Serialize;
+
+use hum_core::dtw::band_for_warping_width;
+use hum_core::normal::NormalForm;
+use hum_core::tightness::{envelope_tightness, transform_tightness};
+use hum_core::transform::dft::Dft;
+use hum_core::transform::paa::{KeoghPaa, NewPaa};
+use hum_core::transform::svd::SvdTransform;
+use hum_datasets::{generate, DatasetFamily};
+
+use crate::report::{fmt3, TextTable};
+
+/// The method names, in the paper's legend order.
+pub const METHODS: [&str; 5] = ["LB", "New_PAA", "Keogh_PAA", "SVD", "DFT"];
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Series length (paper: 256).
+    pub length: usize,
+    /// Reduced dimensionality (paper: 4).
+    pub dims: usize,
+    /// Number of random-walk pairs per point (paper: 500 experiments).
+    pub pairs: usize,
+    /// Number of warping-width steps from 0 to 0.1 inclusive.
+    pub width_steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Paper scale.
+    pub fn paper() -> Self {
+        Params { length: 256, dims: 4, pairs: 500, width_steps: 11, seed: 7 }
+    }
+
+    /// Smoke-test scale.
+    pub fn quick() -> Self {
+        Params { pairs: 40, width_steps: 6, ..Params::paper() }
+    }
+}
+
+/// One point of the figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Warping width δ.
+    pub warping_width: f64,
+    /// Mean tightness per method, in [`METHODS`] order.
+    pub tightness: [f64; 5],
+}
+
+/// Experiment output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Output {
+    /// One point per warping width.
+    pub points: Vec<Point>,
+}
+
+/// Runs the experiment.
+pub fn run(params: &Params) -> Output {
+    let normal = NormalForm::with_length(params.length);
+    let series: Vec<Vec<f64>> =
+        generate(DatasetFamily::RandomWalk, params.pairs * 2, params.length, params.seed)
+            .into_iter()
+            .map(|s| normal.apply(&s))
+            .collect();
+    let new_paa = NewPaa::new(params.length, params.dims);
+    let keogh_paa = KeoghPaa::new(params.length, params.dims);
+    let dft = Dft::new(params.length, params.dims);
+    // SVD is fitted on the experiment population, as in the paper's setup
+    // where SVD is derived from the indexed data.
+    let svd = SvdTransform::fit(&series, params.dims);
+
+    let points = (0..params.width_steps)
+        .map(|step| {
+            let warping_width = 0.1 * step as f64 / (params.width_steps - 1).max(1) as f64;
+            let band = band_for_warping_width(warping_width, params.length);
+            let mut sums = [0.0f64; 5];
+            for pair in series.chunks_exact(2) {
+                let (x, y) = (&pair[0], &pair[1]);
+                sums[0] += envelope_tightness(x, y, band);
+                sums[1] += transform_tightness(&new_paa, x, y, band);
+                sums[2] += transform_tightness(&keogh_paa, x, y, band);
+                sums[3] += transform_tightness(&svd, x, y, band);
+                sums[4] += transform_tightness(&dft, x, y, band);
+            }
+            let n = params.pairs.max(1) as f64;
+            sums.iter_mut().for_each(|s| *s /= n);
+            Point { warping_width, tightness: sums }
+        })
+        .collect();
+    Output { points }
+}
+
+/// Renders the figure as a table of series.
+pub fn render(output: &Output) -> (String, TextTable) {
+    let mut header = vec!["Warping width".to_string()];
+    header.extend(METHODS.iter().map(|m| m.to_string()));
+    let mut table = TextTable::new(header);
+    for p in &output.points {
+        let mut row = vec![format!("{:.2}", p.warping_width)];
+        row.extend(p.tightness.iter().map(|&t| fmt3(t)));
+        table.row(row);
+    }
+    let text = format!(
+        "Figure 7: tightness vs warping width on random walks (n=256, N=4)\n\n{}",
+        table.render()
+    );
+    (text, table)
+}
+
+/// Checks the paper's qualitative claims; returns failed claims.
+pub fn verify_shape(output: &Output) -> Vec<String> {
+    let mut failures = Vec::new();
+    let first = output.points.first().expect("at least one point");
+    let last = output.points.last().expect("at least one point");
+    // At width 0 (Euclidean), SVD is the tightest reduced method.
+    let (_, new0, keogh0, svd0, dft0) = unpack(first);
+    if svd0 + 1e-9 < new0 || svd0 + 1e-9 < dft0 || svd0 + 1e-9 < keogh0 {
+        failures.push(format!(
+            "SVD should dominate at width 0: svd={svd0:.3} new={new0:.3} dft={dft0:.3}"
+        ));
+    }
+    // At the largest width, New_PAA beats SVD and DFT.
+    let (_, new1, keogh1, svd1, dft1) = unpack(last);
+    if new1 + 1e-9 < svd1 || new1 + 1e-9 < dft1 {
+        failures.push(format!(
+            "New_PAA should dominate at width 0.1: new={new1:.3} svd={svd1:.3} dft={dft1:.3}"
+        ));
+    }
+    // New_PAA ≥ Keogh_PAA everywhere; LB is the ceiling everywhere.
+    for p in &output.points {
+        let (lb, new, keogh, svd, dft) = unpack(p);
+        if new + 1e-9 < keogh {
+            failures.push(format!("New_PAA below Keogh_PAA at {:.2}", p.warping_width));
+        }
+        for (name, v) in [("New_PAA", new), ("Keogh_PAA", keogh), ("SVD", svd), ("DFT", dft)] {
+            if lb + 1e-9 < v {
+                failures.push(format!("LB below {name} at {:.2}", p.warping_width));
+            }
+        }
+    }
+    let _ = (new0, keogh0, keogh1);
+    failures
+}
+
+fn unpack(p: &Point) -> (f64, f64, f64, f64, f64) {
+    (p.tightness[0], p.tightness[1], p.tightness[2], p.tightness[3], p.tightness[4])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reproduces_the_crossover_shape() {
+        let out = run(&Params::quick());
+        assert_eq!(out.points.len(), 6);
+        let failures = verify_shape(&out);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn tightness_degrades_with_width_for_every_method() {
+        let out = run(&Params { pairs: 30, width_steps: 5, ..Params::paper() });
+        for (m, name) in METHODS.iter().enumerate() {
+            let first = out.points.first().unwrap().tightness[m];
+            let last = out.points.last().unwrap().tightness[m];
+            assert!(last <= first + 0.05, "method {name} got tighter with width");
+        }
+    }
+
+    #[test]
+    fn render_includes_all_methods() {
+        let out = run(&Params { pairs: 5, width_steps: 2, ..Params::paper() });
+        let (text, _) = render(&out);
+        for m in METHODS {
+            assert!(text.contains(m));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Figure 8 — "The number of candidates to be retrieved with different
+//! query thresholds for the Beatles's melody database": New_PAA vs
+//! Keogh_PAA candidate counts across warping widths 0.02 → 0.2 at
+//! ε ∈ {0.2, 0.8}, on the 1000-phrase songbook.
+
+use serde::Serialize;
+
+use hum_core::normal::NormalForm;
+use hum_music::{SingerProfile, SongbookConfig};
+use hum_qbh::corpus::MelodyDatabase;
+use hum_qbh::eval::generate_hums;
+
+use crate::experiments::sweep::{
+    paper_widths, render_metric, run_sweep, verify_shape, MethodSweep, THRESHOLDS,
+};
+use crate::report::TextTable;
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Songs in the songbook (phrases = songs × 20; paper: 50 → 1000).
+    pub songs: usize,
+    /// Normal-form length.
+    pub length: usize,
+    /// Feature dimensions.
+    pub dims: usize,
+    /// Number of hum queries averaged per grid point.
+    pub queries: usize,
+    /// Warping widths to sweep.
+    pub width_steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Paper scale.
+    pub fn paper() -> Self {
+        Params { songs: 50, length: 128, dims: 8, queries: 50, width_steps: 10, seed: 8 }
+    }
+
+    /// Smoke-test scale.
+    pub fn quick() -> Self {
+        Params { songs: 10, queries: 8, width_steps: 4, ..Params::paper() }
+    }
+}
+
+/// Experiment output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Output {
+    /// Database size.
+    pub melodies: usize,
+    /// Queries averaged.
+    pub queries: usize,
+    /// The two method sweeps.
+    pub sweeps: Vec<MethodSweep>,
+}
+
+/// Runs the experiment.
+pub fn run(params: &Params) -> Output {
+    let db = MelodyDatabase::from_songbook(&SongbookConfig {
+        songs: params.songs,
+        phrases_per_song: 20,
+        ..SongbookConfig::default()
+    });
+    let normal = NormalForm::with_length(params.length);
+    let database: Vec<Vec<f64>> =
+        db.entries().iter().map(|e| normal.apply(&e.melody().to_time_series(4))).collect();
+    let queries: Vec<Vec<f64>> =
+        generate_hums(&db, SingerProfile::good(), params.queries, params.seed)
+            .into_iter()
+            .map(|h| normal.apply(&h.series))
+            .collect();
+
+    let widths: Vec<f64> = paper_widths().into_iter().take(params.width_steps).collect();
+    let sweeps = run_sweep(&database, &queries, params.dims, &widths, &THRESHOLDS, 4096);
+    Output { melodies: db.len(), queries: params.queries, sweeps }
+}
+
+/// Renders the figure.
+pub fn render(output: &Output) -> (String, TextTable) {
+    let table = render_metric(&output.sweeps, |p| p.candidates, "candidates");
+    let text = format!(
+        "Figure 8: candidates retrieved vs warping width, music database ({} melodies, {} hums/point)\n\n{}",
+        output.melodies,
+        output.queries,
+        table.render()
+    );
+    (text, table)
+}
+
+/// Qualitative checks (delegates to the shared sweep checks).
+pub fn check(output: &Output) -> Vec<String> {
+    verify_shape(&output.sweeps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_holds_the_figure_shape() {
+        let out = run(&Params::quick());
+        assert_eq!(out.melodies, 200);
+        let failures = check(&out);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn candidate_counts_are_bounded_by_database_size() {
+        let out = run(&Params::quick());
+        for sweep in &out.sweeps {
+            for p in &sweep.points {
+                assert!(p.candidates <= out.melodies as f64);
+            }
+        }
+    }
+}

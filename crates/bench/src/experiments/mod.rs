@@ -1,0 +1,26 @@
+//! One module per table/figure of the paper's evaluation section.
+//!
+//! | Module | Reproduces | Paper reference |
+//! |---|---|---|
+//! | [`table2`] | Retrieval quality, time series vs contour, good singers | Table 2 |
+//! | [`table3`] | Retrieval quality vs warping width, poor singers | Table 3 |
+//! | [`fig6`] | Tightness of lower bound across 24 datasets | Figure 6 |
+//! | [`fig7`] | Tightness vs warping width, five methods, random walk | Figure 7 |
+//! | [`fig8`] | Candidates vs warping width, 1000-melody music DB | Figure 8 |
+//! | [`fig9`] | Candidates and page accesses, 35,000-melody MIDI DB | Figure 9 |
+//! | [`fig10`] | Candidates and page accesses, 50,000 random walks | Figure 10 |
+//!
+//! [`sweep`] holds the shared candidate/page-access sweep machinery used by
+//! figures 8–10, and [`extras`] runs the design-choice ablations listed in
+//! DESIGN.md (backends, LB second filter, build strategy, transform
+//! pruning).
+
+pub mod extras;
+pub mod fig10;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod sweep;
+pub mod table2;
+pub mod table3;

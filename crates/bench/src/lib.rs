@@ -1,0 +1,20 @@
+//! Reproduction harness for every table and figure in the paper's
+//! evaluation (§5), plus shared reporting utilities.
+//!
+//! Each experiment lives in [`experiments`] with a `Params` struct offering
+//! `quick()` (seconds, for CI and smoke tests) and `paper()` (the full
+//! workload sizes of the paper) presets, a pure `run` function returning a
+//! serializable result, and a `render` function producing the table the
+//! paper prints. The `repro` binary drives them:
+//!
+//! ```text
+//! cargo run -p hum-bench --bin repro --release -- all          # everything, paper scale
+//! cargo run -p hum-bench --bin repro --release -- fig6 --quick # one experiment, small
+//! cargo run -p hum-bench --bin repro --release -- extras       # DESIGN.md ablations
+//! ```
+//!
+//! Results are printed to stdout and written as JSON next to the text
+//! rendering under `results/`.
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,141 @@
+//! Plain-text table rendering and result persistence.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}", cell, width = widths[i] + 2);
+            }
+            let _ = writeln!(out);
+        };
+        emit(&mut out, &self.header);
+        let rule: usize = widths.iter().map(|w| w + 2).sum();
+        let _ = writeln!(out, "{}", "-".repeat(rule.min(120)));
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        let _ = cols; // width checked on insert
+        out
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let _ = writeln!(out, "{}", self.header.iter().map(esc).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Writes an experiment's text rendering, CSV, and JSON payload under
+/// `dir`, creating it if needed. Failures are reported, not fatal — the
+/// primary output channel is stdout.
+pub fn persist(dir: &Path, name: &str, text: &str, table: &TextTable, json: &serde_json::Value) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let write = |suffix: &str, contents: &str| {
+        let path = dir.join(format!("{name}.{suffix}"));
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        }
+    };
+    write("txt", text);
+    write("csv", &table.to_csv());
+    write("json", &serde_json::to_string_pretty(json).expect("serializable results"));
+}
+
+/// Formats a float with three significant decimals for table cells.
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with one decimal for count-style table cells.
+pub fn fmt1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1"]);
+        t.row(vec!["b", "22222"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        // All data lines start their second column at the same offset.
+        let col = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].find('2').unwrap(), col);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt3(0.123456), "0.123");
+        assert_eq!(fmt1(17.26), "17.3");
+    }
+}

@@ -1,0 +1,317 @@
+//! Dynamic Time Warping (paper §4).
+//!
+//! [`dtw_distance`] implements the unconstrained Definition 1 for arbitrary
+//! lengths; [`ldtw_distance`] implements the `k`-local variant of
+//! Definition 4 (a Sakoe-Chiba band of half-width `k`) on equal-length
+//! series, computed in O(nk) time and O(k) space. Definition 5 — LDTW after
+//! both series are brought to a common length by Uniform Time Warping — is
+//! what the rest of the workspace calls "the DTW distance"; the common
+//! length is established by [`crate::normal`].
+
+/// Converts the paper's *warping width* `δ = (2k+1)/n` into the band
+/// half-width `k` for series of length `n` (§4.2).
+///
+/// ```
+/// use hum_core::band_for_warping_width;
+/// assert_eq!(band_for_warping_width(0.1, 256), 12);
+/// assert_eq!(band_for_warping_width(0.0, 256), 0); // Euclidean
+/// ```
+///
+/// `δ = 0` (or any value giving `k = 0`) degenerates to Euclidean distance.
+/// `δ = 1` gives `k ≈ n/2`, which the paper calls the degeneration of local
+/// DTW to global DTW; pass `k = n − 1` to [`ldtw_distance`] directly for the
+/// fully unconstrained band.
+pub fn band_for_warping_width(delta: f64, n: usize) -> usize {
+    assert!((0.0..=1.0).contains(&delta), "warping width must lie in [0,1]");
+    let k = ((delta * n as f64 - 1.0) / 2.0).round();
+    (k.max(0.0) as usize).min(n.saturating_sub(1))
+}
+
+/// Squared `k`-Local DTW distance between equal-length series
+/// (Definition 4).
+///
+/// ```
+/// use hum_core::dtw::ldtw_distance_sq;
+/// // A one-step shift costs nothing once the band admits it.
+/// let x = [0.0, 0.0, 1.0, 0.0, 0.0];
+/// let y = [0.0, 0.0, 0.0, 1.0, 0.0];
+/// assert!(ldtw_distance_sq(&x, &y, 0) > 0.0);
+/// assert_eq!(ldtw_distance_sq(&x, &y, 1), 0.0);
+/// ```
+///
+/// Cell `(i, j)` is admissible only when `|i − j| ≤ k`. With `k ≥ n − 1` this
+/// equals unconstrained DTW on equal lengths; with `k = 0` it equals the
+/// squared Euclidean distance.
+///
+/// # Panics
+/// Panics if the series lengths differ or are zero.
+#[allow(clippy::needless_range_loop)] // explicit i/j indices mirror the DP recurrence
+pub fn ldtw_distance_sq(x: &[f64], y: &[f64], k: usize) -> f64 {
+    let n = x.len();
+    assert_eq!(n, y.len(), "LDTW requires equal lengths (apply the UTW normal form first)");
+    assert!(n > 0, "LDTW of empty series");
+    let k = k.min(n - 1);
+
+    // Banded DP over rows; each row stores the window [i-k, i+k].
+    let width = 2 * k + 1;
+    let inf = f64::INFINITY;
+    let mut prev = vec![inf; width];
+    let mut curr = vec![inf; width];
+
+    // Row 0: j in [0, k].
+    {
+        let mut acc = 0.0;
+        for j in 0..=k.min(n - 1) {
+            let d = x[0] - y[j];
+            acc += d * d;
+            prev[j + k] = acc; // offset: column j maps to slot j - (i - k) = j - i + k
+        }
+    }
+
+    for i in 1..n {
+        curr.iter_mut().for_each(|v| *v = inf);
+        let j_lo = i.saturating_sub(k);
+        let j_hi = (i + k).min(n - 1);
+        for j in j_lo..=j_hi {
+            let slot = j + k - i;
+            let d = x[i] - y[j];
+            let cost = d * d;
+            // Predecessors in the previous row are (i-1, j) -> slot+1 and
+            // (i-1, j-1) -> slot; in the current row, (i, j-1) -> slot-1.
+            let mut best = inf;
+            if slot + 1 < width {
+                best = best.min(prev[slot + 1]);
+            }
+            best = best.min(prev[slot]);
+            if slot > 0 {
+                best = best.min(curr[slot - 1]);
+            }
+            curr[slot] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    // Cell (n-1, n-1) sits at slot k.
+    prev[k]
+}
+
+/// Root of [`ldtw_distance_sq`].
+pub fn ldtw_distance(x: &[f64], y: &[f64], k: usize) -> f64 {
+    ldtw_distance_sq(x, y, k).sqrt()
+}
+
+/// Squared unconstrained DTW distance (Definition 1) between series of
+/// arbitrary positive lengths. O(nm) time, O(m) space.
+///
+/// # Panics
+/// Panics if either series is empty.
+#[allow(clippy::needless_range_loop)] // explicit i/j indices mirror the DP recurrence
+pub fn dtw_distance_sq(x: &[f64], y: &[f64]) -> f64 {
+    let (n, m) = (x.len(), y.len());
+    assert!(n > 0 && m > 0, "DTW of empty series");
+    let inf = f64::INFINITY;
+    let mut prev = vec![inf; m];
+    let mut curr = vec![inf; m];
+
+    for j in 0..m {
+        let d = x[0] - y[j];
+        prev[j] = d * d + if j == 0 { 0.0 } else { prev[j - 1] };
+    }
+    for i in 1..n {
+        for j in 0..m {
+            let d = x[i] - y[j];
+            let best = if j == 0 {
+                prev[0]
+            } else {
+                prev[j].min(prev[j - 1]).min(curr[j - 1])
+            };
+            curr[j] = d * d + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m - 1]
+}
+
+/// Root of [`dtw_distance_sq`].
+pub fn dtw_distance(x: &[f64], y: &[f64]) -> f64 {
+    dtw_distance_sq(x, y).sqrt()
+}
+
+/// One step of a warping path (paired 0-based positions in `x` and `y`).
+pub type PathStep = (usize, usize);
+
+/// Unconstrained DTW with full matrix and warping-path recovery; O(nm)
+/// space. Intended for analysis and tests rather than bulk search.
+///
+/// Returns the squared distance and the optimal path from `(0,0)` to
+/// `(n−1,m−1)`.
+pub fn dtw_with_path(x: &[f64], y: &[f64]) -> (f64, Vec<PathStep>) {
+    let (n, m) = (x.len(), y.len());
+    assert!(n > 0 && m > 0, "DTW of empty series");
+    let inf = f64::INFINITY;
+    let mut cost = vec![inf; n * m];
+    let at = |i: usize, j: usize| i * m + j;
+
+    for i in 0..n {
+        for j in 0..m {
+            let d = x[i] - y[j];
+            let base = match (i, j) {
+                (0, 0) => 0.0,
+                (0, _) => cost[at(0, j - 1)],
+                (_, 0) => cost[at(i - 1, 0)],
+                _ => cost[at(i - 1, j)].min(cost[at(i, j - 1)]).min(cost[at(i - 1, j - 1)]),
+            };
+            cost[at(i, j)] = d * d + base;
+        }
+    }
+
+    // Backtrack greedily over the three predecessors.
+    let mut path = vec![(n - 1, m - 1)];
+    let (mut i, mut j) = (n - 1, m - 1);
+    while i > 0 || j > 0 {
+        let (pi, pj) = match (i, j) {
+            (0, _) => (0, j - 1),
+            (_, 0) => (i - 1, 0),
+            _ => {
+                let diag = cost[at(i - 1, j - 1)];
+                let up = cost[at(i - 1, j)];
+                let left = cost[at(i, j - 1)];
+                if diag <= up && diag <= left {
+                    (i - 1, j - 1)
+                } else if up <= left {
+                    (i - 1, j)
+                } else {
+                    (i, j - 1)
+                }
+            }
+        };
+        path.push((pi, pj));
+        i = pi;
+        j = pj;
+    }
+    path.reverse();
+    (cost[at(n - 1, m - 1)], path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hum_linalg::vec_ops::sq_euclidean;
+
+    #[test]
+    fn band_conversion_matches_paper_formula() {
+        // δ = (2k+1)/n: for n = 100, δ = 0.05 → k = 2, δ = 0.1 → k ≈ 4.5 → 5.
+        assert_eq!(band_for_warping_width(0.05, 100), 2);
+        assert_eq!(band_for_warping_width(0.1, 100), 5);
+        assert_eq!(band_for_warping_width(0.0, 100), 0);
+        assert_eq!(band_for_warping_width(1.0, 100), 50);
+        // n = 256, δ = 0.1 → k = floor/round((25.6-1)/2) = 12.
+        assert_eq!(band_for_warping_width(0.1, 256), 12);
+    }
+
+    #[test]
+    fn zero_band_equals_euclidean() {
+        let x = vec![1.0, 3.0, 2.0, 5.0];
+        let y = vec![0.0, 3.5, 1.0, 4.0];
+        assert!((ldtw_distance_sq(&x, &y, 0) - sq_euclidean(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_band_equals_unconstrained_dtw() {
+        let x = vec![0.0, 1.0, 2.0, 3.0, 2.0, 1.0];
+        let y = vec![0.0, 0.0, 1.0, 2.0, 3.0, 1.0];
+        assert!((ldtw_distance_sq(&x, &y, 5) - dtw_distance_sq(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_absorbs_time_shifts_that_euclidean_cannot() {
+        // A bump shifted by one step: DTW realigns it, Euclidean pays.
+        let x = vec![0.0, 0.0, 1.0, 0.0, 0.0, 0.0];
+        let y = vec![0.0, 0.0, 0.0, 1.0, 0.0, 0.0];
+        assert!(dtw_distance_sq(&x, &y) < 1e-12);
+        assert!(sq_euclidean(&x, &y) > 1.0);
+        // And a band of 1 suffices for a 1-step shift.
+        assert!(ldtw_distance_sq(&x, &y, 1) < 1e-12);
+    }
+
+    #[test]
+    fn ldtw_is_monotone_decreasing_in_band() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.5).sin()).collect();
+        let y: Vec<f64> = (0..32).map(|i| (i as f64 * 0.5 + 0.8).sin()).collect();
+        let mut last = f64::INFINITY;
+        for k in 0..8 {
+            let d = ldtw_distance_sq(&x, &y, k);
+            assert!(d <= last + 1e-12, "k={k}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn ldtw_lower_bounds_euclidean() {
+        let x: Vec<f64> = (0..50).map(|i| ((i * i) % 17) as f64).collect();
+        let y: Vec<f64> = (0..50).map(|i| ((i * 3) % 13) as f64).collect();
+        for k in [0, 1, 3, 10] {
+            assert!(ldtw_distance_sq(&x, &y, k) <= sq_euclidean(&x, &y) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn identical_series_have_zero_distance() {
+        let x: Vec<f64> = (0..20).map(|i| (i as f64).cos()).collect();
+        assert_eq!(dtw_distance(&x, &x), 0.0);
+        assert_eq!(ldtw_distance(&x, &x, 3), 0.0);
+    }
+
+    #[test]
+    fn dtw_is_symmetric() {
+        let x = vec![1.0, 5.0, 2.0, 0.0];
+        let y = vec![0.5, 4.0, 4.0, 1.0, 0.0];
+        assert!((dtw_distance_sq(&x, &y) - dtw_distance_sq(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_known_small_example() {
+        // x = [0,1], y = [0,0,1]: path aligns the two zeros, cost 0.
+        assert_eq!(dtw_distance_sq(&[0.0, 1.0], &[0.0, 0.0, 1.0]), 0.0);
+        // x = [0,2], y = [1]: every element pairs with 1 → 1 + 1 = 2.
+        assert_eq!(dtw_distance_sq(&[0.0, 2.0], &[1.0]), 2.0);
+    }
+
+    #[test]
+    fn path_is_monotone_continuous_and_anchored() {
+        let x: Vec<f64> = (0..12).map(|i| (i as f64 * 0.8).sin()).collect();
+        let y: Vec<f64> = (0..9).map(|i| (i as f64 * 1.1).sin()).collect();
+        let (d, path) = dtw_with_path(&x, &y);
+        assert!((d - dtw_distance_sq(&x, &y)).abs() < 1e-12);
+        assert_eq!(*path.first().unwrap(), (0, 0));
+        assert_eq!(*path.last().unwrap(), (11, 8));
+        for w in path.windows(2) {
+            let (di, dj) = (w[1].0 - w[0].0, w[1].1 - w[0].1);
+            assert!(di <= 1 && dj <= 1, "continuity");
+            assert!(di + dj >= 1, "monotonicity");
+        }
+        // Path length bounds: max(n,m) ≤ L ≤ n+m−1.
+        assert!(path.len() >= 12 && path.len() <= 20);
+    }
+
+    #[test]
+    fn path_cost_equals_distance() {
+        let x = vec![0.0, 1.0, 3.0, 1.0];
+        let y = vec![0.0, 2.0, 3.0, 0.0, 1.0];
+        let (d, path) = dtw_with_path(&x, &y);
+        let path_cost: f64 = path.iter().map(|&(i, j)| (x[i] - y[j]) * (x[i] - y[j])).sum();
+        assert!((d - path_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_larger_than_series_is_clamped() {
+        let x = vec![1.0, 2.0];
+        let y = vec![2.0, 1.0];
+        assert_eq!(ldtw_distance_sq(&x, &y, 100), dtw_distance_sq(&x, &y));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn ldtw_rejects_unequal_lengths() {
+        let _ = ldtw_distance_sq(&[1.0], &[1.0, 2.0], 1);
+    }
+}

@@ -1,0 +1,532 @@
+//! The GEMINI query engine for DTW (paper §4.3).
+//!
+//! Build phase: every database series (already in normal form — equal
+//! length, mean-subtracted; see [`crate::normal`]) is reduced to a feature
+//! vector and stored in a spatial index.
+//!
+//! Query phase, for an ε-range query at warping band `k`:
+//!
+//! 1. compute the query's `k`-envelope and its feature-space image (a box),
+//! 2. range-search the index: candidates are points within ε of the box —
+//!    by Theorem 1 this never drops a true match,
+//! 3. optionally re-filter candidates with the full-dimension envelope bound
+//!    (the paper's "LB used as a second filter after the indexing scheme"),
+//! 4. verify survivors with the exact banded DTW.
+//!
+//! k-NN queries use the optimal multi-step scheme (Seidl & Kriegel): probe
+//! the index for `k` nearest feature lower bounds, take the `k`-th exact
+//! distance as a provisional radius, then close with one exact range query.
+//!
+//! The warping band is a *query-time* parameter: one index serves every
+//! warping width, which is the paper's point that "adding the DTW support
+//! requires changes only to the time series query".
+
+use std::collections::HashMap;
+
+use hum_index::{ItemId, Query, QueryStats, SpatialIndex};
+
+use crate::dtw::ldtw_distance;
+use crate::envelope::Envelope;
+use crate::transform::EnvelopeTransform;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Apply the full-dimension envelope lower bound to index candidates
+    /// before running exact DTW (cheap and prunes aggressively).
+    pub envelope_refinement: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { envelope_refinement: true }
+    }
+}
+
+/// Counters for one engine query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Spatial-index counters (page accesses, candidates, ...).
+    pub index: QueryStats,
+    /// Candidates removed by the envelope second filter.
+    pub lb_pruned: u64,
+    /// Exact DTW evaluations performed.
+    pub exact_computations: u64,
+    /// Final matches returned.
+    pub matches: u64,
+}
+
+/// Result of a range or k-NN query: `(id, exact DTW distance)` pairs sorted
+/// by ascending distance, plus counters.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Matches sorted by ascending exact DTW distance.
+    pub matches: Vec<(ItemId, f64)>,
+    /// Work counters for the query.
+    pub stats: EngineStats,
+}
+
+/// A DTW similarity-search engine over a spatial index backend.
+#[derive(Debug, Clone)]
+pub struct DtwIndexEngine<T, I> {
+    transform: T,
+    index: I,
+    series: HashMap<ItemId, Vec<f64>>,
+    config: EngineConfig,
+}
+
+impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
+    /// Creates an engine from a transform and an (empty) index backend.
+    ///
+    /// # Panics
+    /// Panics if the index dimensionality differs from the transform output.
+    pub fn new(transform: T, index: I, config: EngineConfig) -> Self {
+        assert_eq!(
+            index.dims(),
+            transform.output_dims(),
+            "index dimensionality must match the transform output"
+        );
+        DtwIndexEngine { transform, index, series: HashMap::new(), config }
+    }
+
+    /// Number of indexed series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// `true` if no series are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Normal-form length every series must have.
+    pub fn series_len(&self) -> usize {
+        self.transform.input_len()
+    }
+
+    /// The transform in use.
+    pub fn transform(&self) -> &T {
+        &self.transform
+    }
+
+    /// The index backend in use.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// Looks up a stored series.
+    pub fn get(&self, id: ItemId) -> Option<&[f64]> {
+        self.series.get(&id).map(Vec::as_slice)
+    }
+
+    /// Inserts a normal-form series under `id` (replacing nothing: ids must
+    /// be unique).
+    ///
+    /// # Panics
+    /// Panics if the length is wrong or the id is already present.
+    pub fn insert(&mut self, id: ItemId, series: Vec<f64>) {
+        assert_eq!(series.len(), self.transform.input_len(), "series must be in normal form");
+        let features = self.transform.project(&series);
+        let prior = self.series.insert(id, series);
+        assert!(prior.is_none(), "duplicate id {id}");
+        self.index.insert(id, features);
+    }
+
+    /// Removes the series stored under `id` from both the store and the
+    /// index. Returns `true` if it was present.
+    pub fn remove(&mut self, id: ItemId) -> bool {
+        if self.series.remove(&id).is_none() {
+            return false;
+        }
+        let removed = self.index.remove(id);
+        debug_assert!(removed, "series and index must stay in lockstep");
+        true
+    }
+
+    /// ε-range query: all series whose band-`k` DTW distance to `query` is
+    /// at most `radius`. Guaranteed free of false negatives.
+    ///
+    /// # Panics
+    /// Panics if `query.len()` differs from the normal-form length.
+    pub fn range_query(&self, query: &[f64], band: usize, radius: f64) -> QueryResult {
+        assert_eq!(query.len(), self.transform.input_len(), "query must be in normal form");
+        let envelope = Envelope::compute(query, band);
+        let feature_box = self.transform.project_envelope(&envelope);
+        let (candidates, index_stats) =
+            self.index.range_query(&Query::Rect(feature_box), radius);
+
+        let mut stats = EngineStats { index: index_stats, ..EngineStats::default() };
+        let mut matches = Vec::new();
+        for id in candidates {
+            let series = &self.series[&id];
+            if self.config.envelope_refinement && envelope.distance(series) > radius {
+                stats.lb_pruned += 1;
+                continue;
+            }
+            stats.exact_computations += 1;
+            let d = ldtw_distance(query, series, band);
+            if d <= radius {
+                matches.push((id, d));
+            }
+        }
+        sort_by_distance(&mut matches);
+        stats.matches = matches.len() as u64;
+        QueryResult { matches, stats }
+    }
+
+    /// k-NN query under band-`k` DTW via the optimal multi-step scheme.
+    ///
+    /// # Panics
+    /// Panics if `query.len()` differs from the normal-form length.
+    pub fn knn(&self, query: &[f64], band: usize, k: usize) -> QueryResult {
+        assert_eq!(query.len(), self.transform.input_len(), "query must be in normal form");
+        if k == 0 || self.series.is_empty() {
+            return QueryResult::default();
+        }
+        let envelope = Envelope::compute(query, band);
+        let feature_box = self.transform.project_envelope(&envelope);
+        let shape = Query::Rect(feature_box);
+
+        // Step 1: k candidates by ascending feature lower bound.
+        let (probes, probe_stats) = self.index.knn(&shape, k);
+        let mut stats = EngineStats { index: probe_stats, ..EngineStats::default() };
+
+        // Step 2: provisional radius from their exact distances.
+        let mut radius = 0.0f64;
+        for (id, _) in &probes {
+            stats.exact_computations += 1;
+            radius = radius.max(ldtw_distance(query, &self.series[id], band));
+        }
+
+        // Step 3: closing range query at the provisional radius. Any true
+        // top-k member has exact distance ≤ radius, hence lower bound ≤
+        // radius, hence appears here.
+        let (candidates, range_stats) = self.index.range_query(&shape, radius);
+        stats.index.absorb(&range_stats);
+
+        let mut matches = Vec::with_capacity(candidates.len());
+        for id in candidates {
+            let series = &self.series[&id];
+            if self.config.envelope_refinement && envelope.distance(series) > radius {
+                stats.lb_pruned += 1;
+                continue;
+            }
+            stats.exact_computations += 1;
+            matches.push((id, ldtw_distance(query, series, band)));
+        }
+        sort_by_distance(&mut matches);
+        matches.truncate(k);
+        stats.matches = matches.len() as u64;
+        QueryResult { matches, stats }
+    }
+
+    /// Brute-force ε-range query (no index): the slow baseline the paper's
+    /// related work resorted to. Exact by construction; used for validation
+    /// and speed comparisons.
+    pub fn scan_range(&self, query: &[f64], band: usize, radius: f64) -> QueryResult {
+        assert_eq!(query.len(), self.transform.input_len(), "query must be in normal form");
+        let envelope = Envelope::compute(query, band);
+        let mut stats = EngineStats::default();
+        let mut matches = Vec::new();
+        for (id, series) in &self.series {
+            if self.config.envelope_refinement && envelope.distance(series) > radius {
+                stats.lb_pruned += 1;
+                continue;
+            }
+            stats.exact_computations += 1;
+            let d = ldtw_distance(query, series, band);
+            if d <= radius {
+                matches.push((*id, d));
+            }
+        }
+        sort_by_distance(&mut matches);
+        stats.matches = matches.len() as u64;
+        QueryResult { matches, stats }
+    }
+
+    /// Brute-force k-NN (no index). Exact by construction.
+    pub fn scan_knn(&self, query: &[f64], band: usize, k: usize) -> QueryResult {
+        assert_eq!(query.len(), self.transform.input_len(), "query must be in normal form");
+        let mut stats = EngineStats::default();
+        let mut all: Vec<(ItemId, f64)> = self
+            .series
+            .iter()
+            .map(|(id, series)| {
+                stats.exact_computations += 1;
+                (*id, ldtw_distance(query, series, band))
+            })
+            .collect();
+        sort_by_distance(&mut all);
+        all.truncate(k);
+        stats.matches = all.len() as u64;
+        QueryResult { matches: all, stats }
+    }
+}
+
+fn sort_by_distance(matches: &mut [(ItemId, f64)]) {
+    matches.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1).expect("finite distances").then_with(|| a.0.cmp(&b.0))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::paa::{KeoghPaa, NewPaa};
+    use hum_index::{GridFile, LinearScan, RStarTree};
+
+    fn lcg_series(n: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n)
+            .map(|_| {
+                // Random walks, centered.
+                let mut acc = 0.0;
+                let mut s: Vec<f64> = (0..len)
+                    .map(|_| {
+                        acc += next();
+                        acc
+                    })
+                    .collect();
+                hum_linalg::vec_ops::center(&mut s);
+                s
+            })
+            .collect()
+    }
+
+    fn build_engine(series: &[Vec<f64>]) -> DtwIndexEngine<NewPaa, RStarTree> {
+        let len = series[0].len();
+        let mut engine = DtwIndexEngine::new(
+            NewPaa::new(len, 8),
+            RStarTree::with_page_size(8, 1024),
+            EngineConfig::default(),
+        );
+        for (i, s) in series.iter().enumerate() {
+            engine.insert(i as ItemId, s.clone());
+        }
+        engine
+    }
+
+    #[test]
+    fn range_query_equals_brute_force() {
+        let series = lcg_series(120, 64, 5);
+        let engine = build_engine(&series);
+        let query = &series[17];
+        for (band, radius) in [(0usize, 1.0), (3, 2.0), (6, 4.0)] {
+            let fast = engine.range_query(query, band, radius);
+            let slow = engine.scan_range(query, band, radius);
+            assert_eq!(fast.matches, slow.matches, "band={band} r={radius}");
+        }
+    }
+
+    #[test]
+    fn no_false_negatives_across_backends() {
+        let series = lcg_series(100, 64, 9);
+        let query = lcg_series(1, 64, 1234).remove(0);
+        let band = 4;
+        let radius = 3.0;
+        // Ground truth by direct DTW.
+        let mut expected: Vec<ItemId> = series
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| ldtw_distance(&query, s, band) <= radius)
+            .map(|(i, _)| i as ItemId)
+            .collect();
+        expected.sort_unstable();
+
+        macro_rules! check {
+            ($index:expr) => {{
+                let mut engine =
+                    DtwIndexEngine::new(NewPaa::new(64, 8), $index, EngineConfig::default());
+                for (i, s) in series.iter().enumerate() {
+                    engine.insert(i as ItemId, s.clone());
+                }
+                let mut got: Vec<ItemId> =
+                    engine.range_query(&query, band, radius).matches.iter().map(|m| m.0).collect();
+                got.sort_unstable();
+                assert_eq!(got, expected);
+            }};
+        }
+        check!(RStarTree::with_page_size(8, 1024));
+        check!(GridFile::with_params(8, 4, 32, 1024));
+        check!(LinearScan::with_page_size(8, 1024));
+    }
+
+    #[test]
+    fn knn_equals_brute_force_distances() {
+        let series = lcg_series(150, 64, 21);
+        let engine = build_engine(&series);
+        let query = lcg_series(1, 64, 777).remove(0);
+        for band in [0usize, 2, 5] {
+            let fast = engine.knn(&query, band, 10);
+            let slow = engine.scan_knn(&query, band, 10);
+            assert_eq!(fast.matches.len(), 10);
+            for (f, s) in fast.matches.iter().zip(&slow.matches) {
+                assert!((f.1 - s.1).abs() < 1e-9, "band={band}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_query_returns_self_first() {
+        let series = lcg_series(60, 64, 3);
+        let engine = build_engine(&series);
+        let result = engine.knn(&series[42], 2, 1);
+        assert_eq!(result.matches[0].0, 42);
+        assert!(result.matches[0].1 < 1e-12);
+    }
+
+    #[test]
+    fn index_prunes_relative_to_full_scan() {
+        let series = lcg_series(600, 64, 31);
+        let engine = build_engine(&series);
+        let query = &series[0];
+        let result = engine.range_query(query, 2, 0.5);
+        assert!(
+            result.stats.index.points_examined < 600,
+            "examined {}",
+            result.stats.index.points_examined
+        );
+        // The exact-DTW step runs on far fewer series than the database size.
+        assert!(result.stats.exact_computations < 300);
+    }
+
+    #[test]
+    fn tighter_transform_yields_fewer_candidates() {
+        let series = lcg_series(400, 64, 13);
+        let query = lcg_series(1, 64, 999).remove(0);
+        let band = 4;
+        let radius = 2.0;
+
+        let mut new_engine = DtwIndexEngine::new(
+            NewPaa::new(64, 8),
+            LinearScan::with_page_size(8, 1024),
+            EngineConfig { envelope_refinement: false },
+        );
+        let mut keogh_engine = DtwIndexEngine::new(
+            KeoghPaa::new(64, 8),
+            LinearScan::with_page_size(8, 1024),
+            EngineConfig { envelope_refinement: false },
+        );
+        for (i, s) in series.iter().enumerate() {
+            new_engine.insert(i as ItemId, s.clone());
+            keogh_engine.insert(i as ItemId, s.clone());
+        }
+        let new_result = new_engine.range_query(&query, band, radius);
+        let keogh_result = keogh_engine.range_query(&query, band, radius);
+        assert_eq!(new_result.matches, keogh_result.matches, "same exact answer");
+        assert!(
+            new_result.stats.index.candidates <= keogh_result.stats.index.candidates,
+            "New_PAA candidates {} vs Keogh_PAA {}",
+            new_result.stats.index.candidates,
+            keogh_result.stats.index.candidates
+        );
+    }
+
+    #[test]
+    fn envelope_refinement_only_changes_work_not_answers() {
+        let series = lcg_series(200, 64, 8);
+        let query = lcg_series(1, 64, 555).remove(0);
+        let mut with = DtwIndexEngine::new(
+            NewPaa::new(64, 8),
+            RStarTree::with_page_size(8, 1024),
+            EngineConfig { envelope_refinement: true },
+        );
+        let mut without = DtwIndexEngine::new(
+            NewPaa::new(64, 8),
+            RStarTree::with_page_size(8, 1024),
+            EngineConfig { envelope_refinement: false },
+        );
+        for (i, s) in series.iter().enumerate() {
+            with.insert(i as ItemId, s.clone());
+            without.insert(i as ItemId, s.clone());
+        }
+        let a = with.range_query(&query, 3, 2.5);
+        let b = without.range_query(&query, 3, 2.5);
+        assert_eq!(a.matches, b.matches);
+        assert!(a.stats.exact_computations <= b.stats.exact_computations);
+    }
+
+    #[test]
+    fn knn_with_k_zero_or_empty_engine() {
+        let series = lcg_series(10, 32, 2);
+        let mut engine = DtwIndexEngine::new(
+            NewPaa::new(32, 4),
+            RStarTree::new(4),
+            EngineConfig::default(),
+        );
+        assert!(engine.knn(&series[0], 2, 3).matches.is_empty());
+        engine.insert(0, series[0].clone());
+        assert!(engine.knn(&series[0], 2, 0).matches.is_empty());
+    }
+
+    #[test]
+    fn removal_keeps_queries_exact_across_backends() {
+        let series = lcg_series(150, 64, 61);
+        let query = lcg_series(1, 64, 4242).remove(0);
+        let band = 3;
+        let radius = 3.0;
+
+        macro_rules! check {
+            ($index:expr) => {{
+                let mut engine =
+                    DtwIndexEngine::new(NewPaa::new(64, 8), $index, EngineConfig::default());
+                for (i, s) in series.iter().enumerate() {
+                    engine.insert(i as ItemId, s.clone());
+                }
+                for id in (0..150).step_by(4) {
+                    assert!(engine.remove(id as ItemId));
+                }
+                assert!(!engine.remove(0), "already removed");
+                let mut expected: Vec<ItemId> = series
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 4 != 0)
+                    .filter(|(_, s)| ldtw_distance(&query, s, band) <= radius)
+                    .map(|(i, _)| i as ItemId)
+                    .collect();
+                expected.sort_unstable();
+                let mut got: Vec<ItemId> =
+                    engine.range_query(&query, band, radius).matches.iter().map(|m| m.0).collect();
+                got.sort_unstable();
+                assert_eq!(got, expected);
+            }};
+        }
+        check!(RStarTree::with_page_size(8, 1024));
+        check!(GridFile::with_params(8, 4, 32, 1024));
+        check!(LinearScan::with_page_size(8, 1024));
+    }
+
+    #[test]
+    fn removed_id_can_be_reinserted() {
+        let series = lcg_series(3, 32, 2);
+        let mut engine = DtwIndexEngine::new(
+            NewPaa::new(32, 4),
+            RStarTree::new(4),
+            EngineConfig::default(),
+        );
+        engine.insert(5, series[0].clone());
+        assert!(engine.remove(5));
+        engine.insert(5, series[1].clone());
+        assert_eq!(engine.len(), 1);
+        let top = engine.knn(&series[1], 2, 1);
+        assert_eq!(top.matches[0].0, 5);
+        assert!(top.matches[0].1 < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate id")]
+    fn duplicate_id_rejected() {
+        let series = lcg_series(2, 32, 4);
+        let mut engine = DtwIndexEngine::new(
+            NewPaa::new(32, 4),
+            RStarTree::new(4),
+            EngineConfig::default(),
+        );
+        engine.insert(7, series[0].clone());
+        engine.insert(7, series[1].clone());
+    }
+}

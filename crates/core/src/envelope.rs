@@ -1,0 +1,271 @@
+//! Time-series envelopes (paper Definitions 6 and 7).
+//!
+//! The `k`-envelope of a series brackets every point by the minimum and
+//! maximum over a `±k` window. Keogh's lemma (Lemma 2 in the paper) states
+//! that the distance from a series `x` to the envelope of `y` lower-bounds
+//! the band-`k` DTW distance between `x` and `y` — the foundation of every
+//! index transform in [`crate::transform`].
+
+/// The `k`-envelope of a time series: pointwise window minima and maxima.
+///
+/// ```
+/// use hum_core::Envelope;
+/// let y = [1.0, 5.0, 2.0, 8.0];
+/// let env = Envelope::compute(&y, 1);
+/// assert_eq!(env.upper(), &[5.0, 5.0, 8.0, 8.0]);
+/// assert_eq!(env.lower(), &[1.0, 1.0, 2.0, 2.0]);
+/// assert!(env.contains(&y));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl Envelope {
+    /// Computes `Env_k(x)` with sliding-window minima/maxima via monotonic
+    /// deques — O(n) regardless of `k`.
+    ///
+    /// # Panics
+    /// Panics if `x` is empty.
+    pub fn compute(x: &[f64], k: usize) -> Self {
+        assert!(!x.is_empty(), "envelope of empty series");
+        Envelope { lower: sliding_extreme(x, k, false), upper: sliding_extreme(x, k, true) }
+    }
+
+    /// Builds an envelope from explicit bounds.
+    ///
+    /// # Panics
+    /// Panics if lengths differ, bounds are empty, or any `lower > upper`.
+    pub fn from_bounds(lower: Vec<f64>, upper: Vec<f64>) -> Self {
+        assert_eq!(lower.len(), upper.len(), "bound lengths must agree");
+        assert!(!lower.is_empty(), "empty envelope");
+        for (l, u) in lower.iter().zip(&upper) {
+            assert!(l <= u, "lower bound exceeds upper bound");
+        }
+        Envelope { lower, upper }
+    }
+
+    /// The degenerate envelope equal to the series itself (`k = 0`).
+    pub fn degenerate(x: &[f64]) -> Self {
+        Envelope { lower: x.to_vec(), upper: x.to_vec() }
+    }
+
+    /// Series length.
+    pub fn len(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// `true` if the envelope is empty (never constructible via the public
+    /// API; kept for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.lower.is_empty()
+    }
+
+    /// Lower bound series.
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper bound series.
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// `true` if `z` lies within the envelope pointwise (`z ∈ e`).
+    pub fn contains(&self, z: &[f64]) -> bool {
+        z.len() == self.len()
+            && z.iter()
+                .zip(self.lower.iter().zip(&self.upper))
+                .all(|(v, (l, u))| l <= v && v <= u)
+    }
+
+    /// Squared distance from a series to this envelope (Definition 7):
+    /// `min_{z ∈ e} D²(x, z)`, which accumulates only the excursions of `x`
+    /// outside the band. This is the LB lower bound of Lemma 2.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.len()`.
+    pub fn distance_sq(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.len(), "length mismatch");
+        let mut acc = 0.0;
+        for (v, (l, u)) in x.iter().zip(self.lower.iter().zip(&self.upper)) {
+            let d = if v < l {
+                l - v
+            } else if v > u {
+                v - u
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Root of [`Envelope::distance_sq`].
+    pub fn distance(&self, x: &[f64]) -> f64 {
+        self.distance_sq(x).sqrt()
+    }
+}
+
+/// Sliding-window maximum (or minimum) with window `[i−k, i+k]`, using a
+/// monotonic deque of indices.
+fn sliding_extreme(x: &[f64], k: usize, want_max: bool) -> Vec<f64> {
+    let n = x.len();
+    let mut out = Vec::with_capacity(n);
+    let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let better = |a: f64, b: f64| if want_max { a >= b } else { a <= b };
+
+    // Pre-fill the first window [0, k].
+    for j in 0..=k.min(n - 1) {
+        while let Some(&back) = deque.back() {
+            if better(x[j], x[back]) {
+                deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        deque.push_back(j);
+    }
+    for i in 0..n {
+        // Window for i is [i-k, i+k]; add the incoming right edge.
+        let incoming = i + k;
+        if i > 0 && incoming < n {
+            while let Some(&back) = deque.back() {
+                if better(x[incoming], x[back]) {
+                    deque.pop_back();
+                } else {
+                    break;
+                }
+            }
+            deque.push_back(incoming);
+        }
+        // Expire the left edge.
+        while let Some(&front) = deque.front() {
+            if front + k < i {
+                deque.pop_front();
+            } else {
+                break;
+            }
+        }
+        out.push(x[*deque.front().expect("window is never empty")]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::ldtw_distance_sq;
+
+    /// Reference O(nk) envelope for cross-checking the deque version.
+    fn naive_envelope(x: &[f64], k: usize) -> Envelope {
+        let n = x.len();
+        let mut lower = Vec::with_capacity(n);
+        let mut upper = Vec::with_capacity(n);
+        for i in 0..n {
+            let lo = i.saturating_sub(k);
+            let hi = (i + k).min(n - 1);
+            let window = &x[lo..=hi];
+            lower.push(window.iter().cloned().fold(f64::INFINITY, f64::min));
+            upper.push(window.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        }
+        Envelope::from_bounds(lower, upper)
+    }
+
+    fn wiggly(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.9).sin() * ((i % 5) as f64 + 1.0)).collect()
+    }
+
+    #[test]
+    fn deque_envelope_matches_naive() {
+        let x = wiggly(200);
+        for k in [0, 1, 2, 5, 17, 199, 500] {
+            assert_eq!(Envelope::compute(&x, k), naive_envelope(&x, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn zero_k_envelope_is_the_series() {
+        let x = wiggly(30);
+        let e = Envelope::compute(&x, 0);
+        assert_eq!(e.lower(), &x[..]);
+        assert_eq!(e.upper(), &x[..]);
+        assert_eq!(e, Envelope::degenerate(&x));
+    }
+
+    #[test]
+    fn envelope_contains_the_series() {
+        let x = wiggly(64);
+        for k in [0, 1, 4, 9] {
+            assert!(Envelope::compute(&x, k).contains(&x));
+        }
+    }
+
+    #[test]
+    fn envelope_contains_all_banded_warps() {
+        // Any y[i±j] with |j| ≤ k lies inside Env_k(y) at position i; check
+        // via shifted copies.
+        let y = wiggly(50);
+        let k = 3;
+        let e = Envelope::compute(&y, k);
+        for shift in 1..=k {
+            let shifted: Vec<f64> =
+                (0..y.len()).map(|i| y[(i + shift).min(y.len() - 1)]).collect();
+            assert!(e.contains(&shifted), "shift {shift}");
+        }
+    }
+
+    #[test]
+    fn distance_is_zero_inside_positive_outside() {
+        let x = wiggly(40);
+        let e = Envelope::compute(&x, 2);
+        assert_eq!(e.distance_sq(&x), 0.0);
+        let mut far = x.clone();
+        far[10] += 100.0;
+        assert!(e.distance_sq(&far) > 0.0);
+    }
+
+    #[test]
+    fn lemma2_envelope_distance_lower_bounds_ldtw() {
+        let x = wiggly(128);
+        let y: Vec<f64> = (0..128).map(|i| (i as f64 * 0.7).cos() * 2.0).collect();
+        for k in [0, 1, 3, 8, 20] {
+            let lb = Envelope::compute(&y, k).distance_sq(&x);
+            let d = ldtw_distance_sq(&x, &y, k);
+            assert!(lb <= d + 1e-9, "k={k}: {lb} > {d}");
+        }
+    }
+
+    #[test]
+    fn envelope_widens_with_k() {
+        let x = wiggly(60);
+        let mut prev = Envelope::compute(&x, 0);
+        for k in 1..10 {
+            let e = Envelope::compute(&x, k);
+            for i in 0..x.len() {
+                assert!(e.lower()[i] <= prev.lower()[i]);
+                assert!(e.upper()[i] >= prev.upper()[i]);
+            }
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn distance_decreases_as_envelope_widens() {
+        let x = wiggly(80);
+        let q: Vec<f64> = (0..80).map(|i| (i as f64 * 0.3).cos() * 3.0).collect();
+        let mut last = f64::INFINITY;
+        for k in 0..10 {
+            let d = Envelope::compute(&x, k).distance_sq(&q);
+            assert!(d <= last + 1e-12);
+            last = d;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound exceeds")]
+    fn inverted_bounds_rejected() {
+        let _ = Envelope::from_bounds(vec![2.0], vec![1.0]);
+    }
+}

@@ -1,0 +1,243 @@
+//! The framework under the L1 (Manhattan) metric.
+//!
+//! The paper notes (§4): "The Euclidean distance metric is the distance
+//! metric we use for time warping. Other distance metrics are also possible
+//! in our framework with some modifications." This module carries out those
+//! modifications for L1, where costs add instead of squaring:
+//!
+//! * [`l1_ldtw`] — band-constrained DTW with `|x_i − y_j|` step costs;
+//! * [`l1_envelope_distance`] — the envelope lower bound
+//!   `Σ max(0, l_i − x_i, x_i − u_i) ≤ D^{L1}_{DTW(k)}(x, y)` (the Lemma 2
+//!   argument is metric-agnostic: any warped alignment within the band stays
+//!   inside the envelope pointwise);
+//! * [`L1Paa`] — the New_PAA reduction under L1. For frame means,
+//!   `frame·|X̄_i − Z̄_i| ≤ Σ_frame |x_t − z_t|` by the triangle inequality,
+//!   so frame-weighted L1 distances between PAA features (and envelope-image
+//!   intervals) lower-bound the original L1 distance, giving the same
+//!   no-false-negative guarantee as Theorem 1.
+//!
+//! L1 is attractive for pitch series because octave tracker glitches are
+//! gross outliers: squaring lets one bad frame dominate the distance, while
+//! L1 charges it linearly.
+
+use crate::envelope::Envelope;
+
+/// Band-constrained (Sakoe-Chiba) DTW with L1 step costs.
+///
+/// # Panics
+/// Panics if the series lengths differ or are zero.
+#[allow(clippy::needless_range_loop)] // explicit i/j indices mirror the DP recurrence
+pub fn l1_ldtw(x: &[f64], y: &[f64], k: usize) -> f64 {
+    let n = x.len();
+    assert_eq!(n, y.len(), "LDTW requires equal lengths");
+    assert!(n > 0, "LDTW of empty series");
+    let k = k.min(n - 1);
+    let width = 2 * k + 1;
+    let inf = f64::INFINITY;
+    let mut prev = vec![inf; width];
+    let mut curr = vec![inf; width];
+
+    let mut acc = 0.0;
+    for j in 0..=k.min(n - 1) {
+        acc += (x[0] - y[j]).abs();
+        prev[j + k] = acc;
+    }
+    for i in 1..n {
+        curr.iter_mut().for_each(|v| *v = inf);
+        let j_lo = i.saturating_sub(k);
+        let j_hi = (i + k).min(n - 1);
+        for j in j_lo..=j_hi {
+            let slot = j + k - i;
+            let mut best = inf;
+            if slot + 1 < width {
+                best = best.min(prev[slot + 1]);
+            }
+            best = best.min(prev[slot]);
+            if slot > 0 {
+                best = best.min(curr[slot - 1]);
+            }
+            curr[slot] = (x[i] - y[j]).abs() + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[k]
+}
+
+/// L1 distance between a series and an envelope: the sum of excursions
+/// outside the band. Lower-bounds [`l1_ldtw`] at the envelope's band.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn l1_envelope_distance(env: &Envelope, x: &[f64]) -> f64 {
+    assert_eq!(x.len(), env.len(), "length mismatch");
+    x.iter()
+        .zip(env.lower().iter().zip(env.upper()))
+        .map(|(v, (l, u))| {
+            if v < l {
+                l - v
+            } else if v > u {
+                v - u
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// The New_PAA reduction under L1: plain frame means as features, frame
+/// means of the envelope bounds as the envelope image, and frame-weighted
+/// interval distances as the lower bound.
+#[derive(Debug, Clone)]
+pub struct L1Paa {
+    input_len: usize,
+    dims: usize,
+    frame: usize,
+}
+
+impl L1Paa {
+    /// Creates the reduction.
+    ///
+    /// # Panics
+    /// Panics unless `dims` divides `input_len`.
+    pub fn new(input_len: usize, dims: usize) -> Self {
+        assert!(dims > 0, "need at least one output dimension");
+        assert_eq!(input_len % dims, 0, "dims must divide the length");
+        L1Paa { input_len, dims, frame: input_len / dims }
+    }
+
+    /// Frame means of a series.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    pub fn project(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_len, "series length mismatch");
+        x.chunks_exact(self.frame)
+            .map(|c| c.iter().sum::<f64>() / self.frame as f64)
+            .collect()
+    }
+
+    /// Frame-mean intervals of an envelope (the container under L1, by
+    /// linearity and positivity of the averaging coefficients).
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    pub fn project_envelope(&self, env: &Envelope) -> Vec<(f64, f64)> {
+        assert_eq!(env.len(), self.input_len, "envelope length mismatch");
+        let lo = self.project(env.lower());
+        let hi = self.project(env.upper());
+        lo.into_iter().zip(hi).collect()
+    }
+
+    /// The feature-space L1 lower bound: `Σ_i frame · dist(X_i, [L_i, U_i])`
+    /// never exceeds the true band-`k` L1 DTW distance when the intervals
+    /// come from the query's band-`k` envelope.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn lower_bound(&self, envelope_image: &[(f64, f64)], features: &[f64]) -> f64 {
+        assert_eq!(envelope_image.len(), self.dims, "envelope image dimension mismatch");
+        assert_eq!(features.len(), self.dims, "feature dimension mismatch");
+        self.frame as f64
+            * features
+                .iter()
+                .zip(envelope_image)
+                .map(|(x, (l, u))| {
+                    if x < l {
+                        l - x
+                    } else if x > u {
+                        x - u
+                    } else {
+                        0.0
+                    }
+                })
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize, phase: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.4 + phase).sin() * 3.0 + (i % 4) as f64 * 0.2).collect()
+    }
+
+    fn l1_pointwise(x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum()
+    }
+
+    #[test]
+    fn l1_ldtw_zero_band_is_pointwise_l1() {
+        let x = series(32, 0.0);
+        let y = series(32, 1.1);
+        assert!((l1_ldtw(&x, &y, 0) - l1_pointwise(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_ldtw_monotone_in_band_and_symmetric() {
+        let x = series(40, 0.0);
+        let y = series(40, 2.3);
+        let mut last = f64::INFINITY;
+        for k in 0..8 {
+            let d = l1_ldtw(&x, &y, k);
+            assert!(d <= last + 1e-12);
+            assert!((d - l1_ldtw(&y, &x, k)).abs() < 1e-9);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn chain_of_l1_lower_bounds() {
+        let x = series(64, 0.0);
+        let y = series(64, 1.7);
+        let paa = L1Paa::new(64, 8);
+        for k in [0usize, 2, 5, 10] {
+            let dtw = l1_ldtw(&x, &y, k);
+            let env = Envelope::compute(&y, k);
+            let lb_env = l1_envelope_distance(&env, &x);
+            let lb_feat = paa.lower_bound(&paa.project_envelope(&env), &paa.project(&x));
+            assert!(lb_env <= dtw + 1e-9, "k={k}: env {lb_env} > dtw {dtw}");
+            assert!(lb_feat <= lb_env + 1e-9, "k={k}: feat {lb_feat} > env {lb_env}");
+        }
+    }
+
+    #[test]
+    fn l1_is_robust_to_an_outlier_spike_relative_to_l2() {
+        // One octave glitch (a 12-unit spike): under L2 it dominates, under
+        // L1 it contributes linearly. Compare the *ratio* to the clean pair.
+        let clean = series(32, 0.0);
+        let mut glitched = clean.clone();
+        glitched[10] += 12.0;
+        let other = series(32, 0.8);
+        let l1_ratio = l1_ldtw(&glitched, &other, 2) / l1_ldtw(&clean, &other, 2);
+        let l2_ratio = crate::dtw::ldtw_distance_sq(&glitched, &other, 2)
+            / crate::dtw::ldtw_distance_sq(&clean, &other, 2);
+        assert!(l1_ratio < l2_ratio, "L1 inflation {l1_ratio} vs L2 {l2_ratio}");
+    }
+
+    #[test]
+    fn projection_is_frame_means() {
+        let paa = L1Paa::new(8, 2);
+        let x = vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0];
+        assert_eq!(paa.project(&x), vec![4.0, 2.0]);
+    }
+
+    #[test]
+    fn envelope_image_contains_member_projections() {
+        let paa = L1Paa::new(32, 4);
+        let y = series(32, 0.5);
+        let env = Envelope::compute(&y, 3);
+        let image = paa.project_envelope(&env);
+        for z in [y.clone(), env.lower().to_vec(), env.upper().to_vec()] {
+            for (f, (l, u)) in paa.project(&z).iter().zip(&image) {
+                assert!(*l <= f + 1e-12 && *f <= u + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn bad_dims_rejected() {
+        let _ = L1Paa::new(10, 4);
+    }
+}

@@ -1,0 +1,69 @@
+//! Warping indexes with envelope transforms.
+//!
+//! This crate is the primary contribution of Zhu & Shasha, *"Warping Indexes
+//! with Envelope Transforms for Query by Humming"* (SIGMOD 2003), implemented
+//! as a reusable library:
+//!
+//! * [`normal`] — shift- and tempo-invariant *normal forms* (§3.3): subtract
+//!   the mean, resample to a canonical length (Uniform Time Warping).
+//! * [`upsample`] — `w`-upsampling and the UTW distance (Definitions 2–3,
+//!   Lemma 1).
+//! * [`dtw`] — Dynamic Time Warping and its `k`-local variant LDTW
+//!   (Definitions 1, 4, 5) with a banded O(nk) dynamic program and warping-
+//!   path recovery.
+//! * [`envelope`] — the `k`-envelope of a series (Definition 6) via monotonic
+//!   deques, and the distance between a series and an envelope
+//!   (Definition 7), which is Keogh's LB lower bound (Lemma 2).
+//! * [`transform`] — dimensionality-reduction transforms extended to
+//!   envelopes. The container-invariance construction of Lemma 3 turns *any*
+//!   linear lower-bounding transform (PAA, DFT, DWT, SVD) into a DTW index
+//!   transform with no false negatives (Theorem 1). Includes the paper's
+//!   improved **New_PAA** envelope reduction and Keogh's original
+//!   **Keogh_PAA** for comparison.
+//! * [`tightness`] — the tightness-of-lower-bound metric used throughout the
+//!   paper's evaluation (§5.2).
+//! * [`engine`] — the GEMINI query engine (§4.3): feature extraction, spatial
+//!   indexing via any [`hum_index::SpatialIndex`] backend, ε-range and k-NN
+//!   queries with exact-DTW refinement and full access accounting.
+//! * [`subsequence`] — sliding-window subsequence matching over long series,
+//!   the §3.2 alternative to whole-sequence matching.
+//! * [`l1`] — the same framework under the L1 metric, the "other distance
+//!   metrics" extension §4 mentions.
+//!
+//! # Quick example
+//!
+//! ```
+//! use hum_core::engine::{DtwIndexEngine, EngineConfig};
+//! use hum_core::transform::paa::NewPaa;
+//! use hum_index::RStarTree;
+//!
+//! // Sixteen-point toy series; real workloads use length 128–256.
+//! let db: Vec<Vec<f64>> = (0..10)
+//!     .map(|s| (0..16).map(|t| ((t + s) as f64 * 0.7).sin()).collect())
+//!     .collect();
+//!
+//! let transform = NewPaa::new(16, 4);
+//! let index = RStarTree::new(4);
+//! let mut engine = DtwIndexEngine::new(transform, index, EngineConfig::default());
+//! for (id, series) in db.iter().enumerate() {
+//!     engine.insert(id as u64, series.clone());
+//! }
+//!
+//! // Range query under DTW with Sakoe-Chiba half-width 2: no false negatives.
+//! let result = engine.range_query(&db[3], 2, 0.5);
+//! assert!(result.matches.iter().any(|(id, _)| *id == 3));
+//! ```
+
+pub mod dtw;
+pub mod engine;
+pub mod envelope;
+pub mod l1;
+pub mod normal;
+pub mod subsequence;
+pub mod tightness;
+pub mod transform;
+pub mod upsample;
+
+pub use dtw::{band_for_warping_width, dtw_distance, ldtw_distance};
+pub use envelope::Envelope;
+pub use transform::EnvelopeTransform;

@@ -1,0 +1,203 @@
+//! Normal forms (paper §3.3).
+//!
+//! Before any comparison, series are transformed to a *normal form* that
+//! factors out the distortions a hummer is allowed:
+//!
+//! 1. **Shift invariance** — subtract the mean pitch (absolute pitch does not
+//!    matter).
+//! 2. **Tempo invariance** — Uniform Time Warping: resample every series to a
+//!    canonical length so that global tempo cancels.
+//! 3. Optionally, **amplitude normalization** — divide by the standard
+//!    deviation. This is *off* for music (intervals carry meaning in
+//!    semitones) and *on* for the heterogeneous benchmark datasets, matching
+//!    the paper's "subtracted the mean from each time series" protocol plus
+//!    cross-dataset comparability.
+
+use hum_linalg::vec_ops::{center, std_dev};
+
+use crate::upsample::resample;
+
+/// Configuration of the normal-form pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalForm {
+    /// Canonical length every series is resampled to.
+    pub length: usize,
+    /// Subtract the mean (shift invariance). Nearly always `true`.
+    pub center: bool,
+    /// Divide by the standard deviation after centering.
+    pub scale_to_unit_variance: bool,
+    /// Centered moving-average window applied after resampling (0 or 1 =
+    /// off). One of the query transformations of Rafiei & Mendelzon that
+    /// the paper cites (§2); useful for suppressing frame-level pitch
+    /// wobble before matching.
+    pub smoothing_window: usize,
+}
+
+impl Default for NormalForm {
+    fn default() -> Self {
+        NormalForm { length: 128, center: true, scale_to_unit_variance: false, smoothing_window: 0 }
+    }
+}
+
+impl NormalForm {
+    /// A normal form with the given canonical length, centering only.
+    pub fn with_length(length: usize) -> Self {
+        NormalForm { length, ..NormalForm::default() }
+    }
+
+    /// A normal form with centering and unit-variance scaling (used for the
+    /// cross-dataset tightness experiments).
+    pub fn z_normalized(length: usize) -> Self {
+        NormalForm { length, center: true, scale_to_unit_variance: true, ..NormalForm::default() }
+    }
+
+    /// This normal form with a centered moving-average smoother of the
+    /// given window.
+    pub fn with_smoothing(self, window: usize) -> Self {
+        NormalForm { smoothing_window: window, ..self }
+    }
+
+    /// Applies the pipeline to an arbitrary-length series.
+    ///
+    /// # Panics
+    /// Panics if the input is empty or `self.length == 0`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert!(!x.is_empty(), "normal form of empty series");
+        assert!(self.length > 0, "canonical length must be positive");
+        let mut out = resample(x, self.length);
+        if self.smoothing_window > 1 {
+            out = moving_average(&out, self.smoothing_window);
+        }
+        if self.center {
+            center(&mut out);
+        }
+        if self.scale_to_unit_variance {
+            let sd = std_dev(&out);
+            if sd > 1e-12 {
+                for v in &mut out {
+                    *v /= sd;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Centered moving average with a window of `w` (edges use the available
+/// partial window, so the output length equals the input length).
+pub fn moving_average(x: &[f64], w: usize) -> Vec<f64> {
+    assert!(w > 0, "window must be positive");
+    let n = x.len();
+    let half = w / 2;
+    // Prefix sums for O(1) window means.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &v in x {
+        prefix.push(prefix.last().expect("nonempty") + v);
+    }
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half).min(n - 1);
+            (prefix[hi + 1] - prefix[lo]) / (hi + 1 - lo) as f64
+        })
+        .collect()
+}
+
+/// Convenience: centered, canonical-length normal form of `x`.
+pub fn normal_form(x: &[f64], length: usize) -> Vec<f64> {
+    NormalForm::with_length(length).apply(x)
+}
+
+/// `true` if two raw series have identical normal forms up to tolerance —
+/// i.e. they differ only by shift and global tempo.
+pub fn equivalent_up_to_shift_and_tempo(x: &[f64], y: &[f64], length: usize, tol: f64) -> bool {
+    let nx = normal_form(x, length);
+    let ny = normal_form(y, length);
+    nx.iter().zip(&ny).all(|(a, b)| (a - b).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upsample::upsample;
+    use hum_linalg::vec_ops::mean;
+
+    #[test]
+    fn output_has_canonical_length_and_zero_mean() {
+        let x: Vec<f64> = (0..37).map(|i| (i as f64 * 0.4).sin() + 60.0).collect();
+        let nf = NormalForm::with_length(128).apply(&x);
+        assert_eq!(nf.len(), 128);
+        assert!(mean(&nf).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shift_invariance() {
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).cos()).collect();
+        let shifted: Vec<f64> = x.iter().map(|v| v + 12.0).collect();
+        assert!(equivalent_up_to_shift_and_tempo(&x, &shifted, 128, 1e-9));
+    }
+
+    #[test]
+    fn tempo_invariance_for_exact_upsampling() {
+        // Doubling every sample is the same melody at half tempo.
+        let x: Vec<f64> = (0..32).map(|i| ((i / 4) % 5) as f64).collect();
+        let slow = upsample(&x, 2);
+        assert!(equivalent_up_to_shift_and_tempo(&x, &slow, 64, 1e-9));
+    }
+
+    #[test]
+    fn distinct_melodies_stay_distinct() {
+        let x: Vec<f64> = (0..64).map(|i| ((i / 8) % 4) as f64).collect();
+        let y: Vec<f64> = (0..64).map(|i| ((i / 8) % 3) as f64 * 2.0).collect();
+        assert!(!equivalent_up_to_shift_and_tempo(&x, &y, 64, 1e-3));
+    }
+
+    #[test]
+    fn z_normalization_gives_unit_variance() {
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.21).sin() * 40.0 + 7.0).collect();
+        let nf = NormalForm::z_normalized(128).apply(&x);
+        let sd = std_dev(&nf);
+        assert!((sd - 1.0).abs() < 1e-9, "sd = {sd}");
+    }
+
+    #[test]
+    fn constant_series_survives_z_normalization() {
+        let x = vec![5.0; 40];
+        let nf = NormalForm::z_normalized(64).apply(&x);
+        assert!(nf.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn default_is_centering_only() {
+        let d = NormalForm::default();
+        assert!(d.center && !d.scale_to_unit_variance);
+        assert_eq!(d.length, 128);
+        assert_eq!(d.smoothing_window, 0);
+    }
+
+    #[test]
+    fn moving_average_flattens_wobble_preserves_constants() {
+        let x = vec![5.0; 40];
+        assert_eq!(moving_average(&x, 5), x);
+        // Alternating wobble around a ramp gets suppressed.
+        let wobbly: Vec<f64> =
+            (0..64).map(|i| i as f64 * 0.1 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let smooth = moving_average(&wobbly, 4);
+        let wobble = |s: &[f64]| -> f64 {
+            s.windows(3).map(|w| (w[0] - 2.0 * w[1] + w[2]).abs()).sum()
+        };
+        assert!(wobble(&smooth) < 0.3 * wobble(&wobbly));
+        assert_eq!(smooth.len(), wobbly.len());
+    }
+
+    #[test]
+    fn smoothing_in_the_pipeline_is_applied() {
+        let noisy: Vec<f64> =
+            (0..128).map(|i| 60.0 + if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let plain = NormalForm::with_length(128).apply(&noisy);
+        let smoothed = NormalForm::with_length(128).with_smoothing(4).apply(&noisy);
+        let energy = |s: &[f64]| s.iter().map(|v| v * v).sum::<f64>();
+        assert!(energy(&smoothed) < 0.2 * energy(&plain));
+    }
+}

@@ -1,0 +1,317 @@
+//! Subsequence matching (paper §3.2, method 1).
+//!
+//! The paper's system segments songs into phrases and runs *whole-sequence*
+//! matching because "most people will hum melodic sections". The alternative
+//! it cites — match the hum against every position of every full melody — is
+//! implemented here on top of the same engine: each source series is sliced
+//! into overlapping sliding windows, every window is brought to the engine's
+//! normal form and indexed, and hits are mapped back to `(source, offset)`.
+//! As the paper warns, "subsequence queries are generally slower than whole
+//! sequence queries because the size of the potential candidate sequences is
+//! much larger" — the window/hop trade-off below is exactly that cost.
+
+use std::collections::HashMap;
+
+use hum_index::{ItemId, SpatialIndex};
+
+use crate::engine::{DtwIndexEngine, EngineConfig, EngineStats};
+use crate::normal::NormalForm;
+use crate::transform::EnvelopeTransform;
+
+/// Subsequence indexing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubsequenceConfig {
+    /// Window length in source samples.
+    pub window: usize,
+    /// Hop between consecutive windows in source samples. Smaller hops find
+    /// matches at finer offsets at the cost of more indexed windows.
+    pub hop: usize,
+    /// Normal form applied to every window and query (its `length` is the
+    /// engine's series length; windows are resampled to it).
+    pub normal: NormalForm,
+}
+
+impl Default for SubsequenceConfig {
+    fn default() -> Self {
+        SubsequenceConfig { window: 64, hop: 16, normal: NormalForm::with_length(128) }
+    }
+}
+
+/// One subsequence hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubsequenceMatch {
+    /// Source series identifier.
+    pub source: ItemId,
+    /// Window start offset in source samples.
+    pub offset: usize,
+    /// Band-constrained DTW distance between the normal forms.
+    pub distance: f64,
+}
+
+/// Result of a subsequence query.
+#[derive(Debug, Clone, Default)]
+pub struct SubsequenceResult {
+    /// Hits sorted by ascending distance.
+    pub matches: Vec<SubsequenceMatch>,
+    /// Engine counters.
+    pub stats: EngineStats,
+}
+
+/// A sliding-window subsequence index over long series.
+pub struct SubsequenceIndex<T, I> {
+    engine: DtwIndexEngine<T, I>,
+    config: SubsequenceConfig,
+    /// window id → (source, offset).
+    windows: Vec<(ItemId, usize)>,
+}
+
+impl<T: EnvelopeTransform, I: SpatialIndex> SubsequenceIndex<T, I> {
+    /// Creates an empty subsequence index.
+    ///
+    /// # Panics
+    /// Panics on a zero window/hop, or if the transform's input length
+    /// differs from the normal-form length.
+    pub fn new(transform: T, index: I, config: SubsequenceConfig) -> Self {
+        assert!(config.window > 0, "window must be positive");
+        assert!(config.hop > 0, "hop must be positive");
+        assert_eq!(
+            transform.input_len(),
+            config.normal.length,
+            "transform input length must equal the normal-form length"
+        );
+        SubsequenceIndex {
+            engine: DtwIndexEngine::new(transform, index, EngineConfig::default()),
+            config,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Number of indexed windows.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SubsequenceConfig {
+        &self.config
+    }
+
+    /// Indexes every window of a source series. Sources shorter than one
+    /// window contribute a single (whole-series) window.
+    pub fn insert_source(&mut self, source: ItemId, series: &[f64]) {
+        assert!(!series.is_empty(), "empty source series");
+        let window = self.config.window.min(series.len());
+        let mut offset = 0;
+        loop {
+            let slice = &series[offset..(offset + window).min(series.len())];
+            let wid = self.windows.len() as ItemId;
+            self.windows.push((source, offset));
+            self.engine.insert(wid, self.config.normal.apply(slice));
+            if offset + window >= series.len() {
+                break;
+            }
+            offset += self.config.hop;
+            // Final partial window snaps to the series end so the tail is
+            // always covered exactly once.
+            if offset + window > series.len() {
+                offset = series.len() - window;
+            }
+        }
+    }
+
+    /// All windows whose band-`k` DTW distance to the query's normal form is
+    /// at most `radius`.
+    pub fn range_query(&self, query: &[f64], band: usize, radius: f64) -> SubsequenceResult {
+        let normal_query = self.config.normal.apply(query);
+        let result = self.engine.range_query(&normal_query, band, radius);
+        self.annotate(result)
+    }
+
+    /// The `k` nearest windows. With `dedupe_sources`, only the best window
+    /// per source is kept (so `k` distinct sources are returned when
+    /// available).
+    pub fn knn(
+        &self,
+        query: &[f64],
+        band: usize,
+        k: usize,
+        dedupe_sources: bool,
+    ) -> SubsequenceResult {
+        if !dedupe_sources {
+            let normal_query = self.config.normal.apply(query);
+            let result = self.engine.knn(&normal_query, band, k);
+            return self.annotate(result);
+        }
+        // Over-fetch, keep the best hit per source, refill until k sources
+        // or the index is exhausted.
+        let mut fetch = k.max(1) * 4;
+        loop {
+            let normal_query = self.config.normal.apply(query);
+            let result = self.engine.knn(&normal_query, band, fetch);
+            let fetched = result.matches.len();
+            let mut annotated = self.annotate(result);
+            let mut best: HashMap<ItemId, SubsequenceMatch> = HashMap::new();
+            for m in annotated.matches.drain(..) {
+                best.entry(m.source)
+                    .and_modify(|cur| {
+                        if m.distance < cur.distance {
+                            *cur = m;
+                        }
+                    })
+                    .or_insert(m);
+            }
+            let mut matches: Vec<SubsequenceMatch> = best.into_values().collect();
+            matches.sort_by(|a, b| {
+                a.distance
+                    .partial_cmp(&b.distance)
+                    .expect("finite distances")
+                    .then(a.source.cmp(&b.source))
+            });
+            if matches.len() >= k || fetched == self.windows.len() {
+                matches.truncate(k);
+                annotated.matches = matches;
+                return annotated;
+            }
+            fetch = (fetch * 2).min(self.windows.len());
+        }
+    }
+
+    fn annotate(&self, result: crate::engine::QueryResult) -> SubsequenceResult {
+        let matches = result
+            .matches
+            .into_iter()
+            .map(|(wid, distance)| {
+                let (source, offset) = self.windows[wid as usize];
+                SubsequenceMatch { source, offset, distance }
+            })
+            .collect();
+        SubsequenceResult { matches, stats: result.stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::paa::NewPaa;
+    use hum_index::RStarTree;
+
+    fn noise(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(442695);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(442695);
+                ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 4.0
+            })
+            .collect()
+    }
+
+    fn motif(len: usize) -> Vec<f64> {
+        (0..len).map(|i| 10.0 * (i as f64 * 0.3).sin() + (i / 8) as f64).collect()
+    }
+
+    fn build() -> (SubsequenceIndex<NewPaa, RStarTree>, usize) {
+        let config = SubsequenceConfig {
+            window: 64,
+            hop: 8,
+            normal: NormalForm::with_length(64),
+        };
+        let mut index =
+            SubsequenceIndex::new(NewPaa::new(64, 8), RStarTree::new(8), config);
+        // Source 0: noise with the motif planted at offset 96.
+        let plant_at = 96;
+        let mut source0 = noise(256, 1);
+        source0.splice(plant_at..plant_at + 64, motif(64));
+        index.insert_source(0, &source0);
+        // Sources 1..4: pure noise.
+        for s in 1..4u64 {
+            index.insert_source(s, &noise(256, s * 11 + 5));
+        }
+        (index, plant_at)
+    }
+
+    #[test]
+    fn planted_motif_is_found_at_the_right_offset() {
+        let (index, plant_at) = build();
+        let result = index.knn(&motif(64), 2, 1, false);
+        let top = result.matches[0];
+        assert_eq!(top.source, 0);
+        assert_eq!(top.offset, plant_at);
+        assert!(top.distance < 1e-9, "exact window should match exactly");
+    }
+
+    #[test]
+    fn motif_found_despite_tempo_change() {
+        // The same motif hummed at half tempo (twice the samples): UTW
+        // normal form cancels the stretch.
+        let (index, plant_at) = build();
+        let slow: Vec<f64> = motif(64).iter().flat_map(|&v| [v, v]).collect();
+        let result = index.knn(&slow, 2, 1, false);
+        assert_eq!(result.matches[0].source, 0);
+        assert_eq!(result.matches[0].offset, plant_at);
+    }
+
+    #[test]
+    fn dedupe_returns_distinct_sources() {
+        let (index, _) = build();
+        let result = index.knn(&motif(64), 2, 3, true);
+        assert_eq!(result.matches.len(), 3);
+        let mut sources: Vec<u64> = result.matches.iter().map(|m| m.source).collect();
+        sources.dedup();
+        assert_eq!(sources.len(), 3, "sources must be distinct");
+        assert_eq!(result.matches[0].source, 0);
+    }
+
+    #[test]
+    fn window_count_and_tail_coverage() {
+        let config = SubsequenceConfig {
+            window: 64,
+            hop: 32,
+            normal: NormalForm::with_length(64),
+        };
+        let mut index =
+            SubsequenceIndex::new(NewPaa::new(64, 8), RStarTree::new(8), config);
+        index.insert_source(0, &noise(100, 3));
+        // Offsets: 0, 32, then snapped tail 36.
+        assert_eq!(index.window_count(), 3);
+        let offsets: Vec<usize> = index.windows.iter().map(|w| w.1).collect();
+        assert_eq!(offsets, vec![0, 32, 36]);
+    }
+
+    #[test]
+    fn short_sources_become_one_window() {
+        let config = SubsequenceConfig {
+            window: 64,
+            hop: 16,
+            normal: NormalForm::with_length(64),
+        };
+        let mut index =
+            SubsequenceIndex::new(NewPaa::new(64, 8), RStarTree::new(8), config);
+        index.insert_source(9, &noise(20, 4));
+        assert_eq!(index.window_count(), 1);
+        let result = index.knn(&noise(20, 4), 1, 1, false);
+        assert_eq!(result.matches[0].source, 9);
+        assert!(result.matches[0].distance < 1e-9);
+    }
+
+    #[test]
+    fn range_query_maps_windows_back() {
+        let (index, plant_at) = build();
+        let result = index.range_query(&motif(64), 2, 1.0);
+        assert!(!result.matches.is_empty());
+        assert!(result
+            .matches
+            .iter()
+            .any(|m| m.source == 0 && m.offset == plant_at));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let config = SubsequenceConfig {
+            window: 0,
+            hop: 1,
+            normal: NormalForm::with_length(64),
+        };
+        let _ = SubsequenceIndex::new(NewPaa::new(64, 8), RStarTree::new(8), config);
+    }
+}

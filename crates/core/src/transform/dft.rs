@@ -1,0 +1,164 @@
+//! Truncated Discrete Fourier envelope transform.
+//!
+//! Keeps the `N` lowest-frequency coefficients of the *real orthonormal*
+//! Fourier basis: the DC row, then interleaved cosine/sine rows of
+//! increasing frequency. Because the basis is orthonormal, truncated feature
+//! distances lower-bound Euclidean distances (Parseval); because every row
+//! is linear with mixed signs, the Lemma 3 sign-split yields the
+//! container-invariant envelope image.
+
+use hum_index::Rect;
+
+use crate::envelope::Envelope;
+use crate::transform::{EnvelopeTransform, LinearEnvelopeTransform};
+
+/// Truncated real-DFT envelope transform.
+#[derive(Debug, Clone)]
+pub struct Dft {
+    inner: LinearEnvelopeTransform,
+}
+
+impl Dft {
+    /// Creates a DFT transform reducing length-`input_len` series to `dims`
+    /// features (DC, cos₁, sin₁, cos₂, sin₂, …).
+    ///
+    /// # Panics
+    /// Panics if `dims == 0` or `dims > input_len`.
+    pub fn new(input_len: usize, dims: usize) -> Self {
+        assert!(dims > 0, "need at least one output dimension");
+        assert!(dims <= input_len, "cannot expand dimensionality");
+        let n = input_len as f64;
+        let mut rows = Vec::with_capacity(dims);
+        // DC row.
+        rows.push(vec![1.0 / n.sqrt(); input_len]);
+        let mut freq = 1usize;
+        while rows.len() < dims {
+            let two_pi_f = 2.0 * std::f64::consts::PI * freq as f64 / n;
+            let nyquist = input_len.is_multiple_of(2) && freq == input_len / 2;
+            let amp = if nyquist { 1.0 / n.sqrt() } else { (2.0 / n).sqrt() };
+            rows.push((0..input_len).map(|t| amp * (two_pi_f * t as f64).cos()).collect());
+            if rows.len() < dims && !nyquist {
+                rows.push((0..input_len).map(|t| amp * (two_pi_f * t as f64).sin()).collect());
+            }
+            freq += 1;
+        }
+        Dft { inner: LinearEnvelopeTransform::from_rows("DFT", rows) }
+    }
+}
+
+impl EnvelopeTransform for Dft {
+    fn input_len(&self) -> usize {
+        self.inner.input_len()
+    }
+
+    fn output_dims(&self) -> usize {
+        self.inner.output_dims()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn project(&self, x: &[f64]) -> Vec<f64> {
+        self.inner.project(x)
+    }
+
+    fn project_envelope(&self, env: &Envelope) -> Rect {
+        self.inner.project_envelope(env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::ldtw_distance;
+    use crate::transform::feature_lower_bound;
+    use hum_linalg::vec_ops::{dot, euclidean};
+
+    fn series(n: usize, phase: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.37 + phase).sin() + 0.2 * (i as f64 * 1.7).cos()).collect()
+    }
+
+    #[test]
+    fn rows_are_orthonormal() {
+        let t = Dft::new(32, 7);
+        let rows = (0..7).map(|j| {
+            // Recover the rows by projecting the standard basis.
+            let mut e = vec![0.0; 32];
+            let mut row = vec![0.0; 32];
+            for i in 0..32 {
+                e[i] = 1.0;
+                row[i] = t.project(&e)[j];
+                e[i] = 0.0;
+            }
+            row
+        });
+        let rows: Vec<Vec<f64>> = rows.collect();
+        for i in 0..7 {
+            for j in 0..7 {
+                let d = dot(&rows[i], &rows[j]);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-10, "({i},{j}) -> {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_matches_fft_coefficients() {
+        let n = 64;
+        let x = series(n, 0.0);
+        let t = Dft::new(n, 5);
+        let feats = t.project(&x);
+        let spec = hum_linalg::fft::dft_real(&x);
+        // Unitary complex coefficient c_f relates to real orthonormal
+        // features: cos_f = √2·Re(c_f), sin_f = −√2·Im(c_f) (sign from e^{-iωt}).
+        assert!((feats[0] - spec[0].re).abs() < 1e-9);
+        assert!((feats[1] - 2f64.sqrt() * spec[1].re).abs() < 1e-9);
+        assert!((feats[2] + 2f64.sqrt() * spec[1].im).abs() < 1e-9);
+        assert!((feats[3] - 2f64.sqrt() * spec[2].re).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_bounding_under_euclidean() {
+        let t = Dft::new(128, 8);
+        let x = series(128, 0.0);
+        let y = series(128, 0.9);
+        assert!(euclidean(&t.project(&x), &t.project(&y)) <= euclidean(&x, &y) + 1e-12);
+    }
+
+    #[test]
+    fn theorem1_holds_for_dft() {
+        let t = Dft::new(64, 6);
+        let x = series(64, 0.0);
+        let y = series(64, 1.3);
+        for k in [0usize, 2, 6] {
+            let lb =
+                feature_lower_bound(&t.project_envelope(&Envelope::compute(&y, k)), &t.project(&x));
+            let d = ldtw_distance(&x, &y, k);
+            assert!(lb <= d + 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn envelope_box_contains_member_projections() {
+        let t = Dft::new(32, 4);
+        let y = series(32, 0.5);
+        let env = Envelope::compute(&y, 3);
+        let feature_box = t.project_envelope(&env);
+        for z in [y.clone(), env.lower().to_vec(), env.upper().to_vec()] {
+            assert!(feature_box.contains_point(&t.project(&z)));
+        }
+    }
+
+    #[test]
+    fn nyquist_row_handled_for_full_dimension() {
+        // dims = input_len exercises the Nyquist cosine row.
+        let t = Dft::new(8, 8);
+        let x = series(8, 0.2);
+        let y = series(8, 1.2);
+        // Full orthonormal basis: distances preserved exactly.
+        assert!(
+            (euclidean(&t.project(&x), &t.project(&y)) - euclidean(&x, &y)).abs() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Truncated Haar wavelet envelope transform.
+//!
+//! Keeps the first `N` coefficients of the orthonormal Haar pyramid (the
+//! overall average plus the coarsest details). Orthonormality makes the
+//! truncation lower-bounding; the Haar detail rows have mixed signs, so the
+//! Lemma 3 sign-split provides container invariance.
+
+use hum_index::Rect;
+
+use crate::envelope::Envelope;
+use crate::transform::{EnvelopeTransform, LinearEnvelopeTransform};
+
+/// Truncated Haar DWT envelope transform.
+#[derive(Debug, Clone)]
+pub struct Dwt {
+    inner: LinearEnvelopeTransform,
+}
+
+impl Dwt {
+    /// Creates a DWT transform reducing length-`input_len` series to `dims`
+    /// features.
+    ///
+    /// # Panics
+    /// Panics if `input_len` is not a power of two, `dims == 0`, or
+    /// `dims > input_len`.
+    pub fn new(input_len: usize, dims: usize) -> Self {
+        assert!(dims > 0, "need at least one output dimension");
+        assert!(dims <= input_len, "cannot expand dimensionality");
+        let rows: Vec<Vec<f64>> =
+            (0..dims).map(|j| hum_linalg::haar::haar_row(input_len, j)).collect();
+        Dwt { inner: LinearEnvelopeTransform::from_rows("DWT", rows) }
+    }
+}
+
+impl EnvelopeTransform for Dwt {
+    fn input_len(&self) -> usize {
+        self.inner.input_len()
+    }
+
+    fn output_dims(&self) -> usize {
+        self.inner.output_dims()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn project(&self, x: &[f64]) -> Vec<f64> {
+        self.inner.project(x)
+    }
+
+    fn project_envelope(&self, env: &Envelope) -> Rect {
+        self.inner.project_envelope(env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::ldtw_distance;
+    use crate::transform::feature_lower_bound;
+    use hum_linalg::haar::haar_forward;
+    use hum_linalg::vec_ops::euclidean;
+
+    fn series(n: usize, phase: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.41 + phase).sin() * 2.0 + (i / 8) as f64 * 0.5).collect()
+    }
+
+    #[test]
+    fn projection_matches_haar_prefix() {
+        let n = 64;
+        let x = series(n, 0.0);
+        let t = Dwt::new(n, 6);
+        let feats = t.project(&x);
+        let full = haar_forward(&x);
+        for j in 0..6 {
+            assert!((feats[j] - full[j]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lower_bounding_under_euclidean() {
+        let t = Dwt::new(128, 8);
+        let x = series(128, 0.0);
+        let y = series(128, 1.4);
+        assert!(euclidean(&t.project(&x), &t.project(&y)) <= euclidean(&x, &y) + 1e-12);
+    }
+
+    #[test]
+    fn theorem1_holds_for_dwt() {
+        let t = Dwt::new(64, 4);
+        let x = series(64, 0.0);
+        let y = series(64, 2.0);
+        for k in [1usize, 4, 9] {
+            let lb =
+                feature_lower_bound(&t.project_envelope(&Envelope::compute(&y, k)), &t.project(&x));
+            let d = ldtw_distance(&x, &y, k);
+            assert!(lb <= d + 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn full_basis_is_isometric() {
+        let t = Dwt::new(16, 16);
+        let x = series(16, 0.0);
+        let y = series(16, 0.8);
+        assert!((euclidean(&t.project(&x), &t.project(&y)) - euclidean(&x, &y)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let _ = Dwt::new(24, 4);
+    }
+}

@@ -1,0 +1,257 @@
+//! Piecewise Aggregate Approximation envelope transforms.
+//!
+//! Two variants, both reducing length-`n` series to `N` frame features:
+//!
+//! * [`NewPaa`] — the paper's contribution: the envelope image takes the
+//!   frame **average** of each envelope bound (a direct instance of the
+//!   Lemma 3 construction, since all PAA coefficients are positive).
+//! * [`KeoghPaa`] — Keogh's original (VLDB 2002) envelope reduction: the
+//!   frame **min of the lower bound / max of the upper bound**. Its box
+//!   always contains New_PAA's box, so its lower bound is never tighter —
+//!   the comparison driving Figs 6–10.
+//!
+//! Both variants project plain series identically (frame means), and both
+//! use orthonormal scaling (`1/√frame_len` box functions), so Euclidean
+//! feature distances directly lower-bound original distances.
+
+use hum_index::Rect;
+
+use crate::envelope::Envelope;
+use crate::transform::{EnvelopeTransform, LinearEnvelopeTransform};
+
+/// Builds the orthonormal PAA coefficient rows: row `j` equals
+/// `1/sqrt(frame)` over frame `j` and zero elsewhere.
+fn paa_rows(input_len: usize, dims: usize) -> Vec<Vec<f64>> {
+    assert!(dims > 0, "need at least one output dimension");
+    assert!(input_len >= dims, "cannot expand dimensionality");
+    assert_eq!(
+        input_len % dims,
+        0,
+        "PAA requires the reduced dimension ({dims}) to divide the length ({input_len})"
+    );
+    let frame = input_len / dims;
+    let v = 1.0 / (frame as f64).sqrt();
+    (0..dims)
+        .map(|j| {
+            let mut row = vec![0.0; input_len];
+            for x in &mut row[j * frame..(j + 1) * frame] {
+                *x = v;
+            }
+            row
+        })
+        .collect()
+}
+
+/// The paper's improved PAA envelope transform ("New_PAA").
+///
+/// ```
+/// use hum_core::transform::paa::{KeoghPaa, NewPaa};
+/// use hum_core::transform::{feature_lower_bound, EnvelopeTransform};
+/// use hum_core::Envelope;
+///
+/// let y: Vec<f64> = (0..32).map(|i| (i as f64 * 0.5).sin()).collect();
+/// let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.5 + 1.0).sin()).collect();
+/// let env = Envelope::compute(&y, 2);
+///
+/// let new = NewPaa::new(32, 4);
+/// let keogh = KeoghPaa::new(32, 4);
+/// let lb_new = feature_lower_bound(&new.project_envelope(&env), &new.project(&x));
+/// let lb_keogh = feature_lower_bound(&keogh.project_envelope(&env), &keogh.project(&x));
+/// assert!(lb_new >= lb_keogh); // never looser than Keogh's reduction
+/// ```
+#[derive(Debug, Clone)]
+pub struct NewPaa {
+    inner: LinearEnvelopeTransform,
+}
+
+impl NewPaa {
+    /// Creates a New_PAA transform reducing length-`input_len` series to
+    /// `dims` features.
+    ///
+    /// # Panics
+    /// Panics unless `dims` divides `input_len`.
+    pub fn new(input_len: usize, dims: usize) -> Self {
+        NewPaa { inner: LinearEnvelopeTransform::from_rows("New_PAA", paa_rows(input_len, dims)) }
+    }
+}
+
+impl EnvelopeTransform for NewPaa {
+    fn input_len(&self) -> usize {
+        self.inner.input_len()
+    }
+
+    fn output_dims(&self) -> usize {
+        self.inner.output_dims()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn project(&self, x: &[f64]) -> Vec<f64> {
+        self.inner.project(x)
+    }
+
+    fn project_envelope(&self, env: &Envelope) -> Rect {
+        // All PAA coefficients are positive, so the Lemma 3 sign-split
+        // reduces to transforming each bound independently: the frame
+        // averages of the envelope.
+        self.inner.project_envelope(env)
+    }
+}
+
+/// Keogh's original PAA envelope transform ("Keogh_PAA", VLDB 2002).
+#[derive(Debug, Clone)]
+pub struct KeoghPaa {
+    projector: LinearEnvelopeTransform,
+    frame: usize,
+}
+
+impl KeoghPaa {
+    /// Creates a Keogh_PAA transform reducing length-`input_len` series to
+    /// `dims` features.
+    ///
+    /// # Panics
+    /// Panics unless `dims` divides `input_len`.
+    pub fn new(input_len: usize, dims: usize) -> Self {
+        KeoghPaa {
+            projector: LinearEnvelopeTransform::from_rows(
+                "Keogh_PAA",
+                paa_rows(input_len, dims),
+            ),
+            frame: input_len / dims,
+        }
+    }
+}
+
+impl EnvelopeTransform for KeoghPaa {
+    fn input_len(&self) -> usize {
+        self.projector.input_len()
+    }
+
+    fn output_dims(&self) -> usize {
+        self.projector.output_dims()
+    }
+
+    fn name(&self) -> &str {
+        self.projector.name()
+    }
+
+    fn project(&self, x: &[f64]) -> Vec<f64> {
+        self.projector.project(x)
+    }
+
+    fn project_envelope(&self, env: &Envelope) -> Rect {
+        assert_eq!(env.len(), self.input_len(), "envelope length mismatch");
+        // Frame minima of the lower bound and maxima of the upper bound,
+        // scaled by √frame to stay commensurate with the orthonormal
+        // projection: for any z inside the envelope, its frame mean lies
+        // within [min lower, max upper] of that frame.
+        let scale = (self.frame as f64).sqrt();
+        let dims = self.output_dims();
+        let mut lo = Vec::with_capacity(dims);
+        let mut hi = Vec::with_capacity(dims);
+        for j in 0..dims {
+            let span = j * self.frame..(j + 1) * self.frame;
+            let l = env.lower()[span.clone()].iter().cloned().fold(f64::INFINITY, f64::min);
+            let u = env.upper()[span].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            lo.push(l * scale);
+            hi.push(u * scale);
+        }
+        Rect::new(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::ldtw_distance;
+    use crate::transform::feature_lower_bound;
+    use hum_linalg::vec_ops::euclidean;
+
+    fn series(n: usize, phase: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.45 + phase).sin() * 3.0 + (i % 3) as f64 * 0.3).collect()
+    }
+
+    #[test]
+    fn projection_is_scaled_frame_means() {
+        let t = NewPaa::new(8, 2);
+        let x = vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0];
+        let f = t.project(&x);
+        // √4 · mean = 2 · mean.
+        assert!((f[0] - 2.0 * 2.5).abs() < 1e-12);
+        assert!((f[1] - 2.0 * 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_paa_variants_project_identically() {
+        let a = NewPaa::new(32, 4);
+        let b = KeoghPaa::new(32, 4);
+        let x = series(32, 0.7);
+        assert_eq!(a.project(&x), b.project(&x));
+    }
+
+    #[test]
+    fn paa_projection_is_lower_bounding() {
+        let t = NewPaa::new(64, 8);
+        let x = series(64, 0.0);
+        let y = series(64, 1.9);
+        assert!(euclidean(&t.project(&x), &t.project(&y)) <= euclidean(&x, &y) + 1e-12);
+    }
+
+    #[test]
+    fn new_paa_box_is_nested_inside_keogh_box() {
+        let new = NewPaa::new(64, 8);
+        let keogh = KeoghPaa::new(64, 8);
+        let y = series(64, 0.3);
+        for k in [1usize, 3, 8] {
+            let env = Envelope::compute(&y, k);
+            let nb = new.project_envelope(&env);
+            let kb = keogh.project_envelope(&env);
+            for j in 0..8 {
+                assert!(kb.lo()[j] <= nb.lo()[j] + 1e-12, "k={k} j={j}");
+                assert!(kb.hi()[j] >= nb.hi()[j] - 1e-12, "k={k} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn new_paa_lower_bound_is_at_least_keoghs() {
+        let new = NewPaa::new(128, 8);
+        let keogh = KeoghPaa::new(128, 8);
+        let x = series(128, 0.0);
+        let y = series(128, 2.4);
+        for k in [1usize, 4, 12] {
+            let env = Envelope::compute(&y, k);
+            let lb_new = feature_lower_bound(&new.project_envelope(&env), &new.project(&x));
+            let lb_keogh = feature_lower_bound(&keogh.project_envelope(&env), &keogh.project(&x));
+            let true_d = ldtw_distance(&x, &y, k);
+            assert!(lb_new + 1e-12 >= lb_keogh, "k={k}");
+            assert!(lb_new <= true_d + 1e-9, "k={k}");
+            assert!(lb_keogh <= true_d + 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn keogh_box_contains_projections_of_envelope_members() {
+        let keogh = KeoghPaa::new(32, 4);
+        let y = series(32, 1.0);
+        let env = Envelope::compute(&y, 2);
+        let feature_box = keogh.project_envelope(&env);
+        // Members: the series, both bounds, and a mixture.
+        for z in [
+            y.clone(),
+            env.lower().to_vec(),
+            env.upper().to_vec(),
+            env.lower().iter().zip(env.upper()).map(|(l, u)| 0.5 * (l + u)).collect(),
+        ] {
+            assert!(feature_box.contains_point(&keogh.project(&z)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn non_divisible_dims_rejected() {
+        let _ = NewPaa::new(10, 3);
+    }
+}

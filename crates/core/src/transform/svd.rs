@@ -1,0 +1,164 @@
+//! Data-adaptive SVD envelope transform.
+//!
+//! Projects series onto the top right-singular vectors of a database sample
+//! — the optimal linear reduction for Euclidean distance (paper §5.2, Fig 7:
+//! SVD dominates at warping width 0). The fitted rows are orthonormal, hence
+//! lower-bounding; they carry mixed signs, so the Lemma 3 sign-split
+//! provides container invariance. The paper observes that PAA's all-positive
+//! coefficients make its envelope images tighter as warping width grows —
+//! the crossover Fig 7 reports.
+
+use hum_index::Rect;
+use hum_linalg::matrix::Matrix;
+use hum_linalg::svd::Svd;
+
+use crate::envelope::Envelope;
+use crate::transform::{EnvelopeTransform, LinearEnvelopeTransform};
+
+/// SVD envelope transform fitted on a sample of the database.
+#[derive(Debug, Clone)]
+pub struct SvdTransform {
+    inner: LinearEnvelopeTransform,
+    singular_values: Vec<f64>,
+}
+
+impl SvdTransform {
+    /// Fits the transform on sample series (each of equal length) and keeps
+    /// the top `dims` components.
+    ///
+    /// # Panics
+    /// Panics if the sample is empty, ragged, or `dims` is zero or exceeds
+    /// the series length.
+    pub fn fit(sample: &[Vec<f64>], dims: usize) -> Self {
+        assert!(!sample.is_empty(), "SVD fit needs at least one sample series");
+        let n = sample[0].len();
+        assert!(n > 0, "sample series must be nonempty");
+        assert!(sample.iter().all(|s| s.len() == n), "ragged sample");
+        assert!(dims > 0 && dims <= n, "dims must lie in 1..=series length");
+        let matrix = Matrix::from_row_slices(sample);
+        let svd = Svd::compute_truncated(&matrix, dims);
+        let rows: Vec<Vec<f64>> =
+            (0..svd.rank()).map(|k| svd.right_vectors.row(k).to_vec()).collect();
+        SvdTransform {
+            inner: LinearEnvelopeTransform::from_rows("SVD", rows),
+            singular_values: svd.singular_values,
+        }
+    }
+
+    /// Singular values of the retained components (descending).
+    pub fn singular_values(&self) -> &[f64] {
+        &self.singular_values
+    }
+}
+
+impl EnvelopeTransform for SvdTransform {
+    fn input_len(&self) -> usize {
+        self.inner.input_len()
+    }
+
+    fn output_dims(&self) -> usize {
+        self.inner.output_dims()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn project(&self, x: &[f64]) -> Vec<f64> {
+        self.inner.project(x)
+    }
+
+    fn project_envelope(&self, env: &Envelope) -> Rect {
+        self.inner.project_envelope(env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::ldtw_distance;
+    use crate::transform::feature_lower_bound;
+    use hum_linalg::vec_ops::euclidean;
+
+    fn sample(n_series: usize, len: usize) -> Vec<Vec<f64>> {
+        (0..n_series)
+            .map(|s| {
+                (0..len)
+                    .map(|t| {
+                        (t as f64 * 0.2 + s as f64 * 0.5).sin() * 2.0
+                            + (t as f64 * 0.05).cos() * (s % 3) as f64
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_produces_requested_dims() {
+        let t = SvdTransform::fit(&sample(20, 32), 5);
+        assert_eq!(t.output_dims(), 5);
+        assert_eq!(t.input_len(), 32);
+        assert_eq!(t.singular_values().len(), 5);
+    }
+
+    #[test]
+    fn lower_bounding_under_euclidean() {
+        let data = sample(30, 64);
+        let t = SvdTransform::fit(&data, 6);
+        for pair in data.windows(2).take(10) {
+            let d_feat = euclidean(&t.project(&pair[0]), &t.project(&pair[1]));
+            let d_orig = euclidean(&pair[0], &pair[1]);
+            assert!(d_feat <= d_orig + 1e-9);
+        }
+    }
+
+    #[test]
+    fn theorem1_holds_for_svd() {
+        let data = sample(25, 64);
+        let t = SvdTransform::fit(&data, 4);
+        let x = &data[0];
+        let y = &data[7];
+        for k in [1usize, 3, 8] {
+            let lb =
+                feature_lower_bound(&t.project_envelope(&Envelope::compute(y, k)), &t.project(x));
+            let d = ldtw_distance(x, y, k);
+            assert!(lb <= d + 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn svd_is_tightest_at_zero_warping_for_in_sample_data() {
+        // At k = 0 the DTW distance is the Euclidean distance and SVD is the
+        // optimal linear reduction for the sampled population; on structured
+        // low-rank data it should capture almost all of the distance.
+        let data = sample(40, 32);
+        let t = SvdTransform::fit(&data, 6);
+        let x = &data[3];
+        let y = &data[11];
+        let lb = feature_lower_bound(
+            &t.project_envelope(&Envelope::compute(y, 0)),
+            &t.project(x),
+        );
+        let d = euclidean(x, y);
+        assert!(lb <= d + 1e-9);
+        assert!(lb / d > 0.9, "SVD should be near-tight on low-rank data, got {}", lb / d);
+    }
+
+    #[test]
+    fn container_invariance_on_fitted_basis() {
+        let data = sample(15, 32);
+        let t = SvdTransform::fit(&data, 4);
+        let y = &data[2];
+        let env = Envelope::compute(y, 2);
+        let feature_box = t.project_envelope(&env);
+        for z in [y.clone(), env.lower().to_vec(), env.upper().to_vec()] {
+            assert!(feature_box.contains_point(&t.project(&z)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_sample_rejected() {
+        let _ = SvdTransform::fit(&[vec![1.0, 2.0], vec![1.0]], 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! `w`-upsampling and Uniform Time Warping (paper §4.1).
+//!
+//! Uniform Time Warping compares two series of different lengths by
+//! stretching both to a common length — the generalization of *time scaling*
+//! that makes the similarity measure tempo-invariant.
+
+/// The `w`-upsampling of a series (Definition 3): each value repeated `w`
+/// times.
+pub fn upsample(x: &[f64], w: usize) -> Vec<f64> {
+    assert!(w > 0, "upsampling factor must be positive");
+    let mut out = Vec::with_capacity(x.len() * w);
+    for &v in x {
+        out.extend(std::iter::repeat_n(v, w));
+    }
+    out
+}
+
+/// Squared Uniform Time Warping distance between series of lengths `n`, `m`
+/// (Definition 2): both axes are stretched to `n·m` and compared pointwise,
+/// normalized by `n·m`.
+pub fn utw_distance_sq(x: &[f64], y: &[f64]) -> f64 {
+    let (n, m) = (x.len(), y.len());
+    assert!(n > 0 && m > 0, "UTW distance of empty series");
+    let mut acc = 0.0;
+    // Per Definition 2 with 1-based indices: element i of the stretched axis
+    // reads x[ceil(i/m)] and y[ceil(i/n)]; equivalently, with 0-based t,
+    // x[t / m] and y[t / n].
+    for t in 0..n * m {
+        let d = x[t / m] - y[t / n];
+        acc += d * d;
+    }
+    acc / (n * m) as f64
+}
+
+/// Root of [`utw_distance_sq`].
+pub fn utw_distance(x: &[f64], y: &[f64]) -> f64 {
+    utw_distance_sq(x, y).sqrt()
+}
+
+/// Resamples a series to `target` points.
+///
+/// This is the UTW normal form (§4.1) in resampled rather than fully
+/// upsampled storage: sample `t` of the output reads the input value whose
+/// stretched interval covers it (`x[⌊t·n/target⌋]`). When `target` is a
+/// multiple of `n` this is exactly the `(target/n)`-upsampling `U_w(x)`;
+/// otherwise it is the nearest-previous-value resampling of the upsampled
+/// series, introducing no new values.
+pub fn resample(x: &[f64], target: usize) -> Vec<f64> {
+    assert!(!x.is_empty(), "cannot resample an empty series");
+    assert!(target > 0, "target length must be positive");
+    let n = x.len();
+    (0..target).map(|t| x[(t * n) / target]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hum_linalg::vec_ops::sq_euclidean;
+
+    #[test]
+    fn upsample_repeats_values() {
+        assert_eq!(upsample(&[1.0, 2.0], 3), vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        assert_eq!(upsample(&[5.0], 1), vec![5.0]);
+    }
+
+    #[test]
+    fn utw_distance_of_identical_shapes_at_different_tempi_is_zero() {
+        // y is x at double tempo.
+        let x = vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let y = vec![1.0, 2.0, 3.0];
+        assert!(utw_distance(&x, &y) < 1e-12);
+    }
+
+    #[test]
+    fn utw_matches_euclidean_for_equal_lengths() {
+        let x = vec![0.0, 1.0, 4.0, 2.0];
+        let y = vec![1.0, 1.0, 3.0, 0.0];
+        // Same length: D_UTW² = D²/n per Lemma 1 with m = n.
+        let expect = sq_euclidean(&x, &y) / 4.0;
+        assert!((utw_distance_sq(&x, &y) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utw_lemma1_upsampled_euclidean() {
+        // Lemma 1: D²_UTW(x,y) = D²(U_m(x), U_n(y)) / (m n).
+        let x = vec![2.0, -1.0, 0.5];
+        let y = vec![1.0, 1.0, 0.0, -2.0, 3.0];
+        let lhs = utw_distance_sq(&x, &y);
+        let rhs = sq_euclidean(&upsample(&x, y.len()), &upsample(&y, x.len())) / (15.0);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utw_is_symmetric() {
+        let x = vec![0.3, 0.9, -0.2, 0.0, 1.5];
+        let y = vec![1.0, -1.0, 2.0];
+        assert!((utw_distance(&x, &y) - utw_distance(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_is_upsample_for_integer_factor() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(resample(&x, 6), upsample(&x, 2));
+        assert_eq!(resample(&x, 3), x);
+    }
+
+    #[test]
+    fn resample_downsamples_without_new_values() {
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let r = resample(&x, 4);
+        assert_eq!(r.len(), 4);
+        for v in &r {
+            assert!(x.contains(v));
+        }
+        // Order preserved.
+        for w in r.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn resample_handles_non_divisible_lengths() {
+        let x = vec![1.0, 2.0, 3.0];
+        let r = resample(&x, 7);
+        assert_eq!(r.len(), 7);
+        assert_eq!(r[0], 1.0);
+        assert_eq!(r[6], 3.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the paper's central inequalities, over
+//! arbitrary series:
+//!
+//! ```text
+//! feature LB  ≤  full-envelope LB  ≤  banded DTW  ≤  Euclidean
+//! Keogh_PAA LB ≤ New_PAA LB
+//! x ∈ Env_k(x);  z ∈ e ⇒ T(z) ∈ T(e)   (container invariance)
+//! ```
+
+use hum_core::dtw::{dtw_distance_sq, ldtw_distance, ldtw_distance_sq};
+use hum_core::envelope::Envelope;
+use hum_core::transform::dft::Dft;
+use hum_core::transform::dwt::Dwt;
+use hum_core::transform::paa::{KeoghPaa, NewPaa};
+use hum_core::transform::{feature_lower_bound, EnvelopeTransform};
+use hum_linalg::vec_ops::sq_euclidean;
+use proptest::prelude::*;
+
+const LEN: usize = 32;
+
+fn series() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-20.0f64..20.0, LEN..=LEN)
+}
+
+fn transforms() -> Vec<Box<dyn EnvelopeTransform>> {
+    vec![
+        Box::new(NewPaa::new(LEN, 4)),
+        Box::new(KeoghPaa::new(LEN, 4)),
+        Box::new(Dft::new(LEN, 5)),
+        Box::new(Dwt::new(LEN, 4)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn chain_of_lower_bounds(x in series(), y in series(), k in 0usize..10) {
+        let euclid = sq_euclidean(&x, &y);
+        let dtw = ldtw_distance_sq(&x, &y, k);
+        prop_assert!(dtw <= euclid + 1e-9);
+
+        let env = Envelope::compute(&y, k);
+        let lb_env = env.distance_sq(&x);
+        prop_assert!(lb_env <= dtw + 1e-9);
+
+        for t in transforms() {
+            let lb_feat =
+                feature_lower_bound(&t.project_envelope(&env), &t.project(&x)).powi(2);
+            prop_assert!(
+                lb_feat <= dtw + 1e-6,
+                "{}: {} > {}", t.name(), lb_feat, dtw
+            );
+        }
+    }
+
+    #[test]
+    fn new_paa_dominates_keogh_paa(x in series(), y in series(), k in 0usize..10) {
+        let env = Envelope::compute(&y, k);
+        let new = NewPaa::new(LEN, 4);
+        let keogh = KeoghPaa::new(LEN, 4);
+        let lb_new = feature_lower_bound(&new.project_envelope(&env), &new.project(&x));
+        let lb_keogh = feature_lower_bound(&keogh.project_envelope(&env), &keogh.project(&x));
+        prop_assert!(lb_new + 1e-9 >= lb_keogh);
+    }
+
+    #[test]
+    fn envelope_contains_banded_shifts(y in series(), k in 0usize..8, shift in 0usize..8) {
+        prop_assume!(shift <= k);
+        let env = Envelope::compute(&y, k);
+        prop_assert!(env.contains(&y));
+        let shifted: Vec<f64> = (0..LEN).map(|i| y[(i + shift).min(LEN - 1)]).collect();
+        prop_assert!(env.contains(&shifted));
+    }
+
+    #[test]
+    fn container_invariance_for_random_members(
+        y in series(),
+        k in 1usize..8,
+        mix in proptest::collection::vec(0.0f64..1.0, LEN..=LEN),
+    ) {
+        let env = Envelope::compute(&y, k);
+        // A random convex combination of the bounds lies in the envelope.
+        let z: Vec<f64> = env
+            .lower()
+            .iter()
+            .zip(env.upper())
+            .zip(&mix)
+            .map(|((l, u), m)| l + (u - l) * m * 0.999)
+            .collect();
+        prop_assert!(env.contains(&z));
+        for t in transforms() {
+            let feature_box = t.project_envelope(&env);
+            let feats = t.project(&z);
+            prop_assert!(
+                feature_box.min_dist_point(&feats) < 1e-7,
+                "{} violates container invariance", t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn dtw_triangle_like_symmetry_and_identity(x in series(), y in series(), k in 0usize..8) {
+        prop_assert!(ldtw_distance(&x, &x, k) < 1e-12);
+        let a = ldtw_distance(&x, &y, k);
+        let b = ldtw_distance(&y, &x, k);
+        prop_assert!((a - b).abs() < 1e-9);
+        prop_assert!(a >= 0.0);
+    }
+
+    #[test]
+    fn widening_the_band_never_increases_dtw(x in series(), y in series()) {
+        let mut last = f64::INFINITY;
+        for k in 0..8 {
+            let d = ldtw_distance_sq(&x, &y, k);
+            prop_assert!(d <= last + 1e-9);
+            last = d;
+        }
+        prop_assert!(dtw_distance_sq(&x, &y) <= last + 1e-9);
+    }
+
+    #[test]
+    fn unconstrained_dtw_lower_bounds_banded(x in series(), y in series(), k in 0usize..6) {
+        prop_assert!(dtw_distance_sq(&x, &y) <= ldtw_distance_sq(&x, &y, k) + 1e-9);
+    }
+}

@@ -1,0 +1,407 @@
+//! The 24 dataset families of Figure 6.
+//!
+//! Ordering follows the paper's caption: 1.Sunspot, 2.Power,
+//! 3.Spot Exrates, 4.Shuttle, 5.Water, 6.Chaotic, 7.Streamgen, 8.Ocean,
+//! 9.Tide, 10.CSTR, 11.Winding, 12.Dryer2, 13.Ph Data, 14.Power Plant,
+//! 15.Balleam, 16.Standard & Poor, 17.Soil Temp, 18.Wool, 19.Infrasound,
+//! 20.EEG, 21.Koski EEG, 22.Buoy Sensor, 23.Burst, 24.Random walk.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::generators::{
+    add_noise, ar1, bursty, gaussian, mackey_glass, mix, piecewise_linear, random_walk,
+    resonator, sinusoid, steps,
+};
+
+/// One of the 24 benchmark families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetFamily {
+    /// 1 — solar-cycle-like rectified oscillation.
+    Sunspot,
+    /// 2 — electricity demand: daily/weekly periodicity plus spikes.
+    Power,
+    /// 3 — currency spot exchange rates: low-noise random walk.
+    SpotExrates,
+    /// 4 — space-shuttle telemetry: plateaus with abrupt level shifts.
+    Shuttle,
+    /// 5 — water levels: seasonal cycle plus trend and noise.
+    Water,
+    /// 6 — Mackey-Glass chaotic series.
+    Chaotic,
+    /// 7 — synthetic stream generator: piecewise-linear drifts.
+    Streamgen,
+    /// 8 — ocean heights: narrowband swell.
+    Ocean,
+    /// 9 — tide gauges: two-frequency tidal mixture.
+    Tide,
+    /// 10 — continuous stirred-tank reactor: step responses with lag.
+    Cstr,
+    /// 11 — industrial winding process: damped oscillation plus noise.
+    Winding,
+    /// 12 — hair-dryer system identification data: low-pass filtered noise.
+    Dryer2,
+    /// 13 — pH titration: slow sigmoidal level transitions.
+    PhData,
+    /// 14 — power-plant output: trend plus periodicity plus AR noise.
+    PowerPlant,
+    /// 15 — ball-beam apparatus: smooth low-frequency wandering.
+    Balleam,
+    /// 16 — S&P index: random walk with volatility clustering.
+    StandardPoor,
+    /// 17 — soil temperature: strong seasonal plus diurnal harmonics.
+    SoilTemp,
+    /// 18 — wool prices: AR(1) around a drifting level.
+    Wool,
+    /// 19 — infrasound: amplitude-modulated packets.
+    Infrasound,
+    /// 20 — EEG: resonant (alpha-band-like) colored noise.
+    Eeg,
+    /// 21 — Koski EEG: smoother resonance with occasional spikes.
+    KoskiEeg,
+    /// 22 — moored-buoy sensor: seasonal drift plus outliers.
+    BuoySensor,
+    /// 23 — burst: quiet background with rare energetic packets.
+    Burst,
+    /// 24 — the pure Gaussian random walk of Figs 7 and 10.
+    RandomWalk,
+}
+
+/// All families, in the paper's Fig 6 order.
+pub const ALL_FAMILIES: &[DatasetFamily] = &[
+    DatasetFamily::Sunspot,
+    DatasetFamily::Power,
+    DatasetFamily::SpotExrates,
+    DatasetFamily::Shuttle,
+    DatasetFamily::Water,
+    DatasetFamily::Chaotic,
+    DatasetFamily::Streamgen,
+    DatasetFamily::Ocean,
+    DatasetFamily::Tide,
+    DatasetFamily::Cstr,
+    DatasetFamily::Winding,
+    DatasetFamily::Dryer2,
+    DatasetFamily::PhData,
+    DatasetFamily::PowerPlant,
+    DatasetFamily::Balleam,
+    DatasetFamily::StandardPoor,
+    DatasetFamily::SoilTemp,
+    DatasetFamily::Wool,
+    DatasetFamily::Infrasound,
+    DatasetFamily::Eeg,
+    DatasetFamily::KoskiEeg,
+    DatasetFamily::BuoySensor,
+    DatasetFamily::Burst,
+    DatasetFamily::RandomWalk,
+];
+
+impl DatasetFamily {
+    /// The display name used in Fig 6 reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetFamily::Sunspot => "Sunspot",
+            DatasetFamily::Power => "Power",
+            DatasetFamily::SpotExrates => "Spot Exrates",
+            DatasetFamily::Shuttle => "Shuttle",
+            DatasetFamily::Water => "Water",
+            DatasetFamily::Chaotic => "Chaotic",
+            DatasetFamily::Streamgen => "Streamgen",
+            DatasetFamily::Ocean => "Ocean",
+            DatasetFamily::Tide => "Tide",
+            DatasetFamily::Cstr => "CSTR",
+            DatasetFamily::Winding => "Winding",
+            DatasetFamily::Dryer2 => "Dryer2",
+            DatasetFamily::PhData => "Ph Data",
+            DatasetFamily::PowerPlant => "Power Plant",
+            DatasetFamily::Balleam => "Balleam",
+            DatasetFamily::StandardPoor => "Standard &Poor",
+            DatasetFamily::SoilTemp => "Soil Temp",
+            DatasetFamily::Wool => "Wool",
+            DatasetFamily::Infrasound => "Infrasound",
+            DatasetFamily::Eeg => "EEG",
+            DatasetFamily::KoskiEeg => "Koski EEG",
+            DatasetFamily::BuoySensor => "Buoy Sensor",
+            DatasetFamily::Burst => "Burst",
+            DatasetFamily::RandomWalk => "Random walk",
+        }
+    }
+
+    /// The 1-based index used on the Fig 6 x-axis.
+    pub fn figure_index(self) -> usize {
+        ALL_FAMILIES.iter().position(|&f| f == self).expect("family listed") + 1
+    }
+
+    /// Generates one series of length `len` from this family.
+    pub fn generate_one(self, len: usize, rng: &mut StdRng) -> Vec<f64> {
+        match self {
+            DatasetFamily::Sunspot => {
+                // Rectified ~11-unit cycles with amplitude modulation.
+                let phase = rng.random::<f64>() * std::f64::consts::TAU;
+                let cycle = sinusoid(len, len as f64 / 4.0, 1.0, phase);
+                let slow = sinusoid(len, len as f64 / 1.5, 0.4, phase * 0.7);
+                let rectified: Vec<f64> = cycle
+                    .iter()
+                    .zip(&slow)
+                    .map(|(c, s)| (c.max(0.0)).powf(1.3) * (1.0 + s))
+                    .collect();
+                let mut out = mix(&rectified, &random_walk(len, 0.03, rng));
+                add_noise(&mut out, 0.06, rng);
+                out
+            }
+            DatasetFamily::Power => {
+                let phase = rng.random::<f64>() * std::f64::consts::TAU;
+                let daily = sinusoid(len, len as f64 / 6.0, 1.0, phase);
+                let weekly = sinusoid(len, len as f64 / 1.5, 0.7, phase * 1.3);
+                let mut out = mix(&mix(&daily, &weekly), &random_walk(len, 0.04, rng));
+                // Demand spikes.
+                for _ in 0..len / 40 {
+                    let at = rng.random_range(0..len);
+                    out[at] += 1.5 + rng.random::<f64>();
+                }
+                add_noise(&mut out, 0.1, rng);
+                out
+            }
+            DatasetFamily::SpotExrates => random_walk(len, 0.05, rng),
+            DatasetFamily::Shuttle => {
+                let mut out = steps(len, 6, 2.0, rng);
+                add_noise(&mut out, 0.05, rng);
+                out
+            }
+            DatasetFamily::Water => {
+                let phase = rng.random::<f64>() * std::f64::consts::TAU;
+                let seasonal = sinusoid(len, len as f64 / 3.0, 1.0, phase);
+                // One slope per series (a per-sample sign would be noise,
+                // not a trend).
+                let slope = (0.5 + rng.random::<f64>()) * gaussian(rng).signum();
+                let trend: Vec<f64> = (0..len).map(|t| slope * t as f64 / len as f64).collect();
+                let mut out = mix(&seasonal, &trend);
+                add_noise(&mut out, 0.15, rng);
+                out
+            }
+            DatasetFamily::Chaotic => mackey_glass(len, 17, rng),
+            DatasetFamily::Streamgen => {
+                let mut out = piecewise_linear(len, 8, 0.2, rng);
+                add_noise(&mut out, 0.1, rng);
+                out
+            }
+            DatasetFamily::Ocean => {
+                let swell = resonator(len, 32.0, 0.97, 0.08, rng);
+                let wander = random_walk(len, 0.08, rng);
+                mix(&swell, &wander)
+            }
+            DatasetFamily::Tide => {
+                let phase = rng.random::<f64>() * std::f64::consts::TAU;
+                let semidiurnal = sinusoid(len, len as f64 / 8.0, 0.7, phase);
+                let diurnal = sinusoid(len, len as f64 / 4.0, 0.45, phase * 2.1);
+                let spring_neap = sinusoid(len, len as f64 / 1.5, 1.0, phase * 0.3);
+                let mut out = mix(&mix(&semidiurnal, &diurnal), &spring_neap);
+                add_noise(&mut out, 0.05, rng);
+                out
+            }
+            DatasetFamily::Cstr => {
+                // First-order lag responses to random setpoint steps.
+                let setpoints = steps(len, 5, 1.5, rng);
+                let mut out = Vec::with_capacity(len);
+                let mut x = 0.0;
+                for sp in setpoints {
+                    x += 0.08 * (sp - x) + 0.03 * gaussian(rng);
+                    out.push(x);
+                }
+                out
+            }
+            DatasetFamily::Winding => {
+                let osc = resonator(len, 40.0, 0.95, 0.08, rng);
+                let drift = random_walk(len, 0.05, rng);
+                mix(&osc, &drift)
+            }
+            DatasetFamily::Dryer2 => {
+                // Two-pole low-pass filtered noise.
+                let mut y1 = 0.0;
+                let mut y2 = 0.0;
+                (0..len)
+                    .map(|_| {
+                        let x = gaussian(rng);
+                        y1 += 0.25 * (x - y1);
+                        y2 += 0.25 * (y1 - y2);
+                        y2 * 3.0
+                    })
+                    .collect()
+            }
+            DatasetFamily::PhData => {
+                // Sigmoidal transitions between plateaus (titration curve).
+                let levels = steps(len, 4, 2.0, rng);
+                let mut out = Vec::with_capacity(len);
+                let mut x = levels[0];
+                for l in levels {
+                    x += 0.12 * (l - x);
+                    out.push(x + 0.02 * gaussian(rng));
+                }
+                out
+            }
+            DatasetFamily::PowerPlant => {
+                let phase = rng.random::<f64>() * std::f64::consts::TAU;
+                let periodic = sinusoid(len, len as f64 / 5.0, 0.8, phase);
+                let noise = ar1(len, 0.95, 0.1, rng);
+                let slope = (0.6 + 1.2 * rng.random::<f64>()) * gaussian(rng).signum();
+                let trend: Vec<f64> = (0..len).map(|t| slope * t as f64 / len as f64).collect();
+                mix(&mix(&periodic, &noise), &trend)
+            }
+            DatasetFamily::Balleam => {
+                // Doubly integrated, lightly damped noise: very smooth.
+                let mut v = 0.0;
+                let mut x = 0.0;
+                (0..len)
+                    .map(|_| {
+                        v = 0.98 * v + 0.05 * gaussian(rng);
+                        x = 0.995 * x + v;
+                        x
+                    })
+                    .collect()
+            }
+            DatasetFamily::StandardPoor => {
+                // Random walk with volatility clustering (GARCH-flavored).
+                let mut vol: f64 = 0.5;
+                let mut acc = 0.0;
+                (0..len)
+                    .map(|_| {
+                        let shock = gaussian(rng);
+                        vol = (0.9 * vol + 0.1 * shock.abs()).clamp(0.1, 2.0);
+                        acc += 0.05 * vol * shock;
+                        acc
+                    })
+                    .collect()
+            }
+            DatasetFamily::SoilTemp => {
+                let phase = rng.random::<f64>() * std::f64::consts::TAU;
+                let seasonal = sinusoid(len, len as f64 / 2.0, 1.0, phase);
+                let diurnal = sinusoid(len, len as f64 / 10.0, 0.2, phase * 3.3);
+                let mut out = mix(&mix(&seasonal, &diurnal), &random_walk(len, 0.03, rng));
+                add_noise(&mut out, 0.04, rng);
+                out
+            }
+            DatasetFamily::Wool => {
+                let base = ar1(len, 0.9, 0.15, rng);
+                let drift = random_walk(len, 0.03, rng);
+                mix(&base, &drift)
+            }
+            DatasetFamily::Infrasound => {
+                mix(&bursty(len, 4, 0.05, rng), &random_walk(len, 0.04, rng))
+            }
+            DatasetFamily::Eeg => {
+                let alpha = resonator(len, 24.0, 0.9, 0.25, rng);
+                let broadband = ar1(len, 0.3, 0.2, rng);
+                let baseline = random_walk(len, 0.06, rng);
+                mix(&mix(&alpha, &broadband), &baseline)
+            }
+            DatasetFamily::KoskiEeg => {
+                let mut out = mix(&resonator(len, 40.0, 0.95, 0.15, rng), &random_walk(len, 0.05, rng));
+                for _ in 0..len / 100 {
+                    let at = rng.random_range(0..len);
+                    out[at] += 3.0 * gaussian(rng).signum();
+                }
+                out
+            }
+            DatasetFamily::BuoySensor => {
+                let phase = rng.random::<f64>() * std::f64::consts::TAU;
+                let seasonal = sinusoid(len, len as f64 / 2.5, 0.8, phase);
+                let walk = random_walk(len, 0.05, rng);
+                let mut out = mix(&seasonal, &walk);
+                for _ in 0..len / 60 {
+                    let at = rng.random_range(0..len);
+                    out[at] += 2.5 * gaussian(rng);
+                }
+                out
+            }
+            DatasetFamily::Burst => {
+                mix(&bursty(len, 2, 0.02, rng), &random_walk(len, 0.03, rng))
+            }
+            DatasetFamily::RandomWalk => random_walk(len, 1.0, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn one(family: DatasetFamily, len: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        family.generate_one(len, &mut rng)
+    }
+
+    fn autocorr(x: &[f64], lag: usize) -> f64 {
+        let n = x.len();
+        let m = x.iter().sum::<f64>() / n as f64;
+        let var: f64 = x.iter().map(|v| (v - m) * (v - m)).sum();
+        let cov: f64 = (0..n - lag).map(|i| (x[i] - m) * (x[i + lag] - m)).sum();
+        cov / var.max(1e-12)
+    }
+
+    #[test]
+    fn names_and_indices_follow_the_figure() {
+        assert_eq!(DatasetFamily::Sunspot.figure_index(), 1);
+        assert_eq!(DatasetFamily::RandomWalk.figure_index(), 24);
+        assert_eq!(DatasetFamily::Cstr.name(), "CSTR");
+        // All names distinct.
+        let mut names: Vec<&str> = ALL_FAMILIES.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn smooth_families_have_high_lag1_autocorrelation() {
+        for family in [DatasetFamily::Balleam, DatasetFamily::SpotExrates, DatasetFamily::PhData] {
+            let s = one(family, 512, 3);
+            assert!(autocorr(&s, 1) > 0.8, "{family:?}: {}", autocorr(&s, 1));
+        }
+    }
+
+    #[test]
+    fn periodic_families_show_their_period() {
+        let tide = one(DatasetFamily::Tide, 512, 5);
+        // Strong autocorrelation near the semidiurnal period (12.4 ≈ 12).
+        assert!(autocorr(&tide, 12) > 0.3, "tide ac12 {}", autocorr(&tide, 12));
+        let soil = one(DatasetFamily::SoilTemp, 512, 5);
+        assert!(autocorr(&soil, 24) > 0.2, "soil ac24 {}", autocorr(&soil, 24));
+    }
+
+    #[test]
+    fn bursty_families_have_heavy_peaks() {
+        for family in [DatasetFamily::Burst, DatasetFamily::Infrasound] {
+            let s = one(family, 512, 9);
+            let sd = {
+                let m = s.iter().sum::<f64>() / s.len() as f64;
+                (s.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / s.len() as f64).sqrt()
+            };
+            let peak = s.iter().cloned().fold(f64::MIN, f64::max);
+            assert!(peak > 3.0 * sd, "{family:?}: peak {peak} vs sd {sd}");
+        }
+    }
+
+    #[test]
+    fn shuttle_is_step_like() {
+        let s = one(DatasetFamily::Shuttle, 240, 2);
+        // Large jumps are rare, small moves dominate.
+        let jumps = s.windows(2).filter(|w| (w[1] - w[0]).abs() > 1.0).count();
+        assert!(jumps <= 8, "jumps {jumps}");
+    }
+
+    #[test]
+    fn chaotic_stays_on_attractor() {
+        let s = one(DatasetFamily::Chaotic, 1000, 7);
+        assert!(s.iter().all(|v| (0.2..1.8).contains(v)), "Mackey-Glass range");
+    }
+
+    #[test]
+    fn random_walk_has_unit_steps() {
+        let s = one(DatasetFamily::RandomWalk, 2000, 1);
+        let steps: Vec<f64> = s.windows(2).map(|w| w[1] - w[0]).collect();
+        let sd = {
+            let m = steps.iter().sum::<f64>() / steps.len() as f64;
+            (steps.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / steps.len() as f64).sqrt()
+        };
+        assert!((sd - 1.0).abs() < 0.1, "step sd {sd}");
+    }
+}

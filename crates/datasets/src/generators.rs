@@ -1,0 +1,247 @@
+//! Reusable signal-generation building blocks.
+//!
+//! The 24 families in [`crate::families`] are compositions of these
+//! primitives: random walks, AR processes, resonators, sinusoids, steps,
+//! bursts, and the Mackey-Glass chaotic system.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Standard normal deviate (Irwin-Hall sum of 12 uniforms — accurate to the
+/// tails we care about and allocation-free).
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    let sum: f64 = (0..12).map(|_| rng.random::<f64>()).sum();
+    sum - 6.0
+}
+
+/// A Gaussian random walk with the given per-step volatility.
+pub fn random_walk(len: usize, volatility: f64, rng: &mut StdRng) -> Vec<f64> {
+    let mut acc = 0.0;
+    (0..len)
+        .map(|_| {
+            acc += volatility * gaussian(rng);
+            acc
+        })
+        .collect()
+}
+
+/// A first-order autoregressive process `x_t = φ·x_{t−1} + σ·ε_t`.
+pub fn ar1(len: usize, phi: f64, sigma: f64, rng: &mut StdRng) -> Vec<f64> {
+    let mut x = 0.0;
+    (0..len)
+        .map(|_| {
+            x = phi * x + sigma * gaussian(rng);
+            x
+        })
+        .collect()
+}
+
+/// A damped resonator: an AR(2) process tuned to oscillate near
+/// `period` samples with damping `r ∈ (0, 1)`.
+pub fn resonator(len: usize, period: f64, r: f64, sigma: f64, rng: &mut StdRng) -> Vec<f64> {
+    let omega = 2.0 * std::f64::consts::PI / period;
+    let a1 = 2.0 * r * omega.cos();
+    let a2 = -r * r;
+    let mut x1 = 0.0;
+    let mut x2 = 0.0;
+    (0..len)
+        .map(|_| {
+            let x = a1 * x1 + a2 * x2 + sigma * gaussian(rng);
+            x2 = x1;
+            x1 = x;
+            x
+        })
+        .collect()
+}
+
+/// A sinusoid with the given period (in samples), amplitude, and phase.
+pub fn sinusoid(len: usize, period: f64, amplitude: f64, phase: f64) -> Vec<f64> {
+    let omega = 2.0 * std::f64::consts::PI / period;
+    (0..len).map(|t| amplitude * (omega * t as f64 + phase).sin()).collect()
+}
+
+/// A piecewise-constant staircase: `segments` plateaus at Gaussian levels.
+pub fn steps(len: usize, segments: usize, level_sigma: f64, rng: &mut StdRng) -> Vec<f64> {
+    let segments = segments.max(1);
+    let mut out = Vec::with_capacity(len);
+    let seg_len = len.div_ceil(segments);
+    for _ in 0..segments {
+        let level = level_sigma * gaussian(rng);
+        for _ in 0..seg_len {
+            if out.len() == len {
+                break;
+            }
+            out.push(level);
+        }
+    }
+    out
+}
+
+/// A piecewise-linear path through `segments` random slopes.
+pub fn piecewise_linear(len: usize, segments: usize, slope_sigma: f64, rng: &mut StdRng) -> Vec<f64> {
+    let segments = segments.max(1);
+    let seg_len = len.div_ceil(segments);
+    let mut out = Vec::with_capacity(len);
+    let mut level = 0.0;
+    for _ in 0..segments {
+        let slope = slope_sigma * gaussian(rng);
+        for _ in 0..seg_len {
+            if out.len() == len {
+                break;
+            }
+            level += slope;
+            out.push(level);
+        }
+    }
+    out
+}
+
+/// Quiet Gaussian background with `bursts` high-energy oscillatory packets.
+pub fn bursty(len: usize, bursts: usize, background: f64, rng: &mut StdRng) -> Vec<f64> {
+    let mut out: Vec<f64> = (0..len).map(|_| background * gaussian(rng)).collect();
+    for _ in 0..bursts {
+        let width = (len / 10).max(4);
+        let start = rng.random_range(0..len.saturating_sub(width).max(1));
+        let period = rng.random_range(4.0..12.0);
+        let amp = 1.0 + rng.random::<f64>() * 2.0;
+        for (i, v) in out[start..(start + width).min(len)].iter_mut().enumerate() {
+            // Hann-windowed tone burst.
+            let w = 0.5 * (1.0 - (2.0 * std::f64::consts::PI * i as f64 / width as f64).cos());
+            *v += amp * w * (2.0 * std::f64::consts::PI * i as f64 / period).sin();
+        }
+    }
+    out
+}
+
+/// The Mackey-Glass delay system `x' = βx(t−τ)/(1+x(t−τ)^10) − γx`,
+/// integrated with Euler steps; the classic chaotic benchmark series.
+pub fn mackey_glass(len: usize, tau: usize, rng: &mut StdRng) -> Vec<f64> {
+    let (beta, gamma, dt) = (0.2, 0.1, 1.0);
+    let warmup = tau * 10;
+    let mut history: Vec<f64> = Vec::with_capacity(warmup + len);
+    // Random initial history keeps independent series on distinct orbits.
+    for _ in 0..=tau {
+        history.push(1.2 + 0.1 * gaussian(rng));
+    }
+    while history.len() < warmup + len {
+        let t = history.len() - 1;
+        let x = history[t];
+        let x_tau = history[t - tau];
+        let dx = beta * x_tau / (1.0 + x_tau.powi(10)) - gamma * x;
+        history.push(x + dt * dx);
+    }
+    history[warmup..].to_vec()
+}
+
+/// Adds white Gaussian noise in place.
+pub fn add_noise(series: &mut [f64], sigma: f64, rng: &mut StdRng) {
+    for v in series {
+        *v += sigma * gaussian(rng);
+    }
+}
+
+/// Sums two equally long series elementwise.
+pub fn mix(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn std_dev(a: &[f64]) -> f64 {
+        let m = a.iter().sum::<f64>() / a.len() as f64;
+        (a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = rng(1);
+        let xs: Vec<f64> = (0..5000).map(|_| gaussian(&mut r)).collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(m.abs() < 0.06, "mean {m}");
+        assert!((std_dev(&xs) - 1.0).abs() < 0.06);
+    }
+
+    #[test]
+    fn random_walk_variance_grows() {
+        let mut r = rng(2);
+        let w = random_walk(1000, 1.0, &mut r);
+        // |x_t| should grow like sqrt(t) on average; the endpoint magnitude
+        // is almost surely far from zero relative to one step.
+        assert!(std_dev(&w[..100]) < std_dev(&w));
+    }
+
+    #[test]
+    fn ar1_is_stationary_for_small_phi() {
+        let mut r = rng(3);
+        let x = ar1(5000, 0.5, 1.0, &mut r);
+        // Stationary sd = sigma / sqrt(1 - phi^2) ≈ 1.1547.
+        assert!((std_dev(&x[1000..]) - 1.1547).abs() < 0.15);
+    }
+
+    #[test]
+    fn resonator_oscillates_near_target_period() {
+        let mut r = rng(4);
+        let x = resonator(2048, 32.0, 0.98, 0.1, &mut r);
+        // Count zero crossings: a period-32 oscillation crosses ~128 times
+        // over 2048 samples.
+        let crossings = x.windows(2).filter(|w| w[0] < 0.0 && w[1] >= 0.0).count();
+        assert!((40..=100).contains(&crossings), "crossings {crossings}");
+    }
+
+    #[test]
+    fn sinusoid_period_is_exact() {
+        let s = sinusoid(100, 25.0, 2.0, 0.0);
+        assert!((s[0] - s[25]).abs() < 1e-9);
+        assert!(s.iter().cloned().fold(f64::MIN, f64::max) <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn steps_has_requested_plateaus() {
+        let mut r = rng(5);
+        let s = steps(100, 5, 1.0, &mut r);
+        assert_eq!(s.len(), 100);
+        // 20-sample plateaus: adjacent equal within plateaus.
+        assert_eq!(s[0], s[19]);
+        assert_ne!(s[19], s[20]);
+    }
+
+    #[test]
+    fn piecewise_linear_is_continuous() {
+        let mut r = rng(6);
+        let s = piecewise_linear(100, 4, 0.5, &mut r);
+        let max_jump = s.windows(2).map(|w| (w[1] - w[0]).abs()).fold(f64::MIN, f64::max);
+        assert!(max_jump < 3.0, "jump {max_jump}");
+    }
+
+    #[test]
+    fn bursts_raise_local_energy() {
+        let mut r = rng(7);
+        let s = bursty(512, 3, 0.02, &mut r);
+        let global_sd = std_dev(&s);
+        assert!(global_sd > 0.05, "bursts should dominate background, sd={global_sd}");
+    }
+
+    #[test]
+    fn mackey_glass_is_bounded_and_aperiodic() {
+        let mut r = rng(8);
+        let x = mackey_glass(1000, 17, &mut r);
+        assert!(x.iter().all(|v| (0.0..3.0).contains(v)));
+        // Chaotic: the series should not settle to a constant.
+        assert!(std_dev(&x[500..]) > 0.05);
+    }
+
+    #[test]
+    fn exact_length_even_when_segments_do_not_divide() {
+        let mut r = rng(9);
+        assert_eq!(steps(103, 7, 1.0, &mut r).len(), 103);
+        assert_eq!(piecewise_linear(103, 7, 1.0, &mut r).len(), 103);
+    }
+}

@@ -1,0 +1,95 @@
+//! Multidimensional index substrate.
+//!
+//! GEMINI-style time-series indexing (paper §3.3) reduces each series to a
+//! low-dimensional feature vector and stores the vectors in a spatial index.
+//! This crate provides three interchangeable backends behind the
+//! [`SpatialIndex`] trait:
+//!
+//! * [`rstar::RStarTree`] — an R\*-tree (Beckmann et al., SIGMOD 1990) with
+//!   ChooseSubtree, R\* topological split and forced reinsertion. This is the
+//!   backend the paper uses (via LibGist) for the large-database experiments.
+//! * [`gridfile::GridFile`] — a bulk-loaded grid file with quantile linear
+//!   scales, the alternative the paper cites from StatStream.
+//! * [`linear::LinearScan`] — the trivial baseline every index must beat.
+//!
+//! Queries are geometric: a [`Query::Point`] (a reduced feature vector) or a
+//! [`Query::Rect`] (the feature-space image of a time-series *envelope*,
+//! which is a box). Every search reports [`QueryStats`] — candidates touched
+//! and node/page accesses — because the paper evaluates indexing methods with
+//! exactly these implementation-bias-free counters (Figs 9 and 10).
+
+pub mod gridfile;
+pub mod linear;
+pub mod query;
+pub mod rect;
+pub mod rstar;
+pub mod stats;
+
+pub use gridfile::GridFile;
+pub use linear::LinearScan;
+pub use query::Query;
+pub use rect::Rect;
+pub use rstar::RStarTree;
+pub use stats::QueryStats;
+
+/// Identifier of an indexed item (assigned by the caller).
+pub type ItemId = u64;
+
+/// A point-set spatial index over fixed-dimension `f64` vectors.
+pub trait SpatialIndex {
+    /// Dimensionality of indexed points.
+    fn dims(&self) -> usize;
+
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// `true` if no points are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts one point.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != self.dims()`.
+    fn insert(&mut self, id: ItemId, point: Vec<f64>);
+
+    /// All ids whose point lies within distance `epsilon` of the query
+    /// (Euclidean; for rectangle queries, distance to the box), plus access
+    /// statistics.
+    fn range_query(&self, query: &Query, epsilon: f64) -> (Vec<ItemId>, QueryStats);
+
+    /// The `k` nearest points to the query, as `(id, distance)` sorted by
+    /// ascending distance, plus access statistics.
+    fn knn(&self, query: &Query, k: usize) -> (Vec<(ItemId, f64)>, QueryStats);
+
+    /// Removes the point stored under `id`. Returns `true` if something was
+    /// removed.
+    fn remove(&mut self, id: ItemId) -> bool;
+}
+
+impl<T: SpatialIndex + ?Sized> SpatialIndex for Box<T> {
+    fn dims(&self) -> usize {
+        (**self).dims()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn insert(&mut self, id: ItemId, point: Vec<f64>) {
+        (**self).insert(id, point)
+    }
+
+    fn range_query(&self, query: &Query, epsilon: f64) -> (Vec<ItemId>, QueryStats) {
+        (**self).range_query(query, epsilon)
+    }
+
+    fn knn(&self, query: &Query, k: usize) -> (Vec<(ItemId, f64)>, QueryStats) {
+        (**self).knn(query, k)
+    }
+
+    fn remove(&mut self, id: ItemId) -> bool {
+        (**self).remove(id)
+    }
+}

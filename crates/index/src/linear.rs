@@ -1,0 +1,149 @@
+//! Linear-scan baseline.
+//!
+//! Stores points in insertion order in fixed-size "pages" so that page-access
+//! counts are comparable with the tree backends: a scan always reads every
+//! page. The paper's scalability argument (§3.3) is precisely that this
+//! baseline is untenable for large databases.
+
+use crate::query::Query;
+use crate::stats::QueryStats;
+use crate::{ItemId, SpatialIndex};
+
+/// A flat array of points, scanned in full by every query.
+#[derive(Debug, Clone)]
+pub struct LinearScan {
+    dims: usize,
+    page_capacity: usize,
+    items: Vec<(ItemId, Vec<f64>)>,
+}
+
+impl LinearScan {
+    /// Creates an empty scan container with the default 4 KiB page size.
+    pub fn new(dims: usize) -> Self {
+        Self::with_page_size(dims, 4096)
+    }
+
+    /// Creates an empty scan container; page capacity is derived from the
+    /// entry size (point plus id), mirroring [`crate::rstar::RStarTree`].
+    ///
+    /// # Panics
+    /// Panics if `dims == 0`.
+    pub fn with_page_size(dims: usize, page_bytes: usize) -> Self {
+        assert!(dims > 0, "dimensionality must be positive");
+        let entry = dims * 8 + 8;
+        LinearScan { dims, page_capacity: (page_bytes / entry).max(1), items: Vec::new() }
+    }
+
+    /// Number of pages the stored points occupy.
+    pub fn pages(&self) -> u64 {
+        self.items.len().div_ceil(self.page_capacity) as u64
+    }
+}
+
+impl SpatialIndex for LinearScan {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn insert(&mut self, id: ItemId, point: Vec<f64>) {
+        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
+        self.items.push((id, point));
+    }
+
+    fn remove(&mut self, id: ItemId) -> bool {
+        match self.items.iter().position(|(found, _)| *found == id) {
+            Some(pos) => {
+                self.items.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn range_query(&self, query: &Query, epsilon: f64) -> (Vec<ItemId>, QueryStats) {
+        assert_eq!(query.dims(), self.dims, "query dimensionality mismatch");
+        let mut stats = QueryStats {
+            node_accesses: self.pages(),
+            leaf_accesses: self.pages(),
+            ..QueryStats::default()
+        };
+        let mut out = Vec::new();
+        for (id, p) in &self.items {
+            stats.points_examined += 1;
+            if query.dist_to_point(p) <= epsilon {
+                stats.candidates += 1;
+                out.push(*id);
+            }
+        }
+        (out, stats)
+    }
+
+    fn knn(&self, query: &Query, k: usize) -> (Vec<(ItemId, f64)>, QueryStats) {
+        assert_eq!(query.dims(), self.dims, "query dimensionality mismatch");
+        let mut stats = QueryStats {
+            node_accesses: self.pages(),
+            leaf_accesses: self.pages(),
+            points_examined: self.items.len() as u64,
+            ..QueryStats::default()
+        };
+        let mut all: Vec<(ItemId, f64)> =
+            self.items.iter().map(|(id, p)| (*id, query.dist_to_point(p))).collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        all.truncate(k);
+        stats.candidates = all.len() as u64;
+        (all, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_and_knn_agree_with_geometry() {
+        let mut s = LinearScan::new(2);
+        s.insert(1, vec![0.0, 0.0]);
+        s.insert(2, vec![3.0, 4.0]);
+        s.insert(3, vec![10.0, 0.0]);
+        let q = Query::Point(vec![0.0, 0.0]);
+        let (hits, stats) = s.range_query(&q, 5.0);
+        assert_eq!(hits, vec![1, 2]);
+        assert_eq!(stats.points_examined, 3);
+        let (nn, _) = s.knn(&q, 2);
+        assert_eq!(nn[0].0, 1);
+        assert_eq!(nn[1].0, 2);
+        assert!((nn[1].1 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_query_reads_all_pages() {
+        let mut s = LinearScan::with_page_size(2, 240); // 10 entries per page
+        for i in 0..95 {
+            s.insert(i, vec![i as f64, 0.0]);
+        }
+        assert_eq!(s.pages(), 10);
+        let (_, stats) = s.range_query(&Query::Point(vec![0.0, 0.0]), 0.5);
+        assert_eq!(stats.node_accesses, 10);
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_len() {
+        let mut s = LinearScan::new(1);
+        s.insert(7, vec![1.0]);
+        let (nn, _) = s.knn(&Query::Point(vec![0.0]), 5);
+        assert_eq!(nn.len(), 1);
+    }
+
+    #[test]
+    fn empty_scan() {
+        let s = LinearScan::new(3);
+        assert!(s.is_empty());
+        let (hits, stats) = s.range_query(&Query::Point(vec![0.0; 3]), 1.0);
+        assert!(hits.is_empty());
+        assert_eq!(stats.node_accesses, 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Query shapes.
+
+use crate::rect::Rect;
+
+/// The geometric shape a search is issued against.
+///
+/// A plain feature vector is a [`Query::Point`]. A query-*envelope* image
+/// under a container-invariant transform is a feature-space box
+/// ([`Query::Rect`]); the distance from an indexed point to that box is the
+/// paper's lower bound on the true DTW distance (Theorem 1), so range and
+/// k-NN searches against a `Rect` query are exactly the index phase of the
+/// DTW-indexing scheme.
+#[derive(Debug, Clone)]
+pub enum Query {
+    /// Nearest/range search around a point.
+    Point(Vec<f64>),
+    /// Nearest/range search around an axis-aligned box.
+    Rect(Rect),
+}
+
+impl Query {
+    /// Dimensionality of the query shape.
+    pub fn dims(&self) -> usize {
+        match self {
+            Query::Point(p) => p.len(),
+            Query::Rect(r) => r.dims(),
+        }
+    }
+
+    /// Minimum distance from the query shape to a point.
+    pub fn dist_to_point(&self, p: &[f64]) -> f64 {
+        match self {
+            Query::Point(q) => {
+                debug_assert_eq!(q.len(), p.len());
+                q.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+            }
+            Query::Rect(r) => r.min_dist_point(p),
+        }
+    }
+
+    /// Minimum distance from the query shape to a rectangle (MINDIST used to
+    /// order/prune tree descent).
+    pub fn dist_to_rect(&self, r: &Rect) -> f64 {
+        match self {
+            Query::Point(q) => r.min_dist_point(q),
+            Query::Rect(q) => q.min_dist_rect(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_query_distances() {
+        let q = Query::Point(vec![0.0, 0.0]);
+        assert_eq!(q.dist_to_point(&[3.0, 4.0]), 5.0);
+        let r = Rect::new(vec![1.0, 0.0], vec![2.0, 1.0]);
+        assert_eq!(q.dist_to_rect(&r), 1.0);
+    }
+
+    #[test]
+    fn rect_query_distances() {
+        let q = Query::Rect(Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]));
+        assert_eq!(q.dist_to_point(&[0.5, 0.5]), 0.0);
+        assert_eq!(q.dist_to_point(&[1.0, 2.0]), 1.0);
+        let far = Rect::new(vec![4.0, 1.0], vec![5.0, 2.0]);
+        assert_eq!(q.dist_to_rect(&far), 3.0);
+    }
+
+    #[test]
+    fn dims_reporting() {
+        assert_eq!(Query::Point(vec![0.0; 8]).dims(), 8);
+        assert_eq!(Query::Rect(Rect::empty(4)).dims(), 4);
+    }
+}

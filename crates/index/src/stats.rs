@@ -1,0 +1,108 @@
+//! Access accounting.
+//!
+//! The paper reports "# of candidates" and "# of page accesses" as
+//! implementation-bias-free proxies for CPU and IO cost (§5.3). One index
+//! node corresponds to one disk page, so `node_accesses` is the page-access
+//! count.
+
+/// Counters collected during a single index operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Index nodes (= disk pages) read during the search.
+    pub node_accesses: u64,
+    /// Leaf-level nodes among those accesses.
+    pub leaf_accesses: u64,
+    /// Stored points whose exact feature distance was evaluated.
+    pub points_examined: u64,
+    /// Points that satisfied the index-level predicate (the candidate set
+    /// handed to the exact-DTW refinement step).
+    pub candidates: u64,
+}
+
+impl QueryStats {
+    /// Merges counters from another operation (for averaging over query
+    /// batches).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.node_accesses += other.node_accesses;
+        self.leaf_accesses += other.leaf_accesses;
+        self.points_examined += other.points_examined;
+        self.candidates += other.candidates;
+    }
+}
+
+/// Running averages over a batch of queries, used by the experiment harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    total: QueryStats,
+    queries: u64,
+}
+
+impl BatchStats {
+    /// Adds one query's counters.
+    pub fn record(&mut self, stats: &QueryStats) {
+        self.total.absorb(stats);
+        self.queries += 1;
+    }
+
+    /// Number of recorded queries.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Mean candidate count per query.
+    pub fn mean_candidates(&self) -> f64 {
+        self.mean(self.total.candidates)
+    }
+
+    /// Mean page (node) accesses per query.
+    pub fn mean_node_accesses(&self) -> f64 {
+        self.mean(self.total.node_accesses)
+    }
+
+    /// Mean points examined per query.
+    pub fn mean_points_examined(&self) -> f64 {
+        self.mean(self.total.points_examined)
+    }
+
+    fn mean(&self, v: u64) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            v as f64 / self.queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates_all_fields() {
+        let mut a = QueryStats { node_accesses: 1, leaf_accesses: 1, points_examined: 5, candidates: 2 };
+        let b = QueryStats { node_accesses: 3, leaf_accesses: 2, points_examined: 7, candidates: 1 };
+        a.absorb(&b);
+        assert_eq!(
+            a,
+            QueryStats { node_accesses: 4, leaf_accesses: 3, points_examined: 12, candidates: 3 }
+        );
+    }
+
+    #[test]
+    fn batch_means() {
+        let mut batch = BatchStats::default();
+        batch.record(&QueryStats { node_accesses: 10, leaf_accesses: 4, points_examined: 100, candidates: 8 });
+        batch.record(&QueryStats { node_accesses: 20, leaf_accesses: 6, points_examined: 200, candidates: 2 });
+        assert_eq!(batch.queries(), 2);
+        assert_eq!(batch.mean_node_accesses(), 15.0);
+        assert_eq!(batch.mean_candidates(), 5.0);
+        assert_eq!(batch.mean_points_examined(), 150.0);
+    }
+
+    #[test]
+    fn empty_batch_is_zero() {
+        let batch = BatchStats::default();
+        assert_eq!(batch.mean_candidates(), 0.0);
+        assert_eq!(batch.mean_node_accesses(), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests: every backend must agree with brute force on every
+//! query, for arbitrary point sets.
+
+use hum_index::{GridFile, ItemId, LinearScan, Query, RStarTree, Rect, SpatialIndex};
+use proptest::prelude::*;
+
+fn points(dims: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-50.0f64..50.0, dims..=dims),
+        1..200,
+    )
+}
+
+fn brute_range(points: &[Vec<f64>], q: &Query, eps: f64) -> Vec<ItemId> {
+    let mut out: Vec<ItemId> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| q.dist_to_point(p) <= eps)
+        .map(|(i, _)| i as ItemId)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn build_all(points: &[Vec<f64>], dims: usize) -> Vec<Box<dyn SpatialIndex>> {
+    let mut backends: Vec<Box<dyn SpatialIndex>> = vec![
+        Box::new(RStarTree::with_page_size(dims, 512)),
+        Box::new(GridFile::with_params(dims, 4, 32, 512)),
+        Box::new(LinearScan::with_page_size(dims, 512)),
+    ];
+    for b in &mut backends {
+        for (i, p) in points.iter().enumerate() {
+            b.insert(i as ItemId, p.clone());
+        }
+    }
+    backends
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn range_queries_agree_with_brute_force(
+        pts in points(3),
+        qx in -60.0f64..60.0,
+        qy in -60.0f64..60.0,
+        qz in -60.0f64..60.0,
+        eps in 0.0f64..80.0,
+    ) {
+        let q = Query::Point(vec![qx, qy, qz]);
+        let expected = brute_range(&pts, &q, eps);
+        for backend in build_all(&pts, 3) {
+            let (mut got, stats) = backend.range_query(&q, eps);
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected);
+            prop_assert_eq!(stats.candidates as usize, expected.len());
+        }
+    }
+
+    #[test]
+    fn rect_queries_agree_with_brute_force(
+        pts in points(2),
+        lo in -40.0f64..0.0,
+        side in 0.0f64..50.0,
+        eps in 0.0f64..30.0,
+    ) {
+        let rect = Rect::new(vec![lo, lo], vec![lo + side, lo + side]);
+        let q = Query::Rect(rect);
+        let expected = brute_range(&pts, &q, eps);
+        for backend in build_all(&pts, 2) {
+            let (mut got, _) = backend.range_query(&q, eps);
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    #[test]
+    fn knn_is_sorted_correct_and_complete(
+        pts in points(3),
+        k in 1usize..20,
+        qx in -60.0f64..60.0,
+    ) {
+        let q = Query::Point(vec![qx, 0.0, 0.0]);
+        let mut brute: Vec<(ItemId, f64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as ItemId, q.dist_to_point(p)))
+            .collect();
+        brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for backend in build_all(&pts, 3) {
+            let (got, _) = backend.knn(&q, k);
+            prop_assert_eq!(got.len(), k.min(pts.len()));
+            for w in got.windows(2) {
+                prop_assert!(w[0].1 <= w[1].1 + 1e-12);
+            }
+            for (g, b) in got.iter().zip(&brute) {
+                prop_assert!((g.1 - b.1).abs() < 1e-9, "{} vs {}", g.1, b.1);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_radius_equals_range_count(pts in points(2), k in 1usize..15) {
+        // The distance of the k-th neighbor must admit at least k points in
+        // a range query — the invariant multi-step k-NN relies on.
+        let q = Query::Point(vec![0.0, 0.0]);
+        let tree = {
+            let mut t = RStarTree::with_page_size(2, 512);
+            for (i, p) in pts.iter().enumerate() {
+                t.insert(i as ItemId, p.clone());
+            }
+            t
+        };
+        let (knn, _) = tree.knn(&q, k);
+        if let Some(&(_, radius)) = knn.last() {
+            let (range, _) = tree.range_query(&q, radius + 1e-9);
+            prop_assert!(range.len() >= knn.len());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn removal_keeps_all_backends_consistent(
+        pts in points(2),
+        removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..30),
+        eps in 0.0f64..60.0,
+    ) {
+        // Apply the same removal sequence to every backend and a model.
+        let mut model: Vec<Option<Vec<f64>>> = pts.iter().cloned().map(Some).collect();
+        let mut backends = build_all(&pts, 2);
+        for idx in &removals {
+            let id = idx.index(pts.len()) as ItemId;
+            let expect = model[id as usize].take().is_some();
+            for b in &mut backends {
+                prop_assert_eq!(b.remove(id), expect);
+            }
+        }
+        let q = Query::Point(vec![0.0, 0.0]);
+        let mut expected: Vec<ItemId> = model
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|p| (i, p)))
+            .filter(|(_, p)| q.dist_to_point(p) <= eps)
+            .map(|(i, _)| i as ItemId)
+            .collect();
+        expected.sort_unstable();
+        for b in &backends {
+            let (mut got, _) = b.range_query(&q, eps);
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+}

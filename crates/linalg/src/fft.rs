@@ -1,0 +1,231 @@
+//! Discrete Fourier transforms.
+//!
+//! The DFT reduction transform of the paper (§4.3, Fig 7) needs the first few
+//! Fourier coefficients of length-`n` time series. For power-of-two lengths
+//! (the lengths used throughout the paper's experiments: 128 and 256) we use
+//! an iterative radix-2 Cooley-Tukey FFT; other lengths fall back to the
+//! naive O(n²) DFT, which is still fast for the short series involved.
+//!
+//! All transforms here use the *unitary* convention with scale factor
+//! `1/sqrt(n)` applied on the forward transform and `1/sqrt(n)` on the
+//! inverse, so the transform is an isometry: `‖F(x)‖₂ = ‖x‖₂` (Parseval).
+//! That property is what makes truncated-DFT feature distances lower-bound
+//! the true Euclidean distance in the GEMINI framework.
+
+use crate::complex::Complex;
+
+/// Returns `true` if `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// In-place iterative radix-2 FFT without normalization.
+///
+/// `invert` selects the inverse transform (conjugate twiddles). Panics if the
+/// length is not a power of two.
+fn fft_radix2(buf: &mut [Complex], invert: bool) {
+    let n = buf.len();
+    assert!(is_power_of_two(n), "radix-2 FFT requires a power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    let sign = if invert { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let half = len / 2;
+        let mut start = 0;
+        while start < n {
+            let mut w = Complex::ONE;
+            for k in 0..half {
+                let u = buf[start + k];
+                let v = buf[start + k + half] * w;
+                buf[start + k] = u + v;
+                buf[start + k + half] = u - v;
+                w = w * wlen;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive O(n²) DFT without normalization, for arbitrary lengths.
+fn dft_naive(input: &[Complex], invert: bool) -> Vec<Complex> {
+    let n = input.len();
+    let sign = if invert { 1.0 } else { -1.0 };
+    let base = sign * 2.0 * std::f64::consts::PI / n as f64;
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (t, &x) in input.iter().enumerate() {
+                acc += x * Complex::cis(base * (k as f64) * (t as f64));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Unitary forward DFT of a complex signal.
+pub fn dft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let scale = 1.0 / (n as f64).sqrt();
+    let mut out = if is_power_of_two(n) {
+        let mut buf = input.to_vec();
+        fft_radix2(&mut buf, false);
+        buf
+    } else {
+        dft_naive(input, false)
+    };
+    for z in &mut out {
+        *z = z.scale(scale);
+    }
+    out
+}
+
+/// Unitary inverse DFT of a complex spectrum.
+pub fn idft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let scale = 1.0 / (n as f64).sqrt();
+    let mut out = if is_power_of_two(n) {
+        let mut buf = input.to_vec();
+        fft_radix2(&mut buf, true);
+        buf
+    } else {
+        dft_naive(input, true)
+    };
+    for z in &mut out {
+        *z = z.scale(scale);
+    }
+    out
+}
+
+/// Unitary forward DFT of a real signal.
+pub fn dft_real(input: &[f64]) -> Vec<Complex> {
+    let buf: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
+    dft(&buf)
+}
+
+/// Reconstructs a real signal from its unitary spectrum, discarding the
+/// (numerically tiny) imaginary residue.
+pub fn idft_real(spectrum: &[Complex]) -> Vec<f64> {
+    idft(spectrum).into_iter().map(|z| z.re).collect()
+}
+
+/// Squared L2 norm of a complex vector.
+pub fn spectrum_energy(spectrum: &[Complex]) -> f64 {
+    spectrum.iter().map(|z| z.norm_sqr()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn dft_of_constant_is_dc_only() {
+        let x = vec![2.0; 8];
+        let spec = dft_real(&x);
+        // Unitary DC coefficient = sum / sqrt(n) = 16 / sqrt(8).
+        assert_close(spec[0].re, 16.0 / 8f64.sqrt(), 1e-12);
+        for z in &spec[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft_of_pure_tone_concentrates_energy() {
+        let n = 64;
+        let freq = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * freq as f64 * t as f64 / n as f64).cos())
+            .collect();
+        let spec = dft_real(&x);
+        let total = spectrum_energy(&spec);
+        let at_tone = spec[freq].norm_sqr() + spec[n - freq].norm_sqr();
+        assert_close(at_tone / total, 1.0, 1e-10);
+    }
+
+    #[test]
+    fn roundtrip_power_of_two() {
+        let x: Vec<f64> = (0..128).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let back = idft_real(&dft_real(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_length() {
+        let x: Vec<f64> = (0..37).map(|i| (i as f64 * 0.7).sin() + 0.1 * i as f64).collect();
+        let back = idft_real(&dft_real(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert_close(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let x: Vec<f64> = (0..256).map(|i| ((i as f64) * 0.13).sin() * (i as f64 % 7.0)).collect();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy = spectrum_energy(&dft_real(&x));
+        assert_close(time_energy, freq_energy, 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn naive_and_fft_agree_on_power_of_two() {
+        let x: Vec<Complex> =
+            (0..32).map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.11).cos())).collect();
+        let fast = dft(&x);
+        let slow: Vec<Complex> =
+            dft_naive(&x, false).into_iter().map(|z| z.scale(1.0 / 32f64.sqrt())).collect();
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn conjugate_symmetry_for_real_input() {
+        let x: Vec<f64> = (0..64).map(|i| (i as f64).sqrt() - 3.0).collect();
+        let spec = dft_real(&x);
+        for k in 1..32 {
+            let a = spec[k];
+            let b = spec[64 - k].conj();
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(dft_real(&[]).is_empty());
+        let spec = dft_real(&[5.0]);
+        assert_eq!(spec.len(), 1);
+        assert_close(spec[0].re, 5.0, 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Orthonormal Haar wavelet transform.
+//!
+//! The DWT reduction transform keeps the first `N` Haar coefficients (the
+//! coarse approximation plus the coarsest details). With the orthonormal
+//! normalization used here the full transform is an isometry, so truncated
+//! coefficient distances lower-bound Euclidean distances — the GEMINI
+//! requirement. Lengths must be powers of two (the experiments use 128/256);
+//! callers pad or resample otherwise.
+
+use std::f64::consts::SQRT_2;
+
+/// Full orthonormal Haar decomposition.
+///
+/// Output layout is the standard pyramid: `[approx | d_coarse | ... | d_fine]`
+/// where the single approximation coefficient comes first and detail bands
+/// follow from coarsest to finest.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn haar_forward(input: &[f64]) -> Vec<f64> {
+    let n = input.len();
+    assert!(crate::fft::is_power_of_two(n.max(1)), "Haar transform requires a power-of-two length");
+    let mut out = input.to_vec();
+    let mut scratch = vec![0.0; n];
+    let mut len = n;
+    while len > 1 {
+        let half = len / 2;
+        for i in 0..half {
+            let a = out[2 * i];
+            let b = out[2 * i + 1];
+            scratch[i] = (a + b) / SQRT_2;
+            scratch[half + i] = (a - b) / SQRT_2;
+        }
+        out[..len].copy_from_slice(&scratch[..len]);
+        len = half;
+    }
+    out
+}
+
+/// Inverse of [`haar_forward`].
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn haar_inverse(coeffs: &[f64]) -> Vec<f64> {
+    let n = coeffs.len();
+    assert!(crate::fft::is_power_of_two(n.max(1)), "Haar transform requires a power-of-two length");
+    let mut out = coeffs.to_vec();
+    let mut scratch = vec![0.0; n];
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        for i in 0..half {
+            let s = out[i];
+            let d = out[half + i];
+            scratch[2 * i] = (s + d) / SQRT_2;
+            scratch[2 * i + 1] = (s - d) / SQRT_2;
+        }
+        out[..len].copy_from_slice(&scratch[..len]);
+        len <<= 1;
+    }
+    out
+}
+
+/// The `j`-th row of the orthonormal Haar analysis matrix for length `n`,
+/// i.e. the linear functional whose dot product with a signal yields Haar
+/// coefficient `j`.
+///
+/// This explicit coefficient view is what the envelope-transform construction
+/// (paper Lemma 3) consumes: it splits each row by coefficient sign.
+///
+/// # Panics
+/// Panics if `n` is not a power of two or `j >= n`.
+pub fn haar_row(n: usize, j: usize) -> Vec<f64> {
+    assert!(crate::fft::is_power_of_two(n.max(1)), "Haar transform requires a power-of-two length");
+    assert!(j < n, "row index out of range");
+    // Apply the forward transform to each basis vector once would be O(n^2
+    // log n); instead exploit that the analysis matrix rows are scaled,
+    // shifted square waves. Row 0 is the overall average; row j for
+    // j = 2^l + k (0 ≤ k < 2^l) is the detail at level l, block k.
+    let mut row = vec![0.0; n];
+    if j == 0 {
+        let v = 1.0 / (n as f64).sqrt();
+        row.iter_mut().for_each(|x| *x = v);
+        return row;
+    }
+    let l = usize::BITS - 1 - j.leading_zeros(); // floor(log2 j)
+    let blocks = 1usize << l;
+    let k = j - blocks;
+    let block_len = n / blocks;
+    let half = block_len / 2;
+    let v = 1.0 / (block_len as f64).sqrt();
+    let start = k * block_len;
+    for x in &mut row[start..start + half] {
+        *x = v;
+    }
+    for x in &mut row[start + half..start + block_len] {
+        *x = -v;
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec_ops::{dot, norm, sq_euclidean};
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() * (1.0 + i as f64 / 10.0)).collect();
+        let back = haar_inverse(&haar_forward(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn constant_signal_has_single_coefficient() {
+        let x = vec![3.0; 16];
+        let c = haar_forward(&x);
+        assert!((c[0] - 3.0 * 4.0).abs() < 1e-12); // 3 * sqrt(16)
+        for v in &c[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transform_is_an_isometry() {
+        let x: Vec<f64> = (0..128).map(|i| ((i * i) % 13) as f64 - 6.0).collect();
+        let y: Vec<f64> = (0..128).map(|i| ((i * 7) % 17) as f64).collect();
+        let cx = haar_forward(&x);
+        let cy = haar_forward(&y);
+        assert!((norm(&x) - norm(&cx)).abs() < 1e-9);
+        assert!((sq_euclidean(&x, &y) - sq_euclidean(&cx, &cy)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rows_match_forward_transform() {
+        let n = 32;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).cos() + 0.05 * i as f64).collect();
+        let c = haar_forward(&x);
+        for (j, coeff) in c.iter().enumerate() {
+            let row = haar_row(n, j);
+            assert!((dot(&row, &x) - coeff).abs() < 1e-10, "row {j}");
+        }
+    }
+
+    #[test]
+    fn rows_are_orthonormal() {
+        let n = 16;
+        for i in 0..n {
+            for j in 0..n {
+                let d = dot(&haar_row(n, i), &haar_row(n, j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn step_signal_concentrates_in_coarse_coefficients() {
+        let mut x = vec![1.0; 32];
+        for v in &mut x[16..] {
+            *v = -1.0;
+        }
+        let c = haar_forward(&x);
+        // A half-step is exactly the level-0 detail basis function.
+        assert!(c[1].abs() > 5.0);
+        let tail: f64 = c[2..].iter().map(|v| v * v).sum();
+        assert!(tail < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_panics() {
+        let _ = haar_forward(&[1.0, 2.0, 3.0]);
+    }
+}

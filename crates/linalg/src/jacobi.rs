@@ -1,0 +1,252 @@
+//! Cyclic Jacobi eigensolver for symmetric matrices.
+//!
+//! Used to fit the SVD reduction transform: the top right-singular vectors of
+//! a data matrix `A` are the top eigenvectors of the Gram matrix `AᵀA`, which
+//! is symmetric positive semi-definite. The classic Jacobi rotation method is
+//! simple, numerically robust, and fast enough for the Gram matrices in this
+//! workspace (order ≤ a few hundred).
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition, sorted by descending eigenvalue.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// `vectors.row(k)` is the unit eigenvector for `values[k]`.
+    pub vectors: Matrix,
+}
+
+/// Computes all eigenpairs of a symmetric matrix with the cyclic Jacobi
+/// method.
+///
+/// Convergence is declared when the off-diagonal Frobenius mass falls below
+/// `tol * ‖A‖_F` or after `max_sweeps` full sweeps (whichever comes first; 30
+/// sweeps is far more than Jacobi ever needs in practice).
+///
+/// # Panics
+/// Panics if the matrix is not square.
+pub fn symmetric_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> EigenDecomposition {
+    assert_eq!(a.rows(), a.cols(), "eigendecomposition requires a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    if n == 0 {
+        return EigenDecomposition { values: Vec::new(), vectors: v };
+    }
+
+    let norm = m.frobenius_norm().max(f64::MIN_POSITIVE);
+    let threshold = tol * norm;
+
+    for _sweep in 0..max_sweeps {
+        let off = off_diagonal_norm(&m);
+        if off <= threshold {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= threshold / (n as f64 * n as f64).max(1.0) {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Stable computation of the rotation (Golub & Van Loan 8.4).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                apply_rotation(&mut m, p, q, c, s);
+                // Accumulate the rotation into the eigenvector matrix: rows of
+                // `v` hold the current basis, so rotate rows p and q.
+                rotate_rows(&mut v, p, q, c, s);
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("eigenvalues are finite"));
+
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (k, &i) in order.iter().enumerate() {
+        vectors.row_mut(k).copy_from_slice(v.row(i));
+    }
+    EigenDecomposition { values, vectors }
+}
+
+/// Frobenius norm of the strictly upper triangle (×√2 would give the full
+/// off-diagonal mass; the constant does not matter for a threshold test).
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            s += m[(i, j)] * m[(i, j)];
+        }
+    }
+    s.sqrt()
+}
+
+/// Applies the two-sided Jacobi rotation J(p,q,θ)ᵀ · M · J(p,q,θ) in place.
+fn apply_rotation(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.rows();
+    let app = m[(p, p)];
+    let aqq = m[(q, q)];
+    let apq = m[(p, q)];
+
+    m[(p, p)] = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+    m[(q, q)] = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+    m[(p, q)] = 0.0;
+    m[(q, p)] = 0.0;
+
+    for i in 0..n {
+        if i == p || i == q {
+            continue;
+        }
+        let aip = m[(i, p)];
+        let aiq = m[(i, q)];
+        m[(i, p)] = c * aip - s * aiq;
+        m[(p, i)] = m[(i, p)];
+        m[(i, q)] = s * aip + c * aiq;
+        m[(q, i)] = m[(i, q)];
+    }
+}
+
+/// Rotates rows `p` and `q` of `v` by the Givens rotation (c, s).
+fn rotate_rows(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = v.cols();
+    for j in 0..n {
+        let vp = v[(p, j)];
+        let vq = v[(q, j)];
+        v[(p, j)] = c * vp - s * vq;
+        v[(q, j)] = s * vp + c * vq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec_ops::dot;
+
+    fn eigen(a: &Matrix) -> EigenDecomposition {
+        symmetric_eigen(a, 1e-14, 50)
+    }
+
+    #[test]
+    fn diagonal_matrix_is_already_solved() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = 5.0;
+        a[(2, 2)] = 3.0;
+        let e = eigen(&a);
+        assert_eq!(e.values, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn two_by_two_known_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v = e.vectors.row(0);
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v[0] - v[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstruction_from_eigenpairs() {
+        // A = Σ λ_k v_k v_kᵀ must reproduce the input.
+        let a = Matrix::from_rows(
+            4,
+            4,
+            vec![
+                4.0, 1.0, 0.5, 0.0, //
+                1.0, 3.0, 0.2, 0.1, //
+                0.5, 0.2, 2.0, 0.3, //
+                0.0, 0.1, 0.3, 1.0,
+            ],
+        );
+        let e = eigen(&a);
+        let mut recon = Matrix::zeros(4, 4);
+        for k in 0..4 {
+            let v = e.vectors.row(k);
+            for i in 0..4 {
+                for j in 0..4 {
+                    recon[(i, j)] += e.values[k] * v[i] * v[j];
+                }
+            }
+        }
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(
+            3,
+            3,
+            vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0],
+        );
+        let e = eigen(&a);
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = dot(e.vectors.row(i), e.vectors.row(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalue_equation_holds() {
+        let a = Matrix::from_rows(
+            3,
+            3,
+            vec![6.0, 2.0, 1.0, 2.0, 3.0, 1.0, 1.0, 1.0, 1.0],
+        );
+        let e = eigen(&a);
+        for k in 0..3 {
+            let v = e.vectors.row(k).to_vec();
+            let av = a.matvec(&v);
+            for i in 0..3 {
+                assert!((av[i] - e.values[k] * v[i]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_sum_of_eigenvalues() {
+        let a = Matrix::from_rows(
+            5,
+            5,
+            (0..25)
+                .map(|k| {
+                    let (i, j) = (k / 5, k % 5);
+                    // symmetric pattern
+                    1.0 / (1.0 + (i as f64 - j as f64).abs())
+                })
+                .collect(),
+        );
+        let e = eigen(&a);
+        let trace: f64 = (0..5).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_is_ok() {
+        let e = eigen(&Matrix::zeros(0, 0));
+        assert!(e.values.is_empty());
+    }
+}

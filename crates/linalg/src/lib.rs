@@ -1,0 +1,29 @@
+//! Dense linear-algebra substrate for the warping-index workspace.
+//!
+//! The paper's envelope-transform framework (Zhu & Shasha, SIGMOD 2003, §4.3)
+//! instantiates dimensionality reduction with PAA, DFT, DWT and SVD. This
+//! crate provides the numerical machinery those transforms need, implemented
+//! from scratch:
+//!
+//! * [`Complex`] — a minimal complex number type.
+//! * [`fft`] — an iterative radix-2 FFT with a naive-DFT fallback for
+//!   non-power-of-two lengths.
+//! * [`Matrix`] — a small row-major dense matrix.
+//! * [`jacobi`] — a cyclic Jacobi eigensolver for symmetric matrices.
+//! * [`svd`] — singular value decomposition of a data matrix via the Gram
+//!   matrix, used to fit the SVD reduction transform on a database sample.
+//! * [`haar`] — the orthonormal Haar wavelet transform used by the DWT
+//!   reduction.
+//! * [`vec_ops`] — dot products, norms and summary statistics shared across
+//!   the workspace.
+
+pub mod complex;
+pub mod fft;
+pub mod haar;
+pub mod jacobi;
+pub mod matrix;
+pub mod svd;
+pub mod vec_ops;
+
+pub use complex::Complex;
+pub use matrix::Matrix;

@@ -1,0 +1,167 @@
+//! Singular value decomposition via the Gram matrix.
+//!
+//! The SVD reduction transform of §4.3 projects length-`n` time series onto
+//! the top `N` right-singular vectors of a (sample of the) database matrix.
+//! Since `n` is small (≤ a few hundred) while the sample may have many rows,
+//! we compute the eigendecomposition of the `n × n` Gram matrix `AᵀA` with
+//! the Jacobi solver; its eigenvectors are the right-singular vectors and its
+//! eigenvalues are the squared singular values.
+
+use crate::jacobi::symmetric_eigen;
+use crate::matrix::Matrix;
+
+/// A truncated singular value decomposition.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Singular values, descending. Tiny negative eigenvalues from roundoff
+    /// are clamped to zero.
+    pub singular_values: Vec<f64>,
+    /// `right_vectors.row(k)` is the k-th right-singular vector (length =
+    /// `a.cols()`); rows are orthonormal.
+    pub right_vectors: Matrix,
+}
+
+impl Svd {
+    /// Computes the top-`k` singular pairs of `a` (right side only).
+    ///
+    /// `k` is clamped to `a.cols()`.
+    pub fn compute_truncated(a: &Matrix, k: usize) -> Svd {
+        let n = a.cols();
+        let k = k.min(n);
+        let gram = a.gram();
+        let eig = symmetric_eigen(&gram, 1e-13, 50);
+        let singular_values: Vec<f64> =
+            eig.values.iter().take(k).map(|&l| l.max(0.0).sqrt()).collect();
+        let mut right_vectors = Matrix::zeros(k, n);
+        for i in 0..k {
+            right_vectors.row_mut(i).copy_from_slice(eig.vectors.row(i));
+        }
+        Svd { singular_values, right_vectors }
+    }
+
+    /// Projects a row vector onto the retained right-singular basis,
+    /// producing its `k`-dimensional feature vector.
+    ///
+    /// Projection onto an orthonormal basis is contractive, so Euclidean
+    /// distances between projections lower-bound the original distances —
+    /// exactly the GEMINI lower-bounding requirement.
+    pub fn project(&self, x: &[f64]) -> Vec<f64> {
+        self.right_vectors.matvec(x)
+    }
+
+    /// Reconstructs a row vector from its projection (the best rank-`k`
+    /// approximation of `x` within the retained subspace).
+    pub fn reconstruct(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.right_vectors.rows(), "feature length mismatch");
+        let n = self.right_vectors.cols();
+        let mut out = vec![0.0; n];
+        for (k, &f) in features.iter().enumerate() {
+            crate::vec_ops::axpy(f, self.right_vectors.row(k), &mut out);
+        }
+        out
+    }
+
+    /// Number of retained components.
+    pub fn rank(&self) -> usize {
+        self.right_vectors.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec_ops::{dot, euclidean, norm};
+
+    fn sample_matrix() -> Matrix {
+        // 8 rows living (mostly) in a 2-D subspace of R^4, plus noise.
+        let basis1 = [1.0, 1.0, 1.0, 1.0];
+        let basis2 = [1.0, -1.0, 1.0, -1.0];
+        let mut rows = Vec::new();
+        for i in 0..8 {
+            let a = (i as f64 * 0.7).sin() * 3.0;
+            let b = (i as f64 * 0.3).cos() * 2.0;
+            let row: Vec<f64> = (0..4)
+                .map(|j| a * basis1[j] + b * basis2[j] + 0.001 * ((i * 4 + j) as f64).sin())
+                .collect();
+            rows.push(row);
+        }
+        Matrix::from_row_slices(&rows)
+    }
+
+    #[test]
+    fn singular_values_are_descending_and_nonnegative() {
+        let svd = Svd::compute_truncated(&sample_matrix(), 4);
+        for w in svd.singular_values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(svd.singular_values.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn right_vectors_are_orthonormal() {
+        let svd = Svd::compute_truncated(&sample_matrix(), 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = dot(svd.right_vectors.row(i), svd.right_vectors.row(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-8, "({i},{j}) -> {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank2_capture_of_rank2_data() {
+        let a = sample_matrix();
+        let svd = Svd::compute_truncated(&a, 4);
+        // Data is essentially rank 2: tail singular values are tiny.
+        assert!(svd.singular_values[2] < 1e-2 * svd.singular_values[0]);
+    }
+
+    #[test]
+    fn projection_is_contractive() {
+        let a = sample_matrix();
+        let svd = Svd::compute_truncated(&a, 2);
+        let x = a.row(0);
+        let y = a.row(5);
+        let dx = svd.project(x);
+        let dy = svd.project(y);
+        assert!(euclidean(&dx, &dy) <= euclidean(x, y) + 1e-10);
+        assert!(norm(&dx) <= norm(x) + 1e-10);
+    }
+
+    #[test]
+    fn projection_preserves_distances_within_subspace() {
+        // For data exactly inside the retained subspace, projection is an
+        // isometry.
+        let rows = vec![
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![2.0, -2.0, 2.0, -2.0],
+            vec![3.0, -1.0, 3.0, -1.0],
+        ];
+        let a = Matrix::from_row_slices(&rows);
+        let svd = Svd::compute_truncated(&a, 2);
+        let d_orig = euclidean(&rows[0], &rows[2]);
+        let d_proj = euclidean(&svd.project(&rows[0]), &svd.project(&rows[2]));
+        assert!((d_orig - d_proj).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstruct_roundtrips_in_subspace_data() {
+        let rows =
+            vec![vec![1.0, 1.0, 1.0, 1.0], vec![1.0, -1.0, 1.0, -1.0], vec![5.0, 3.0, 5.0, 3.0]];
+        let a = Matrix::from_row_slices(&rows);
+        let svd = Svd::compute_truncated(&a, 2);
+        for row in &rows {
+            let back = svd.reconstruct(&svd.project(row));
+            for (x, y) in row.iter().zip(&back) {
+                assert!((x - y).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_clamps_to_column_count() {
+        let svd = Svd::compute_truncated(&sample_matrix(), 99);
+        assert_eq!(svd.rank(), 4);
+    }
+}

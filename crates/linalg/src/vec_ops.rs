@@ -1,0 +1,210 @@
+//! Vector operations and summary statistics shared across the workspace.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length slices.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    sq_euclidean(a, b).sqrt()
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy requires equal lengths");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Arithmetic mean; zero for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population variance; zero for slices shorter than two elements.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(a: &[f64]) -> f64 {
+    variance(a).sqrt()
+}
+
+/// Subtracts the mean in place, making the series shift-invariant
+/// ("normal form" step of §3.3, item 1).
+pub fn center(a: &mut [f64]) {
+    let m = mean(a);
+    for x in a.iter_mut() {
+        *x -= m;
+    }
+}
+
+/// Normalizes to unit L2 norm in place. No-op for the zero vector.
+pub fn normalize_l2(a: &mut [f64]) {
+    let n = norm(a);
+    if n > 0.0 {
+        for x in a.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Minimum and maximum of a nonempty slice.
+///
+/// # Panics
+/// Panics if the slice is empty.
+pub fn min_max(a: &[f64]) -> (f64, f64) {
+    assert!(!a.is_empty(), "min_max of empty slice");
+    let mut lo = a[0];
+    let mut hi = a[0];
+    for &x in &a[1..] {
+        if x < lo {
+            lo = x;
+        }
+        if x > hi {
+            hi = x;
+        }
+    }
+    (lo, hi)
+}
+
+/// Linear interpolation between `a` and `b` at parameter `t ∈ [0, 1]`.
+#[inline]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Pearson correlation of two equal-length slices; zero when either side is
+/// constant.
+pub fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "correlation requires equal lengths");
+    let (ma, mb) = (mean(a), mean(b));
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm_basics() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn euclidean_distance_known_value() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(sq_euclidean(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn mean_variance_of_known_data() {
+        let a = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&a), 5.0);
+        assert_eq!(variance(&a), 4.0);
+        assert_eq!(std_dev(&a), 2.0);
+    }
+
+    #[test]
+    fn center_makes_zero_mean() {
+        let mut a = vec![1.0, 2.0, 3.0, 10.0];
+        center(&mut a);
+        assert!(mean(&a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_l2_unit_norm_and_zero_vector() {
+        let mut a = vec![3.0, 4.0];
+        normalize_l2(&mut a);
+        assert!((norm(&a) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        normalize_l2(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_of_mixed_slice() {
+        assert_eq!(min_max(&[3.0, -1.0, 7.0, 2.0]), (-1.0, 7.0));
+    }
+
+    #[test]
+    fn correlation_of_linear_relation() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| 3.0 * x - 2.0).collect();
+        let c: Vec<f64> = a.iter().map(|x| -0.5 * x + 1.0).collect();
+        assert!((correlation(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((correlation(&a, &c) + 1.0).abs() < 1e-12);
+        assert_eq!(correlation(&a, &vec![5.0; 50]), 0.0);
+    }
+
+    #[test]
+    fn empty_slices_are_handled() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        assert_eq!(lerp(2.0, 6.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 6.0, 1.0), 6.0);
+        assert_eq!(lerp(2.0, 6.0, 0.5), 4.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use hum_linalg::fft::{dft_real, idft_real, spectrum_energy};
+use hum_linalg::haar::{haar_forward, haar_inverse};
+use hum_linalg::matrix::Matrix;
+use hum_linalg::svd::Svd;
+use hum_linalg::vec_ops::{euclidean, norm};
+use proptest::prelude::*;
+
+fn signal(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len..=len)
+}
+
+fn pow2_len() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(8usize), Just(16), Just(32), Just(64), Just(128)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_roundtrip_any_length(x in (1usize..90).prop_flat_map(signal)) {
+        let back = idft_real(&dft_real(&x));
+        prop_assert_eq!(back.len(), x.len());
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-7, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn parseval_any_length(x in (1usize..90).prop_flat_map(signal)) {
+        let time: f64 = x.iter().map(|v| v * v).sum();
+        let freq = spectrum_energy(&dft_real(&x));
+        prop_assert!((time - freq).abs() <= 1e-7 * time.max(1.0));
+    }
+
+    #[test]
+    fn haar_is_isometric(len in pow2_len(), seed in 0u64..1000) {
+        let x: Vec<f64> = (0..len)
+            .map(|i| ((i as u64).wrapping_mul(seed + 1) % 97) as f64 - 48.0)
+            .collect();
+        let c = haar_forward(&x);
+        prop_assert!((norm(&x) - norm(&c)).abs() < 1e-8);
+        let back = haar_inverse(&c);
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn truncated_haar_lower_bounds_distance(
+        len in pow2_len(),
+        keep_frac in 1u32..8,
+        sa in 0u64..500,
+        sb in 500u64..1000,
+    ) {
+        let gen = |seed: u64| -> Vec<f64> {
+            (0..len).map(|i| (((i as u64 + 3) * (seed + 7)) % 101) as f64 / 10.0).collect()
+        };
+        let (x, y) = (gen(sa), gen(sb));
+        let keep = ((len as u32 * keep_frac / 8).max(1) as usize).min(len);
+        let cx = &haar_forward(&x)[..keep];
+        let cy = &haar_forward(&y)[..keep];
+        prop_assert!(euclidean(cx, cy) <= euclidean(&x, &y) + 1e-9);
+    }
+
+    #[test]
+    fn svd_projection_is_contractive(rows in 3usize..10, cols in 2usize..8, seed in 0u64..100) {
+        let data: Vec<Vec<f64>> = (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| ((((r * cols + c) as u64 + 1) * (seed + 13)) % 199) as f64 / 20.0)
+                    .collect()
+            })
+            .collect();
+        let m = Matrix::from_row_slices(&data);
+        let k = (cols / 2).max(1);
+        let svd = Svd::compute_truncated(&m, k);
+        for i in 0..rows {
+            for j in (i + 1)..rows {
+                let d_feat = euclidean(&svd.project(&data[i]), &svd.project(&data[j]));
+                let d_orig = euclidean(&data[i], &data[j]);
+                prop_assert!(d_feat <= d_orig + 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative(seed in 0u64..200) {
+        let gen = |s: u64| {
+            Matrix::from_rows(
+                3,
+                3,
+                (0..9).map(|i| (((i as u64 + 2) * (s + 3)) % 23) as f64 - 11.0).collect(),
+            )
+        };
+        let (a, b, c) = (gen(seed), gen(seed + 77), gen(seed + 154));
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The SMF event model.
+
+/// A complete Standard MIDI File.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Smf {
+    /// SMF format: 0 (single track) or 1 (parallel tracks).
+    pub format: u16,
+    /// Ticks per quarter note (only the metrical division form is
+    /// supported, as in virtually all melodic MIDI files).
+    pub ticks_per_quarter: u16,
+    /// The track chunks.
+    pub tracks: Vec<Track>,
+}
+
+/// One `MTrk` chunk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Track {
+    /// Delta-timed events in file order.
+    pub events: Vec<TrackEvent>,
+}
+
+/// An event with its delta time (ticks since the previous event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackEvent {
+    /// Ticks since the previous event in the same track.
+    pub delta: u32,
+    /// The event payload.
+    pub event: Event,
+}
+
+/// Channel and meta events. Events the melody pipeline does not need are
+/// preserved structurally ([`Event::Other`]) so files round-trip through the
+/// reader without loss of timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Key pressed. A `NoteOn` with velocity 0 is, per convention, a release.
+    NoteOn {
+        /// Channel 0–15.
+        channel: u8,
+        /// MIDI key number 0–127 (60 = middle C).
+        key: u8,
+        /// Velocity 0–127.
+        velocity: u8,
+    },
+    /// Key released.
+    NoteOff {
+        /// Channel 0–15.
+        channel: u8,
+        /// MIDI key number 0–127.
+        key: u8,
+        /// Release velocity 0–127.
+        velocity: u8,
+    },
+    /// Instrument selection.
+    ProgramChange {
+        /// Channel 0–15.
+        channel: u8,
+        /// Program number 0–127.
+        program: u8,
+    },
+    /// A meta event.
+    Meta(MetaEvent),
+    /// Any other channel/system event, kept as raw status plus data bytes.
+    Other {
+        /// The status byte.
+        status: u8,
+        /// The data bytes that followed it.
+        data: Vec<u8>,
+    },
+}
+
+/// Meta events relevant to melody extraction, plus a raw escape hatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaEvent {
+    /// Tempo in microseconds per quarter note.
+    Tempo(u32),
+    /// Track or sequence name.
+    TrackName(String),
+    /// End of track marker.
+    EndOfTrack,
+    /// Any other meta event: type byte plus payload.
+    Other {
+        /// Meta type byte.
+        kind: u8,
+        /// Raw payload.
+        data: Vec<u8>,
+    },
+}
+
+impl Smf {
+    /// Creates a format-`format` file with the given metrical division.
+    ///
+    /// # Panics
+    /// Panics if the format is not 0 or 1, or the division is zero or has
+    /// the SMPTE bit set.
+    pub fn new(format: u16, ticks_per_quarter: u16) -> Self {
+        assert!(format <= 1, "only SMF formats 0 and 1 are supported");
+        assert!(ticks_per_quarter > 0, "division must be positive");
+        assert!(ticks_per_quarter & 0x8000 == 0, "SMPTE division is not supported");
+        Smf { format, ticks_per_quarter, tracks: Vec::new() }
+    }
+
+    /// Total events across all tracks.
+    pub fn event_count(&self) -> usize {
+        self.tracks.iter().map(|t| t.events.len()).sum()
+    }
+}
+
+impl Track {
+    /// Appends an event after `delta` ticks.
+    pub fn push(&mut self, delta: u32, event: Event) {
+        self.events.push(TrackEvent { delta, event });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smf_constructor_validates() {
+        let smf = Smf::new(1, 480);
+        assert_eq!(smf.format, 1);
+        assert_eq!(smf.ticks_per_quarter, 480);
+        assert_eq!(smf.event_count(), 0);
+    }
+
+    #[test]
+    fn track_push_keeps_order() {
+        let mut t = Track::default();
+        t.push(0, Event::NoteOn { channel: 0, key: 60, velocity: 90 });
+        t.push(480, Event::NoteOff { channel: 0, key: 60, velocity: 0 });
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.events[1].delta, 480);
+    }
+
+    #[test]
+    #[should_panic(expected = "formats 0 and 1")]
+    fn format_2_rejected() {
+        let _ = Smf::new(2, 480);
+    }
+
+    #[test]
+    #[should_panic(expected = "SMPTE")]
+    fn smpte_division_rejected() {
+        let _ = Smf::new(0, 0x8000 | 25);
+    }
+}

@@ -1,0 +1,52 @@
+//! Standard MIDI File (SMF) substrate.
+//!
+//! The paper builds its large music database by "extracting notes from the
+//! melody channel of MIDI files collected from the Internet" (§5.3). This
+//! crate implements the SMF container from scratch — no external MIDI
+//! dependency — so the workspace can exercise the identical pipeline:
+//!
+//! * [`vlq`] — variable-length quantities (delta times, meta lengths),
+//! * [`event`] — the channel/meta event model,
+//! * [`writer`] — serialize format 0/1 files,
+//! * [`reader`] — parse files, with running status and graceful skipping of
+//!   unknown events,
+//! * [`melody`] — extract a monophonic `(note, duration)` melody from a
+//!   channel, which [`hum-music`](../hum_music/index.html) renders into the
+//!   time-series representation of §3.2.
+
+pub mod event;
+pub mod melody;
+pub mod reader;
+pub mod vlq;
+pub mod writer;
+
+pub use event::{Event, MetaEvent, Smf, Track, TrackEvent};
+pub use melody::{extract_melody, MelodyNote};
+pub use reader::parse_smf;
+pub use writer::write_smf;
+
+/// Errors produced while parsing or validating SMF data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MidiError {
+    /// The file does not start with a valid `MThd` chunk.
+    BadHeader(String),
+    /// A track chunk is malformed.
+    BadTrack(String),
+    /// The byte stream ended mid-structure.
+    UnexpectedEof,
+    /// A value exceeds its legal range (e.g. a 5-byte VLQ).
+    InvalidValue(String),
+}
+
+impl std::fmt::Display for MidiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MidiError::BadHeader(msg) => write!(f, "bad MIDI header: {msg}"),
+            MidiError::BadTrack(msg) => write!(f, "bad MIDI track: {msg}"),
+            MidiError::UnexpectedEof => write!(f, "unexpected end of MIDI data"),
+            MidiError::InvalidValue(msg) => write!(f, "invalid MIDI value: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MidiError {}

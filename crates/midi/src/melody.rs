@@ -1,0 +1,192 @@
+//! Melody extraction (paper §3.2 and §5.3).
+//!
+//! Flattens the note events of one channel into the monophonic
+//! `(Note, Duration)` tuple sequence of §3.2. Rests are *dropped* — the
+//! paper explicitly ignores silence because "amateur singers are notoriously
+//! bad in the timing of rests" — and overlapping notes are resolved
+//! last-note-priority, the standard convention for melody channels.
+
+use crate::event::{Event, MetaEvent, Smf};
+
+/// One melody note: a pitch and its duration in beats (quarter notes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MelodyNote {
+    /// MIDI key number (60 = middle C).
+    pub pitch: u8,
+    /// Duration in beats.
+    pub beats: f64,
+}
+
+/// Extracts the melody played on `channel` across all tracks of `smf`.
+///
+/// Returns notes in onset order with durations measured from each note's
+/// onset to its release (or to the onset of the note that interrupts it).
+/// Zero-duration notes are discarded. Returns an empty vector if the channel
+/// is silent.
+pub fn extract_melody(smf: &Smf, channel: u8) -> Vec<MelodyNote> {
+    let tpq = smf.ticks_per_quarter as f64;
+    let mut notes: Vec<(u64, u64, u8)> = Vec::new(); // (onset_tick, release_tick, key)
+
+    for track in &smf.tracks {
+        let mut clock: u64 = 0;
+        // Currently sounding note on this channel: (onset, key).
+        let mut active: Option<(u64, u8)> = None;
+        for te in &track.events {
+            clock += te.delta as u64;
+            match te.event {
+                Event::NoteOn { channel: ch, key, velocity } if ch == channel && velocity > 0 => {
+                    if let Some((onset, prev_key)) = active.take() {
+                        // Last-note priority: the new onset truncates the
+                        // previous note.
+                        push_note(&mut notes, onset, clock, prev_key);
+                    }
+                    active = Some((clock, key));
+                }
+                Event::NoteOff { channel: ch, key, .. }
+                | Event::NoteOn { channel: ch, key, velocity: 0 }
+                    if ch == channel =>
+                {
+                    if let Some((onset, active_key)) = active {
+                        if active_key == key {
+                            push_note(&mut notes, onset, clock, key);
+                            active = None;
+                        }
+                        // A release for a note already truncated: ignore.
+                    }
+                }
+                Event::Meta(MetaEvent::EndOfTrack) => {
+                    if let Some((onset, key)) = active.take() {
+                        push_note(&mut notes, onset, clock, key);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some((onset, key)) = active.take() {
+            push_note(&mut notes, onset, clock, key);
+        }
+    }
+
+    notes.sort_by_key(|&(onset, _, _)| onset);
+    notes
+        .into_iter()
+        .map(|(onset, release, key)| MelodyNote {
+            pitch: key,
+            beats: (release - onset) as f64 / tpq,
+        })
+        .collect()
+}
+
+fn push_note(notes: &mut Vec<(u64, u64, u8)>, onset: u64, release: u64, key: u8) {
+    if release > onset {
+        notes.push((onset, release, key));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Track;
+
+    fn file_with(events: Vec<(u32, Event)>) -> Smf {
+        let mut smf = Smf::new(0, 480);
+        let mut track = Track::default();
+        for (delta, e) in events {
+            track.push(delta, e);
+        }
+        smf.tracks.push(track);
+        smf
+    }
+
+    fn on(key: u8) -> Event {
+        Event::NoteOn { channel: 0, key, velocity: 90 }
+    }
+
+    fn off(key: u8) -> Event {
+        Event::NoteOff { channel: 0, key, velocity: 0 }
+    }
+
+    #[test]
+    fn simple_sequence_extracts_in_order() {
+        let smf = file_with(vec![
+            (0, on(60)),
+            (480, off(60)),
+            (0, on(64)),
+            (240, off(64)),
+            (0, on(67)),
+            (960, off(67)),
+        ]);
+        let melody = extract_melody(&smf, 0);
+        assert_eq!(
+            melody,
+            vec![
+                MelodyNote { pitch: 60, beats: 1.0 },
+                MelodyNote { pitch: 64, beats: 0.5 },
+                MelodyNote { pitch: 67, beats: 2.0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn rests_are_dropped() {
+        // A two-beat gap between notes leaves no trace in the melody.
+        let smf = file_with(vec![(0, on(60)), (480, off(60)), (960, on(62)), (480, off(62))]);
+        let melody = extract_melody(&smf, 0);
+        assert_eq!(melody.len(), 2);
+        assert_eq!(melody[0].beats, 1.0);
+        assert_eq!(melody[1].beats, 1.0);
+    }
+
+    #[test]
+    fn note_on_velocity_zero_is_a_release() {
+        let smf = file_with(vec![
+            (0, on(72)),
+            (480, Event::NoteOn { channel: 0, key: 72, velocity: 0 }),
+        ]);
+        assert_eq!(extract_melody(&smf, 0), vec![MelodyNote { pitch: 72, beats: 1.0 }]);
+    }
+
+    #[test]
+    fn overlap_resolved_last_note_priority() {
+        // Second note starts before the first releases: first is truncated.
+        let smf = file_with(vec![(0, on(60)), (240, on(62)), (240, off(60)), (240, off(62))]);
+        let melody = extract_melody(&smf, 0);
+        assert_eq!(melody.len(), 2);
+        assert_eq!(melody[0], MelodyNote { pitch: 60, beats: 0.5 });
+        assert_eq!(melody[1], MelodyNote { pitch: 62, beats: 1.0 });
+    }
+
+    #[test]
+    fn other_channels_are_ignored() {
+        let smf = file_with(vec![
+            (0, on(60)),
+            (0, Event::NoteOn { channel: 9, key: 35, velocity: 120 }), // drums
+            (480, off(60)),
+            (0, Event::NoteOff { channel: 9, key: 35, velocity: 0 }),
+        ]);
+        let melody = extract_melody(&smf, 0);
+        assert_eq!(melody.len(), 1);
+        assert_eq!(melody[0].pitch, 60);
+    }
+
+    #[test]
+    fn dangling_note_closed_at_end_of_track() {
+        let mut smf = file_with(vec![(0, on(60))]);
+        smf.tracks[0].push(960, Event::Meta(MetaEvent::EndOfTrack));
+        assert_eq!(extract_melody(&smf, 0), vec![MelodyNote { pitch: 60, beats: 2.0 }]);
+    }
+
+    #[test]
+    fn empty_channel_gives_empty_melody() {
+        let smf = file_with(vec![(0, on(60)), (480, off(60))]);
+        assert!(extract_melody(&smf, 3).is_empty());
+    }
+
+    #[test]
+    fn zero_duration_notes_discarded() {
+        let smf = file_with(vec![(0, on(60)), (0, off(60)), (0, on(62)), (480, off(62))]);
+        let melody = extract_melody(&smf, 0);
+        assert_eq!(melody.len(), 1);
+        assert_eq!(melody[0].pitch, 62);
+    }
+}

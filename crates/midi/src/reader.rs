@@ -1,0 +1,269 @@
+//! SMF parsing.
+//!
+//! Handles running status, all channel message classes (unneeded ones are
+//! preserved as [`Event::Other`]), meta events, and sysex blocks. Parsing is
+//! strict about container structure (chunk magic, lengths) and tolerant
+//! about content (unknown events are retained, not rejected), which is the
+//! right posture for melody files "collected from the Internet".
+
+use crate::event::{Event, MetaEvent, Smf, Track, TrackEvent};
+use crate::vlq::read_vlq;
+use crate::MidiError;
+
+/// Parses a complete SMF byte stream.
+pub fn parse_smf(data: &[u8]) -> Result<Smf, MidiError> {
+    let mut pos = 0usize;
+    let header = read_chunk(data, &mut pos, b"MThd")?;
+    if header.len() < 6 {
+        return Err(MidiError::BadHeader(format!("header chunk of {} bytes", header.len())));
+    }
+    let format = u16::from_be_bytes([header[0], header[1]]);
+    if format > 1 {
+        return Err(MidiError::BadHeader(format!("unsupported format {format}")));
+    }
+    let declared_tracks = u16::from_be_bytes([header[2], header[3]]) as usize;
+    let division = u16::from_be_bytes([header[4], header[5]]);
+    if division & 0x8000 != 0 {
+        return Err(MidiError::BadHeader("SMPTE division is not supported".into()));
+    }
+    if division == 0 {
+        return Err(MidiError::BadHeader("zero division".into()));
+    }
+
+    let mut smf = Smf::new(format, division);
+    while pos < data.len() && smf.tracks.len() < declared_tracks {
+        let body = read_chunk(data, &mut pos, b"MTrk")?;
+        smf.tracks.push(parse_track(body)?);
+    }
+    if smf.tracks.len() != declared_tracks {
+        return Err(MidiError::BadHeader(format!(
+            "header declares {declared_tracks} tracks, found {}",
+            smf.tracks.len()
+        )));
+    }
+    Ok(smf)
+}
+
+/// Reads one chunk with the expected magic; returns its body.
+fn read_chunk<'a>(data: &'a [u8], pos: &mut usize, magic: &[u8; 4]) -> Result<&'a [u8], MidiError> {
+    if data.len() < *pos + 8 {
+        return Err(MidiError::UnexpectedEof);
+    }
+    let found = &data[*pos..*pos + 4];
+    if found != magic {
+        return Err(MidiError::BadHeader(format!(
+            "expected chunk {:?}, found {:?}",
+            String::from_utf8_lossy(magic),
+            String::from_utf8_lossy(found)
+        )));
+    }
+    let len = u32::from_be_bytes(data[*pos + 4..*pos + 8].try_into().expect("4 bytes")) as usize;
+    *pos += 8;
+    if data.len() < *pos + len {
+        return Err(MidiError::UnexpectedEof);
+    }
+    let body = &data[*pos..*pos + len];
+    *pos += len;
+    Ok(body)
+}
+
+fn parse_track(body: &[u8]) -> Result<Track, MidiError> {
+    let mut track = Track::default();
+    let mut pos = 0usize;
+    let mut running_status: Option<u8> = None;
+
+    while pos < body.len() {
+        let delta = read_vlq(body, &mut pos)?;
+        let first = *body.get(pos).ok_or(MidiError::UnexpectedEof)?;
+        let status = if first & 0x80 != 0 {
+            pos += 1;
+            if first < 0xF0 {
+                running_status = Some(first);
+            }
+            first
+        } else {
+            running_status
+                .ok_or_else(|| MidiError::BadTrack("data byte with no running status".into()))?
+        };
+
+        let event = match status {
+            0x80..=0x8F => {
+                let (key, velocity) = read_two(body, &mut pos)?;
+                Event::NoteOff { channel: status & 0x0F, key, velocity }
+            }
+            0x90..=0x9F => {
+                let (key, velocity) = read_two(body, &mut pos)?;
+                Event::NoteOn { channel: status & 0x0F, key, velocity }
+            }
+            0xA0..=0xBF | 0xE0..=0xEF => {
+                // Polyphonic pressure / control change / pitch bend: 2 data bytes.
+                let (a, b) = read_two(body, &mut pos)?;
+                Event::Other { status, data: vec![a, b] }
+            }
+            0xC0..=0xCF => {
+                let program = read_one(body, &mut pos)?;
+                Event::ProgramChange { channel: status & 0x0F, program }
+            }
+            0xD0..=0xDF => {
+                // Channel pressure: 1 data byte.
+                let a = read_one(body, &mut pos)?;
+                Event::Other { status, data: vec![a] }
+            }
+            0xF0 | 0xF7 => {
+                // Sysex: VLQ length, then payload.
+                let len = read_vlq(body, &mut pos)? as usize;
+                let data = take(body, &mut pos, len)?.to_vec();
+                Event::Other { status, data }
+            }
+            0xFF => {
+                let kind = read_one(body, &mut pos)?;
+                let len = read_vlq(body, &mut pos)? as usize;
+                let data = take(body, &mut pos, len)?;
+                match kind {
+                    0x51 => {
+                        if data.len() != 3 {
+                            return Err(MidiError::BadTrack(format!(
+                                "tempo event with {} bytes",
+                                data.len()
+                            )));
+                        }
+                        let us = u32::from_be_bytes([0, data[0], data[1], data[2]]);
+                        Event::Meta(MetaEvent::Tempo(us))
+                    }
+                    0x03 => Event::Meta(MetaEvent::TrackName(
+                        String::from_utf8_lossy(data).into_owned(),
+                    )),
+                    0x2F => Event::Meta(MetaEvent::EndOfTrack),
+                    _ => Event::Meta(MetaEvent::Other { kind, data: data.to_vec() }),
+                }
+            }
+            _ => {
+                return Err(MidiError::BadTrack(format!("unsupported status byte {status:#04x}")))
+            }
+        };
+        let is_end = matches!(event, Event::Meta(MetaEvent::EndOfTrack));
+        track.events.push(TrackEvent { delta, event });
+        if is_end {
+            break;
+        }
+    }
+    Ok(track)
+}
+
+fn read_one(data: &[u8], pos: &mut usize) -> Result<u8, MidiError> {
+    let b = *data.get(*pos).ok_or(MidiError::UnexpectedEof)?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn read_two(data: &[u8], pos: &mut usize) -> Result<(u8, u8), MidiError> {
+    let a = read_one(data, pos)?;
+    let b = read_one(data, pos)?;
+    Ok((a, b))
+}
+
+fn take<'a>(data: &'a [u8], pos: &mut usize, len: usize) -> Result<&'a [u8], MidiError> {
+    if data.len() < *pos + len {
+        return Err(MidiError::UnexpectedEof);
+    }
+    let out = &data[*pos..*pos + len];
+    *pos += len;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_smf;
+
+    fn sample_smf() -> Smf {
+        let mut smf = Smf::new(1, 480);
+        let mut meta_track = Track::default();
+        meta_track.push(0, Event::Meta(MetaEvent::TrackName("melody test".into())));
+        meta_track.push(0, Event::Meta(MetaEvent::Tempo(500_000)));
+        meta_track.push(0, Event::Meta(MetaEvent::EndOfTrack));
+        smf.tracks.push(meta_track);
+
+        let mut track = Track::default();
+        track.push(0, Event::ProgramChange { channel: 0, program: 73 });
+        for key in [60u8, 62, 64, 65, 67] {
+            track.push(0, Event::NoteOn { channel: 0, key, velocity: 96 });
+            track.push(240, Event::NoteOff { channel: 0, key, velocity: 0 });
+        }
+        track.push(0, Event::Meta(MetaEvent::EndOfTrack));
+        smf.tracks.push(track);
+        smf
+    }
+
+    #[test]
+    fn write_parse_roundtrip() {
+        let smf = sample_smf();
+        let parsed = parse_smf(&write_smf(&smf)).unwrap();
+        assert_eq!(parsed, smf);
+    }
+
+    #[test]
+    fn running_status_is_honored() {
+        // Hand-built track: status 0x90 appears once, second note reuses it.
+        let mut body = vec![
+            0x00, 0x90, 60, 100, // NoteOn
+            0x60, 60, 0, // running status: NoteOn vel 0 (release)
+            0x00, 0xFF, 0x2F, 0x00,
+        ];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"MThd");
+        bytes.extend_from_slice(&6u32.to_be_bytes());
+        bytes.extend_from_slice(&0u16.to_be_bytes());
+        bytes.extend_from_slice(&1u16.to_be_bytes());
+        bytes.extend_from_slice(&480u16.to_be_bytes());
+        bytes.extend_from_slice(b"MTrk");
+        bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        bytes.append(&mut body);
+
+        let smf = parse_smf(&bytes).unwrap();
+        let events = &smf.tracks[0].events;
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[1].event, Event::NoteOn { channel: 0, key: 60, velocity: 0 });
+        assert_eq!(events[1].delta, 0x60);
+    }
+
+    #[test]
+    fn unknown_events_are_preserved() {
+        let mut smf = Smf::new(0, 96);
+        let mut track = Track::default();
+        track.push(0, Event::Other { status: 0xB0, data: vec![7, 100] }); // volume CC
+        track.push(5, Event::Meta(MetaEvent::Other { kind: 0x58, data: vec![4, 2, 24, 8] }));
+        track.push(0, Event::Meta(MetaEvent::EndOfTrack));
+        smf.tracks.push(track);
+        let parsed = parse_smf(&write_smf(&smf)).unwrap();
+        assert_eq!(parsed, smf);
+    }
+
+    #[test]
+    fn truncated_file_fails() {
+        let bytes = write_smf(&sample_smf());
+        assert!(parse_smf(&bytes[..bytes.len() - 4]).is_err());
+        assert_eq!(parse_smf(&bytes[..6]), Err(MidiError::UnexpectedEof));
+    }
+
+    #[test]
+    fn wrong_magic_fails() {
+        let mut bytes = write_smf(&sample_smf());
+        bytes[0] = b'X';
+        assert!(matches!(parse_smf(&bytes), Err(MidiError::BadHeader(_))));
+    }
+
+    #[test]
+    fn format_2_is_rejected() {
+        let mut bytes = write_smf(&sample_smf());
+        bytes[9] = 2; // format low byte
+        assert!(matches!(parse_smf(&bytes), Err(MidiError::BadHeader(_))));
+    }
+
+    #[test]
+    fn track_count_mismatch_detected() {
+        let mut bytes = write_smf(&sample_smf());
+        bytes[11] = 3; // claim three tracks, provide two
+        assert!(matches!(parse_smf(&bytes), Err(MidiError::BadHeader(_))));
+    }
+}

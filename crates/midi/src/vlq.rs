@@ -1,0 +1,109 @@
+//! Variable-length quantities.
+//!
+//! SMF encodes delta times and meta-event lengths as big-endian base-128
+//! integers with the high bit of each byte marking continuation. Values are
+//! capped at 4 bytes (28 significant bits) per the specification.
+
+use crate::MidiError;
+
+/// Maximum value representable in a 4-byte VLQ.
+pub const MAX_VLQ: u32 = 0x0FFF_FFFF;
+
+/// Appends the VLQ encoding of `value` to `out`.
+///
+/// # Panics
+/// Panics if `value > MAX_VLQ`.
+pub fn write_vlq(value: u32, out: &mut Vec<u8>) {
+    assert!(value <= MAX_VLQ, "VLQ overflow: {value}");
+    let mut buf = [0u8; 4];
+    let mut idx = 3;
+    let mut v = value;
+    buf[idx] = (v & 0x7F) as u8;
+    v >>= 7;
+    while v > 0 {
+        idx -= 1;
+        buf[idx] = 0x80 | (v & 0x7F) as u8;
+        v >>= 7;
+    }
+    out.extend_from_slice(&buf[idx..]);
+}
+
+/// Reads a VLQ from `data` starting at `*pos`, advancing `*pos`.
+pub fn read_vlq(data: &[u8], pos: &mut usize) -> Result<u32, MidiError> {
+    let mut value: u32 = 0;
+    for i in 0..4 {
+        let byte = *data.get(*pos).ok_or(MidiError::UnexpectedEof)?;
+        *pos += 1;
+        value = (value << 7) | (byte & 0x7F) as u32;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        if i == 3 {
+            break;
+        }
+    }
+    Err(MidiError::InvalidValue("VLQ longer than 4 bytes".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u32) -> u32 {
+        let mut buf = Vec::new();
+        write_vlq(v, &mut buf);
+        let mut pos = 0;
+        let back = read_vlq(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        back
+    }
+
+    #[test]
+    fn spec_reference_values() {
+        // Examples from the SMF specification.
+        let cases: &[(u32, &[u8])] = &[
+            (0x00, &[0x00]),
+            (0x40, &[0x40]),
+            (0x7F, &[0x7F]),
+            (0x80, &[0x81, 0x00]),
+            (0x2000, &[0xC0, 0x00]),
+            (0x3FFF, &[0xFF, 0x7F]),
+            (0x4000, &[0x81, 0x80, 0x00]),
+            (0x0FFF_FFFF, &[0xFF, 0xFF, 0xFF, 0x7F]),
+        ];
+        for (v, bytes) in cases {
+            let mut buf = Vec::new();
+            write_vlq(*v, &mut buf);
+            assert_eq!(buf.as_slice(), *bytes, "value {v:#x}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_sweep() {
+        for v in [0u32, 1, 127, 128, 255, 1000, 16383, 16384, 2_000_000, MAX_VLQ] {
+            assert_eq!(roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let mut pos = 0;
+        assert_eq!(read_vlq(&[0x81], &mut pos), Err(MidiError::UnexpectedEof));
+    }
+
+    #[test]
+    fn overlong_vlq_rejected() {
+        let mut pos = 0;
+        assert!(matches!(
+            read_vlq(&[0xFF, 0xFF, 0xFF, 0xFF, 0x7F], &mut pos),
+            Err(MidiError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "VLQ overflow")]
+    fn oversized_value_panics_on_write() {
+        let mut buf = Vec::new();
+        write_vlq(MAX_VLQ + 1, &mut buf);
+    }
+}

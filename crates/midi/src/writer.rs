@@ -1,0 +1,167 @@
+//! SMF serialization.
+
+use crate::event::{Event, MetaEvent, Smf, Track};
+use crate::vlq::write_vlq;
+
+/// Serializes a file to SMF bytes.
+///
+/// Tracks that do not end in an End-of-Track meta event get one appended at
+/// delta 0, as the specification requires.
+pub fn write_smf(smf: &Smf) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + smf.event_count() * 4);
+    out.extend_from_slice(b"MThd");
+    out.extend_from_slice(&6u32.to_be_bytes());
+    out.extend_from_slice(&smf.format.to_be_bytes());
+    out.extend_from_slice(&(smf.tracks.len() as u16).to_be_bytes());
+    out.extend_from_slice(&smf.ticks_per_quarter.to_be_bytes());
+    for track in &smf.tracks {
+        write_track(track, &mut out);
+    }
+    out
+}
+
+fn write_track(track: &Track, out: &mut Vec<u8>) {
+    let mut body = Vec::with_capacity(track.events.len() * 4 + 4);
+    let mut has_eot = false;
+    for te in &track.events {
+        write_vlq(te.delta, &mut body);
+        write_event(&te.event, &mut body);
+        if matches!(te.event, Event::Meta(MetaEvent::EndOfTrack)) {
+            has_eot = true;
+            break; // nothing may follow end-of-track
+        }
+    }
+    if !has_eot {
+        write_vlq(0, &mut body);
+        write_event(&Event::Meta(MetaEvent::EndOfTrack), &mut body);
+    }
+    out.extend_from_slice(b"MTrk");
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&body);
+}
+
+fn write_event(event: &Event, out: &mut Vec<u8>) {
+    match event {
+        Event::NoteOn { channel, key, velocity } => {
+            out.push(0x90 | (channel & 0x0F));
+            out.push(key & 0x7F);
+            out.push(velocity & 0x7F);
+        }
+        Event::NoteOff { channel, key, velocity } => {
+            out.push(0x80 | (channel & 0x0F));
+            out.push(key & 0x7F);
+            out.push(velocity & 0x7F);
+        }
+        Event::ProgramChange { channel, program } => {
+            out.push(0xC0 | (channel & 0x0F));
+            out.push(program & 0x7F);
+        }
+        Event::Meta(meta) => {
+            out.push(0xFF);
+            match meta {
+                MetaEvent::Tempo(us_per_quarter) => {
+                    out.push(0x51);
+                    out.push(3);
+                    let b = us_per_quarter.to_be_bytes();
+                    out.extend_from_slice(&b[1..4]);
+                }
+                MetaEvent::TrackName(name) => {
+                    out.push(0x03);
+                    write_vlq(name.len() as u32, out);
+                    out.extend_from_slice(name.as_bytes());
+                }
+                MetaEvent::EndOfTrack => {
+                    out.push(0x2F);
+                    out.push(0);
+                }
+                MetaEvent::Other { kind, data } => {
+                    out.push(*kind);
+                    write_vlq(data.len() as u32, out);
+                    out.extend_from_slice(data);
+                }
+            }
+        }
+        Event::Other { status, data } => {
+            out.push(*status);
+            out.extend_from_slice(data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TrackEvent;
+
+    fn one_note_file() -> Smf {
+        let mut smf = Smf::new(0, 480);
+        let mut track = Track::default();
+        track.push(0, Event::Meta(MetaEvent::Tempo(500_000)));
+        track.push(0, Event::NoteOn { channel: 0, key: 60, velocity: 100 });
+        track.push(480, Event::NoteOff { channel: 0, key: 60, velocity: 0 });
+        smf.tracks.push(track);
+        smf
+    }
+
+    #[test]
+    fn header_layout_is_correct() {
+        let bytes = write_smf(&one_note_file());
+        assert_eq!(&bytes[0..4], b"MThd");
+        assert_eq!(u32::from_be_bytes(bytes[4..8].try_into().unwrap()), 6);
+        assert_eq!(u16::from_be_bytes(bytes[8..10].try_into().unwrap()), 0); // format
+        assert_eq!(u16::from_be_bytes(bytes[10..12].try_into().unwrap()), 1); // ntracks
+        assert_eq!(u16::from_be_bytes(bytes[12..14].try_into().unwrap()), 480);
+        assert_eq!(&bytes[14..18], b"MTrk");
+    }
+
+    #[test]
+    fn track_length_matches_body() {
+        let bytes = write_smf(&one_note_file());
+        let len = u32::from_be_bytes(bytes[18..22].try_into().unwrap()) as usize;
+        assert_eq!(bytes.len(), 22 + len);
+    }
+
+    #[test]
+    fn end_of_track_is_appended_when_missing() {
+        let bytes = write_smf(&one_note_file());
+        // Last three bytes of the body must be FF 2F 00.
+        assert_eq!(&bytes[bytes.len() - 3..], &[0xFF, 0x2F, 0x00]);
+    }
+
+    #[test]
+    fn explicit_end_of_track_not_duplicated() {
+        let mut smf = Smf::new(0, 96);
+        let mut track = Track::default();
+        track.push(0, Event::Meta(MetaEvent::EndOfTrack));
+        smf.tracks.push(track);
+        let bytes = write_smf(&smf);
+        let body = &bytes[22..];
+        assert_eq!(body, &[0x00, 0xFF, 0x2F, 0x00]);
+    }
+
+    #[test]
+    fn events_after_end_of_track_are_dropped() {
+        let mut smf = Smf::new(0, 96);
+        let mut track = Track::default();
+        track.push(0, Event::Meta(MetaEvent::EndOfTrack));
+        track.events.push(TrackEvent {
+            delta: 10,
+            event: Event::NoteOn { channel: 0, key: 64, velocity: 80 },
+        });
+        smf.tracks.push(track);
+        let bytes = write_smf(&smf);
+        assert_eq!(&bytes[22..], &[0x00, 0xFF, 0x2F, 0x00]);
+    }
+
+    #[test]
+    fn tempo_encoding_is_24_bit_big_endian() {
+        let mut smf = Smf::new(0, 96);
+        let mut track = Track::default();
+        track.push(0, Event::Meta(MetaEvent::Tempo(600_000)));
+        smf.tracks.push(track);
+        let bytes = write_smf(&smf);
+        let body = &bytes[22..];
+        assert_eq!(&body[..6], &[0x00, 0xFF, 0x51, 0x03, 0x09, 0x27]);
+        assert_eq!(body[6], 0xC0); // 600000 = 0x0927C0
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests: arbitrary well-formed SMF structures round-trip
+//! through the writer and reader byte-identically, and melodies survive the
+//! serialize → parse → extract pipeline.
+
+use hum_midi::{extract_melody, parse_smf, write_smf, Event, MetaEvent, Smf, Track};
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u8..16, 0u8..128, 1u8..128)
+            .prop_map(|(channel, key, velocity)| Event::NoteOn { channel, key, velocity }),
+        (0u8..16, 0u8..128, 0u8..128)
+            .prop_map(|(channel, key, velocity)| Event::NoteOff { channel, key, velocity }),
+        (0u8..16, 0u8..128)
+            .prop_map(|(channel, program)| Event::ProgramChange { channel, program }),
+        (1u32..0xFFFFFF).prop_map(|t| Event::Meta(MetaEvent::Tempo(t))),
+        "[a-zA-Z0-9 ]{0,20}".prop_map(|s| Event::Meta(MetaEvent::TrackName(s))),
+        // Exclude the kinds with dedicated variants (0x03 track name,
+        // 0x2F end of track, 0x51 tempo) so the round trip is identity.
+        (0u8..0x2F, proptest::collection::vec(any::<u8>(), 0..16))
+            .prop_filter("reserved meta kind", |(kind, _)| *kind != 0x03)
+            .prop_map(|(kind, data)| Event::Meta(MetaEvent::Other { kind, data })),
+        (proptest::collection::vec(0u8..128, 2..=2))
+            .prop_map(|data| Event::Other { status: 0xB3, data }),
+    ]
+}
+
+fn arb_track() -> impl Strategy<Value = Track> {
+    proptest::collection::vec((0u32..100_000, arb_event()), 0..40).prop_map(|events| {
+        let mut track = Track::default();
+        for (delta, event) in events {
+            track.push(delta, event);
+        }
+        track.push(0, Event::Meta(MetaEvent::EndOfTrack));
+        track
+    })
+}
+
+fn arb_smf() -> impl Strategy<Value = Smf> {
+    (0u16..=1, 1u16..0x7FFF, proptest::collection::vec(arb_track(), 1..4)).prop_map(
+        |(format, tpq, tracks)| {
+            let format = if tracks.len() > 1 { 1 } else { format };
+            let mut smf = Smf::new(format, tpq);
+            smf.tracks = tracks;
+            smf
+        },
+    )
+}
+
+fn arb_melody_events() -> impl Strategy<Value = Vec<(u8, u32)>> {
+    proptest::collection::vec((40u8..90, 60u32..2000), 1..30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn smf_roundtrip_is_lossless(smf in arb_smf()) {
+        let bytes = write_smf(&smf);
+        let parsed = parse_smf(&bytes).expect("own output must parse");
+        prop_assert_eq!(parsed, smf);
+    }
+
+    #[test]
+    fn melody_survives_the_pipeline(notes in arb_melody_events(), tpq in 96u16..960) {
+        let mut smf = Smf::new(0, tpq);
+        let mut track = Track::default();
+        for &(key, ticks) in &notes {
+            track.push(0, Event::NoteOn { channel: 0, key, velocity: 90 });
+            track.push(ticks, Event::NoteOff { channel: 0, key, velocity: 0 });
+        }
+        smf.tracks.push(track);
+        let parsed = parse_smf(&write_smf(&smf)).unwrap();
+        let melody = extract_melody(&parsed, 0);
+        prop_assert_eq!(melody.len(), notes.len());
+        for (got, &(key, ticks)) in melody.iter().zip(&notes) {
+            prop_assert_eq!(got.pitch, key);
+            let expect_beats = ticks as f64 / tpq as f64;
+            prop_assert!((got.beats - expect_beats).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_bytes(
+        smf in arb_smf(),
+        flips in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = write_smf(&smf);
+        for (idx, val) in flips {
+            let at = idx.index(bytes.len());
+            bytes[at] = val;
+        }
+        // Must return Ok or Err — never panic, never loop.
+        let _ = parse_smf(&bytes);
+    }
+
+    #[test]
+    fn parser_never_panics_on_truncation(smf in arb_smf(), cut in any::<prop::sample::Index>()) {
+        let bytes = write_smf(&smf);
+        let at = cut.index(bytes.len());
+        let _ = parse_smf(&bytes[..at]);
+    }
+}

@@ -1,0 +1,332 @@
+//! Humming simulation.
+//!
+//! The paper collected hums from "people with different musical skills"
+//! (§5.1). This simulator reproduces the distortion channels the paper
+//! enumerates in §3.3 — the exact invariances the index is designed for:
+//!
+//! 1. **Absolute pitch** — a global transposition (uniform in a per-profile
+//!    range);
+//! 2. **Tempo** — a global time scaling ("from half to double the original
+//!    tempo");
+//! 3. **Relative pitch** — per-note interval error plus slow drift;
+//! 4. **Local timing** — per-note duration jitter (exactly what local
+//!    dynamic time warping absorbs), plus occasional octave slips for poor
+//!    singers.
+//!
+//! Output is available both as perturbed notes (for the audio-synthesis
+//! route through `hum-audio`) and as a 10 ms-frame pitch time series (the
+//! symbolic route, mirroring Figure 1 of the paper).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::melody::Melody;
+
+/// One sung (perturbed) note.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SungNote {
+    /// Fractional MIDI pitch actually produced.
+    pub midi: f64,
+    /// Duration actually held, in seconds.
+    pub seconds: f64,
+}
+
+/// Distortion magnitudes for one class of singer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingerProfile {
+    /// Global tempo factor is drawn uniformly from this range.
+    pub tempo_range: (f64, f64),
+    /// Standard deviation of per-note duration jitter (relative).
+    pub duration_jitter: f64,
+    /// Standard deviation of per-note pitch error in semitones.
+    pub interval_error: f64,
+    /// Standard deviation of cumulative pitch drift per note, semitones.
+    pub drift: f64,
+    /// Absolute transposition is drawn uniformly from ± this, semitones.
+    pub max_transposition: f64,
+    /// Probability a note slips by an octave.
+    pub octave_slip_prob: f64,
+    /// Standard deviation of frame-level pitch wobble, semitones.
+    pub frame_noise: f64,
+    /// Onset scoop depth in semitones: hummers approach each note from
+    /// below, which smears note boundaries for segmentation-based methods.
+    pub scoop: f64,
+    /// Per-note probability of a brief wrong-octave run from the pitch
+    /// tracker (octave errors are the classic tracker failure mode).
+    pub tracker_glitch_prob: f64,
+    /// Nominal seconds per beat before tempo scaling.
+    pub seconds_per_beat: f64,
+}
+
+impl SingerProfile {
+    /// A competent amateur: near-correct intervals and timing.
+    pub fn good() -> Self {
+        SingerProfile {
+            tempo_range: (0.85, 1.2),
+            duration_jitter: 0.08,
+            interval_error: 0.18,
+            drift: 0.03,
+            max_transposition: 3.0,
+            octave_slip_prob: 0.0,
+            frame_noise: 0.06,
+            scoop: 0.8,
+            tracker_glitch_prob: 0.06,
+            seconds_per_beat: 0.5,
+        }
+    }
+
+    /// A poor singer ("for example, by one of the authors", §5.1): strong
+    /// timing and interval errors, occasional octave slips.
+    pub fn poor() -> Self {
+        SingerProfile {
+            tempo_range: (0.5, 2.0),
+            duration_jitter: 0.6,
+            interval_error: 1.0,
+            drift: 0.15,
+            max_transposition: 6.0,
+            octave_slip_prob: 0.03,
+            frame_noise: 0.15,
+            scoop: 1.6,
+            tracker_glitch_prob: 0.12,
+            seconds_per_beat: 0.5,
+        }
+    }
+}
+
+/// A deterministic (seeded) humming simulator.
+#[derive(Debug)]
+pub struct HummingSimulator {
+    profile: SingerProfile,
+    rng: StdRng,
+}
+
+impl HummingSimulator {
+    /// Creates a simulator for a profile; equal seeds hum identically.
+    pub fn new(profile: SingerProfile, seed: u64) -> Self {
+        HummingSimulator { profile, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &SingerProfile {
+        &self.profile
+    }
+
+    /// Hums a melody at the note level: global transposition and tempo, then
+    /// per-note interval error, drift, duration jitter and octave slips.
+    pub fn sing_notes(&mut self, melody: &Melody) -> Vec<SungNote> {
+        let p = self.profile;
+        let transpose = self.uniform(-p.max_transposition, p.max_transposition);
+        let tempo = self.uniform(p.tempo_range.0, p.tempo_range.1);
+        let mut drift = 0.0;
+        let mut out = Vec::with_capacity(melody.len());
+        for note in melody.notes() {
+            drift += self.gaussian() * p.drift;
+            let mut midi =
+                note.pitch as f64 + transpose + drift + self.gaussian() * p.interval_error;
+            if self.rng.random_bool(p.octave_slip_prob) {
+                midi += if self.rng.random_bool(0.5) { 12.0 } else { -12.0 };
+            }
+            let jitter = (1.0 + self.gaussian() * p.duration_jitter).max(0.3);
+            let seconds = note.beats * p.seconds_per_beat * tempo * jitter;
+            // A human voice cannot leave its register: clamp to roughly
+            // A2..G5, which also keeps fundamentals inside the 80-1000 Hz
+            // window the pitch tracker searches.
+            out.push(SungNote { midi: midi.clamp(45.0, 83.0), seconds: seconds.max(0.05) });
+        }
+        out
+    }
+
+    /// Hums a melody straight to a pitch time series at `frame_seconds`
+    /// resolution (default pipeline uses 10 ms), including inter-note glides
+    /// and frame-level wobble — the signal shape of the paper's Figure 1.
+    pub fn sing_series(&mut self, melody: &Melody, frame_seconds: f64) -> Vec<f64> {
+        assert!(frame_seconds > 0.0, "frame duration must be positive");
+        let notes = self.sing_notes(melody);
+        let p = self.profile;
+        let mut out = Vec::new();
+        let mut prev: Option<f64> = None;
+        for note in &notes {
+            let frames = ((note.seconds / frame_seconds).round() as usize).max(1);
+            // Legato: small intervals are connected by slow glides that a
+            // stability-based segmenter tracks straight through, merging the
+            // notes — the paper's "no good algorithm is known to segment".
+            let interval = prev.map_or(f64::INFINITY, |from: f64| (note.midi - from).abs());
+            let glide_frames =
+                if interval <= 2.5 { (frames / 2).min(12) } else { (frames / 4).min(6) };
+            let scoop_frames = (frames / 3).min(8);
+            // Occasional short wrong-octave run: the pitch tracker locking
+            // onto a harmonic for a few frames.
+            let glitch = if self.rng.random_bool(p.tracker_glitch_prob) {
+                let start = self.rng.random_range(0..frames);
+                let span = 3 + self.rng.random_range(0..5usize);
+                let offset = if self.rng.random_bool(0.5) { 12.0 } else { -12.0 };
+                Some((start, start + span, offset))
+            } else {
+                None
+            };
+            for f in 0..frames {
+                let mut base = match prev {
+                    Some(from) if f < glide_frames => {
+                        let u = (f + 1) as f64 / (glide_frames + 1) as f64;
+                        from + (note.midi - from) * u
+                    }
+                    _ => note.midi,
+                };
+                // Onset scoop: approach the target from below, decaying.
+                if f < scoop_frames {
+                    let u = 1.0 - (f as f64 / scoop_frames as f64);
+                    base -= p.scoop * u * u;
+                }
+                if let Some((lo, hi, offset)) = glitch {
+                    if (lo..hi).contains(&f) {
+                        base += offset;
+                    }
+                }
+                out.push(base + self.gaussian() * p.frame_noise);
+            }
+            prev = Some(note.midi);
+        }
+        out
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            lo
+        } else {
+            self.rng.random_range(lo..hi)
+        }
+    }
+
+    /// Standard normal via the sum-of-uniforms (Irwin-Hall) approximation —
+    /// plenty accurate for perturbation noise and branch-free.
+    fn gaussian(&mut self) -> f64 {
+        let sum: f64 = (0..12).map(|_| self.rng.random::<f64>()).sum();
+        sum - 6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::melody::Note;
+
+    fn melody() -> Melody {
+        Melody::new(vec![
+            Note::new(60, 1.0),
+            Note::new(62, 0.5),
+            Note::new(64, 1.0),
+            Note::new(67, 2.0),
+            Note::new(64, 1.0),
+            Note::new(60, 1.5),
+        ])
+    }
+
+    #[test]
+    fn singing_is_deterministic_per_seed() {
+        let m = melody();
+        let a = HummingSimulator::new(SingerProfile::good(), 7).sing_notes(&m);
+        let b = HummingSimulator::new(SingerProfile::good(), 7).sing_notes(&m);
+        assert_eq!(a, b);
+        let c = HummingSimulator::new(SingerProfile::good(), 8).sing_notes(&m);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn note_count_is_preserved() {
+        let m = melody();
+        let sung = HummingSimulator::new(SingerProfile::poor(), 3).sing_notes(&m);
+        assert_eq!(sung.len(), m.len());
+    }
+
+    #[test]
+    fn good_singer_keeps_intervals_roughly_correct() {
+        let m = melody();
+        let mut max_err: f64 = 0.0;
+        for seed in 0..20 {
+            let sung = HummingSimulator::new(SingerProfile::good(), seed).sing_notes(&m);
+            for (w, orig) in sung.windows(2).zip(m.intervals()) {
+                let err = ((w[1].midi - w[0].midi) - orig as f64).abs();
+                max_err = max_err.max(err);
+            }
+        }
+        assert!(max_err < 2.5, "good-singer interval error {max_err}");
+    }
+
+    #[test]
+    fn poor_singer_is_noisier_than_good() {
+        let m = melody();
+        let err = |profile: SingerProfile| -> f64 {
+            let mut total = 0.0;
+            let mut count = 0;
+            for seed in 0..30 {
+                let sung = HummingSimulator::new(profile, seed).sing_notes(&m);
+                for (w, orig) in sung.windows(2).zip(m.intervals()) {
+                    total += ((w[1].midi - w[0].midi) - orig as f64).abs();
+                    count += 1;
+                }
+            }
+            total / count as f64
+        };
+        assert!(err(SingerProfile::poor()) > 1.5 * err(SingerProfile::good()));
+    }
+
+    #[test]
+    fn tempo_stays_in_profile_range() {
+        let m = melody();
+        let nominal: f64 = m.total_beats() * 0.5;
+        for seed in 0..30 {
+            let sung = HummingSimulator::new(SingerProfile::poor(), seed).sing_notes(&m);
+            let total: f64 = sung.iter().map(|n| n.seconds).sum();
+            let factor = total / nominal;
+            // Duration jitter widens the band slightly beyond the tempo range.
+            assert!((0.35..=2.6).contains(&factor), "tempo factor {factor}");
+        }
+    }
+
+    #[test]
+    fn series_length_tracks_durations() {
+        let m = melody();
+        let mut sim = HummingSimulator::new(SingerProfile::good(), 11);
+        let series = sim.sing_series(&m, 0.01);
+        // ~7 beats * 0.5 s/beat = ~3.5 s → ~350 frames, within tempo range.
+        assert!((200..=600).contains(&series.len()), "frames {}", series.len());
+    }
+
+    #[test]
+    fn series_pitches_stay_near_sung_register() {
+        let m = melody();
+        let mut sim = HummingSimulator::new(SingerProfile::good(), 5);
+        let series = sim.sing_series(&m, 0.01);
+        // Octave tracker glitches can momentarily leave the register, so
+        // allow one octave of slack around the sung range.
+        for p in &series {
+            assert!((44.0..=88.0).contains(p), "pitch {p}");
+        }
+    }
+
+    #[test]
+    fn gaussian_has_unit_scale() {
+        let mut sim = HummingSimulator::new(SingerProfile::good(), 42);
+        let samples: Vec<f64> = (0..4000).map(|_| sim.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.08, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.12, "variance {var}");
+    }
+
+    #[test]
+    fn octave_slips_occur_for_poor_singers() {
+        let m = Melody::new(vec![Note::new(60, 1.0); 40]);
+        let mut slips = 0;
+        for seed in 0..40 {
+            let sung = HummingSimulator::new(SingerProfile::poor(), seed).sing_notes(&m);
+            for w in sung.windows(2) {
+                if (w[1].midi - w[0].midi).abs() > 8.0 {
+                    slips += 1;
+                }
+            }
+        }
+        assert!(slips > 0, "expected at least one octave slip across 40 hums");
+    }
+}

@@ -1,0 +1,181 @@
+//! Key finding (Krumhansl-Schmuckler).
+//!
+//! The songbook generates tonal melodies in a known key; this module closes
+//! the loop by *estimating* the key from a melody with the classic
+//! Krumhansl-Schmuckler profile-correlation algorithm: accumulate a
+//! duration-weighted pitch-class histogram, correlate it against the 24
+//! rotated major/minor probe-tone profiles, and report the best match.
+//! Useful for corpus analytics and as independent validation that the
+//! generator really writes in the key it claims.
+
+use hum_linalg::vec_ops::correlation;
+
+use crate::melody::Melody;
+
+/// Krumhansl-Kessler major-key probe-tone profile (C major at index 0).
+const MAJOR_PROFILE: [f64; 12] =
+    [6.35, 2.23, 3.48, 2.33, 4.38, 4.09, 2.52, 5.19, 2.39, 3.66, 2.29, 2.88];
+/// Krumhansl-Kessler minor-key probe-tone profile (C minor at index 0).
+const MINOR_PROFILE: [f64; 12] =
+    [6.33, 2.68, 3.52, 5.38, 2.60, 3.53, 2.54, 4.75, 3.98, 2.69, 3.34, 3.17];
+
+/// An estimated key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyEstimate {
+    /// Tonic pitch class, 0 = C … 11 = B.
+    pub tonic_pc: u8,
+    /// `true` for major, `false` for minor.
+    pub major: bool,
+    /// Correlation score of the winning profile (−1..1).
+    pub score: f64,
+}
+
+impl KeyEstimate {
+    /// Conventional name ("C major", "F# minor", ...).
+    pub fn name(&self) -> String {
+        const NAMES: [&str; 12] =
+            ["C", "C#", "D", "D#", "E", "F", "F#", "G", "G#", "A", "A#", "B"];
+        format!("{} {}", NAMES[self.tonic_pc as usize], if self.major { "major" } else { "minor" })
+    }
+}
+
+/// Duration-weighted pitch-class histogram of a melody.
+pub fn pitch_class_histogram(melody: &Melody) -> [f64; 12] {
+    let mut hist = [0.0f64; 12];
+    for note in melody.notes() {
+        hist[(note.pitch % 12) as usize] += note.beats;
+    }
+    hist
+}
+
+/// Estimates the key of a melody (or several concatenated melodies via
+/// [`estimate_key_multi`]). Returns `None` for an empty melody.
+pub fn estimate_key(melody: &Melody) -> Option<KeyEstimate> {
+    if melody.is_empty() {
+        return None;
+    }
+    Some(best_key(&pitch_class_histogram(melody)))
+}
+
+/// Estimates one key over several melodies (e.g. all phrases of a song).
+pub fn estimate_key_multi<'a>(melodies: impl IntoIterator<Item = &'a Melody>) -> Option<KeyEstimate> {
+    let mut hist = [0.0f64; 12];
+    let mut any = false;
+    for melody in melodies {
+        for note in melody.notes() {
+            hist[(note.pitch % 12) as usize] += note.beats;
+            any = true;
+        }
+    }
+    any.then(|| best_key(&hist))
+}
+
+fn best_key(hist: &[f64; 12]) -> KeyEstimate {
+    let mut best =
+        KeyEstimate { tonic_pc: 0, major: true, score: f64::NEG_INFINITY };
+    for tonic in 0..12u8 {
+        // Rotate the histogram so `tonic` sits at index 0.
+        let rotated: Vec<f64> =
+            (0..12).map(|i| hist[(i + tonic as usize) % 12]).collect();
+        for (major, profile) in [(true, &MAJOR_PROFILE), (false, &MINOR_PROFILE)] {
+            let score = correlation(&rotated, profile);
+            if score > best.score {
+                best = KeyEstimate { tonic_pc: tonic, major, score };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::melody::Note;
+    use crate::songbook::{Songbook, SongbookConfig};
+
+    fn scale_melody(tonic: u8, intervals: &[u8]) -> Melody {
+        intervals.iter().map(|&i| Note::new(tonic + i, 1.0)).collect()
+    }
+
+    #[test]
+    fn c_major_scale_is_c_major() {
+        let m = scale_melody(60, &[0, 2, 4, 5, 7, 9, 11, 12, 7, 4, 0]);
+        let key = estimate_key(&m).unwrap();
+        assert_eq!(key.tonic_pc, 0);
+        assert!(key.major, "got {}", key.name());
+        assert!(key.score > 0.7);
+    }
+
+    #[test]
+    fn a_minor_scale_is_a_minor() {
+        // Natural minor on A, tonic-weighted.
+        let m = scale_melody(57, &[0, 2, 3, 5, 7, 8, 10, 12, 7, 3, 0, 0]);
+        let key = estimate_key(&m).unwrap();
+        assert_eq!(key.name(), "A minor");
+    }
+
+    #[test]
+    fn transposition_moves_the_tonic() {
+        let c = scale_melody(60, &[0, 2, 4, 5, 7, 9, 11, 12, 7, 4, 0]);
+        let up_fifth = c.transposed(7);
+        let key = estimate_key(&up_fifth).unwrap();
+        assert_eq!(key.name(), "G major");
+    }
+
+    #[test]
+    fn songbook_keys_are_recovered_from_whole_songs() {
+        // Independent validation of the generator: pooling all phrases of a
+        // song, the K-S estimate should usually agree with the generated
+        // key (phrase-level estimates are allowed to wander more).
+        let book = Songbook::generate(&SongbookConfig {
+            songs: 20,
+            phrases_per_song: 10,
+            ..SongbookConfig::default()
+        });
+        let mut exact = 0;
+        let mut related = 0;
+        for song in &book.songs {
+            let key = estimate_key_multi(song.phrases.iter()).unwrap();
+            let tonic = song.tonic % 12;
+            if key.tonic_pc == tonic {
+                exact += 1;
+                related += 1;
+                continue;
+            }
+            // Melodic (chordless) input famously confuses closely related
+            // keys: the dominant/subdominant (±7 semitones) and the
+            // relative major/minor share six of seven scale tones.
+            let relative =
+                if song.major { (tonic + 9) % 12 } else { (tonic + 3) % 12 };
+            let is_related = key.tonic_pc == (tonic + 7) % 12
+                || key.tonic_pc == (tonic + 5) % 12
+                || key.tonic_pc == relative;
+            if is_related {
+                related += 1;
+            }
+        }
+        assert!(exact >= 8, "only {exact}/20 songs matched their generated tonic exactly");
+        assert!(related >= 16, "only {related}/20 songs landed in the related-key set");
+    }
+
+    #[test]
+    fn empty_melody_has_no_key() {
+        assert_eq!(estimate_key(&Melody::default()), None);
+        assert_eq!(estimate_key_multi(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn histogram_weights_by_duration() {
+        let m = Melody::new(vec![Note::new(60, 3.0), Note::new(62, 1.0)]);
+        let h = pitch_class_histogram(&m);
+        assert_eq!(h[0], 3.0);
+        assert_eq!(h[2], 1.0);
+        assert_eq!(h.iter().sum::<f64>(), 4.0);
+    }
+
+    #[test]
+    fn key_names_are_well_formed() {
+        let k = KeyEstimate { tonic_pc: 6, major: false, score: 0.5 };
+        assert_eq!(k.name(), "F# minor");
+    }
+}

@@ -1,0 +1,190 @@
+//! The `(Note, Duration)` melody model and its time-series rendering
+//! (paper §3.2).
+
+/// One melody note.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Note {
+    /// MIDI pitch number (60 = middle C).
+    pub pitch: u8,
+    /// Duration in beats (quarter notes).
+    pub beats: f64,
+}
+
+impl Note {
+    /// Creates a note.
+    ///
+    /// # Panics
+    /// Panics if the pitch exceeds 127 or the duration is not positive.
+    pub fn new(pitch: u8, beats: f64) -> Self {
+        assert!(pitch <= 127, "MIDI pitch out of range");
+        assert!(beats > 0.0, "duration must be positive");
+        Note { pitch, beats }
+    }
+}
+
+/// A monophonic melody: a sequence of `(Note, Duration)` tuples. Rests are
+/// deliberately unrepresented (§3.2: silent information is ignored).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Melody {
+    notes: Vec<Note>,
+}
+
+impl Melody {
+    /// Creates a melody from notes.
+    pub fn new(notes: Vec<Note>) -> Self {
+        Melody { notes }
+    }
+
+    /// The notes.
+    pub fn notes(&self) -> &[Note] {
+        &self.notes
+    }
+
+    /// Number of notes.
+    pub fn len(&self) -> usize {
+        self.notes.len()
+    }
+
+    /// `true` if there are no notes.
+    pub fn is_empty(&self) -> bool {
+        self.notes.is_empty()
+    }
+
+    /// Total duration in beats.
+    pub fn total_beats(&self) -> f64 {
+        self.notes.iter().map(|n| n.beats).sum()
+    }
+
+    /// Appends a note.
+    pub fn push(&mut self, note: Note) {
+        self.notes.push(note);
+    }
+
+    /// The melody transposed by `semitones` (clamped to the MIDI range).
+    pub fn transposed(&self, semitones: i8) -> Melody {
+        Melody {
+            notes: self
+                .notes
+                .iter()
+                .map(|n| Note {
+                    pitch: (n.pitch as i16 + semitones as i16).clamp(0, 127) as u8,
+                    beats: n.beats,
+                })
+                .collect(),
+        }
+    }
+
+    /// The §3.2 time-series representation: each note's pitch repeated for
+    /// its duration, sampled at `samples_per_beat` points per beat. Each
+    /// note contributes at least one sample so very short notes are not
+    /// silently dropped.
+    ///
+    /// # Panics
+    /// Panics if `samples_per_beat` is zero.
+    pub fn to_time_series(&self, samples_per_beat: usize) -> Vec<f64> {
+        assert!(samples_per_beat > 0, "samples_per_beat must be positive");
+        let mut out = Vec::with_capacity(
+            (self.total_beats() * samples_per_beat as f64).ceil() as usize + self.notes.len(),
+        );
+        for note in &self.notes {
+            let count = ((note.beats * samples_per_beat as f64).round() as usize).max(1);
+            out.extend(std::iter::repeat_n(note.pitch as f64, count));
+        }
+        out
+    }
+
+    /// Sequence of pitch intervals between successive notes, in semitones.
+    pub fn intervals(&self) -> Vec<i16> {
+        self.notes.windows(2).map(|w| w[1].pitch as i16 - w[0].pitch as i16).collect()
+    }
+
+    /// Pitch range `(lowest, highest)`; `None` if empty.
+    pub fn pitch_range(&self) -> Option<(u8, u8)> {
+        let lo = self.notes.iter().map(|n| n.pitch).min()?;
+        let hi = self.notes.iter().map(|n| n.pitch).max()?;
+        Some((lo, hi))
+    }
+}
+
+impl FromIterator<Note> for Melody {
+    fn from_iter<I: IntoIterator<Item = Note>>(iter: I) -> Self {
+        Melody { notes: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_melody() -> Melody {
+        Melody::new(vec![Note::new(60, 1.0), Note::new(62, 0.5), Note::new(64, 2.0)])
+    }
+
+    #[test]
+    fn totals_and_counts() {
+        let m = sample_melody();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.total_beats(), 3.5);
+        assert_eq!(m.pitch_range(), Some((60, 64)));
+    }
+
+    #[test]
+    fn time_series_repeats_pitches_by_duration() {
+        let m = sample_melody();
+        let ts = m.to_time_series(2);
+        // 1.0 beats -> 2 samples of 60; 0.5 -> 1 of 62; 2.0 -> 4 of 64.
+        assert_eq!(ts, vec![60.0, 60.0, 62.0, 64.0, 64.0, 64.0, 64.0]);
+    }
+
+    #[test]
+    fn short_notes_still_contribute_a_sample() {
+        let m = Melody::new(vec![Note::new(60, 0.1), Note::new(72, 1.0)]);
+        let ts = m.to_time_series(2);
+        assert_eq!(ts[0], 60.0);
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    fn transposition_shifts_all_pitches() {
+        let m = sample_melody().transposed(5);
+        assert_eq!(m.notes()[0].pitch, 65);
+        assert_eq!(m.notes()[2].pitch, 69);
+        // Intervals are invariant under transposition.
+        assert_eq!(m.intervals(), sample_melody().intervals());
+    }
+
+    #[test]
+    fn transposition_clamps_at_range_edges() {
+        let m = Melody::new(vec![Note::new(126, 1.0)]).transposed(5);
+        assert_eq!(m.notes()[0].pitch, 127);
+        let m = Melody::new(vec![Note::new(2, 1.0)]).transposed(-5);
+        assert_eq!(m.notes()[0].pitch, 0);
+    }
+
+    #[test]
+    fn intervals_of_known_melody() {
+        assert_eq!(sample_melody().intervals(), vec![2, 2]);
+        assert!(Melody::default().intervals().is_empty());
+    }
+
+    #[test]
+    fn empty_melody_behaviour() {
+        let m = Melody::default();
+        assert!(m.is_empty());
+        assert_eq!(m.total_beats(), 0.0);
+        assert_eq!(m.pitch_range(), None);
+        assert!(m.to_time_series(4).is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let m: Melody = (0..3).map(|i| Note::new(60 + i, 1.0)).collect();
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn zero_duration_rejected() {
+        let _ = Note::new(60, 0.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! `qbh` — a query-by-humming system over a directory of MIDI files.
+//!
+//! ```text
+//! qbh generate <dir> [--songs N] [--seed S]   write a melody corpus as .mid files
+//! qbh info     <dir>                          corpus statistics
+//! qbh index    <dir> <out.humidx>             persist the corpus as one binary file
+//! qbh hum      <dir> <name.mid> <out.wav>     synthesize a hum of one melody
+//!              [--singer good|poor] [--seed S]
+//! qbh query    <dir|file.humidx> <hum.wav> [--top K]
+//!                                             find a hummed melody in the corpus
+//! ```
+//!
+//! Everything on disk goes through this workspace's own codecs: melodies are
+//! Standard MIDI Files written/parsed by `hum-midi`, hums are PCM16 WAV
+//! written/parsed by `hum-audio`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use hum_music::{HummingSimulator, Melody, SingerProfile, Songbook, SongbookConfig};
+use hum_qbh::corpus::{melody_from_smf, melody_to_smf};
+use hum_qbh::system::{QbhConfig, QbhSystem};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("index") => cmd_index(&args[1..]),
+        Some("hum") => cmd_hum(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command: {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage:\n  qbh generate <dir> [--songs N] [--seed S]\n  qbh info <dir>\n  \
+         qbh index <dir> <out.humidx>\n  \
+         qbh hum <dir> <name.mid> <out.wav> [--singer good|poor] [--seed S]\n  \
+         qbh query <dir|file.humidx> <hum.wav> [--top K]"
+    );
+}
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("{flag}: {e}")),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let dir = PathBuf::from(args.first().ok_or("generate needs a directory")?);
+    let songs = flag_value(args, "--songs")?.unwrap_or(50) as usize;
+    let seed = flag_value(args, "--seed")?.unwrap_or(2003);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+
+    let book = Songbook::generate(&SongbookConfig { songs, seed, ..SongbookConfig::default() });
+    let mut written = 0usize;
+    for (song_idx, phrase_idx, melody) in book.phrases() {
+        let smf = melody_to_smf(melody, 480);
+        let name = format!("song{song_idx:03}_phrase{phrase_idx:02}.mid");
+        std::fs::write(dir.join(&name), hum_midi::write_smf(&smf))
+            .map_err(|e| format!("cannot write {name}: {e}"))?;
+        written += 1;
+    }
+    println!("Wrote {written} melodies ({songs} songs) to {}.", dir.display());
+    Ok(())
+}
+
+/// Loads every `.mid` in the directory, sorted by file name for stable ids.
+fn load_corpus(dir: &Path) -> Result<BTreeMap<String, Melody>, String> {
+    let mut corpus = BTreeMap::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("mid") {
+            continue;
+        }
+        let bytes =
+            std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let smf = hum_midi::parse_smf(&bytes)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let melody = melody_from_smf(&smf, 0);
+        if melody.is_empty() {
+            continue; // no melody on channel 0; skip quietly
+        }
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or("non-UTF8 file name")?
+            .to_string();
+        corpus.insert(name, melody);
+    }
+    if corpus.is_empty() {
+        return Err(format!("no .mid melodies found in {}", dir.display()));
+    }
+    Ok(corpus)
+}
+
+fn build_system(corpus: &BTreeMap<String, Melody>) -> (QbhSystem, Vec<String>) {
+    // Ids follow the sorted file-name order; keep the names for reporting.
+    let names: Vec<String> = corpus.keys().cloned().collect();
+    let db = hum_qbh::corpus::MelodyDatabase::from_melodies(
+        corpus.values().cloned().collect::<Vec<_>>(),
+    );
+    (QbhSystem::build(&db, &QbhConfig::default()), names)
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let dir = PathBuf::from(args.first().ok_or("info needs a directory")?);
+    let corpus = load_corpus(&dir)?;
+    let notes: usize = corpus.values().map(Melody::len).sum();
+    let beats: f64 = corpus.values().map(Melody::total_beats).sum();
+    println!("{}: {} melodies, {} notes, {:.0} beats total.", dir.display(), corpus.len(), notes, beats);
+    let (lo, hi) = corpus
+        .values()
+        .filter_map(Melody::pitch_range)
+        .fold((u8::MAX, u8::MIN), |(lo, hi), (l, h)| (lo.min(l), hi.max(h)));
+    println!("Pitch range: MIDI {lo}..{hi}. Example files:");
+    for name in corpus.keys().take(3) {
+        println!("  {name}");
+    }
+    Ok(())
+}
+
+fn cmd_hum(args: &[String]) -> Result<(), String> {
+    let dir = PathBuf::from(args.first().ok_or("hum needs a directory")?);
+    let name = args.get(1).ok_or("hum needs a melody file name")?;
+    let out = PathBuf::from(args.get(2).ok_or("hum needs an output .wav path")?);
+    let seed = flag_value(args, "--seed")?.unwrap_or(42);
+    let profile = match args.iter().position(|a| a == "--singer") {
+        None => SingerProfile::good(),
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("good") => SingerProfile::good(),
+            Some("poor") => SingerProfile::poor(),
+            other => return Err(format!("--singer must be good|poor, got {other:?}")),
+        },
+    };
+
+    let corpus = load_corpus(&dir)?;
+    let melody = corpus.get(name).ok_or_else(|| format!("no melody named {name}"))?;
+    let mut singer = HummingSimulator::new(profile, seed);
+    let sung = singer.sing_notes(melody);
+    let notes: Vec<hum_audio::HumNote> =
+        sung.iter().map(|n| hum_audio::HumNote { midi: n.midi, seconds: n.seconds }).collect();
+    let audio =
+        hum_audio::HumSynthesizer::new(hum_audio::SynthConfig { seed, ..Default::default() })
+            .render(&notes);
+    std::fs::write(&out, hum_audio::write_wav_mono(&audio, 8_000))
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "Hummed {name} ({} notes, {:.1} s) to {}.",
+        melody.len(),
+        audio.len() as f64 / 8_000.0,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_index(args: &[String]) -> Result<(), String> {
+    let dir = PathBuf::from(args.first().ok_or("index needs a directory")?);
+    let out = PathBuf::from(args.get(1).ok_or("index needs an output .humidx path")?);
+    let corpus = load_corpus(&dir)?;
+    let db = hum_qbh::corpus::MelodyDatabase::from_melodies(
+        corpus.values().cloned().collect::<Vec<_>>(),
+    );
+    hum_qbh::storage::save(&out, &db, &QbhConfig::default()).map_err(|e| e.to_string())?;
+    println!(
+        "Persisted {} melodies to {} ({} bytes).",
+        db.len(),
+        out.display(),
+        std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0)
+    );
+    println!("Note: melody names are not stored; query hits report database ids.");
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let source = PathBuf::from(args.first().ok_or("query needs a directory or .humidx file")?);
+    let wav_path = PathBuf::from(args.get(1).ok_or("query needs a .wav file")?);
+    let top = flag_value(args, "--top")?.unwrap_or(5) as usize;
+
+    let (system, names) = if source.extension().and_then(|e| e.to_str()) == Some("humidx") {
+        let (db, config) = hum_qbh::storage::load(&source).map_err(|e| e.to_string())?;
+        println!("Loaded {} melodies from {}...", db.len(), source.display());
+        let names = (0..db.len()).map(|i| format!("melody #{i}")).collect();
+        (QbhSystem::build(&db, &config), names)
+    } else {
+        let corpus = load_corpus(&source)?;
+        println!("Indexing {} melodies from {}...", corpus.len(), source.display());
+        build_system(&corpus)
+    };
+
+    let bytes = std::fs::read(&wav_path)
+        .map_err(|e| format!("cannot read {}: {e}", wav_path.display()))?;
+    let (samples, rate) =
+        hum_audio::read_wav_mono(&bytes).map_err(|e| format!("{}: {e}", wav_path.display()))?;
+    println!("Query: {:.1} s of audio at {rate} Hz.", samples.len() as f64 / rate as f64);
+
+    let results = system.query_audio(&samples, rate, top);
+    if results.matches.is_empty() {
+        println!("No voiced frames found — is the recording silent?");
+        return Ok(());
+    }
+    println!("\nTop matches:");
+    for (rank, m) in results.matches.iter().enumerate() {
+        println!(
+            "  {}. {}  (DTW distance {:.3})",
+            rank + 1,
+            names[m.id as usize],
+            m.distance
+        );
+    }
+    println!(
+        "\n({} candidates from the index, {} exact DTW computations, {} page accesses.)",
+        results.stats.index.candidates,
+        results.stats.exact_computations,
+        results.stats.index.node_accesses
+    );
+    Ok(())
+}

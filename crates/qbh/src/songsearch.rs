@@ -1,0 +1,215 @@
+//! Whole-song subsequence search.
+//!
+//! The phrase-segmented system ([`crate::system::QbhSystem`]) implements the
+//! paper's chosen design ("we use whole sequence matching" over pre-segmented
+//! phrases). This module implements the alternative the paper describes
+//! first — match the hum against *every position of every full song* — by
+//! concatenating each song's phrases into one long time series and indexing
+//! its sliding windows with [`hum_core::subsequence::SubsequenceIndex`].
+//!
+//! Useful when the hummed fragment does not respect phrase boundaries
+//! (users who start mid-verse), at the cost the paper predicts: many more
+//! indexed windows than melodies.
+
+use hum_core::dtw::band_for_warping_width;
+use hum_core::engine::EngineStats;
+use hum_core::normal::NormalForm;
+use hum_core::subsequence::{SubsequenceConfig, SubsequenceIndex};
+use hum_core::transform::paa::NewPaa;
+use hum_index::RStarTree;
+use hum_music::Songbook;
+
+/// Song-search configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SongSearchConfig {
+    /// Samples per beat when rendering songs to time series.
+    pub samples_per_beat: usize,
+    /// Window length in samples (≈ the length of a hummed fragment).
+    pub window: usize,
+    /// Hop between windows in samples.
+    pub hop: usize,
+    /// Normal-form length (and transform input length).
+    pub normal_length: usize,
+    /// Reduced feature dimensions.
+    pub feature_dims: usize,
+    /// Default warping width for queries.
+    pub warping_width: f64,
+}
+
+impl Default for SongSearchConfig {
+    fn default() -> Self {
+        SongSearchConfig {
+            samples_per_beat: 4,
+            window: 96,
+            hop: 16,
+            normal_length: 128,
+            feature_dims: 8,
+            warping_width: 0.1,
+        }
+    }
+}
+
+/// One song-level hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SongMatch {
+    /// Index of the song in the songbook.
+    pub song: usize,
+    /// Window start offset within the song's time series, in samples.
+    pub offset: usize,
+    /// Offset expressed in beats.
+    pub offset_beats: f64,
+    /// Band-constrained DTW distance of the best window.
+    pub distance: f64,
+}
+
+/// Results of a song search.
+#[derive(Debug, Clone, Default)]
+pub struct SongSearchResults {
+    /// Hits, best first, at most one per song.
+    pub matches: Vec<SongMatch>,
+    /// Engine counters.
+    pub stats: EngineStats,
+}
+
+/// Subsequence search over whole songs.
+pub struct SongSearch {
+    index: SubsequenceIndex<NewPaa, RStarTree>,
+    config: SongSearchConfig,
+    band: usize,
+    songs: usize,
+}
+
+impl SongSearch {
+    /// Builds the search structure over a songbook.
+    ///
+    /// # Panics
+    /// Panics on an empty songbook or degenerate configuration.
+    pub fn build(book: &Songbook, config: &SongSearchConfig) -> Self {
+        assert!(!book.songs.is_empty(), "empty songbook");
+        let sub_config = SubsequenceConfig {
+            window: config.window,
+            hop: config.hop,
+            normal: NormalForm::with_length(config.normal_length),
+        };
+        let mut index = SubsequenceIndex::new(
+            NewPaa::new(config.normal_length, config.feature_dims),
+            RStarTree::new(config.feature_dims),
+            sub_config,
+        );
+        for (song_idx, song) in book.songs.iter().enumerate() {
+            let mut series = Vec::new();
+            for phrase in &song.phrases {
+                series.extend(phrase.to_time_series(config.samples_per_beat));
+            }
+            index.insert_source(song_idx as u64, &series);
+        }
+        SongSearch {
+            index,
+            config: *config,
+            band: band_for_warping_width(config.warping_width, config.normal_length),
+            songs: book.songs.len(),
+        }
+    }
+
+    /// Number of indexed songs.
+    pub fn song_count(&self) -> usize {
+        self.songs
+    }
+
+    /// Number of indexed windows (the cost the paper warns about).
+    pub fn window_count(&self) -> usize {
+        self.index.window_count()
+    }
+
+    /// Finds the `k` most likely songs for a hummed pitch series, with the
+    /// best-matching position inside each.
+    pub fn query(&self, pitch_series: &[f64], k: usize) -> SongSearchResults {
+        let result = self.index.knn(pitch_series, self.band, k, true);
+        let matches = result
+            .matches
+            .into_iter()
+            .map(|m| SongMatch {
+                song: m.source as usize,
+                offset: m.offset,
+                offset_beats: m.offset as f64 / self.config.samples_per_beat as f64,
+                distance: m.distance,
+            })
+            .collect();
+        SongSearchResults { matches, stats: result.stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hum_music::{HummingSimulator, SingerProfile, SongbookConfig};
+
+    fn book() -> Songbook {
+        Songbook::generate(&SongbookConfig {
+            songs: 8,
+            phrases_per_song: 6,
+            ..SongbookConfig::default()
+        })
+    }
+
+    #[test]
+    fn hum_of_a_mid_song_phrase_finds_the_song() {
+        let book = book();
+        let search = SongSearch::build(&book, &SongSearchConfig::default());
+        assert_eq!(search.song_count(), 8);
+        assert!(search.window_count() > 8 * 6, "windows should outnumber phrases");
+
+        let mut hits = 0;
+        for (i, (song_idx, phrase_idx)) in
+            [(2usize, 3usize), (5, 1), (7, 4), (0, 0)].iter().enumerate()
+        {
+            let phrase = &book.songs[*song_idx].phrases[*phrase_idx];
+            let mut singer = HummingSimulator::new(SingerProfile::good(), 50 + i as u64);
+            let hum = singer.sing_series(phrase, 0.01);
+            let results = search.query(&hum, 3);
+            if results.matches.iter().any(|m| m.song == *song_idx) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 3, "only {hits}/4 mid-song hums located their song");
+    }
+
+    #[test]
+    fn exact_window_reports_sensible_offset() {
+        let book = book();
+        let config = SongSearchConfig::default();
+        let search = SongSearch::build(&book, &config);
+        // Rebuild song 3's series and query with an exact interior window.
+        let mut series = Vec::new();
+        for phrase in &book.songs[3].phrases {
+            series.extend(phrase.to_time_series(config.samples_per_beat));
+        }
+        let start = 160;
+        let window = &series[start..start + config.window];
+        let results = search.query(window, 1);
+        let top = &results.matches[0];
+        assert_eq!(top.song, 3);
+        // The hop quantizes offsets; the best window starts within one hop.
+        assert!(
+            top.offset.abs_diff(start) <= config.hop,
+            "offset {} vs planted {}",
+            top.offset,
+            start
+        );
+        assert_eq!(top.offset_beats, top.offset as f64 / 4.0);
+    }
+
+    #[test]
+    fn results_are_deduped_per_song() {
+        let book = book();
+        let search = SongSearch::build(&book, &SongSearchConfig::default());
+        let phrase = &book.songs[1].phrases[2];
+        let hum =
+            HummingSimulator::new(SingerProfile::good(), 9).sing_series(phrase, 0.01);
+        let results = search.query(&hum, 5);
+        let mut songs: Vec<usize> = results.matches.iter().map(|m| m.song).collect();
+        let before = songs.len();
+        songs.dedup();
+        assert_eq!(songs.len(), before, "every hit must be a distinct song");
+    }
+}

@@ -1,0 +1,317 @@
+//! Binary persistence for melody databases.
+//!
+//! A production QBH service builds its database once and serves many
+//! queries. This module defines a small versioned binary format (`HUMIDX`)
+//! holding the melody database together with the [`QbhConfig`] it should be
+//! indexed under; loading rebuilds the (main-memory) index deterministically
+//! with [`crate::system::QbhSystem::build`]. Melody content — not index pages — is what is
+//! persisted: the index is cheap to rebuild and its in-memory layout is not
+//! a stable contract.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use hum_music::{Melody, Note};
+
+use crate::corpus::{MelodyDatabase, MelodyEntry};
+use crate::system::{Backend, QbhConfig, TransformKind};
+
+/// File magic (8 bytes): name plus format version.
+const MAGIC: &[u8; 8] = b"HUMIDX01";
+
+/// Errors while reading a `HUMIDX` file.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a `HUMIDX` file, or an unsupported version.
+    BadMagic,
+    /// Structurally invalid content.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::BadMagic => write!(f, "not a HUMIDX file (or unsupported version)"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt HUMIDX file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Serializes a database and its indexing configuration.
+pub fn write_database<W: Write>(
+    out: &mut W,
+    db: &MelodyDatabase,
+    config: &QbhConfig,
+) -> io::Result<()> {
+    out.write_all(MAGIC)?;
+    out.write_all(&(config.normal_length as u32).to_le_bytes())?;
+    out.write_all(&(config.feature_dims as u32).to_le_bytes())?;
+    out.write_all(&(config.samples_per_beat as u32).to_le_bytes())?;
+    out.write_all(&config.warping_width.to_le_bytes())?;
+    out.write_all(&[transform_tag(config.transform), backend_tag(config.backend)])?;
+    out.write_all(&(config.page_bytes as u32).to_le_bytes())?;
+
+    out.write_all(&(db.len() as u64).to_le_bytes())?;
+    for entry in db.entries() {
+        out.write_all(&(entry.song() as u32).to_le_bytes())?;
+        out.write_all(&(entry.phrase() as u32).to_le_bytes())?;
+        let melody = entry.melody();
+        out.write_all(&(melody.len() as u32).to_le_bytes())?;
+        for note in melody.notes() {
+            out.write_all(&[note.pitch])?;
+            out.write_all(&note.beats.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a database and configuration.
+pub fn read_database<R: Read>(input: &mut R) -> Result<(MelodyDatabase, QbhConfig), StorageError> {
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let normal_length = read_u32(input)? as usize;
+    let feature_dims = read_u32(input)? as usize;
+    let samples_per_beat = read_u32(input)? as usize;
+    let warping_width = read_f64(input)?;
+    let mut tags = [0u8; 2];
+    input.read_exact(&mut tags)?;
+    let transform = transform_from_tag(tags[0])?;
+    let backend = backend_from_tag(tags[1])?;
+    let page_bytes = read_u32(input)? as usize;
+    if normal_length == 0 || feature_dims == 0 || samples_per_beat == 0 {
+        return Err(StorageError::Corrupt("zero-sized configuration field".into()));
+    }
+    if !(0.0..=1.0).contains(&warping_width) {
+        return Err(StorageError::Corrupt(format!("warping width {warping_width}")));
+    }
+    let config = QbhConfig {
+        normal_length,
+        feature_dims,
+        samples_per_beat,
+        warping_width,
+        transform,
+        backend,
+        page_bytes,
+    };
+
+    let count = read_u64(input)?;
+    if count > 100_000_000 {
+        return Err(StorageError::Corrupt(format!("implausible melody count {count}")));
+    }
+    let mut phrases = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let song = read_u32(input)? as usize;
+        let phrase = read_u32(input)? as usize;
+        let notes = read_u32(input)?;
+        if notes > 1_000_000 {
+            return Err(StorageError::Corrupt(format!("implausible note count {notes}")));
+        }
+        let mut melody = Melody::default();
+        for _ in 0..notes {
+            let mut pitch = [0u8; 1];
+            input.read_exact(&mut pitch)?;
+            let beats = read_f64(input)?;
+            if pitch[0] > 127 || !beats.is_finite() || beats <= 0.0 {
+                return Err(StorageError::Corrupt(format!(
+                    "invalid note (pitch {}, beats {beats})",
+                    pitch[0]
+                )));
+            }
+            melody.push(Note::new(pitch[0], beats));
+        }
+        phrases.push((song, phrase, melody));
+    }
+    Ok((MelodyDatabase::from_provenanced(phrases), config))
+}
+
+/// Saves to a file path.
+pub fn save(path: &Path, db: &MelodyDatabase, config: &QbhConfig) -> Result<(), StorageError> {
+    let mut out = io::BufWriter::new(std::fs::File::create(path)?);
+    write_database(&mut out, db, config)?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Loads from a file path.
+pub fn load(path: &Path) -> Result<(MelodyDatabase, QbhConfig), StorageError> {
+    let mut input = io::BufReader::new(std::fs::File::open(path)?);
+    read_database(&mut input)
+}
+
+fn transform_tag(t: TransformKind) -> u8 {
+    match t {
+        TransformKind::NewPaa => 0,
+        TransformKind::KeoghPaa => 1,
+        TransformKind::Dft => 2,
+        TransformKind::Dwt => 3,
+        TransformKind::Svd => 4,
+    }
+}
+
+fn transform_from_tag(tag: u8) -> Result<TransformKind, StorageError> {
+    Ok(match tag {
+        0 => TransformKind::NewPaa,
+        1 => TransformKind::KeoghPaa,
+        2 => TransformKind::Dft,
+        3 => TransformKind::Dwt,
+        4 => TransformKind::Svd,
+        other => return Err(StorageError::Corrupt(format!("unknown transform tag {other}"))),
+    })
+}
+
+fn backend_tag(b: Backend) -> u8 {
+    match b {
+        Backend::RStar => 0,
+        Backend::Grid => 1,
+        Backend::Linear => 2,
+    }
+}
+
+fn backend_from_tag(tag: u8) -> Result<Backend, StorageError> {
+    Ok(match tag {
+        0 => Backend::RStar,
+        1 => Backend::Grid,
+        2 => Backend::Linear,
+        other => return Err(StorageError::Corrupt(format!("unknown backend tag {other}"))),
+    })
+}
+
+fn read_u32<R: Read>(input: &mut R) -> Result<u32, StorageError> {
+    let mut buf = [0u8; 4];
+    input.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(input: &mut R) -> Result<u64, StorageError> {
+    let mut buf = [0u8; 8];
+    input.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_f64<R: Read>(input: &mut R) -> Result<f64, StorageError> {
+    let mut buf = [0u8; 8];
+    input.read_exact(&mut buf)?;
+    Ok(f64::from_le_bytes(buf))
+}
+
+/// Round-trip aid for [`MelodyEntry`]-level assertions in tests.
+pub fn entries_equal(a: &MelodyEntry, b: &MelodyEntry) -> bool {
+    a.song() == b.song() && a.phrase() == b.phrase() && a.melody() == b.melody()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hum_music::SongbookConfig;
+
+    fn sample() -> (MelodyDatabase, QbhConfig) {
+        let db = MelodyDatabase::from_songbook(&SongbookConfig {
+            songs: 4,
+            phrases_per_song: 3,
+            ..SongbookConfig::default()
+        });
+        let config = QbhConfig {
+            transform: TransformKind::Dft,
+            backend: Backend::Grid,
+            warping_width: 0.07,
+            ..QbhConfig::default()
+        };
+        (db, config)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (db, config) = sample();
+        let mut bytes = Vec::new();
+        write_database(&mut bytes, &db, &config).unwrap();
+        let (back_db, back_config) = read_database(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back_config, config);
+        assert_eq!(back_db.len(), db.len());
+        for (a, b) in db.entries().iter().zip(back_db.entries()) {
+            assert!(entries_equal(a, b));
+            assert_eq!(a.id(), b.id());
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (db, config) = sample();
+        let path = std::env::temp_dir().join(format!("humidx-test-{}.humidx", std::process::id()));
+        save(&path, &db, &config).unwrap();
+        let (back_db, back_config) = load(&path).unwrap();
+        assert_eq!(back_config, config);
+        assert_eq!(back_db.len(), db.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_database(&mut &b"NOTHUMIDX....."[..]).unwrap_err();
+        assert!(matches!(err, StorageError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_prefix() {
+        let (db, config) = sample();
+        let mut bytes = Vec::new();
+        write_database(&mut bytes, &db, &config).unwrap();
+        // Every strict prefix must fail cleanly (never panic, never succeed).
+        for cut in [0, 4, 8, 12, 30, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                read_database(&mut &bytes[..cut]).is_err(),
+                "prefix of {cut} bytes parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_tags_and_notes_rejected() {
+        let (db, config) = sample();
+        let mut bytes = Vec::new();
+        write_database(&mut bytes, &db, &config).unwrap();
+        // Transform tag lives right after magic + 3 u32 + f64.
+        let tag_at = 8 + 12 + 8;
+        let mut bad = bytes.clone();
+        bad[tag_at] = 99;
+        assert!(matches!(
+            read_database(&mut bad.as_slice()),
+            Err(StorageError::Corrupt(_))
+        ));
+        let mut bad = bytes.clone();
+        bad[tag_at + 1] = 99; // backend tag
+        assert!(matches!(
+            read_database(&mut bad.as_slice()),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn loaded_database_builds_an_equivalent_system() {
+        use crate::system::QbhSystem;
+        let (db, config) = sample();
+        let mut bytes = Vec::new();
+        write_database(&mut bytes, &db, &config).unwrap();
+        let (back_db, back_config) = read_database(&mut bytes.as_slice()).unwrap();
+
+        let original = QbhSystem::build(&db, &config);
+        let restored = QbhSystem::build(&back_db, &back_config);
+        let query = db.entry(5).unwrap().melody().to_time_series(4);
+        let a: Vec<u64> = original.query_series(&query, 4).matches.iter().map(|m| m.id).collect();
+        let b: Vec<u64> = restored.query_series(&query, 4).matches.iter().map(|m| m.id).collect();
+        assert_eq!(a, b);
+    }
+}

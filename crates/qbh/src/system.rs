@@ -1,0 +1,360 @@
+//! The assembled QBH system.
+//!
+//! Wraps the `hum-core` engine with the music-specific plumbing: melody →
+//! time series rendering (§3.2), pitch-series normal forms (§3.3), audio
+//! ingestion through the pitch tracker (§3.1), and provenance-aware results
+//! (which song, which phrase).
+
+use hum_audio::{track_pitch, PitchTrackerConfig};
+use hum_core::dtw::band_for_warping_width;
+use hum_core::engine::{DtwIndexEngine, EngineConfig, EngineStats};
+use hum_core::normal::NormalForm;
+use hum_core::transform::dft::Dft;
+use hum_core::transform::dwt::Dwt;
+use hum_core::transform::paa::{KeoghPaa, NewPaa};
+use hum_core::transform::svd::SvdTransform;
+use hum_core::transform::EnvelopeTransform;
+use hum_index::{GridFile, LinearScan, RStarTree, SpatialIndex};
+
+use crate::corpus::MelodyDatabase;
+
+/// Which envelope transform the index uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformKind {
+    /// The paper's improved PAA envelope transform (default).
+    NewPaa,
+    /// Keogh's original PAA envelope transform (comparison baseline).
+    KeoghPaa,
+    /// Truncated Fourier features.
+    Dft,
+    /// Truncated Haar wavelet features.
+    Dwt,
+    /// Data-adaptive SVD features (fitted on the database).
+    Svd,
+}
+
+/// Which spatial index backend stores the feature vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// R\*-tree (the paper's choice).
+    RStar,
+    /// Grid file.
+    Grid,
+    /// Linear scan baseline.
+    Linear,
+}
+
+/// System configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QbhConfig {
+    /// Canonical normal-form length (the paper's large-database experiments
+    /// use 128).
+    pub normal_length: usize,
+    /// Reduced feature dimensionality (the paper indexes 8 dimensions).
+    pub feature_dims: usize,
+    /// Time-series samples per beat when rendering database melodies.
+    pub samples_per_beat: usize,
+    /// Default warping width δ = (2k+1)/n for queries.
+    pub warping_width: f64,
+    /// Envelope transform choice.
+    pub transform: TransformKind,
+    /// Index backend choice.
+    pub backend: Backend,
+    /// Page size in bytes for the backend.
+    pub page_bytes: usize,
+}
+
+impl Default for QbhConfig {
+    fn default() -> Self {
+        QbhConfig {
+            normal_length: 128,
+            feature_dims: 8,
+            samples_per_beat: 4,
+            warping_width: 0.1,
+            transform: TransformKind::NewPaa,
+            backend: Backend::RStar,
+            page_bytes: 4096,
+        }
+    }
+}
+
+/// One retrieval hit with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QbhMatch {
+    /// Database melody id.
+    pub id: u64,
+    /// Source song index.
+    pub song: usize,
+    /// Phrase index within the song.
+    pub phrase: usize,
+    /// Exact band-constrained DTW distance to the query's normal form.
+    pub distance: f64,
+}
+
+/// Ranked retrieval results plus work counters.
+#[derive(Debug, Clone, Default)]
+pub struct QbhResults {
+    /// Matches sorted by ascending DTW distance.
+    pub matches: Vec<QbhMatch>,
+    /// Engine counters for the query.
+    pub stats: EngineStats,
+}
+
+/// A built query-by-humming system.
+pub struct QbhSystem {
+    engine: DtwIndexEngine<Box<dyn EnvelopeTransform>, Box<dyn SpatialIndex>>,
+    normal: NormalForm,
+    band: usize,
+    provenance: Vec<(usize, usize)>,
+}
+
+impl QbhSystem {
+    /// Builds the system over a melody database.
+    ///
+    /// # Panics
+    /// Panics on an empty database or a configuration the chosen transform
+    /// rejects (e.g. PAA dims not dividing the normal length).
+    pub fn build(db: &MelodyDatabase, config: &QbhConfig) -> Self {
+        assert!(!db.is_empty(), "cannot build over an empty melody database");
+        let normal = NormalForm::with_length(config.normal_length);
+
+        let normals: Vec<Vec<f64>> = db
+            .entries()
+            .iter()
+            .map(|e| normal.apply(&e.melody().to_time_series(config.samples_per_beat)))
+            .collect();
+
+        let transform: Box<dyn EnvelopeTransform> = match config.transform {
+            TransformKind::NewPaa => {
+                Box::new(NewPaa::new(config.normal_length, config.feature_dims))
+            }
+            TransformKind::KeoghPaa => {
+                Box::new(KeoghPaa::new(config.normal_length, config.feature_dims))
+            }
+            TransformKind::Dft => Box::new(Dft::new(config.normal_length, config.feature_dims)),
+            TransformKind::Dwt => Box::new(Dwt::new(config.normal_length, config.feature_dims)),
+            TransformKind::Svd => {
+                let sample: Vec<Vec<f64>> = normals.iter().take(500).cloned().collect();
+                Box::new(SvdTransform::fit(&sample, config.feature_dims))
+            }
+        };
+        let index: Box<dyn SpatialIndex> = match config.backend {
+            Backend::RStar => {
+                Box::new(RStarTree::with_page_size(config.feature_dims, config.page_bytes))
+            }
+            Backend::Grid => Box::new(GridFile::with_params(
+                config.feature_dims,
+                8,
+                1024,
+                config.page_bytes,
+            )),
+            Backend::Linear => {
+                Box::new(LinearScan::with_page_size(config.feature_dims, config.page_bytes))
+            }
+        };
+
+        let mut engine = DtwIndexEngine::new(transform, index, EngineConfig::default());
+        let mut provenance = Vec::with_capacity(db.len());
+        for (entry, nf) in db.entries().iter().zip(normals) {
+            engine.insert(entry.id(), nf);
+            provenance.push((entry.song(), entry.phrase()));
+        }
+        QbhSystem {
+            engine,
+            normal,
+            band: band_for_warping_width(config.warping_width, config.normal_length),
+            provenance,
+        }
+    }
+
+    /// Number of indexed melodies.
+    pub fn len(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// `true` if nothing is indexed (never after a successful build).
+    pub fn is_empty(&self) -> bool {
+        self.engine.is_empty()
+    }
+
+    /// The DTW band implied by the configured warping width.
+    pub fn band(&self) -> usize {
+        self.band
+    }
+
+    /// The underlying engine, for experiments that need raw control.
+    pub fn engine(
+        &self,
+    ) -> &DtwIndexEngine<Box<dyn EnvelopeTransform>, Box<dyn SpatialIndex>> {
+        &self.engine
+    }
+
+    /// Top-`k` matches for a hummed pitch series (fractional MIDI values,
+    /// silence already removed), at the configured warping width.
+    pub fn query_series(&self, pitch_series: &[f64], k: usize) -> QbhResults {
+        self.query_series_banded(pitch_series, self.band, k)
+    }
+
+    /// Top-`k` matches at an explicit DTW band.
+    ///
+    /// # Panics
+    /// Panics on an empty pitch series.
+    pub fn query_series_banded(&self, pitch_series: &[f64], band: usize, k: usize) -> QbhResults {
+        let query = self.normal.apply(pitch_series);
+        let result = self.engine.knn(&query, band, k);
+        self.annotate(result)
+    }
+
+    /// ε-range query on the normal-form DTW distance (used by the candidate
+    /// and page-access experiments).
+    pub fn range_query(&self, pitch_series: &[f64], band: usize, radius: f64) -> QbhResults {
+        let query = self.normal.apply(pitch_series);
+        let result = self.engine.range_query(&query, band, radius);
+        self.annotate(result)
+    }
+
+    /// Full pipeline from raw microphone audio: pitch-track at 10 ms frames,
+    /// drop silence, and search.
+    ///
+    /// Returns empty results when no voiced frames were found.
+    pub fn query_audio(&self, samples: &[f64], sample_rate: u32, k: usize) -> QbhResults {
+        let tracker = PitchTrackerConfig { sample_rate, ..PitchTrackerConfig::default() };
+        let series = track_pitch(samples, &tracker).voiced_series();
+        if series.is_empty() {
+            return QbhResults::default();
+        }
+        self.query_series(&series, k)
+    }
+
+    fn annotate(&self, result: hum_core::engine::QueryResult) -> QbhResults {
+        let matches = result
+            .matches
+            .into_iter()
+            .map(|(id, distance)| {
+                let (song, phrase) = self.provenance[id as usize];
+                QbhMatch { id, song, phrase, distance }
+            })
+            .collect();
+        QbhResults { matches, stats: result.stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hum_audio::{HumSynthesizer, SynthConfig};
+    use hum_music::{HummingSimulator, SingerProfile, SongbookConfig};
+
+    fn small_db() -> MelodyDatabase {
+        MelodyDatabase::from_songbook(&SongbookConfig {
+            songs: 10,
+            phrases_per_song: 5,
+            ..SongbookConfig::default()
+        })
+    }
+
+    #[test]
+    fn exact_rendition_ranks_first() {
+        let db = small_db();
+        let system = QbhSystem::build(&db, &QbhConfig::default());
+        // "Hum" phrase 12 perfectly: its own time series.
+        let series = db.entry(12).unwrap().melody().to_time_series(4);
+        let results = system.query_series(&series, 5);
+        assert_eq!(results.matches[0].id, 12);
+        assert!(results.matches[0].distance < 1e-9);
+    }
+
+    #[test]
+    fn good_singer_hum_ranks_target_highly() {
+        let db = small_db();
+        let system = QbhSystem::build(&db, &QbhConfig::default());
+        let mut hits = 0;
+        for (i, target) in [3u64, 17, 29, 41].iter().enumerate() {
+            let mut singer = HummingSimulator::new(SingerProfile::good(), 100 + i as u64);
+            let hum = singer.sing_series(db.entry(*target).unwrap().melody(), 0.01);
+            let results = system.query_series(&hum, 10);
+            if results.matches.iter().take(3).any(|m| m.id == *target) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 3, "only {hits}/4 hums found their target in the top 3");
+    }
+
+    #[test]
+    fn provenance_is_reported() {
+        let db = small_db();
+        let system = QbhSystem::build(&db, &QbhConfig::default());
+        let series = db.entry(23).unwrap().melody().to_time_series(4);
+        let m = &system.query_series(&series, 1).matches[0];
+        assert_eq!((m.song, m.phrase), (db.entry(23).unwrap().song(), db.entry(23).unwrap().phrase()));
+    }
+
+    #[test]
+    fn all_transform_and_backend_combinations_build_and_agree() {
+        let db = small_db();
+        let series = db.entry(7).unwrap().melody().to_time_series(4);
+        let mut reference: Option<Vec<u64>> = None;
+        for transform in [
+            TransformKind::NewPaa,
+            TransformKind::KeoghPaa,
+            TransformKind::Dft,
+            TransformKind::Dwt,
+            TransformKind::Svd,
+        ] {
+            for backend in [Backend::RStar, Backend::Grid, Backend::Linear] {
+                let config = QbhConfig { transform, backend, ..QbhConfig::default() };
+                let system = QbhSystem::build(&db, &config);
+                let ids: Vec<u64> =
+                    system.query_series(&series, 5).matches.iter().map(|m| m.id).collect();
+                match &reference {
+                    None => reference = Some(ids),
+                    // Exact DTW refinement makes the final ranking
+                    // transform- and backend-independent.
+                    Some(r) => assert_eq!(&ids, r, "{transform:?}/{backend:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn audio_pipeline_end_to_end() {
+        let db = small_db();
+        let system = QbhSystem::build(&db, &QbhConfig::default());
+        let target = 31u64;
+        let mut singer = HummingSimulator::new(SingerProfile::good(), 5);
+        let sung = singer.sing_notes(db.entry(target).unwrap().melody());
+        let hum_notes: Vec<hum_audio::HumNote> =
+            sung.iter().map(|n| hum_audio::HumNote { midi: n.midi, seconds: n.seconds }).collect();
+        let audio = HumSynthesizer::new(SynthConfig::default()).render(&hum_notes);
+        let results = system.query_audio(&audio, 8_000, 10);
+        assert!(
+            results.matches.iter().any(|m| m.id == target),
+            "audio-route query missed its target"
+        );
+    }
+
+    #[test]
+    fn silent_audio_returns_empty() {
+        let db = small_db();
+        let system = QbhSystem::build(&db, &QbhConfig::default());
+        let results = system.query_audio(&vec![0.0; 8000], 8_000, 5);
+        assert!(results.matches.is_empty());
+    }
+
+    #[test]
+    fn range_query_respects_radius() {
+        let db = small_db();
+        let system = QbhSystem::build(&db, &QbhConfig::default());
+        let series = db.entry(2).unwrap().melody().to_time_series(4);
+        let tight = system.range_query(&series, system.band(), 1e-6);
+        assert_eq!(tight.matches.len(), 1);
+        let loose = system.range_query(&series, system.band(), 1e6);
+        assert_eq!(loose.matches.len(), db.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty melody database")]
+    fn empty_database_rejected() {
+        let _ = QbhSystem::build(&MelodyDatabase::empty(), &QbhConfig::default());
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end tests of the `qbh` command-line binary: generate a MIDI
+//! corpus on disk, synthesize a hum to WAV, and query it back — all through
+//! the real CLI surface.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn qbh(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_qbh")).args(args).output().expect("binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qbh-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn generate_info_hum_query_pipeline() {
+    let dir = temp_dir("pipeline");
+    let dir_s = dir.to_str().unwrap();
+
+    let generated = qbh(&["generate", dir_s, "--songs", "8", "--seed", "5"]);
+    assert!(generated.status.success(), "{generated:?}");
+    assert!(stdout(&generated).contains("Wrote 160 melodies"));
+    assert_eq!(count_mid_files(&dir), 160);
+
+    let info = qbh(&["info", dir_s]);
+    assert!(info.status.success());
+    assert!(stdout(&info).contains("160 melodies"));
+
+    let wav = dir.join("hum.wav");
+    let hum = qbh(&[
+        "hum",
+        dir_s,
+        "song003_phrase04.mid",
+        wav.to_str().unwrap(),
+        "--singer",
+        "good",
+        "--seed",
+        "9",
+    ]);
+    assert!(hum.status.success(), "{hum:?}");
+    assert!(wav.exists());
+
+    let query = qbh(&["query", dir_s, wav.to_str().unwrap(), "--top", "3"]);
+    assert!(query.status.success(), "{query:?}");
+    let out = stdout(&query);
+    assert!(
+        out.contains("1. song003_phrase04.mid"),
+        "hummed melody should rank first:\n{out}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn index_file_query_matches_directory_query() {
+    let dir = temp_dir("humidx");
+    let dir_s = dir.to_str().unwrap();
+    assert!(qbh(&["generate", dir_s, "--songs", "6", "--seed", "11"]).status.success());
+
+    let wav = dir.join("hum.wav");
+    assert!(qbh(&["hum", dir_s, "song002_phrase03.mid", wav.to_str().unwrap()])
+        .status
+        .success());
+
+    let idx = dir.join("corpus.humidx");
+    let indexed = qbh(&["index", dir_s, idx.to_str().unwrap()]);
+    assert!(indexed.status.success(), "{indexed:?}");
+    assert!(stdout(&indexed).contains("Persisted 120 melodies"));
+
+    // The directory query names the file; the humidx query names the dense
+    // id (BTreeMap order), which for song002_phrase03 is 2*20 + 3 = 43.
+    let by_dir = qbh(&["query", dir_s, wav.to_str().unwrap(), "--top", "1"]);
+    assert!(stdout(&by_dir).contains("1. song002_phrase03.mid"), "{}", stdout(&by_dir));
+    let by_idx = qbh(&["query", idx.to_str().unwrap(), wav.to_str().unwrap(), "--top", "1"]);
+    assert!(stdout(&by_idx).contains("1. melody #43"), "{}", stdout(&by_idx));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = qbh(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("usage"));
+}
+
+#[test]
+fn query_on_missing_directory_fails_cleanly() {
+    let out = qbh(&["query", "/definitely/not/a/dir", "/also/missing.wav"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn hum_of_unknown_melody_fails_cleanly() {
+    let dir = temp_dir("unknown-melody");
+    let dir_s = dir.to_str().unwrap();
+    assert!(qbh(&["generate", dir_s, "--songs", "1"]).status.success());
+    let out = qbh(&["hum", dir_s, "nope.mid", "/tmp/never.wav"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no melody named"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn count_mid_files(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "mid")
+        })
+        .count()
+}

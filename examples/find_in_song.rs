@@ -1,0 +1,66 @@
+//! Subsequence search: locate a hummed fragment *anywhere* inside whole
+//! songs — the §3.2 alternative to pre-segmented phrase matching, including
+//! the position (in beats) where the fragment occurs.
+//!
+//! ```text
+//! cargo run --release -p hum-qbh --example find_in_song
+//! ```
+
+use hum_music::{HummingSimulator, SingerProfile, Songbook, SongbookConfig};
+use hum_qbh::songsearch::{SongSearch, SongSearchConfig};
+
+fn main() {
+    let book = Songbook::generate(&SongbookConfig::default());
+    let config = SongSearchConfig::default();
+    let search = SongSearch::build(&book, &config);
+    println!(
+        "Indexed {} songs as {} sliding windows (window {}, hop {}).",
+        search.song_count(),
+        search.window_count(),
+        config.window,
+        config.hop
+    );
+    println!(
+        "Note the cost of subsequence search the paper predicts: {}x more index \
+         entries than the {}-phrase database.\n",
+        search.window_count() / (book.phrase_count()),
+        book.phrase_count()
+    );
+
+    // Hum the 8th phrase of song 23 — deep inside the song, crossing no
+    // phrase boundary the index knows about.
+    let (song_idx, phrase_idx) = (23usize, 8usize);
+    let phrase = &book.songs[song_idx].phrases[phrase_idx];
+    let beats_before: f64 =
+        book.songs[song_idx].phrases[..phrase_idx].iter().map(|p| p.total_beats()).sum();
+    println!(
+        "Humming {} notes that start {} beats into \"{}\"...",
+        phrase.len(),
+        beats_before,
+        book.songs[song_idx].name
+    );
+    let mut singer = HummingSimulator::new(SingerProfile::good(), 4242);
+    let hum = singer.sing_series(phrase, 0.01);
+
+    let results = search.query(&hum, 5);
+    println!("\nTop songs (best matching position inside each):");
+    for (rank, m) in results.matches.iter().enumerate() {
+        let marker = if m.song == song_idx { "  <-- correct song" } else { "" };
+        println!(
+            "  {}. {}  at beat {:>6.1}  distance {:8.3}{}",
+            rank + 1,
+            book.songs[m.song].name,
+            m.offset_beats,
+            m.distance,
+            marker
+        );
+    }
+    if let Some(hit) = results.matches.iter().find(|m| m.song == song_idx) {
+        println!(
+            "\nLocated the fragment {:.1} beats from its true position ({} vs {}).",
+            (hit.offset_beats - beats_before).abs(),
+            hit.offset_beats,
+            beats_before
+        );
+    }
+}

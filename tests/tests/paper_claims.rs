@@ -1,0 +1,72 @@
+//! Quick-scale checks that the paper's headline claims hold on every run —
+//! the same checks the `repro` binary applies at paper scale.
+
+use hum_bench_claims::*;
+
+/// Thin re-exports so the test reads like the claims list.
+mod hum_bench_claims {
+    pub use hum_bench::experiments::{fig10, fig6, fig7, fig8, sweep, table2};
+}
+
+#[test]
+fn claim_new_paa_tightness_dominates_across_all_datasets() {
+    let out = fig6::run(&fig6::Params::quick());
+    let failures = fig6::verify_shape(&out);
+    assert!(failures.is_empty(), "{failures:?}");
+    assert!(
+        out.mean_improvement_ratio >= 1.3,
+        "mean tightness improvement {:.2} too small",
+        out.mean_improvement_ratio
+    );
+}
+
+#[test]
+fn claim_svd_wins_at_zero_width_and_new_paa_wins_at_large_width() {
+    let out = fig7::run(&fig7::Params::quick());
+    let failures = fig7::verify_shape(&out);
+    assert!(failures.is_empty(), "{failures:?}");
+}
+
+#[test]
+fn claim_fewer_candidates_on_music_database() {
+    let out = fig8::run(&fig8::Params::quick());
+    let failures = fig8::check(&out);
+    assert!(failures.is_empty(), "{failures:?}");
+}
+
+#[test]
+fn claim_fewer_candidates_and_page_accesses_on_random_walks() {
+    let out = fig10::run(&fig10::Params::quick());
+    let failures = fig10::check(&out);
+    assert!(failures.is_empty(), "{failures:?}");
+    // Page accesses advantage too, in aggregate.
+    let pages = |method: &str| -> f64 {
+        out.sweeps
+            .iter()
+            .find(|s| s.method == method)
+            .unwrap()
+            .points
+            .iter()
+            .map(|p| p.page_accesses)
+            .sum()
+    };
+    assert!(
+        pages("New_PAA") <= pages("Keogh_PAA"),
+        "page accesses should favor New_PAA"
+    );
+}
+
+#[test]
+fn claim_time_series_approach_beats_contour_on_quality() {
+    let out = table2::run(&table2::Params::quick());
+    let (ts, contour) = table2::bins(&out);
+    assert!(ts.top1 >= contour.top1, "ts {ts} vs contour {contour}");
+    assert!(ts.within_top10() >= contour.within_top10());
+}
+
+#[test]
+fn sweep_grid_covers_paper_axes() {
+    let widths = sweep::paper_widths();
+    assert_eq!(widths.len(), 10);
+    assert_eq!(sweep::THRESHOLDS, [0.2, 0.8]);
+}
