@@ -33,7 +33,13 @@ fn bench_envelope_refinement(c: &mut Criterion) {
         let mut engine = DtwIndexEngine::new(
             NewPaa::new(LEN, 8),
             RStarTree::new(8),
-            EngineConfig { envelope_refinement: refine },
+            // Other cascade stages off: this ablation isolates the envelope
+            // second filter.
+            EngineConfig {
+                envelope_refinement: refine,
+                lb_improved_refinement: false,
+                early_abandon: false,
+            },
         );
         for (i, s) in database.iter().enumerate() {
             engine.insert(i as u64, s.clone());

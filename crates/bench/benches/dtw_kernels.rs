@@ -1,9 +1,14 @@
 //! Micro-benchmarks for the distance kernels: banded LDTW vs unconstrained
 //! DTW, envelope construction, and the envelope lower bound. Quantifies the
-//! O(nk) vs O(n²) gap that motivates Local DTW (paper §4.2).
+//! O(nk) vs O(n²) gap that motivates Local DTW (paper §4.2), plus the
+//! verification-cascade kernels: early abandonment at tight vs loose
+//! thresholds and workspace reuse vs per-call allocation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hum_core::dtw::{band_for_warping_width, dtw_distance_sq, ldtw_distance_sq};
+use hum_core::dtw::{
+    band_for_warping_width, dtw_distance_sq, ldtw_distance_sq, ldtw_distance_sq_bounded,
+    ldtw_distance_sq_bounded_with, DtwWorkspace,
+};
 use hum_core::envelope::Envelope;
 use hum_datasets::{generate, DatasetFamily};
 use std::hint::black_box;
@@ -34,6 +39,63 @@ fn bench_dtw(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_bounded_dtw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw_bounded");
+    for len in [128usize, 256] {
+        let (x, y) = series_pair(len);
+        let k = band_for_warping_width(0.1, len);
+        let exact = ldtw_distance_sq(&x, &y, k);
+        // Loose: the threshold never triggers, measuring pure bookkeeping
+        // overhead against the unbounded kernel. Tight: the row minimum
+        // crosses the threshold early and most of the DP table is skipped.
+        for (name, threshold) in [("loose", exact * 2.0), ("tight", exact * 0.05)] {
+            group.bench_with_input(BenchmarkId::new(name, len), &len, |b, _| {
+                b.iter(|| {
+                    ldtw_distance_sq_bounded(black_box(&x), black_box(&y), k, black_box(threshold))
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("unbounded", len), &len, |b, _| {
+            b.iter(|| ldtw_distance_sq(black_box(&x), black_box(&y), k))
+        });
+    }
+    group.finish();
+}
+
+fn bench_workspace_reuse(c: &mut Criterion) {
+    const LEN: usize = 128;
+    let database = generate(DatasetFamily::RandomWalk, 64, LEN, 7);
+    let query = generate(DatasetFamily::RandomWalk, 1, LEN, 41).remove(0);
+    let k = band_for_warping_width(0.1, LEN);
+    let mut group = c.benchmark_group("dtw_workspace_64_calls");
+    group.bench_function("per_call_allocation", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for s in &database {
+                acc += ldtw_distance_sq(black_box(&query), black_box(s), k);
+            }
+            acc
+        })
+    });
+    group.bench_function("reused_workspace", |b| {
+        let mut ws = DtwWorkspace::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for s in &database {
+                acc += ldtw_distance_sq_bounded_with(
+                    &mut ws,
+                    black_box(&query),
+                    black_box(s),
+                    k,
+                    f64::INFINITY,
+                );
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
 fn bench_envelope(c: &mut Criterion) {
     let mut group = c.benchmark_group("envelope");
     for len in [128usize, 256, 1024] {
@@ -50,5 +112,5 @@ fn bench_envelope(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dtw, bench_envelope);
+criterion_group!(benches, bench_dtw, bench_bounded_dtw, bench_workspace_reuse, bench_envelope);
 criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Measures the DP-cell cost of verification on the Fig 9 workload
+//! (35,000 melodies from the MIDI pipeline, length 128, δ = 0.1, ε = 0.2,
+//! hum queries) with the verification cascade on vs off. Run with
+//! `--release`.
+
+use hum_bench::report::cascade_table;
+use hum_core::dtw::band_for_warping_width;
+use hum_core::engine::{DtwIndexEngine, EngineConfig, EngineStats};
+use hum_core::normal::NormalForm;
+use hum_core::transform::paa::NewPaa;
+use hum_index::RStarTree;
+use hum_music::{SingerProfile, SongbookConfig};
+use hum_qbh::corpus::MelodyDatabase;
+use hum_qbh::eval::generate_hums;
+
+fn main() {
+    let (melodies, length, dims, queries, seed) = (35_000usize, 128usize, 8usize, 20usize, 9u64);
+    let (delta, eps) = (0.1, 0.2);
+    let band = band_for_warping_width(delta, length);
+    let radius = (length as f64 * eps).sqrt();
+
+    let db = MelodyDatabase::from_midi_roundtrip(&SongbookConfig {
+        songs: melodies.div_ceil(20),
+        phrases_per_song: 20,
+        ..SongbookConfig::default()
+    });
+    let normal = NormalForm::with_length(length);
+    let database: Vec<Vec<f64>> = db
+        .entries()
+        .iter()
+        .take(melodies)
+        .map(|e| normal.apply(&e.melody().to_time_series(4)))
+        .collect();
+    let query_set: Vec<Vec<f64>> = generate_hums(&db, SingerProfile::good(), queries, seed)
+        .into_iter()
+        .map(|h| normal.apply(&h.series))
+        .collect();
+
+    let mut rows = Vec::new();
+    for (name, config) in [
+        ("no cascade", EngineConfig {
+            envelope_refinement: false,
+            lb_improved_refinement: false,
+            early_abandon: false,
+        }),
+        ("full cascade", EngineConfig::default()),
+    ] {
+        let mut engine = DtwIndexEngine::new(
+            NewPaa::new(length, dims),
+            RStarTree::with_page_size(dims, 4096),
+            config,
+        );
+        for (i, s) in database.iter().enumerate() {
+            engine.insert(i as u64, s.clone());
+        }
+        let mut total = EngineStats::default();
+        for q in &query_set {
+            total.absorb(&engine.range_query(q, band, radius).stats);
+        }
+        rows.push((name.to_string(), total));
+    }
+
+    println!(
+        "Fig 9 workload: {} melodies, len {length}, delta={delta}, eps={eps}, {queries} hums\n",
+        database.len()
+    );
+    println!("{}", cascade_table(rows.iter().map(|(l, s)| (l.as_str(), s))).render());
+    let (off, on) = (&rows[0].1, &rows[1].1);
+    println!(
+        "DP-cell reduction: {:.2}x (matches {} vs {})",
+        off.dp_cells as f64 / on.dp_cells.max(1) as f64,
+        off.matches,
+        on.matches
+    );
+}

@@ -9,14 +9,17 @@
 //! 3. **Build strategy**: repeated insertion vs STR bulk loading (wall time
 //!    and node count);
 //! 4. **Transform pruning**: candidates for all five envelope transforms on
-//!    one workload.
+//!    one workload;
+//! 5. **Verification cascade**: where candidates die (envelope bound,
+//!    `LB_Improved`, early-abandoned DTW) and the DP-cell cost of
+//!    verification, with the cascade fully on vs fully off.
 
 use std::time::Instant;
 
 use serde::Serialize;
 
 use hum_core::dtw::band_for_warping_width;
-use hum_core::engine::{DtwIndexEngine, EngineConfig};
+use hum_core::engine::{DtwIndexEngine, EngineConfig, EngineStats};
 use hum_core::normal::NormalForm;
 use hum_core::transform::dft::Dft;
 use hum_core::transform::dwt::Dwt;
@@ -26,7 +29,7 @@ use hum_core::transform::EnvelopeTransform;
 use hum_datasets::{generate, DatasetFamily};
 use hum_index::{GridFile, LinearScan, RStarTree, SpatialIndex};
 
-use crate::report::{fmt1, TextTable};
+use crate::report::{cascade_table, fmt1, TextTable};
 
 /// Experiment parameters.
 #[derive(Debug, Clone, Copy)]
@@ -100,6 +103,28 @@ pub struct BuildRow {
     pub page_accesses: f64,
 }
 
+/// One cascade configuration's verification costs, summed over the query
+/// batch.
+#[derive(Debug, Clone, Serialize)]
+pub struct CascadeRow {
+    /// Configuration name.
+    pub config: String,
+    /// Index candidates entering verification.
+    pub candidates: u64,
+    /// Candidates removed by the envelope second filter.
+    pub lb_pruned: u64,
+    /// Candidates removed by the `LB_Improved` third filter.
+    pub lb_improved_pruned: u64,
+    /// Exact DTW evaluations started.
+    pub exact_started: u64,
+    /// Exact DTW evaluations abandoned by the radius threshold.
+    pub early_abandoned: u64,
+    /// DTW dynamic-programming cells evaluated.
+    pub dp_cells: u64,
+    /// Matches returned.
+    pub matches: u64,
+}
+
 /// Experiment output.
 #[derive(Debug, Clone, Serialize)]
 pub struct Output {
@@ -115,6 +140,8 @@ pub struct Output {
     pub builds: Vec<BuildRow>,
     /// Transform pruning ablation (R\*-tree backend).
     pub transforms: Vec<TransformRow>,
+    /// Verification-cascade ablation (R\*-tree backend, New\_PAA).
+    pub cascade: Vec<CascadeRow>,
 }
 
 fn workload(params: &Params) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
@@ -179,7 +206,13 @@ pub fn run(params: &Params) -> Output {
             let mut engine = DtwIndexEngine::new(
                 NewPaa::new(params.length, params.dims),
                 RStarTree::with_page_size(params.dims, 4096),
-                EngineConfig { envelope_refinement: refine },
+                // Other cascade stages off: this ablation isolates the
+                // envelope second filter.
+                EngineConfig {
+                    envelope_refinement: refine,
+                    lb_improved_refinement: false,
+                    early_abandon: false,
+                },
             );
             for (i, s) in database.iter().enumerate() {
                 engine.insert(i as u64, s.clone());
@@ -241,6 +274,47 @@ pub fn run(params: &Params) -> Output {
         });
     }
 
+    // 5. Verification cascade (R*-tree, New_PAA): where candidates die and
+    // what verification costs in DP cells, per configuration.
+    let cascade_configs = [
+        ("no cascade", EngineConfig {
+            envelope_refinement: false,
+            lb_improved_refinement: false,
+            early_abandon: false,
+        }),
+        ("envelope only", EngineConfig {
+            envelope_refinement: true,
+            lb_improved_refinement: false,
+            early_abandon: false,
+        }),
+        ("full cascade", EngineConfig::default()),
+    ];
+    let mut cascade = Vec::new();
+    for (name, config) in cascade_configs {
+        let mut engine = DtwIndexEngine::new(
+            NewPaa::new(params.length, params.dims),
+            RStarTree::with_page_size(params.dims, 4096),
+            config,
+        );
+        for (i, s) in database.iter().enumerate() {
+            engine.insert(i as u64, s.clone());
+        }
+        let mut total = EngineStats::default();
+        for q in &queries {
+            total.absorb(&engine.range_query(q, band, radius).stats);
+        }
+        cascade.push(CascadeRow {
+            config: name.to_string(),
+            candidates: total.index.candidates,
+            lb_pruned: total.lb_pruned,
+            lb_improved_pruned: total.lb_improved_pruned,
+            exact_started: total.exact_computations,
+            early_abandoned: total.early_abandoned,
+            dp_cells: total.dp_cells,
+            matches: total.matches,
+        });
+    }
+
     Output {
         series: params.series,
         backends,
@@ -248,6 +322,7 @@ pub fn run(params: &Params) -> Output {
         exact_without_filter: exact_counts[1],
         builds,
         transforms,
+        cascade,
     }
 }
 
@@ -301,18 +376,38 @@ pub fn render(output: &Output) -> (String, TextTable) {
     for row in &output.transforms {
         transforms.row(vec![row.transform.clone(), fmt1(row.candidates)]);
     }
+    // Reconstruct stats bundles so the cascade table renders through the
+    // shared report helper.
+    let cascade_stats: Vec<(String, EngineStats)> = output
+        .cascade
+        .iter()
+        .map(|r| {
+            let mut s = EngineStats::default();
+            s.index.candidates = r.candidates;
+            s.lb_pruned = r.lb_pruned;
+            s.lb_improved_pruned = r.lb_improved_pruned;
+            s.exact_computations = r.exact_started;
+            s.early_abandoned = r.early_abandoned;
+            s.dp_cells = r.dp_cells;
+            s.matches = r.matches;
+            (r.config.clone(), s)
+        })
+        .collect();
+    let cascade = cascade_table(cascade_stats.iter().map(|(l, s)| (l.as_str(), s)));
     let text = format!(
         "Ablations ({} random walks, delta=0.1, eps=0.2)\n\n\
          Backend comparison (New_PAA):\n{}\n\
          Envelope second filter: {:.1} exact DTWs/query with, {:.1} without\n\n\
          R*-tree build strategy:\n{}\n\
-         Transform pruning power:\n{}",
+         Transform pruning power:\n{}\n\
+         Verification cascade (totals over the query batch):\n{}",
         output.series,
         backends.render(),
         output.exact_with_filter,
         output.exact_without_filter,
         builds.render(),
-        transforms.render()
+        transforms.render(),
+        cascade.render()
     );
     (text, backends)
 }
@@ -338,6 +433,20 @@ pub fn check(output: &Output) -> Vec<String> {
             failures.push("bulk load should pack at least as tightly".into());
         }
     }
+    let cascade_by = |name: &str| output.cascade.iter().find(|r| r.config == name);
+    if let (Some(off), Some(full)) = (cascade_by("no cascade"), cascade_by("full cascade")) {
+        if full.matches != off.matches {
+            failures.push("the cascade must not change the answer set".into());
+        }
+        if full.dp_cells > off.dp_cells {
+            failures.push("the cascade must not add DP cells".into());
+        }
+        if full.exact_started > off.exact_started {
+            failures.push("the cascade must not add exact DTW starts".into());
+        }
+    } else {
+        failures.push("missing cascade rows".into());
+    }
     failures
 }
 
@@ -353,13 +462,20 @@ mod tests {
         assert_eq!(out.backends.len(), 3);
         assert_eq!(out.transforms.len(), 5);
         assert_eq!(out.builds.len(), 2);
+        assert_eq!(out.cascade.len(), 3);
     }
 
     #[test]
     fn render_covers_all_sections() {
         let out = run(&Params { series: 500, queries: 4, ..Params::paper() });
         let (text, _) = render(&out);
-        for section in ["Backend comparison", "second filter", "build strategy", "pruning power"] {
+        for section in [
+            "Backend comparison",
+            "second filter",
+            "build strategy",
+            "pruning power",
+            "Verification cascade",
+        ] {
             assert!(text.contains(section), "{section}");
         }
     }

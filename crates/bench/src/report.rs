@@ -89,6 +89,40 @@ pub fn persist(dir: &Path, name: &str, text: &str, table: &TextTable, json: &ser
     write("json", &serde_json::to_string_pretty(json).expect("serializable results"));
 }
 
+/// Renders accumulated [`EngineStats`] per configuration as a table: one
+/// row per labelled stats bundle, one column per verification-cascade
+/// counter. Used by the cascade ablation and available to any experiment
+/// that wants to show where candidates die.
+///
+/// [`EngineStats`]: hum_core::engine::EngineStats
+pub fn cascade_table<'a, L: AsRef<str>>(
+    rows: impl IntoIterator<Item = (L, &'a hum_core::engine::EngineStats)>,
+) -> TextTable {
+    let mut table = TextTable::new(vec![
+        "config",
+        "candidates",
+        "lb_pruned",
+        "lb_improved_pruned",
+        "exact_started",
+        "early_abandoned",
+        "dp_cells",
+        "matches",
+    ]);
+    for (label, s) in rows {
+        table.row(vec![
+            label.as_ref().to_string(),
+            s.index.candidates.to_string(),
+            s.lb_pruned.to_string(),
+            s.lb_improved_pruned.to_string(),
+            s.exact_computations.to_string(),
+            s.early_abandoned.to_string(),
+            s.dp_cells.to_string(),
+            s.matches.to_string(),
+        ]);
+    }
+    table
+}
+
 /// Formats a float with three significant decimals for table cells.
 pub fn fmt3(v: f64) -> String {
     format!("{v:.3}")
@@ -131,6 +165,23 @@ mod tests {
     fn ragged_rows_rejected() {
         let mut t = TextTable::new(vec!["a", "b"]);
         t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn cascade_table_lists_every_counter() {
+        let mut stats = hum_core::engine::EngineStats::default();
+        stats.index.candidates = 10;
+        stats.lb_pruned = 4;
+        stats.lb_improved_pruned = 2;
+        stats.exact_computations = 4;
+        stats.early_abandoned = 1;
+        stats.dp_cells = 1234;
+        stats.matches = 3;
+        let t = cascade_table([("full cascade", &stats)]);
+        let s = t.render();
+        for needle in ["full cascade", "1234", "lb_improved_pruned", "early_abandoned"] {
+            assert!(s.contains(needle), "{needle} missing from:\n{s}");
+        }
     }
 
     #[test]

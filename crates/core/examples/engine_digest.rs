@@ -1,0 +1,94 @@
+//! Prints a bit-exact digest of engine answers and counters over a fixed
+//! pseudo-random workload, for before/after comparison of engine changes.
+
+use hum_core::engine::{DtwIndexEngine, EngineConfig};
+use hum_core::transform::paa::NewPaa;
+use hum_index::{GridFile, ItemId, LinearScan, RStarTree, SpatialIndex};
+
+fn lcg_series(n: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    let mut next = move || {
+        state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    (0..n)
+        .map(|_| {
+            let mut acc = 0.0;
+            let mut s: Vec<f64> = (0..len).map(|_| { acc += next(); acc }).collect();
+            hum_linalg::vec_ops::center(&mut s);
+            s
+        })
+        .collect()
+}
+
+fn digest<I: SpatialIndex>(name: &str, make: impl Fn() -> I, mode: usize) {
+    let refine = mode;
+    let series = lcg_series(400, 64, 11);
+    let queries = lcg_series(12, 64, 777);
+    let mut engine = DtwIndexEngine::new(
+        NewPaa::new(64, 8),
+        make(),
+        match mode {
+            0 => EngineConfig {
+                envelope_refinement: false,
+                lb_improved_refinement: false,
+                early_abandon: false,
+            },
+            1 => EngineConfig {
+                envelope_refinement: true,
+                lb_improved_refinement: false,
+                early_abandon: false,
+            },
+            _ => EngineConfig::default(),
+        },
+    );
+    for (i, s) in series.iter().enumerate() {
+        engine.insert(i as ItemId, s.clone());
+    }
+    for (qi, q) in queries.iter().enumerate() {
+        for (band, radius) in [(0usize, 1.2), (3, 2.0), (6, 3.5)] {
+            let r = engine.range_query(q, band, radius);
+            let mbits: u64 = r
+                .matches
+                .iter()
+                .fold(0u64, |h, (id, d)| h.wrapping_mul(31).wrapping_add(id.wrapping_add(d.to_bits())));
+            println!(
+                "{name} refine={refine} q{qi} range b{band} r{radius}: m={} bits={mbits:x} cand={} pages={} pts={}",
+                r.matches.len(), r.stats.index.candidates, r.stats.index.node_accesses, r.stats.index.points_examined
+            );
+            let s = engine.scan_range(q, band, radius);
+            let sbits: u64 = s
+                .matches
+                .iter()
+                .fold(0u64, |h, (id, d)| h.wrapping_mul(31).wrapping_add(id.wrapping_add(d.to_bits())));
+            println!("{name} refine={refine} q{qi} scanrange b{band}: m={} bits={sbits:x}", s.matches.len());
+        }
+        for (band, k) in [(0usize, 1), (3, 5), (6, 17)] {
+            let r = engine.knn(q, band, k);
+            let mbits: u64 = r
+                .matches
+                .iter()
+                .fold(0u64, |h, (id, d)| h.wrapping_mul(31).wrapping_add(id.wrapping_add(d.to_bits())));
+            println!(
+                "{name} refine={refine} q{qi} knn b{band} k{k}: m={} bits={mbits:x} cand={} pages={} pts={}",
+                r.matches.len(), r.stats.index.candidates, r.stats.index.node_accesses, r.stats.index.points_examined
+            );
+            let s = engine.scan_knn(q, band, k);
+            let sbits: u64 = s
+                .matches
+                .iter()
+                .fold(0u64, |h, (id, d)| h.wrapping_mul(31).wrapping_add(id.wrapping_add(d.to_bits())));
+            println!("{name} refine={refine} q{qi} scanknn b{band} k{k}: m={} bits={sbits:x}", s.matches.len());
+        }
+    }
+}
+
+fn main() {
+    // mode 0: no cascade; 1: envelope filter only (the pre-cascade default);
+    // 2: the full cascade (current default config).
+    for mode in [1, 0, 2] {
+        digest("rstar", || RStarTree::with_page_size(8, 1024), mode);
+        digest("grid", || GridFile::with_params(8, 4, 32, 1024), mode);
+        digest("linear", || LinearScan::with_page_size(8, 1024), mode);
+    }
+}

@@ -27,6 +27,39 @@ pub fn band_for_warping_width(delta: f64, n: usize) -> usize {
     (k.max(0.0) as usize).min(n.saturating_sub(1))
 }
 
+/// Reusable scratch space for the banded DTW kernel.
+///
+/// The kernel needs two DP rows of width `2k + 1`; allocating them per call
+/// dominates the cost of verifying short series. A workspace amortizes the
+/// allocation across an entire query (the engine keeps one per query) and
+/// doubles as the profiler for the cascade: [`DtwWorkspace::cells`] counts
+/// every DP cell evaluated through it, which is the "verification work" the
+/// cascade exists to reduce.
+#[derive(Debug, Clone, Default)]
+pub struct DtwWorkspace {
+    prev: Vec<f64>,
+    curr: Vec<f64>,
+    cells: u64,
+}
+
+impl DtwWorkspace {
+    /// An empty workspace; rows grow on first use.
+    pub fn new() -> Self {
+        DtwWorkspace::default()
+    }
+
+    /// Total DP cells evaluated through this workspace since construction
+    /// (or the last [`DtwWorkspace::reset_cells`]).
+    pub fn cells(&self) -> u64 {
+        self.cells
+    }
+
+    /// Resets the DP-cell counter to zero.
+    pub fn reset_cells(&mut self) {
+        self.cells = 0;
+    }
+}
+
 /// Squared `k`-Local DTW distance between equal-length series
 /// (Definition 4).
 ///
@@ -45,8 +78,40 @@ pub fn band_for_warping_width(delta: f64, n: usize) -> usize {
 ///
 /// # Panics
 /// Panics if the series lengths differ or are zero.
-#[allow(clippy::needless_range_loop)] // explicit i/j indices mirror the DP recurrence
 pub fn ldtw_distance_sq(x: &[f64], y: &[f64], k: usize) -> f64 {
+    ldtw_distance_sq_bounded_with(&mut DtwWorkspace::new(), x, y, k, f64::INFINITY)
+}
+
+/// Early-abandoning variant of [`ldtw_distance_sq`].
+///
+/// Returns exactly `ldtw_distance_sq(x, y, k)` — same floating-point
+/// operations in the same order — whenever that value is `≤ threshold_sq`.
+/// When every admissible cell of some DP row exceeds `threshold_sq`, no
+/// warping path can finish below it (path costs are sums of non-negative
+/// terms and every path crosses every row), so the kernel abandons the
+/// remaining rows and returns `f64::INFINITY`. The result is therefore
+/// `> threshold_sq` exactly when the true distance is, which is all a
+/// threshold-aware caller inspects.
+///
+/// # Panics
+/// Panics if the series lengths differ or are zero.
+pub fn ldtw_distance_sq_bounded(x: &[f64], y: &[f64], k: usize, threshold_sq: f64) -> f64 {
+    ldtw_distance_sq_bounded_with(&mut DtwWorkspace::new(), x, y, k, threshold_sq)
+}
+
+/// [`ldtw_distance_sq_bounded`] computing in a caller-provided
+/// [`DtwWorkspace`], avoiding the two per-call row allocations.
+///
+/// # Panics
+/// Panics if the series lengths differ or are zero.
+#[allow(clippy::needless_range_loop)] // explicit i/j indices mirror the DP recurrence
+pub fn ldtw_distance_sq_bounded_with(
+    ws: &mut DtwWorkspace,
+    x: &[f64],
+    y: &[f64],
+    k: usize,
+    threshold_sq: f64,
+) -> f64 {
     let n = x.len();
     assert_eq!(n, y.len(), "LDTW requires equal lengths (apply the UTW normal form first)");
     assert!(n > 0, "LDTW of empty series");
@@ -55,23 +120,31 @@ pub fn ldtw_distance_sq(x: &[f64], y: &[f64], k: usize) -> f64 {
     // Banded DP over rows; each row stores the window [i-k, i+k].
     let width = 2 * k + 1;
     let inf = f64::INFINITY;
-    let mut prev = vec![inf; width];
-    let mut curr = vec![inf; width];
+    ws.prev.clear();
+    ws.prev.resize(width, inf);
+    ws.curr.clear();
+    ws.curr.resize(width, inf);
 
-    // Row 0: j in [0, k].
+    // Row 0: j in [0, k]. Prefix sums are non-decreasing, so the row minimum
+    // is the first cell, (0, 0).
     {
         let mut acc = 0.0;
         for j in 0..=k.min(n - 1) {
             let d = x[0] - y[j];
             acc += d * d;
-            prev[j + k] = acc; // offset: column j maps to slot j - (i - k) = j - i + k
+            ws.prev[j + k] = acc; // offset: column j maps to slot j - (i - k) = j - i + k
+        }
+        ws.cells += (k.min(n - 1) + 1) as u64;
+        if ws.prev[k] > threshold_sq {
+            return inf;
         }
     }
 
     for i in 1..n {
-        curr.iter_mut().for_each(|v| *v = inf);
+        ws.curr.iter_mut().for_each(|v| *v = inf);
         let j_lo = i.saturating_sub(k);
         let j_hi = (i + k).min(n - 1);
+        let mut row_min = inf;
         for j in j_lo..=j_hi {
             let slot = j + k - i;
             let d = x[i] - y[j];
@@ -80,18 +153,24 @@ pub fn ldtw_distance_sq(x: &[f64], y: &[f64], k: usize) -> f64 {
             // (i-1, j-1) -> slot; in the current row, (i, j-1) -> slot-1.
             let mut best = inf;
             if slot + 1 < width {
-                best = best.min(prev[slot + 1]);
+                best = best.min(ws.prev[slot + 1]);
             }
-            best = best.min(prev[slot]);
+            best = best.min(ws.prev[slot]);
             if slot > 0 {
-                best = best.min(curr[slot - 1]);
+                best = best.min(ws.curr[slot - 1]);
             }
-            curr[slot] = cost + best;
+            let cell = cost + best;
+            ws.curr[slot] = cell;
+            row_min = row_min.min(cell);
         }
-        std::mem::swap(&mut prev, &mut curr);
+        ws.cells += (j_hi - j_lo + 1) as u64;
+        if row_min > threshold_sq {
+            return inf;
+        }
+        std::mem::swap(&mut ws.prev, &mut ws.curr);
     }
     // Cell (n-1, n-1) sits at slot k.
-    prev[k]
+    ws.prev[k]
 }
 
 /// Root of [`ldtw_distance_sq`].

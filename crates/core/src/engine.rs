@@ -15,18 +15,25 @@
 //!
 //! k-NN queries use the optimal multi-step scheme (Seidl & Kriegel): probe
 //! the index for `k` nearest feature lower bounds, take the `k`-th exact
-//! distance as a provisional radius, then close with one exact range query.
+//! distance as a provisional radius, then close with one exact range query
+//! whose candidates are verified best-first under a shrinking radius.
+//!
+//! Verification runs as a threshold-aware cascade in squared-distance space
+//! (one square root per reported match): index box → envelope lower bound →
+//! two-pass `LB_Improved` → early-abandoning banded DTW. Each stage is exact
+//! with respect to the prune threshold, so the cascade changes only the work
+//! counters, never the answers.
 //!
 //! The warping band is a *query-time* parameter: one index serves every
 //! warping width, which is the paper's point that "adding the DTW support
 //! requires changes only to the time series query".
 
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 
 use hum_index::{ItemId, Query, QueryStats, SpatialIndex};
 
-use crate::dtw::ldtw_distance;
-use crate::envelope::Envelope;
+use crate::dtw::{ldtw_distance_sq_bounded_with, DtwWorkspace};
+use crate::envelope::{lb_improved_tail_sq, Envelope, LbScratch};
 use crate::transform::EnvelopeTransform;
 
 /// Engine tuning knobs.
@@ -35,11 +42,22 @@ pub struct EngineConfig {
     /// Apply the full-dimension envelope lower bound to index candidates
     /// before running exact DTW (cheap and prunes aggressively).
     pub envelope_refinement: bool,
+    /// Apply Lemire's two-pass `LB_Improved` to candidates that survive the
+    /// envelope bound, before exact DTW (costs two O(n) passes, prunes the
+    /// near-misses the plain envelope bound lets through).
+    pub lb_improved_refinement: bool,
+    /// Abandon exact DTW verification as soon as a DP row proves the
+    /// distance exceeds the query radius (or the current k-NN best-so-far).
+    pub early_abandon: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { envelope_refinement: true }
+        EngineConfig {
+            envelope_refinement: true,
+            lb_improved_refinement: true,
+            early_abandon: true,
+        }
     }
 }
 
@@ -50,10 +68,33 @@ pub struct EngineStats {
     pub index: QueryStats,
     /// Candidates removed by the envelope second filter.
     pub lb_pruned: u64,
-    /// Exact DTW evaluations performed.
+    /// Candidates removed by the `LB_Improved` third filter.
+    pub lb_improved_pruned: u64,
+    /// Exact DTW evaluations started (including abandoned ones).
     pub exact_computations: u64,
+    /// Exact DTW evaluations abandoned early by the radius threshold.
+    pub early_abandoned: u64,
+    /// DTW dynamic-programming cells evaluated during verification.
+    pub dp_cells: u64,
     /// Final matches returned.
     pub matches: u64,
+}
+
+impl EngineStats {
+    /// Adds another query's counters into this accumulator (for averaging
+    /// work over a batch of queries).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.index.node_accesses += other.index.node_accesses;
+        self.index.leaf_accesses += other.index.leaf_accesses;
+        self.index.points_examined += other.index.points_examined;
+        self.index.candidates += other.index.candidates;
+        self.lb_pruned += other.lb_pruned;
+        self.lb_improved_pruned += other.lb_improved_pruned;
+        self.exact_computations += other.exact_computations;
+        self.early_abandoned += other.early_abandoned;
+        self.dp_cells += other.dp_cells;
+        self.matches += other.matches;
+    }
 }
 
 /// Result of a range or k-NN query: `(id, exact DTW distance)` pairs sorted
@@ -143,6 +184,54 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         true
     }
 
+    /// Runs the post-index verification cascade for one candidate at a fixed
+    /// squared threshold. Returns `Some(d_sq)` when the candidate's exact
+    /// squared distance was computed and is `≤ threshold_sq`… or when exact
+    /// DTW ran un-abandoned and produced any finite value (callers compare
+    /// against their own threshold); `None` when a stage pruned it.
+    #[allow(clippy::too_many_arguments)]
+    fn cascade_verify(
+        &self,
+        query: &[f64],
+        envelope: &Envelope,
+        band: usize,
+        series: &[f64],
+        threshold_sq: f64,
+        precomputed_lb_sq: Option<f64>,
+        stats: &mut EngineStats,
+        ws: &mut DtwWorkspace,
+        scratch: &mut LbScratch,
+    ) -> Option<f64> {
+        let use_env = self.config.envelope_refinement || self.config.lb_improved_refinement;
+        let mut lb_sq = 0.0;
+        if use_env {
+            lb_sq = match precomputed_lb_sq {
+                Some(lb) => lb,
+                None => envelope.distance_sq_bounded(series, threshold_sq),
+            };
+            if lb_sq > threshold_sq {
+                stats.lb_pruned += 1;
+                return None;
+            }
+        }
+        if self.config.lb_improved_refinement {
+            let tail =
+                lb_improved_tail_sq(query, envelope, series, band, threshold_sq - lb_sq, scratch);
+            if lb_sq + tail > threshold_sq {
+                stats.lb_improved_pruned += 1;
+                return None;
+            }
+        }
+        stats.exact_computations += 1;
+        let dtw_threshold = if self.config.early_abandon { threshold_sq } else { f64::INFINITY };
+        let d_sq = ldtw_distance_sq_bounded_with(ws, query, series, band, dtw_threshold);
+        if d_sq.is_infinite() {
+            stats.early_abandoned += 1;
+            return None;
+        }
+        Some(d_sq)
+    }
+
     /// ε-range query: all series whose band-`k` DTW distance to `query` is
     /// at most `radius`. Guaranteed free of false negatives.
     ///
@@ -150,27 +239,29 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
     /// Panics if `query.len()` differs from the normal-form length.
     pub fn range_query(&self, query: &[f64], band: usize, radius: f64) -> QueryResult {
         assert_eq!(query.len(), self.transform.input_len(), "query must be in normal form");
+        let radius_sq = radius * radius;
         let envelope = Envelope::compute(query, band);
         let feature_box = self.transform.project_envelope(&envelope);
         let (candidates, index_stats) =
             self.index.range_query(&Query::Rect(feature_box), radius);
 
         let mut stats = EngineStats { index: index_stats, ..EngineStats::default() };
+        let mut ws = DtwWorkspace::new();
+        let mut scratch = LbScratch::new();
         let mut matches = Vec::new();
         for id in candidates {
             let series = &self.series[&id];
-            if self.config.envelope_refinement && envelope.distance(series) > radius {
-                stats.lb_pruned += 1;
-                continue;
-            }
-            stats.exact_computations += 1;
-            let d = ldtw_distance(query, series, band);
-            if d <= radius {
-                matches.push((id, d));
+            if let Some(d_sq) = self.cascade_verify(
+                query, &envelope, band, series, radius_sq, None, &mut stats, &mut ws, &mut scratch,
+            ) {
+                if d_sq <= radius_sq {
+                    matches.push((id, d_sq.sqrt()));
+                }
             }
         }
         sort_by_distance(&mut matches);
         stats.matches = matches.len() as u64;
+        stats.dp_cells = ws.cells();
         QueryResult { matches, stats }
     }
 
@@ -186,17 +277,25 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         let envelope = Envelope::compute(query, band);
         let feature_box = self.transform.project_envelope(&envelope);
         let shape = Query::Rect(feature_box);
+        let mut ws = DtwWorkspace::new();
+        let mut scratch = LbScratch::new();
 
         // Step 1: k candidates by ascending feature lower bound.
         let (probes, probe_stats) = self.index.knn(&shape, k);
         let mut stats = EngineStats { index: probe_stats, ..EngineStats::default() };
 
-        // Step 2: provisional radius from their exact distances.
-        let mut radius = 0.0f64;
+        // Step 2: provisional radius from their exact distances, which are
+        // cached so step 3 never recomputes a probe.
+        let mut exact: HashMap<ItemId, f64> = HashMap::with_capacity(probes.len());
+        let mut radius_sq = 0.0f64;
         for (id, _) in &probes {
             stats.exact_computations += 1;
-            radius = radius.max(ldtw_distance(query, &self.series[id], band));
+            let d_sq =
+                ldtw_distance_sq_bounded_with(&mut ws, query, &self.series[id], band, f64::INFINITY);
+            radius_sq = radius_sq.max(d_sq);
+            exact.insert(*id, d_sq);
         }
+        let radius = radius_sq.sqrt();
 
         // Step 3: closing range query at the provisional radius. Any true
         // top-k member has exact distance ≤ radius, hence lower bound ≤
@@ -204,62 +303,185 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         let (candidates, range_stats) = self.index.range_query(&shape, radius);
         stats.index.absorb(&range_stats);
 
-        let mut matches = Vec::with_capacity(candidates.len());
+        // Best-so-far is a max-heap seeded with the probes (worst of the
+        // current top-k on top); its top is the shrinking radius.
+        let mut heap: BinaryHeap<Cand> =
+            probes.iter().map(|(id, _)| Cand { d_sq: exact[id], id: *id }).collect();
+
+        // Envelope-bound pass over the remaining candidates at the outer
+        // radius, so the expensive stages can visit them in ascending
+        // lower-bound order: the likeliest true neighbors come first and
+        // shrink the radius fastest for everything after them.
+        let use_env = self.config.envelope_refinement || self.config.lb_improved_refinement;
+        let mut pending: Vec<(f64, ItemId)> = Vec::new();
         for id in candidates {
-            let series = &self.series[&id];
-            if self.config.envelope_refinement && envelope.distance(series) > radius {
+            if exact.contains_key(&id) {
+                continue; // probe: exact distance already known
+            }
+            if use_env {
+                let lb_sq = envelope.distance_sq_bounded(&self.series[&id], radius_sq);
+                if lb_sq > radius_sq {
+                    stats.lb_pruned += 1;
+                    continue;
+                }
+                pending.push((lb_sq, id));
+            } else {
+                pending.push((0.0, id));
+            }
+        }
+        pending.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).expect("finite lower bounds").then_with(|| a.1.cmp(&b.1))
+        });
+
+        for (lb_sq, id) in pending {
+            // The threshold an entrant must beat: the current k-th best when
+            // the heap is full, the provisional radius while it is not.
+            let full = heap.len() >= k;
+            // While the heap is under-full (only possible if the index's knn
+            // returned fewer than `min(k, len)` probes) every survivor is
+            // kept, so verification must run to completion.
+            let threshold_sq =
+                if full { heap.peek().expect("non-empty heap").d_sq } else { f64::INFINITY };
+            if full && lb_sq > threshold_sq {
                 stats.lb_pruned += 1;
                 continue;
             }
-            stats.exact_computations += 1;
-            matches.push((id, ldtw_distance(query, series, band)));
+            let series = &self.series[&id];
+            let verified = self.cascade_verify(
+                query,
+                &envelope,
+                band,
+                series,
+                threshold_sq,
+                use_env.then_some(lb_sq),
+                &mut stats,
+                &mut ws,
+                &mut scratch,
+            );
+            let Some(d_sq) = verified else { continue };
+            if !full {
+                heap.push(Cand { d_sq, id });
+            } else {
+                let worst = heap.peek().expect("non-empty heap");
+                if (d_sq, id) < (worst.d_sq, worst.id) {
+                    heap.pop();
+                    heap.push(Cand { d_sq, id });
+                }
+            }
         }
+
+        let mut matches: Vec<(ItemId, f64)> =
+            heap.into_sorted_vec().into_iter().map(|c| (c.id, c.d_sq.sqrt())).collect();
         sort_by_distance(&mut matches);
         matches.truncate(k);
         stats.matches = matches.len() as u64;
+        stats.dp_cells = ws.cells();
         QueryResult { matches, stats }
     }
 
     /// Brute-force ε-range query (no index): the slow baseline the paper's
     /// related work resorted to. Exact by construction; used for validation
-    /// and speed comparisons.
+    /// and speed comparisons. Runs the same verification cascade as
+    /// [`DtwIndexEngine::range_query`], over every stored series in id order
+    /// (so the work counters are deterministic).
     pub fn scan_range(&self, query: &[f64], band: usize, radius: f64) -> QueryResult {
         assert_eq!(query.len(), self.transform.input_len(), "query must be in normal form");
+        let radius_sq = radius * radius;
         let envelope = Envelope::compute(query, band);
         let mut stats = EngineStats::default();
+        let mut ws = DtwWorkspace::new();
+        let mut scratch = LbScratch::new();
         let mut matches = Vec::new();
-        for (id, series) in &self.series {
-            if self.config.envelope_refinement && envelope.distance(series) > radius {
-                stats.lb_pruned += 1;
-                continue;
-            }
-            stats.exact_computations += 1;
-            let d = ldtw_distance(query, series, band);
-            if d <= radius {
-                matches.push((*id, d));
+        for id in self.sorted_ids() {
+            let series = &self.series[&id];
+            if let Some(d_sq) = self.cascade_verify(
+                query, &envelope, band, series, radius_sq, None, &mut stats, &mut ws, &mut scratch,
+            ) {
+                if d_sq <= radius_sq {
+                    matches.push((id, d_sq.sqrt()));
+                }
             }
         }
         sort_by_distance(&mut matches);
         stats.matches = matches.len() as u64;
+        stats.dp_cells = ws.cells();
         QueryResult { matches, stats }
     }
 
-    /// Brute-force k-NN (no index). Exact by construction.
+    /// Brute-force k-NN (no index). Exact by construction. Visits series in
+    /// id order, threading the best-so-far `k`-th distance through the
+    /// early-abandoning kernel (no lower-bound stages: this is the
+    /// what-if-there-were-no-envelopes baseline).
     pub fn scan_knn(&self, query: &[f64], band: usize, k: usize) -> QueryResult {
         assert_eq!(query.len(), self.transform.input_len(), "query must be in normal form");
         let mut stats = EngineStats::default();
-        let mut all: Vec<(ItemId, f64)> = self
-            .series
-            .iter()
-            .map(|(id, series)| {
-                stats.exact_computations += 1;
-                (*id, ldtw_distance(query, series, band))
-            })
-            .collect();
-        sort_by_distance(&mut all);
-        all.truncate(k);
-        stats.matches = all.len() as u64;
-        QueryResult { matches: all, stats }
+        let mut ws = DtwWorkspace::new();
+        let mut heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
+        for id in self.sorted_ids() {
+            let full = k > 0 && heap.len() >= k;
+            let threshold_sq = if full && self.config.early_abandon {
+                heap.peek().expect("non-empty heap").d_sq
+            } else {
+                f64::INFINITY
+            };
+            stats.exact_computations += 1;
+            let d_sq =
+                ldtw_distance_sq_bounded_with(&mut ws, query, &self.series[&id], band, threshold_sq);
+            if d_sq.is_infinite() {
+                stats.early_abandoned += 1;
+                continue;
+            }
+            if !full {
+                if k > 0 {
+                    heap.push(Cand { d_sq, id });
+                }
+            } else {
+                let worst = heap.peek().expect("non-empty heap");
+                if (d_sq, id) < (worst.d_sq, worst.id) {
+                    heap.pop();
+                    heap.push(Cand { d_sq, id });
+                }
+            }
+        }
+        let mut matches: Vec<(ItemId, f64)> =
+            heap.into_sorted_vec().into_iter().map(|c| (c.id, c.d_sq.sqrt())).collect();
+        sort_by_distance(&mut matches);
+        stats.matches = matches.len() as u64;
+        stats.dp_cells = ws.cells();
+        QueryResult { matches, stats }
+    }
+
+    /// All stored ids, ascending — a deterministic scan order.
+    fn sorted_ids(&self) -> Vec<ItemId> {
+        let mut ids: Vec<ItemId> = self.series.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Max-heap entry for the k-NN best-so-far set: orders by squared distance,
+/// ties broken toward the larger id so the heap's top is always the entry a
+/// lexicographically smaller `(distance, id)` pair should displace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cand {
+    d_sq: f64,
+    id: ItemId,
+}
+
+impl Eq for Cand {}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.d_sq
+            .partial_cmp(&other.d_sq)
+            .expect("finite distances")
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -272,6 +494,7 @@ fn sort_by_distance(matches: &mut [(ItemId, f64)]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dtw::ldtw_distance;
     use crate::transform::paa::{KeoghPaa, NewPaa};
     use hum_index::{GridFile, LinearScan, RStarTree};
 
@@ -404,12 +627,12 @@ mod tests {
         let mut new_engine = DtwIndexEngine::new(
             NewPaa::new(64, 8),
             LinearScan::with_page_size(8, 1024),
-            EngineConfig { envelope_refinement: false },
+            EngineConfig { envelope_refinement: false, ..EngineConfig::default() },
         );
         let mut keogh_engine = DtwIndexEngine::new(
             KeoghPaa::new(64, 8),
             LinearScan::with_page_size(8, 1024),
-            EngineConfig { envelope_refinement: false },
+            EngineConfig { envelope_refinement: false, ..EngineConfig::default() },
         );
         for (i, s) in series.iter().enumerate() {
             new_engine.insert(i as ItemId, s.clone());
@@ -433,12 +656,12 @@ mod tests {
         let mut with = DtwIndexEngine::new(
             NewPaa::new(64, 8),
             RStarTree::with_page_size(8, 1024),
-            EngineConfig { envelope_refinement: true },
+            EngineConfig { envelope_refinement: true, ..EngineConfig::default() },
         );
         let mut without = DtwIndexEngine::new(
             NewPaa::new(64, 8),
             RStarTree::with_page_size(8, 1024),
-            EngineConfig { envelope_refinement: false },
+            EngineConfig { envelope_refinement: false, ..EngineConfig::default() },
         );
         for (i, s) in series.iter().enumerate() {
             with.insert(i as ItemId, s.clone());

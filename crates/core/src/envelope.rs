@@ -106,13 +106,140 @@ impl Envelope {
     pub fn distance(&self, x: &[f64]) -> f64 {
         self.distance_sq(x).sqrt()
     }
+
+    /// Early-abandoning variant of [`Envelope::distance_sq`]: identical
+    /// accumulation order, but returns `f64::INFINITY` as soon as the running
+    /// sum exceeds `threshold_sq`. The result is `> threshold_sq` exactly
+    /// when the full distance is, and equals it whenever it is
+    /// `≤ threshold_sq`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.len()`.
+    pub fn distance_sq_bounded(&self, x: &[f64], threshold_sq: f64) -> f64 {
+        assert_eq!(x.len(), self.len(), "length mismatch");
+        let mut acc = 0.0;
+        for (v, (l, u)) in x.iter().zip(self.lower.iter().zip(&self.upper)) {
+            let d = if v < l {
+                l - v
+            } else if v > u {
+                v - u
+            } else {
+                0.0
+            };
+            acc += d * d;
+            if acc > threshold_sq {
+                return f64::INFINITY;
+            }
+        }
+        acc
+    }
+
+    /// Writes the pointwise projection (clamp) of `x` onto this envelope into
+    /// `out`: the member of the envelope closest to `x` in any `L_p` norm.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.len()`.
+    pub fn clamp_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.len(), "length mismatch");
+        out.clear();
+        out.extend(
+            x.iter()
+                .zip(self.lower.iter().zip(&self.upper))
+                .map(|(v, (l, u))| v.clamp(*l, *u)),
+        );
+    }
+
+    /// Recomputes this envelope in place as `Env_k(x)`, reusing the bound
+    /// vectors' allocations (the per-candidate path of [`lb_improved_sq`]).
+    ///
+    /// # Panics
+    /// Panics if `x` is empty.
+    pub fn recompute(&mut self, x: &[f64], k: usize) {
+        assert!(!x.is_empty(), "envelope of empty series");
+        sliding_extreme_into(x, k, false, &mut self.lower);
+        sliding_extreme_into(x, k, true, &mut self.upper);
+    }
+}
+
+/// Reusable buffers for [`lb_improved_sq`] / [`lb_improved_tail_sq`]: the
+/// projection of a candidate onto the query envelope and that projection's
+/// own envelope.
+#[derive(Debug, Clone)]
+pub struct LbScratch {
+    projection: Vec<f64>,
+    env: Envelope,
+}
+
+impl LbScratch {
+    /// Fresh scratch space; buffers grow on first use.
+    pub fn new() -> Self {
+        LbScratch { projection: Vec::new(), env: Envelope::degenerate(&[0.0]) }
+    }
+}
+
+impl Default for LbScratch {
+    fn default() -> Self {
+        LbScratch::new()
+    }
+}
+
+/// The second pass of Lemire's two-pass `LB_Improved` (squared): the distance
+/// from `query` to the `k`-envelope of the projection of `candidate` onto
+/// `query_env = Env_k(query)`.
+///
+/// Adding this to `query_env.distance_sq(candidate)` (the classic Keogh
+/// bound, Lemma 2) still lower-bounds the squared band-`k` DTW distance
+/// between `query` and `candidate`: the projection `h` absorbs exactly the
+/// excursions the first pass already charged for, and any warping path must
+/// additionally pay for the query's excursions outside `Env_k(h)`.
+///
+/// Early-abandons against `budget_sq` (what is left of the caller's
+/// threshold after the first pass), returning `f64::INFINITY` once exceeded.
+///
+/// # Panics
+/// Panics on length mismatches between `query`, `query_env` and `candidate`.
+pub fn lb_improved_tail_sq(
+    query: &[f64],
+    query_env: &Envelope,
+    candidate: &[f64],
+    k: usize,
+    budget_sq: f64,
+    scratch: &mut LbScratch,
+) -> f64 {
+    query_env.clamp_into(candidate, &mut scratch.projection);
+    scratch.env.recompute(&scratch.projection, k);
+    scratch.env.distance_sq_bounded(query, budget_sq)
+}
+
+/// Lemire's two-pass `LB_Improved` (squared): `LB_Keogh²(candidate, query)`
+/// plus the [`lb_improved_tail_sq`] second pass. Sandwiched between the
+/// classic envelope bound and the true distance:
+///
+/// ```text
+/// Env_k(q).distance_sq(s)  ≤  lb_improved_sq(q, s, k)  ≤  ldtw_distance_sq(q, s, k)
+/// ```
+///
+/// # Panics
+/// Panics if the series lengths differ or are zero.
+pub fn lb_improved_sq(query: &[f64], candidate: &[f64], k: usize) -> f64 {
+    let env = Envelope::compute(query, k);
+    let lb1 = env.distance_sq(candidate);
+    lb1 + lb_improved_tail_sq(query, &env, candidate, k, f64::INFINITY, &mut LbScratch::new())
 }
 
 /// Sliding-window maximum (or minimum) with window `[i−k, i+k]`, using a
 /// monotonic deque of indices.
 fn sliding_extreme(x: &[f64], k: usize, want_max: bool) -> Vec<f64> {
+    let mut out = Vec::with_capacity(x.len());
+    sliding_extreme_into(x, k, want_max, &mut out);
+    out
+}
+
+/// [`sliding_extreme`] writing into a caller-provided buffer.
+fn sliding_extreme_into(x: &[f64], k: usize, want_max: bool, out: &mut Vec<f64>) {
     let n = x.len();
-    let mut out = Vec::with_capacity(n);
+    out.clear();
+    out.reserve(n);
     let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
     let better = |a: f64, b: f64| if want_max { a >= b } else { a <= b };
 
@@ -150,7 +277,6 @@ fn sliding_extreme(x: &[f64], k: usize, want_max: bool) -> Vec<f64> {
         }
         out.push(x[*deque.front().expect("window is never empty")]);
     }
-    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,105 @@
+//! Engine-level properties of the verification cascade: every stage
+//! (envelope bound, `LB_Improved`, early-abandoning DTW) is exact with
+//! respect to its prune threshold, so turning the cascade on or off must be
+//! invisible in the answers — same ids, bit-identical distances — on every
+//! index backend.
+
+use hum_core::engine::{DtwIndexEngine, EngineConfig};
+use hum_core::transform::paa::NewPaa;
+use hum_index::{GridFile, LinearScan, RStarTree, SpatialIndex};
+use proptest::prelude::*;
+
+const LEN: usize = 32;
+const N: usize = 60;
+
+/// Deterministic pseudo-random walks from a seed, centered like the
+/// engine's normal form expects.
+fn lcg_series(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    let mut next = move || {
+        state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    (0..n)
+        .map(|_| {
+            let mut acc = 0.0;
+            let mut s: Vec<f64> = (0..LEN)
+                .map(|_| {
+                    acc += next();
+                    acc
+                })
+                .collect();
+            hum_linalg::vec_ops::center(&mut s);
+            s
+        })
+        .collect()
+}
+
+/// Bit-exact images of the four query answers under one backend + config.
+#[allow(clippy::type_complexity)]
+fn answers<I: SpatialIndex>(
+    make: impl Fn() -> I,
+    config: EngineConfig,
+    database: &[Vec<f64>],
+    query: &[f64],
+    band: usize,
+    radius: f64,
+    k: usize,
+) -> Vec<Vec<(u64, u64)>> {
+    let mut engine = DtwIndexEngine::new(NewPaa::new(LEN, 4), make(), config);
+    for (i, s) in database.iter().enumerate() {
+        engine.insert(i as u64, s.clone());
+    }
+    let bits = |matches: &[(u64, f64)]| {
+        matches.iter().map(|&(id, d)| (id, d.to_bits())).collect::<Vec<_>>()
+    };
+    vec![
+        bits(&engine.range_query(query, band, radius).matches),
+        bits(&engine.knn(query, band, k).matches),
+        bits(&engine.scan_range(query, band, radius).matches),
+        bits(&engine.scan_knn(query, band, k).matches),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cascade_and_backend_are_invisible_in_answers(
+        seed in any::<u64>(),
+        band in 0usize..8,
+        k in 1usize..8,
+        radius in 0.5f64..4.0,
+    ) {
+        let database = lcg_series(N, seed);
+        let query = lcg_series(1, seed ^ 0x00ab_cdef).remove(0);
+        let off = EngineConfig {
+            envelope_refinement: false,
+            lb_improved_refinement: false,
+            early_abandon: false,
+        };
+        let reference = answers(
+            || LinearScan::with_page_size(4, 1024),
+            off,
+            &database,
+            &query,
+            band,
+            radius,
+            k,
+        );
+        prop_assert!(
+            reference[0].len() <= N && reference[1].len() == k.min(N),
+            "reference answers malformed"
+        );
+        for config in [off, EngineConfig::default()] {
+            let variants = [
+                answers(|| RStarTree::with_page_size(4, 1024), config, &database, &query, band, radius, k),
+                answers(|| GridFile::with_params(4, 4, 32, 1024), config, &database, &query, band, radius, k),
+                answers(|| LinearScan::with_page_size(4, 1024), config, &database, &query, band, radius, k),
+            ];
+            for got in &variants {
+                prop_assert_eq!(got, &reference);
+            }
+        }
+    }
+}

@@ -7,8 +7,11 @@
 //! x ∈ Env_k(x);  z ∈ e ⇒ T(z) ∈ T(e)   (container invariance)
 //! ```
 
-use hum_core::dtw::{dtw_distance_sq, ldtw_distance, ldtw_distance_sq};
-use hum_core::envelope::Envelope;
+use hum_core::dtw::{
+    dtw_distance_sq, ldtw_distance, ldtw_distance_sq, ldtw_distance_sq_bounded,
+    ldtw_distance_sq_bounded_with, DtwWorkspace,
+};
+use hum_core::envelope::{lb_improved_sq, Envelope};
 use hum_core::transform::dft::Dft;
 use hum_core::transform::dwt::Dwt;
 use hum_core::transform::paa::{KeoghPaa, NewPaa};
@@ -122,5 +125,50 @@ proptest! {
     #[test]
     fn unconstrained_dtw_lower_bounds_banded(x in series(), y in series(), k in 0usize..6) {
         prop_assert!(dtw_distance_sq(&x, &y) <= ldtw_distance_sq(&x, &y, k) + 1e-9);
+    }
+
+    #[test]
+    fn bounded_kernel_is_exact_under_threshold_and_over_it_otherwise(
+        x in series(),
+        y in series(),
+        k in 0usize..10,
+        frac in 0.0f64..2.0,
+    ) {
+        let exact = ldtw_distance_sq(&x, &y, k);
+        let threshold = exact * frac;
+        let bounded = ldtw_distance_sq_bounded(&x, &y, k, threshold);
+        if exact <= threshold {
+            // Same float-op order as the unbounded kernel, so bit-identical.
+            prop_assert_eq!(bounded.to_bits(), exact.to_bits());
+        } else {
+            prop_assert!(bounded > threshold, "{} not above {}", bounded, threshold);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_does_not_change_the_kernel(
+        xs in proptest::collection::vec(series(), 3..=3),
+        y in series(),
+        k in 0usize..10,
+    ) {
+        let mut ws = DtwWorkspace::new();
+        for x in &xs {
+            let fresh = ldtw_distance_sq(x, &y, k);
+            let reused = ldtw_distance_sq_bounded_with(&mut ws, x, &y, k, f64::INFINITY);
+            prop_assert_eq!(reused.to_bits(), fresh.to_bits());
+        }
+    }
+
+    #[test]
+    fn lb_improved_sits_between_envelope_bound_and_dtw(
+        q in series(),
+        s in series(),
+        k in 0usize..10,
+    ) {
+        let lb_env = Envelope::compute(&q, k).distance_sq(&s);
+        let lb_imp = lb_improved_sq(&q, &s, k);
+        let dtw = ldtw_distance_sq(&q, &s, k);
+        prop_assert!(lb_env <= lb_imp + 1e-9, "{} > {}", lb_env, lb_imp);
+        prop_assert!(lb_imp <= dtw + 1e-9, "{} > {}", lb_imp, dtw);
     }
 }

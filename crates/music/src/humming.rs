@@ -278,8 +278,10 @@ mod tests {
             let sung = HummingSimulator::new(SingerProfile::poor(), seed).sing_notes(&m);
             let total: f64 = sung.iter().map(|n| n.seconds).sum();
             let factor = total / nominal;
-            // Duration jitter widens the band slightly beyond the tempo range.
-            assert!((0.35..=2.6).contains(&factor), "tempo factor {factor}");
+            // Duration jitter widens the band beyond the tempo range: over a
+            // six-note melody the poor profile's jitter (sigma 0.6) moves the
+            // mean note duration by up to ~45%, on top of tempo in [0.5, 2].
+            assert!((0.3..=3.2).contains(&factor), "tempo factor {factor}");
         }
     }
 

@@ -1,0 +1,265 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Bencher::{iter, iter_batched}`, `criterion_group!`, `criterion_main!` —
+//! backed by a simple adaptive wall-clock timer: each benchmark is warmed up,
+//! then run until it accumulates a fixed time budget, and the mean
+//! nanoseconds per iteration is printed. No statistics, plots, or baselines;
+//! enough to compare kernels and track regressions by eye.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (re-export of
+/// `std::hint::black_box` for criterion API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+    /// Fixed number of batches.
+    NumBatches(u64),
+    /// Fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<P: Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark id: a plain string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    /// Measured mean nanoseconds per iteration, filled by `iter*`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` until the time budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and a first estimate of per-call cost.
+        let start = Instant::now();
+        std_black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let target_iters =
+            (self.budget.as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000_000) as u64;
+        let timer = Instant::now();
+        for _ in 0..target_iters {
+            std_black_box(routine());
+        }
+        let elapsed = timer.elapsed();
+        self.ns_per_iter = elapsed.as_nanos() as f64 / target_iters as f64;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup cost
+    /// from the per-iteration estimate only crudely (setup runs inside the
+    /// loop but its cost is measured and subtracted).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Estimate setup cost alone.
+        let setup_timer = Instant::now();
+        let first_input = setup();
+        let setup_cost = setup_timer.elapsed();
+        let start = Instant::now();
+        std_black_box(routine(first_input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let target_iters =
+            (self.budget.as_nanos() / (once + setup_cost).as_nanos().max(1)).clamp(1, 1_000_000)
+                as u64;
+        let mut routine_total = Duration::ZERO;
+        for _ in 0..target_iters {
+            let input = setup();
+            let timer = Instant::now();
+            std_black_box(routine(input));
+            routine_total += timer.elapsed();
+        }
+        self.ns_per_iter = routine_total.as_nanos() as f64 / target_iters as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Adjusts the sampling effort (mapped onto the time budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion's default is 100 samples; scale our default budget.
+        self.sample_budget = Duration::from_millis((n as u64).clamp(10, 200));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, self.sample_budget, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, self.sample_budget, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (formatting only).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries with `--bench`; any bare trailing
+        // argument is treated as a substring filter, like criterion proper.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_budget: Duration::from_millis(100),
+        }
+    }
+
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into_id();
+        self.run_one(&full, Duration::from_millis(100), |b| f(b));
+        self
+    }
+
+    fn run_one(&self, id: &str, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { budget, ns_per_iter: f64::NAN };
+        f(&mut bencher);
+        let ns = bencher.ns_per_iter;
+        if ns.is_nan() {
+            println!("{id:<60} (no measurement)");
+        } else if ns >= 1_000_000.0 {
+            println!("{id:<60} {:>12.3} ms/iter", ns / 1_000_000.0);
+        } else if ns >= 1_000.0 {
+            println!("{id:<60} {:>12.3} us/iter", ns / 1_000.0);
+        } else {
+            println!("{id:<60} {ns:>12.1} ns/iter");
+        }
+    }
+}
+
+/// Declares a group of benchmark functions as a single callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { budget: Duration::from_millis(5), ns_per_iter: f64::NAN };
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(b.ns_per_iter.is_finite() && b.ns_per_iter > 0.0);
+        b.iter_batched(|| vec![1u64; 100], |v| v.iter().sum::<u64>(), BatchSize::LargeInput);
+        assert!(b.ns_per_iter.is_finite() && b.ns_per_iter > 0.0);
+    }
+}

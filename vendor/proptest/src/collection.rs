@@ -1,0 +1,71 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Anything usable as a vector-length specification.
+pub trait IntoSizeRange {
+    /// Inclusive bounds on the length.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for core::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy producing vectors whose elements come from `element` and whose
+/// length is uniform over `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min_len, max_len) = size.bounds();
+    VecStrategy { element, min_len, max_len }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.max_len - self.min_len + 1;
+        let len = self.min_len + rng.next_index(span);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_every_spec_form() {
+        let mut rng = TestRng::for_case("collection::test", 1);
+        for _ in 0..100 {
+            assert_eq!(vec(0u8..4, 3usize).generate(&mut rng).len(), 3);
+            let a = vec(0u8..4, 1..5usize).generate(&mut rng);
+            assert!((1..5).contains(&a.len()));
+            let b = vec(-1.0f64..1.0, 2..=6usize).generate(&mut rng);
+            assert!((2..=6).contains(&b.len()));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! `prop::sample::Index` — a length-agnostic random index.
+
+/// A random index usable with any collection length: `idx.index(len)` maps
+/// the underlying raw draw uniformly into `[0, len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    /// Builds from a raw random value (used by `any::<Index>()`).
+    pub fn from_raw(raw: usize) -> Self {
+        Index { raw }
+    }
+
+    /// The index into a collection of length `len`.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        self.raw % len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_stays_in_bounds() {
+        for raw in [0usize, 1, 17, usize::MAX] {
+            let idx = Index::from_raw(raw);
+            for len in [1usize, 2, 31] {
+                assert!(idx.index(len) < len);
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! A tiny regex-subset string generator backing `&str` strategies.
+//!
+//! Supports exactly what simple test patterns need: literal characters,
+//! character classes `[a-z0-9 _]` (ranges and singletons), and the
+//! quantifiers `{n}`, `{m,n}`, `*` (0–8), `+` (1–8), and `?` applied to the
+//! preceding atom. Anything else panics loudly rather than silently
+//! generating wrong data.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+                let mut pick = rng.next_index(total as usize) as u32;
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick).expect("valid class char");
+                    }
+                    pick -= span;
+                }
+                unreachable!("class sampling out of bounds")
+            }
+        }
+    }
+}
+
+/// Generates a string matching the supported regex subset.
+///
+/// # Panics
+/// Panics on unsupported regex syntax.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed class in regex {pattern:?}"));
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in regex {pattern:?}");
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                let next = *chars.get(i + 1).unwrap_or_else(|| panic!("trailing backslash"));
+                i += 2;
+                match next {
+                    'd' => Atom::Class(vec![('0', '9')]),
+                    'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    c => Atom::Literal(c),
+                }
+            }
+            '{' | '}' | '*' | '+' | '?' => panic!("dangling quantifier in regex {pattern:?}"),
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed quantifier in regex {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse::<usize>().expect("quantifier lower bound"),
+                        hi.trim().parse::<usize>().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        let count = min + rng.next_index(max - min + 1);
+        for _ in 0..count {
+            out.push(atom.sample(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_matching_strings() {
+        let mut rng = TestRng::for_case("string::test", 1);
+        for _ in 0..100 {
+            let s = generate_matching("[a-zA-Z0-9 ]{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+            let t = generate_matching("ab[0-3]+x?", &mut rng);
+            assert!(t.starts_with("ab"));
+        }
+    }
+}

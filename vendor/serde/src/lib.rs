@@ -1,0 +1,125 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no network access, so the workspace vendors a
+//! minimal serialization facility: [`Serialize`] converts a value directly
+//! into a JSON [`Value`] tree (re-exported by the vendored `serde_json`),
+//! and the `derive` feature re-exports a hand-rolled derive macro for
+//! named-field structs. This covers exactly what the bench harness needs:
+//! `#[derive(Serialize)]` on result structs and `serde_json::json!` /
+//! `to_string_pretty` for persistence.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A JSON value tree. Lives here (rather than in `serde_json`) so the
+/// [`Serialize`] trait can target it without a circular dependency; the
+/// vendored `serde_json` re-exports it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`, ample for bench counters).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization into a [`Value`] tree.
+pub trait Serialize {
+    /// The JSON representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! number_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+number_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_into_values() {
+        assert_eq!(3usize.to_value(), Value::Number(3.0));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+        assert_eq!(vec![1u8, 2].to_value(), Value::Array(vec![Value::Number(1.0), Value::Number(2.0)]));
+        assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+    }
+}

@@ -1,0 +1,121 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for structs with named fields — the only
+//! shape the workspace derives on — by walking the raw token stream (no
+//! `syn`/`quote`, which are unavailable offline). Generics, enums, and
+//! `#[serde(...)]` attributes are intentionally unsupported and produce a
+//! compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` (direct-to-JSON-value) for a
+/// named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("valid error tokens"),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (#[...]) and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // pub(crate) etc.
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        _ => return Err("vendored serde_derive supports only structs".to_string()),
+    }
+
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        _ => return Err("expected struct name".to_string()),
+    };
+
+    let body = loop {
+        match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("vendored serde_derive does not support generics".to_string())
+            }
+            Some(_) => i += 1,
+            None => return Err("expected named-field struct body".to_string()),
+        }
+    };
+
+    let fields = field_names(body)?;
+    let mut pushes = String::new();
+    for f in &fields {
+        pushes.push_str(&format!(
+            "fields.push(({f:?}.to_string(), serde::Serialize::to_value(&self.{f})));\n"
+        ));
+    }
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n\
+         let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+         {pushes}\
+         serde::Value::Object(fields)\n\
+         }}\n\
+         }}"
+    );
+    out.parse().map_err(|e| format!("generated impl failed to parse: {e:?}"))
+}
+
+/// Extracts field identifiers from the brace body of a named-field struct:
+/// for each comma-separated chunk, the identifier immediately before the
+/// first top-level `:`.
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut flush = |chunk: &mut Vec<TokenTree>| -> Result<(), String> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let mut name = None;
+        for (idx, t) in chunk.iter().enumerate() {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ':' {
+                    match chunk.get(idx.wrapping_sub(1)) {
+                        Some(TokenTree::Ident(id)) => {
+                            name = Some(id.to_string());
+                            break;
+                        }
+                        _ => return Err("unsupported field shape".to_string()),
+                    }
+                }
+            }
+        }
+        names.push(name.ok_or_else(|| "tuple structs are unsupported".to_string())?);
+        chunk.clear();
+        Ok(())
+    };
+
+    for tree in body {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == ',' => flush(&mut current)?,
+            _ => current.push(tree),
+        }
+    }
+    flush(&mut current)?;
+    Ok(names)
+}

@@ -1,0 +1,152 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Re-exports the vendored `serde`'s [`Value`] tree and provides the three
+//! entry points the workspace uses: the [`json!`] macro over a serializable
+//! expression, [`to_value`], and [`to_string_pretty`].
+
+pub use serde::Value;
+
+use std::fmt::Write as _;
+
+/// Serialization error (the vendored pipeline is infallible; this exists so
+/// call sites can keep serde_json's `Result`-shaped API).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Pretty-prints a serializable value as two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from a serializable expression.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                push_indent(out, indent + 1);
+                write_value(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, val)) in fields.iter().enumerate() {
+                push_indent(out, indent + 1);
+                write_string(out, key);
+                out.push_str(": ");
+                write_value(out, val, indent + 1);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null"); // JSON has no Inf/NaN; mirror serde_json's null
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_structures() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::String("fig9".to_string())),
+            ("counts".to_string(), Value::Array(vec![Value::Number(1.0), Value::Number(2.5)])),
+            ("ok".to_string(), Value::Bool(true)),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"name\": \"fig9\""));
+        assert!(s.contains("2.5"));
+        assert!(s.starts_with("{\n"));
+    }
+
+    #[test]
+    fn json_macro_wraps_serializable_values() {
+        assert_eq!(json!(3u32), Value::Number(3.0));
+        assert_eq!(json!(null), Value::Null);
+        let escaped = to_string_pretty(&json!("a\"b")).unwrap();
+        assert_eq!(escaped, "\"a\\\"b\"");
+    }
+}
