@@ -5,4 +5,12 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+
+# The batch layer's determinism contract must hold at both extremes of the
+# HUM_THREADS override (BatchOptions::default() reads it).
+HUM_THREADS=1 cargo test -q -p hum-core --test batch
+HUM_THREADS=8 cargo test -q -p hum-core --test batch
+HUM_THREADS=1 cargo test -q -p hum-integration-tests --test batch_determinism
+HUM_THREADS=8 cargo test -q -p hum-integration-tests --test batch_determinism
+
 cargo clippy --all-targets -- -D warnings

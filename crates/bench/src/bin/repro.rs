@@ -3,8 +3,10 @@
 //! ```text
 //! repro [EXPERIMENT ...] [--quick] [--out DIR]
 //!
-//! EXPERIMENT: table2 | table3 | fig6 | fig7 | fig8 | fig9 | fig10 | extras | all
-//!             (default: all; `extras` runs the DESIGN.md ablations)
+//! EXPERIMENT: table2 | table3 | fig6 | fig7 | fig8 | fig9 | fig10 | extras
+//!             | throughput | all
+//!             (default: all; `extras` runs the DESIGN.md ablations,
+//!             `throughput` the batched-query scaling sweep)
 //! --quick     small workloads (seconds instead of minutes)
 //! --out DIR   where to write .txt/.csv/.json results (default: results)
 //! ```
@@ -12,11 +14,11 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use hum_bench::experiments::{extras, fig10, fig6, fig7, fig8, fig9, table2, table3};
+use hum_bench::experiments::{extras, fig10, fig6, fig7, fig8, fig9, table2, table3, throughput};
 use hum_bench::report::persist;
 
-const EXPERIMENTS: [&str; 8] =
-    ["table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "extras"];
+const EXPERIMENTS: [&str; 9] =
+    ["table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "extras", "throughput"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -122,6 +124,15 @@ fn main() {
                 println!("{text}");
                 persist(&out_dir, name, &text, &table, &serde_json::json!(output));
                 extras::check(&output)
+            }
+            "throughput" => {
+                let params =
+                    if quick { throughput::Params::quick() } else { throughput::Params::paper() };
+                let output = throughput::run(&params);
+                let (text, table) = throughput::render(&output);
+                println!("{text}");
+                persist(&out_dir, name, &text, &table, &serde_json::json!(output));
+                throughput::check(&output)
             }
             _ => unreachable!("validated above"),
         };

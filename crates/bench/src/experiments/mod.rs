@@ -11,9 +11,11 @@
 //! | [`fig10`] | Candidates and page accesses, 50,000 random walks | Figure 10 |
 //!
 //! [`sweep`] holds the shared candidate/page-access sweep machinery used by
-//! figures 8–10, and [`extras`] runs the design-choice ablations listed in
+//! figures 8–10, [`extras`] runs the design-choice ablations listed in
 //! DESIGN.md (backends, LB second filter, build strategy, transform
-//! pruning).
+//! pruning), and [`throughput`] measures batched-query throughput versus
+//! worker-thread count and chunk size with a bit-identity check against the
+//! sequential baseline.
 
 pub mod extras;
 pub mod fig10;
@@ -24,3 +26,4 @@ pub mod fig9;
 pub mod sweep;
 pub mod table2;
 pub mod table3;
+pub mod throughput;

@@ -1,0 +1,230 @@
+//! Batched-query throughput: queries/sec versus worker-thread count and
+//! chunk size on the Fig-9-scale music workload (melody database at normal
+//! length 128, 8 reduced dimensions, R\*-tree), driven through the system
+//! layer's `query_series_batch`.
+//!
+//! The batch layer's contract is that parallelism changes *only* wall-clock
+//! time: every row's matches and counters are compared bit-for-bit against
+//! the sequential baseline, and the experiment fails its shape check if any
+//! row deviates. Speedup is hardware-dependent, so the ≥2× expectation at 8
+//! threads is only enforced when the machine actually has 8 hardware
+//! threads.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use hum_core::batch::BatchOptions;
+use hum_music::{SingerProfile, SongbookConfig};
+use hum_qbh::corpus::MelodyDatabase;
+use hum_qbh::eval::generate_hums;
+use hum_qbh::system::{QbhConfig, QbhSystem};
+
+use crate::report::{fmt1, fmt3, TextTable};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Database melodies (Fig 9 scale: 35,000).
+    pub melodies: usize,
+    /// Hummed queries per batch.
+    pub queries: usize,
+    /// Neighbors per query.
+    pub k: usize,
+    /// Worker-thread counts to sweep.
+    pub thread_counts: Vec<usize>,
+    /// Chunk sizes to sweep.
+    pub chunk_sizes: Vec<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Paper scale.
+    pub fn paper() -> Self {
+        Params {
+            melodies: 35_000,
+            queries: 200,
+            k: 10,
+            thread_counts: vec![1, 2, 4, 8],
+            chunk_sizes: vec![1, 8, 32],
+            seed: 23,
+        }
+    }
+
+    /// Smoke-test scale.
+    pub fn quick() -> Self {
+        Params {
+            melodies: 2_000,
+            queries: 12,
+            thread_counts: vec![1, 2, 8],
+            chunk_sizes: vec![4],
+            ..Params::paper()
+        }
+    }
+}
+
+/// One (threads, chunk size) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputRow {
+    /// Worker threads.
+    pub threads: usize,
+    /// Queries per chunk.
+    pub chunk_size: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub secs: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Speedup over the sequential baseline.
+    pub speedup: f64,
+    /// Whether matches and counters were bit-identical to the sequential
+    /// baseline (the determinism contract).
+    pub identical: bool,
+}
+
+/// Experiment output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Output {
+    /// Database size.
+    pub melodies: usize,
+    /// Batch size.
+    pub queries: usize,
+    /// Neighbors per query.
+    pub k: usize,
+    /// Hardware threads available during the run.
+    pub hardware_threads: usize,
+    /// Sequential (loop of single queries) queries/sec baseline.
+    pub baseline_qps: f64,
+    /// One row per (threads, chunk size) pair.
+    pub rows: Vec<ThroughputRow>,
+}
+
+/// Runs the experiment.
+pub fn run(params: &Params) -> Output {
+    let db = MelodyDatabase::from_songbook(&SongbookConfig {
+        songs: params.melodies.div_ceil(20),
+        phrases_per_song: 20,
+        ..SongbookConfig::default()
+    });
+    let system = QbhSystem::build(&db, &QbhConfig::default());
+    let hums: Vec<Vec<f64>> =
+        generate_hums(&db, SingerProfile::good(), params.queries, params.seed)
+            .into_iter()
+            .map(|h| h.series)
+            .collect();
+
+    // Sequential baseline: a plain loop of single queries, which the batch
+    // layer must reproduce bit for bit.
+    let started = Instant::now();
+    let baseline: Vec<_> = hums.iter().map(|h| system.query_series(h, params.k)).collect();
+    let baseline_secs = started.elapsed().as_secs_f64();
+    let baseline_qps = params.queries as f64 / baseline_secs.max(1e-9);
+
+    let mut rows = Vec::new();
+    for &threads in &params.thread_counts {
+        for &chunk_size in &params.chunk_sizes {
+            let options = BatchOptions::new(threads, chunk_size);
+            let started = Instant::now();
+            let results = system.query_series_batch(&hums, params.k, &options);
+            let secs = started.elapsed().as_secs_f64();
+            let qps = params.queries as f64 / secs.max(1e-9);
+            rows.push(ThroughputRow {
+                threads,
+                chunk_size,
+                secs,
+                qps,
+                speedup: qps / baseline_qps.max(1e-9),
+                identical: results == baseline,
+            });
+        }
+    }
+    Output {
+        melodies: db.len().min(params.melodies),
+        queries: params.queries,
+        k: params.k,
+        hardware_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        baseline_qps,
+        rows,
+    }
+}
+
+/// Renders the throughput table.
+pub fn render(output: &Output) -> (String, TextTable) {
+    let mut table =
+        TextTable::new(vec!["threads", "chunk", "secs", "queries/sec", "speedup", "identical"]);
+    for row in &output.rows {
+        table.row(vec![
+            row.threads.to_string(),
+            row.chunk_size.to_string(),
+            fmt3(row.secs),
+            fmt1(row.qps),
+            format!("{:.2}x", row.speedup),
+            if row.identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let text = format!(
+        "Batched-query throughput ({} melodies, {} k-NN queries/batch, k={}, {} hardware threads)\n\
+         Sequential baseline: {:.1} queries/sec\n\n{}",
+        output.melodies,
+        output.queries,
+        output.k,
+        output.hardware_threads,
+        output.baseline_qps,
+        table.render()
+    );
+    (text, table)
+}
+
+/// Shape checks: determinism always; speedup only where the hardware can
+/// express it.
+pub fn check(output: &Output) -> Vec<String> {
+    let mut failures = Vec::new();
+    for row in &output.rows {
+        if !row.identical {
+            failures.push(format!(
+                "threads={} chunk={}: batch results deviate from the sequential baseline",
+                row.threads, row.chunk_size
+            ));
+        }
+    }
+    let best_at = |threads: usize| {
+        output
+            .rows
+            .iter()
+            .filter(|r| r.threads == threads)
+            .map(|r| r.speedup)
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    if output.hardware_threads >= 8 && output.rows.iter().any(|r| r.threads == 8) {
+        let speedup = best_at(8);
+        if speedup < 2.0 {
+            failures.push(format!(
+                "8 threads on {}-thread hardware only reached {speedup:.2}x (expected >= 2x)",
+                output.hardware_threads
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_is_deterministic_across_thread_counts() {
+        let out = run(&Params::quick());
+        assert_eq!(out.rows.len(), 3);
+        assert!(out.rows.iter().all(|r| r.identical), "{out:?}");
+        let failures = check(&out);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn render_reports_every_row() {
+        let out = run(&Params { melodies: 400, queries: 4, ..Params::quick() });
+        let (text, table) = render(&out);
+        assert!(text.contains("queries/sec"));
+        assert_eq!(table.to_csv().lines().count(), out.rows.len() + 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Deterministic batched parallel execution.
+//!
+//! The engine's per-query code paths are pure functions of the query and the
+//! immutable index, so a batch of queries can fan out across threads without
+//! changing any answer or counter — *provided* the fan-out itself is
+//! deterministic. This module supplies that discipline:
+//!
+//! * work is split into **fixed-size chunks** whose boundaries depend only on
+//!   the input length and the configured chunk size, never on the thread
+//!   count or on scheduling;
+//! * workers claim chunks from a shared cursor (any order), but every
+//!   chunk's results are stored under its chunk index and **merged in chunk
+//!   order** afterwards;
+//! * each worker owns private scratch state (the engine passes a DTW
+//!   workspace), and per-item results are required to be independent of
+//!   scratch reuse — the engine guarantees this by reporting work counters
+//!   as deltas.
+//!
+//! Consequently `threads = 1` reproduces the sequential output exactly, and
+//! any other thread count reproduces `threads = 1` bit for bit. The
+//! regression gate in `ci.sh` runs the determinism tests under
+//! `HUM_THREADS=1` and `HUM_THREADS=8` to keep it that way.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the default worker-thread count.
+pub const THREADS_ENV: &str = "HUM_THREADS";
+
+/// Fan-out configuration for batched execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// Worker threads. `1` executes sequentially on the calling thread.
+    pub threads: usize,
+    /// Queries per chunk. Chunk boundaries are a function of the batch
+    /// length and this value only, so results merge identically for every
+    /// thread count.
+    pub chunk_size: usize,
+}
+
+impl BatchOptions {
+    /// Options with an explicit thread count and the default chunk size.
+    pub fn with_threads(threads: usize) -> Self {
+        BatchOptions { threads: threads.max(1), ..BatchOptions::default() }
+    }
+
+    /// Options with explicit thread count and chunk size.
+    pub fn new(threads: usize, chunk_size: usize) -> Self {
+        BatchOptions { threads: threads.max(1), chunk_size: chunk_size.max(1) }
+    }
+}
+
+impl Default for BatchOptions {
+    /// Threads from `HUM_THREADS` when set (and parseable), otherwise the
+    /// machine's available parallelism; chunk size 8.
+    fn default() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+        BatchOptions { threads, chunk_size: 8 }
+    }
+}
+
+/// Maps `f` over `items`, fanning fixed-size chunks out across
+/// `options.threads` scoped workers and returning results in input order.
+///
+/// `make_state` builds one private scratch value per worker (one total when
+/// sequential); `f` receives that state, the item's index in `items`, and
+/// the item. For the output to be thread-count-invariant, `f(state, i, x)`
+/// must produce the same result regardless of what the state was previously
+/// used for — reuse may only affect speed.
+pub fn parallel_map_chunked<T, S, R, MS, F>(
+    items: &[T],
+    options: &BatchOptions,
+    make_state: MS,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    MS: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let chunk_size = options.chunk_size.max(1);
+    let chunks = items.len().div_ceil(chunk_size);
+    let threads = options.threads.max(1).min(chunks.max(1));
+    if threads <= 1 {
+        let mut state = make_state();
+        return items.iter().enumerate().map(|(i, x)| f(&mut state, i, x)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut by_chunk: Vec<Option<Vec<R>>> = std::iter::repeat_with(|| None).take(chunks).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = make_state();
+                    let mut done: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= chunks {
+                            break;
+                        }
+                        let lo = c * chunk_size;
+                        let hi = (lo + chunk_size).min(items.len());
+                        let results: Vec<R> =
+                            (lo..hi).map(|i| f(&mut state, i, &items[i])).collect();
+                        done.push((c, results));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            // A worker panic (e.g. a validation failure inside `f`)
+            // propagates to the caller exactly as in the sequential path.
+            for (c, results) in handle.join().unwrap_or_else(|e| std::panic::resume_unwind(e)) {
+                by_chunk[c] = Some(results);
+            }
+        }
+    });
+    by_chunk
+        .into_iter()
+        .flat_map(|chunk| chunk.expect("every chunk claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|v| v * 3).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            for chunk_size in [1, 4, 7, 200] {
+                let got = parallel_map_chunked(
+                    &items,
+                    &BatchOptions::new(threads, chunk_size),
+                    || (),
+                    |(), _, v| v * 3,
+                );
+                assert_eq!(got, expected, "threads={threads} chunk={chunk_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_state_is_private_and_reused() {
+        // Each worker's state counts its own calls; the sum over all calls
+        // must equal the batch size even though the split is nondeterministic.
+        use std::sync::atomic::AtomicUsize;
+        let calls = AtomicUsize::new(0);
+        let items = vec![(); 57];
+        let _ = parallel_map_chunked(
+            &items,
+            &BatchOptions::new(4, 5),
+            || 0usize,
+            |state, _, ()| {
+                *state += 1;
+                calls.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let items: Vec<u32> = Vec::new();
+        let got = parallel_map_chunked(&items, &BatchOptions::new(8, 4), || (), |(), _, v| *v);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec![10usize, 20, 30, 40, 50];
+        let got =
+            parallel_map_chunked(&items, &BatchOptions::new(2, 2), || (), |(), i, v| (i, *v));
+        assert_eq!(got, vec![(0, 10), (1, 20), (2, 30), (3, 40), (4, 50)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn worker_panics_propagate() {
+        let items = vec![0u32; 16];
+        let _ = parallel_map_chunked(&items, &BatchOptions::new(4, 2), || (), |(), i, _| {
+            assert!(i != 9, "deliberate");
+            i
+        });
+    }
+
+    #[test]
+    fn explicit_constructors_clamp_zero() {
+        assert_eq!(BatchOptions::with_threads(0).threads, 1);
+        assert_eq!(BatchOptions::new(0, 0), BatchOptions { threads: 1, chunk_size: 1 });
+    }
+}

@@ -32,6 +32,7 @@ use std::collections::{BinaryHeap, HashMap};
 
 use hum_index::{ItemId, Query, QueryStats, SpatialIndex};
 
+use crate::batch::{parallel_map_chunked, BatchOptions};
 use crate::dtw::{ldtw_distance_sq_bounded_with, DtwWorkspace};
 use crate::envelope::{lb_improved_tail_sq, Envelope, LbScratch};
 use crate::transform::EnvelopeTransform;
@@ -62,7 +63,7 @@ impl Default for EngineConfig {
 }
 
 /// Counters for one engine query.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Spatial-index counters (page accesses, candidates, ...).
     pub index: QueryStats,
@@ -99,12 +100,40 @@ impl EngineStats {
 
 /// Result of a range or k-NN query: `(id, exact DTW distance)` pairs sorted
 /// by ascending distance, plus counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueryResult {
     /// Matches sorted by ascending exact DTW distance.
     pub matches: Vec<(ItemId, f64)>,
     /// Work counters for the query.
     pub stats: EngineStats,
+}
+
+/// Panics with a clear message if any sample is NaN or infinite. The engine
+/// validates every series at its boundary — on insert and on query — so
+/// non-finite input cannot reach the spatial index or the distance kernels,
+/// where it would poison feature boxes and break distance sorting far from
+/// its origin.
+fn assert_finite(series: &[f64], what: &str) {
+    if let Some(i) = series.iter().position(|v| !v.is_finite()) {
+        panic!("non-finite sample {} at index {i} in {what}", series[i]);
+    }
+}
+
+/// Reusable per-query scratch: the DTW workspace plus the `LB_Improved`
+/// scratch. One per worker thread amortizes the row allocations across an
+/// entire batch; the engine reports `dp_cells` as a per-query delta, so
+/// reuse never changes any counter.
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    ws: DtwWorkspace,
+    lb: LbScratch,
+}
+
+impl QueryScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        QueryScratch::default()
+    }
 }
 
 /// A DTW similarity-search engine over a spatial index backend.
@@ -164,9 +193,11 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
     /// be unique).
     ///
     /// # Panics
-    /// Panics if the length is wrong or the id is already present.
+    /// Panics if the length is wrong, the id is already present, or any
+    /// sample is NaN/infinite.
     pub fn insert(&mut self, id: ItemId, series: Vec<f64>) {
         assert_eq!(series.len(), self.transform.input_len(), "series must be in normal form");
+        assert_finite(&series, "inserted series");
         let features = self.transform.project(&series);
         let prior = self.series.insert(id, series);
         assert!(prior.is_none(), "duplicate id {id}");
@@ -236,9 +267,25 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
     /// at most `radius`. Guaranteed free of false negatives.
     ///
     /// # Panics
-    /// Panics if `query.len()` differs from the normal-form length.
+    /// Panics if `query.len()` differs from the normal-form length or the
+    /// query contains NaN/infinite samples.
     pub fn range_query(&self, query: &[f64], band: usize, radius: f64) -> QueryResult {
+        self.range_query_with(query, band, radius, &mut QueryScratch::new())
+    }
+
+    /// [`DtwIndexEngine::range_query`] computing in caller-provided scratch.
+    /// Results and counters are identical to a fresh-scratch call — reuse
+    /// only avoids the per-query row allocations.
+    pub fn range_query_with(
+        &self,
+        query: &[f64],
+        band: usize,
+        radius: f64,
+        scratch: &mut QueryScratch,
+    ) -> QueryResult {
         assert_eq!(query.len(), self.transform.input_len(), "query must be in normal form");
+        assert_finite(query, "query");
+        let cells_before = scratch.ws.cells();
         let radius_sq = radius * radius;
         let envelope = Envelope::compute(query, band);
         let feature_box = self.transform.project_envelope(&envelope);
@@ -246,13 +293,12 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
             self.index.range_query(&Query::Rect(feature_box), radius);
 
         let mut stats = EngineStats { index: index_stats, ..EngineStats::default() };
-        let mut ws = DtwWorkspace::new();
-        let mut scratch = LbScratch::new();
+        let QueryScratch { ws, lb } = scratch;
         let mut matches = Vec::new();
         for id in candidates {
             let series = &self.series[&id];
             if let Some(d_sq) = self.cascade_verify(
-                query, &envelope, band, series, radius_sq, None, &mut stats, &mut ws, &mut scratch,
+                query, &envelope, band, series, radius_sq, None, &mut stats, ws, lb,
             ) {
                 if d_sq <= radius_sq {
                     matches.push((id, d_sq.sqrt()));
@@ -261,24 +307,38 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         }
         sort_by_distance(&mut matches);
         stats.matches = matches.len() as u64;
-        stats.dp_cells = ws.cells();
+        stats.dp_cells = ws.cells() - cells_before;
         QueryResult { matches, stats }
     }
 
     /// k-NN query under band-`k` DTW via the optimal multi-step scheme.
     ///
     /// # Panics
-    /// Panics if `query.len()` differs from the normal-form length.
+    /// Panics if `query.len()` differs from the normal-form length or the
+    /// query contains NaN/infinite samples.
     pub fn knn(&self, query: &[f64], band: usize, k: usize) -> QueryResult {
+        self.knn_with(query, band, k, &mut QueryScratch::new())
+    }
+
+    /// [`DtwIndexEngine::knn`] computing in caller-provided scratch. Results
+    /// and counters are identical to a fresh-scratch call.
+    pub fn knn_with(
+        &self,
+        query: &[f64],
+        band: usize,
+        k: usize,
+        scratch: &mut QueryScratch,
+    ) -> QueryResult {
         assert_eq!(query.len(), self.transform.input_len(), "query must be in normal form");
+        assert_finite(query, "query");
         if k == 0 || self.series.is_empty() {
             return QueryResult::default();
         }
+        let cells_before = scratch.ws.cells();
         let envelope = Envelope::compute(query, band);
         let feature_box = self.transform.project_envelope(&envelope);
         let shape = Query::Rect(feature_box);
-        let mut ws = DtwWorkspace::new();
-        let mut scratch = LbScratch::new();
+        let QueryScratch { ws, lb: scratch } = scratch;
 
         // Step 1: k candidates by ascending feature lower bound.
         let (probes, probe_stats) = self.index.knn(&shape, k);
@@ -291,7 +351,7 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         for (id, _) in &probes {
             stats.exact_computations += 1;
             let d_sq =
-                ldtw_distance_sq_bounded_with(&mut ws, query, &self.series[id], band, f64::INFINITY);
+                ldtw_distance_sq_bounded_with(ws, query, &self.series[id], band, f64::INFINITY);
             radius_sq = radius_sq.max(d_sq);
             exact.insert(*id, d_sq);
         }
@@ -355,8 +415,8 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
                 threshold_sq,
                 use_env.then_some(lb_sq),
                 &mut stats,
-                &mut ws,
-                &mut scratch,
+                ws,
+                scratch,
             );
             let Some(d_sq) = verified else { continue };
             if !full {
@@ -375,7 +435,7 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         sort_by_distance(&mut matches);
         matches.truncate(k);
         stats.matches = matches.len() as u64;
-        stats.dp_cells = ws.cells();
+        stats.dp_cells = ws.cells() - cells_before;
         QueryResult { matches, stats }
     }
 
@@ -386,6 +446,7 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
     /// (so the work counters are deterministic).
     pub fn scan_range(&self, query: &[f64], band: usize, radius: f64) -> QueryResult {
         assert_eq!(query.len(), self.transform.input_len(), "query must be in normal form");
+        assert_finite(query, "query");
         let radius_sq = radius * radius;
         let envelope = Envelope::compute(query, band);
         let mut stats = EngineStats::default();
@@ -414,6 +475,7 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
     /// what-if-there-were-no-envelopes baseline).
     pub fn scan_knn(&self, query: &[f64], band: usize, k: usize) -> QueryResult {
         assert_eq!(query.len(), self.transform.input_len(), "query must be in normal form");
+        assert_finite(query, "query");
         let mut stats = EngineStats::default();
         let mut ws = DtwWorkspace::new();
         let mut heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
@@ -456,6 +518,75 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         let mut ids: Vec<ItemId> = self.series.keys().copied().collect();
         ids.sort_unstable();
         ids
+    }
+}
+
+/// One query of a [`DtwIndexEngine::query_batch`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchQuery {
+    /// ε-range query, as in [`DtwIndexEngine::range_query`].
+    Range {
+        /// Normal-form query series.
+        query: Vec<f64>,
+        /// Sakoe-Chiba band half-width.
+        band: usize,
+        /// Query radius.
+        radius: f64,
+    },
+    /// k-NN query, as in [`DtwIndexEngine::knn`].
+    Knn {
+        /// Normal-form query series.
+        query: Vec<f64>,
+        /// Sakoe-Chiba band half-width.
+        band: usize,
+        /// Neighbors requested.
+        k: usize,
+    },
+}
+
+/// Result of a batched query execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchResult {
+    /// Per-query results, in the order the queries were submitted. Each is
+    /// bit-identical to the corresponding single-query call.
+    pub results: Vec<QueryResult>,
+    /// All per-query counters merged in submission order.
+    pub stats: EngineStats,
+}
+
+impl<T: EnvelopeTransform + Sync, I: SpatialIndex + Sync> DtwIndexEngine<T, I> {
+    /// Executes a batch of queries, fanning fixed-size chunks out across
+    /// [`BatchOptions::threads`] scoped workers and merging results in
+    /// deterministic chunk order.
+    ///
+    /// Every per-query result — matches *and* counters — is bit-identical
+    /// to the corresponding [`DtwIndexEngine::range_query`] /
+    /// [`DtwIndexEngine::knn`] call, for every thread count: each query runs
+    /// the unmodified sequential code path against the immutable index, each
+    /// worker owns a private [`QueryScratch`] (so PR 1's allocation-free
+    /// kernel carries over), and the merge order is a function of the batch
+    /// alone. `threads = 1` processes the chunks in order on the calling
+    /// thread.
+    ///
+    /// # Panics
+    /// Panics if any query has the wrong length or non-finite samples.
+    pub fn query_batch(&self, batch: &[BatchQuery], options: &BatchOptions) -> BatchResult {
+        let results = parallel_map_chunked(
+            batch,
+            options,
+            QueryScratch::new,
+            |scratch, _i, q| match q {
+                BatchQuery::Range { query, band, radius } => {
+                    self.range_query_with(query, *band, *radius, scratch)
+                }
+                BatchQuery::Knn { query, band, k } => self.knn_with(query, *band, *k, scratch),
+            },
+        );
+        let mut stats = EngineStats::default();
+        for result in &results {
+            stats.absorb(&result.stats);
+        }
+        BatchResult { results, stats }
     }
 }
 
@@ -738,6 +869,114 @@ mod tests {
         let top = engine.knn(&series[1], 2, 1);
         assert_eq!(top.matches[0].0, 5);
         assert!(top.matches[0].1 < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite sample")]
+    fn nan_in_inserted_series_rejected() {
+        let mut series = lcg_series(1, 32, 4).remove(0);
+        series[7] = f64::NAN;
+        let mut engine = DtwIndexEngine::new(
+            NewPaa::new(32, 4),
+            RStarTree::new(4),
+            EngineConfig::default(),
+        );
+        engine.insert(0, series);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite sample")]
+    fn infinity_in_inserted_series_rejected() {
+        let mut series = lcg_series(1, 32, 4).remove(0);
+        series[0] = f64::INFINITY;
+        let mut engine = DtwIndexEngine::new(
+            NewPaa::new(32, 4),
+            RStarTree::new(4),
+            EngineConfig::default(),
+        );
+        engine.insert(0, series);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite sample")]
+    fn nan_in_range_query_rejected() {
+        let series = lcg_series(4, 32, 4);
+        let mut engine = DtwIndexEngine::new(
+            NewPaa::new(32, 4),
+            RStarTree::new(4),
+            EngineConfig::default(),
+        );
+        engine.insert(0, series[0].clone());
+        let mut query = series[1].clone();
+        query[3] = f64::NAN;
+        let _ = engine.range_query(&query, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite sample")]
+    fn nan_in_knn_query_rejected() {
+        let series = lcg_series(4, 32, 4);
+        let mut engine = DtwIndexEngine::new(
+            NewPaa::new(32, 4),
+            RStarTree::new(4),
+            EngineConfig::default(),
+        );
+        engine.insert(0, series[0].clone());
+        let mut query = series[1].clone();
+        query[30] = f64::NEG_INFINITY;
+        let _ = engine.knn(&query, 2, 1);
+    }
+
+    #[test]
+    fn reused_scratch_reproduces_fresh_scratch_counters() {
+        let series = lcg_series(80, 64, 44);
+        let engine = build_engine(&series);
+        let queries = lcg_series(6, 64, 4711);
+        let mut scratch = QueryScratch::new();
+        for q in &queries {
+            let fresh_range = engine.range_query(q, 3, 2.0);
+            let reused_range = engine.range_query_with(q, 3, 2.0, &mut scratch);
+            assert_eq!(fresh_range, reused_range);
+            let fresh_knn = engine.knn(q, 3, 5);
+            let reused_knn = engine.knn_with(q, 3, 5, &mut scratch);
+            assert_eq!(fresh_knn, reused_knn);
+        }
+    }
+
+    #[test]
+    fn query_batch_matches_single_queries_for_every_thread_count() {
+        let series = lcg_series(90, 64, 77);
+        let engine = build_engine(&series);
+        let queries = lcg_series(9, 64, 31337);
+        let batch: Vec<BatchQuery> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                if i % 2 == 0 {
+                    BatchQuery::Knn { query: q.clone(), band: 3, k: 7 }
+                } else {
+                    BatchQuery::Range { query: q.clone(), band: 2, radius: 2.5 }
+                }
+            })
+            .collect();
+        let expected: Vec<QueryResult> = batch
+            .iter()
+            .map(|q| match q {
+                BatchQuery::Range { query, band, radius } => {
+                    engine.range_query(query, *band, *radius)
+                }
+                BatchQuery::Knn { query, band, k } => engine.knn(query, *band, *k),
+            })
+            .collect();
+        let mut expected_stats = EngineStats::default();
+        for r in &expected {
+            expected_stats.absorb(&r.stats);
+        }
+        for threads in [1, 2, 8] {
+            let got = engine.query_batch(&batch, &crate::batch::BatchOptions::new(threads, 2));
+            assert_eq!(got.results, expected, "threads={threads}");
+            assert_eq!(got.stats, expected_stats, "threads={threads}");
+        }
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //!   paper's evaluation (§5.2).
 //! * [`engine`] — the GEMINI query engine (§4.3): feature extraction, spatial
 //!   indexing via any [`hum_index::SpatialIndex`] backend, ε-range and k-NN
-//!   queries with exact-DTW refinement and full access accounting.
+//!   queries with exact-DTW refinement and full access accounting, plus a
+//!   batched execution layer ([`engine::BatchQuery`]) that fans queries out
+//!   across threads with bit-identical, thread-count-invariant results.
+//! * [`batch`] — the deterministic chunked fan-out underneath batched
+//!   execution (fixed-size chunks, chunk-order merge, per-worker scratch).
 //! * [`subsequence`] — sliding-window subsequence matching over long series,
 //!   the §3.2 alternative to whole-sequence matching.
 //! * [`l1`] — the same framework under the L1 metric, the "other distance
@@ -54,6 +58,7 @@
 //! assert!(result.matches.iter().any(|(id, _)| *id == 3));
 //! ```
 
+pub mod batch;
 pub mod dtw;
 pub mod engine;
 pub mod envelope;

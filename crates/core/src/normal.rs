@@ -83,12 +83,18 @@ impl NormalForm {
     }
 }
 
-/// Centered moving average with a window of `w` (edges use the available
-/// partial window, so the output length equals the input length).
+/// Centered moving average with a window of `w` samples (edges use the
+/// available partial window, so the output length equals the input length).
+///
+/// Interior points average exactly `w` samples: `(w − 1) / 2` before the
+/// center and `w / 2` after it — symmetric for odd `w`, one extra trailing
+/// sample for even `w`. (A naive `[i − w/2, i + w/2]` span would silently
+/// average `w + 1` samples whenever `w` is even.)
 pub fn moving_average(x: &[f64], w: usize) -> Vec<f64> {
     assert!(w > 0, "window must be positive");
     let n = x.len();
-    let half = w / 2;
+    let half_lo = (w - 1) / 2;
+    let half_hi = w / 2;
     // Prefix sums for O(1) window means.
     let mut prefix = Vec::with_capacity(n + 1);
     prefix.push(0.0);
@@ -97,8 +103,8 @@ pub fn moving_average(x: &[f64], w: usize) -> Vec<f64> {
     }
     (0..n)
         .map(|i| {
-            let lo = i.saturating_sub(half);
-            let hi = (i + half).min(n - 1);
+            let lo = i.saturating_sub(half_lo);
+            let hi = (i + half_hi).min(n - 1);
             (prefix[hi + 1] - prefix[lo]) / (hi + 1 - lo) as f64
         })
         .collect()
@@ -189,6 +195,44 @@ mod tests {
         };
         assert!(wobble(&smooth) < 0.3 * wobble(&wobbly));
         assert_eq!(smooth.len(), wobbly.len());
+    }
+
+    #[test]
+    fn moving_average_window_covers_exactly_w_samples() {
+        // Averaging a unit impulse recovers each position's effective
+        // sample count: out[i] = 1/count(i) where the window covers the
+        // impulse, so the impulse's own output pins the interior count and
+        // the number of covered positions pins the window span. Regression
+        // for the even-window bug where w = 4 silently averaged 5 samples.
+        let n = 32;
+        let center = n / 2;
+        for w in [2usize, 3, 4, 5, 8, 9] {
+            let mut x = vec![0.0; n];
+            x[center] = 1.0;
+            let out = moving_average(&x, w);
+            assert!(
+                (out[center] - 1.0 / w as f64).abs() < 1e-12,
+                "w={w}: interior window averaged {} samples, expected {w}",
+                (1.0 / out[center]).round()
+            );
+            let covered = out.iter().filter(|v| **v > 0.0).count();
+            assert_eq!(covered, w, "w={w}: window span must be exactly {w} positions");
+        }
+    }
+
+    #[test]
+    fn moving_average_odd_window_is_symmetric() {
+        // A symmetric window leaves a linear ramp unchanged away from the
+        // edges; the even window is deliberately half-a-sample asymmetric.
+        let ramp: Vec<f64> = (0..24).map(|i| i as f64).collect();
+        let odd = moving_average(&ramp, 5);
+        for i in 2..22 {
+            assert!((odd[i] - ramp[i]).abs() < 1e-12, "i={i}");
+        }
+        let even = moving_average(&ramp, 4);
+        for i in 2..21 {
+            assert!((even[i] - (ramp[i] + 0.5)).abs() < 1e-12, "i={i}");
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::collections::HashMap;
 
 use hum_index::{ItemId, SpatialIndex};
 
+use crate::batch::{parallel_map_chunked, BatchOptions};
 use crate::engine::{DtwIndexEngine, EngineConfig, EngineStats};
 use crate::normal::NormalForm;
 use crate::transform::EnvelopeTransform;
@@ -49,7 +50,7 @@ pub struct SubsequenceMatch {
 }
 
 /// Result of a subsequence query.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SubsequenceResult {
     /// Hits sorted by ascending distance.
     pub matches: Vec<SubsequenceMatch>,
@@ -137,8 +138,10 @@ impl<T: EnvelopeTransform, I: SpatialIndex> SubsequenceIndex<T, I> {
         k: usize,
         dedupe_sources: bool,
     ) -> SubsequenceResult {
+        // The query's normal form is the same on every iteration — compute
+        // it once, outside the over-fetch loop.
+        let normal_query = self.config.normal.apply(query);
         if !dedupe_sources {
-            let normal_query = self.config.normal.apply(query);
             let result = self.engine.knn(&normal_query, band, k);
             return self.annotate(result);
         }
@@ -146,7 +149,6 @@ impl<T: EnvelopeTransform, I: SpatialIndex> SubsequenceIndex<T, I> {
         // or the index is exhausted.
         let mut fetch = k.max(1) * 4;
         loop {
-            let normal_query = self.config.normal.apply(query);
             let result = self.engine.knn(&normal_query, band, fetch);
             let fetched = result.matches.len();
             let mut annotated = self.annotate(result);
@@ -167,13 +169,55 @@ impl<T: EnvelopeTransform, I: SpatialIndex> SubsequenceIndex<T, I> {
                     .expect("finite distances")
                     .then(a.source.cmp(&b.source))
             });
-            if matches.len() >= k || fetched == self.windows.len() {
+            // Terminate once k sources are covered, every window has been
+            // fetched, or the engine returned fewer matches than requested —
+            // in that last case the index is exhausted (no larger fetch can
+            // return more), so growing `fetch` again would spin forever.
+            if matches.len() >= k || fetched >= self.windows.len() || fetched < fetch {
                 matches.truncate(k);
                 annotated.matches = matches;
                 return annotated;
             }
             fetch = (fetch * 2).min(self.windows.len());
         }
+    }
+
+    /// Batched [`SubsequenceIndex::knn`]: one result per query, in query
+    /// order, computed across [`BatchOptions::threads`] workers with
+    /// bit-identical, thread-count-invariant results.
+    pub fn knn_batch(
+        &self,
+        queries: &[Vec<f64>],
+        band: usize,
+        k: usize,
+        dedupe_sources: bool,
+        options: &BatchOptions,
+    ) -> Vec<SubsequenceResult>
+    where
+        T: Sync,
+        I: Sync,
+    {
+        parallel_map_chunked(queries, options, || (), |(), _i, q| {
+            self.knn(q, band, k, dedupe_sources)
+        })
+    }
+
+    /// Batched [`SubsequenceIndex::range_query`]: one result per query, in
+    /// query order, with bit-identical, thread-count-invariant results.
+    pub fn range_query_batch(
+        &self,
+        queries: &[Vec<f64>],
+        band: usize,
+        radius: f64,
+        options: &BatchOptions,
+    ) -> Vec<SubsequenceResult>
+    where
+        T: Sync,
+        I: Sync,
+    {
+        parallel_map_chunked(queries, options, || (), |(), _i, q| {
+            self.range_query(q, band, radius)
+        })
     }
 
     fn annotate(&self, result: crate::engine::QueryResult) -> SubsequenceResult {
@@ -302,6 +346,39 @@ mod tests {
             .matches
             .iter()
             .any(|m| m.source == 0 && m.offset == plant_at));
+    }
+
+    #[test]
+    fn dedupe_with_k_beyond_sources_terminates_with_all_sources() {
+        // Only 4 distinct sources exist; asking for 10 must return the 4
+        // and terminate (the over-fetch loop's exhaustion guard).
+        let (index, _) = build();
+        let result = index.knn(&motif(64), 2, 10, true);
+        assert_eq!(result.matches.len(), 4);
+        let mut sources: Vec<u64> = result.matches.iter().map(|m| m.source).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        assert_eq!(sources.len(), 4);
+    }
+
+    #[test]
+    fn batched_queries_match_single_queries_for_every_thread_count() {
+        let (index, _) = build();
+        let queries: Vec<Vec<f64>> =
+            (0..5).map(|s| noise(80, 100 + s)).chain([motif(64)]).collect();
+        let expected_knn: Vec<SubsequenceResult> =
+            queries.iter().map(|q| index.knn(q, 2, 2, true)).collect();
+        let expected_range: Vec<SubsequenceResult> =
+            queries.iter().map(|q| index.range_query(q, 2, 4.0)).collect();
+        for threads in [1, 2, 8] {
+            let options = BatchOptions::new(threads, 2);
+            assert_eq!(index.knn_batch(&queries, 2, 2, true, &options), expected_knn);
+            assert_eq!(
+                index.range_query_batch(&queries, 2, 4.0, &options),
+                expected_range,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

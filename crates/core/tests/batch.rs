@@ -1,0 +1,164 @@
+//! Determinism contract of the batched query layer: for any thread count
+//! and chunk size, `query_batch` must reproduce the sequential single-query
+//! loop bit for bit — both the matches and every [`EngineStats`] counter —
+//! and a batch's answers must be a per-query function, so permuting the
+//! batch permutes the results and leaves the merged counters untouched.
+//!
+//! Run under `HUM_THREADS=1` and `HUM_THREADS=8` in CI; the env override
+//! only feeds `BatchOptions::default()`, so the explicit sweeps here cover
+//! both regardless, and the `default_options` test exercises whatever the
+//! environment selected.
+
+use hum_core::batch::BatchOptions;
+use hum_core::engine::{BatchQuery, DtwIndexEngine, EngineConfig, EngineStats, QueryResult};
+use hum_core::transform::paa::NewPaa;
+use hum_index::{GridFile, LinearScan, RStarTree, SpatialIndex};
+use proptest::prelude::*;
+
+const LEN: usize = 32;
+
+/// Deterministic pseudo-random walks from a seed, centered like the
+/// engine's normal form expects.
+fn lcg_series(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    let mut next = move || {
+        state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    (0..n)
+        .map(|_| {
+            let mut acc = 0.0;
+            let mut s: Vec<f64> = (0..LEN)
+                .map(|_| {
+                    acc += next();
+                    acc
+                })
+                .collect();
+            hum_linalg::vec_ops::center(&mut s);
+            s
+        })
+        .collect()
+}
+
+fn build<I: SpatialIndex>(index: I, database: &[Vec<f64>]) -> DtwIndexEngine<NewPaa, I> {
+    let mut engine = DtwIndexEngine::new(NewPaa::new(LEN, 4), index, EngineConfig::default());
+    for (i, s) in database.iter().enumerate() {
+        engine.insert(i as u64, s.clone());
+    }
+    engine
+}
+
+/// A mixed range/k-NN batch from seeded queries.
+fn mixed_batch(queries: &[Vec<f64>]) -> Vec<BatchQuery> {
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            if i % 2 == 0 {
+                BatchQuery::Knn { query: q.clone(), band: 3, k: 5 }
+            } else {
+                BatchQuery::Range { query: q.clone(), band: 2, radius: 2.0 }
+            }
+        })
+        .collect()
+}
+
+fn sequential_answers<T, I>(
+    engine: &DtwIndexEngine<T, I>,
+    batch: &[BatchQuery],
+) -> (Vec<QueryResult>, EngineStats)
+where
+    T: hum_core::transform::EnvelopeTransform,
+    I: SpatialIndex,
+{
+    let results: Vec<QueryResult> = batch
+        .iter()
+        .map(|q| match q {
+            BatchQuery::Range { query, band, radius } => engine.range_query(query, *band, *radius),
+            BatchQuery::Knn { query, band, k } => engine.knn(query, *band, *k),
+        })
+        .collect();
+    let mut stats = EngineStats::default();
+    for r in &results {
+        stats.absorb(&r.stats);
+    }
+    (results, stats)
+}
+
+/// Runs the full thread/chunk sweep against one backend and asserts every
+/// combination reproduces the sequential loop bit for bit.
+fn assert_backend_deterministic<I: SpatialIndex + Sync>(
+    name: &str,
+    index: I,
+    database: &[Vec<f64>],
+    batch: &[BatchQuery],
+) {
+    let engine = build(index, database);
+    let (expected_results, expected_stats) = sequential_answers(&engine, batch);
+    for threads in [1, 2, 8] {
+        for chunk in [1, 3, 64] {
+            let out = engine.query_batch(batch, &BatchOptions::new(threads, chunk));
+            assert_eq!(
+                out.results, expected_results,
+                "{name}: threads={threads} chunk={chunk} changed the answers"
+            );
+            assert_eq!(
+                out.stats, expected_stats,
+                "{name}: threads={threads} chunk={chunk} changed the counters"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_is_bit_identical_to_sequential_on_every_backend() {
+    let database = lcg_series(80, 11);
+    let batch = mixed_batch(&lcg_series(10, 1213));
+    assert_backend_deterministic("rstar", RStarTree::new(4), &database, &batch);
+    assert_backend_deterministic("grid", GridFile::new(4), &database, &batch);
+    assert_backend_deterministic("scan", LinearScan::new(4), &database, &batch);
+}
+
+#[test]
+fn default_options_honor_environment() {
+    // `BatchOptions::default()` reads HUM_THREADS; whatever CI sets, the
+    // answers must match the explicit single-thread configuration.
+    let database = lcg_series(40, 5);
+    let engine = build(RStarTree::new(4), &database);
+    let batch = mixed_batch(&lcg_series(6, 99));
+    let via_default = engine.query_batch(&batch, &BatchOptions::default());
+    let via_one = engine.query_batch(&batch, &BatchOptions::new(1, 8));
+    assert_eq!(via_default.results, via_one.results);
+    assert_eq!(via_default.stats, via_one.stats);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Permutation invariance: each query's answer depends only on that
+    /// query and the index, so reordering the batch reorders the results
+    /// the same way and leaves the merged counters unchanged.
+    #[test]
+    fn batch_results_are_permutation_equivariant(
+        seed in any::<u64>(),
+        threads in 1usize..=8,
+        chunk in 1usize..=5,
+        rotation in 0usize..8,
+    ) {
+        let database = lcg_series(50, seed);
+        let engine = build(RStarTree::new(4), &database);
+        let batch = mixed_batch(&lcg_series(8, seed ^ 0xdead_beef));
+        let options = BatchOptions::new(threads, chunk);
+
+        let base = engine.query_batch(&batch, &options);
+
+        let mut rotated = batch.clone();
+        rotated.rotate_left(rotation);
+        let got = engine.query_batch(&rotated, &options);
+
+        let mut expected = base.results.clone();
+        expected.rotate_left(rotation);
+        prop_assert_eq!(got.results, expected);
+        prop_assert_eq!(got.stats, base.stats);
+    }
+}

@@ -11,6 +11,7 @@
 //! (users who start mid-verse), at the cost the paper predicts: many more
 //! indexed windows than melodies.
 
+use hum_core::batch::BatchOptions;
 use hum_core::dtw::band_for_warping_width;
 use hum_core::engine::EngineStats;
 use hum_core::normal::NormalForm;
@@ -63,7 +64,7 @@ pub struct SongMatch {
 }
 
 /// Results of a song search.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SongSearchResults {
     /// Hits, best first, at most one per song.
     pub matches: Vec<SongMatch>,
@@ -124,7 +125,26 @@ impl SongSearch {
     /// Finds the `k` most likely songs for a hummed pitch series, with the
     /// best-matching position inside each.
     pub fn query(&self, pitch_series: &[f64], k: usize) -> SongSearchResults {
-        let result = self.index.knn(pitch_series, self.band, k, true);
+        self.annotate(self.index.knn(pitch_series, self.band, k, true))
+    }
+
+    /// Batched [`SongSearch::query`]: one result per hummed series, in
+    /// submission order, fanned out across [`BatchOptions::threads`] worker
+    /// threads. Bit-identical to sequential queries for every thread count.
+    pub fn query_batch(
+        &self,
+        pitch_series: &[Vec<f64>],
+        k: usize,
+        options: &BatchOptions,
+    ) -> Vec<SongSearchResults> {
+        self.index
+            .knn_batch(pitch_series, self.band, k, true, options)
+            .into_iter()
+            .map(|r| self.annotate(r))
+            .collect()
+    }
+
+    fn annotate(&self, result: hum_core::subsequence::SubsequenceResult) -> SongSearchResults {
         let matches = result
             .matches
             .into_iter()
@@ -197,6 +217,25 @@ mod tests {
             start
         );
         assert_eq!(top.offset_beats, top.offset as f64 / 4.0);
+    }
+
+    #[test]
+    fn batched_song_queries_match_sequential() {
+        let book = book();
+        let search = SongSearch::build(&book, &SongSearchConfig::default());
+        let hums: Vec<Vec<f64>> = (0..4)
+            .map(|i| {
+                let phrase = &book.songs[i % book.songs.len()].phrases[1];
+                HummingSimulator::new(SingerProfile::good(), 70 + i as u64)
+                    .sing_series(phrase, 0.01)
+            })
+            .collect();
+        let expected: Vec<SongSearchResults> =
+            hums.iter().map(|h| search.query(h, 3)).collect();
+        for threads in [1, 2, 8] {
+            let got = search.query_batch(&hums, 3, &BatchOptions::new(threads, 2));
+            assert_eq!(got, expected, "threads={threads}");
+        }
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! (which song, which phrase).
 
 use hum_audio::{track_pitch, PitchTrackerConfig};
+use hum_core::batch::BatchOptions;
 use hum_core::dtw::band_for_warping_width;
-use hum_core::engine::{DtwIndexEngine, EngineConfig, EngineStats};
+use hum_core::engine::{BatchQuery, DtwIndexEngine, EngineConfig, EngineStats};
 use hum_core::normal::NormalForm;
 use hum_core::transform::dft::Dft;
 use hum_core::transform::dwt::Dwt;
@@ -92,7 +93,7 @@ pub struct QbhMatch {
 }
 
 /// Ranked retrieval results plus work counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QbhResults {
     /// Matches sorted by ascending DTW distance.
     pub matches: Vec<QbhMatch>,
@@ -100,9 +101,15 @@ pub struct QbhResults {
     pub stats: EngineStats,
 }
 
+/// The engine type the system assembles: trait objects for the configured
+/// transform and backend, `Send + Sync` so batched queries can fan out
+/// across threads.
+pub type QbhEngine =
+    DtwIndexEngine<Box<dyn EnvelopeTransform + Send + Sync>, Box<dyn SpatialIndex + Send + Sync>>;
+
 /// A built query-by-humming system.
 pub struct QbhSystem {
-    engine: DtwIndexEngine<Box<dyn EnvelopeTransform>, Box<dyn SpatialIndex>>,
+    engine: QbhEngine,
     normal: NormalForm,
     band: usize,
     provenance: Vec<(usize, usize)>,
@@ -124,7 +131,7 @@ impl QbhSystem {
             .map(|e| normal.apply(&e.melody().to_time_series(config.samples_per_beat)))
             .collect();
 
-        let transform: Box<dyn EnvelopeTransform> = match config.transform {
+        let transform: Box<dyn EnvelopeTransform + Send + Sync> = match config.transform {
             TransformKind::NewPaa => {
                 Box::new(NewPaa::new(config.normal_length, config.feature_dims))
             }
@@ -138,7 +145,7 @@ impl QbhSystem {
                 Box::new(SvdTransform::fit(&sample, config.feature_dims))
             }
         };
-        let index: Box<dyn SpatialIndex> = match config.backend {
+        let index: Box<dyn SpatialIndex + Send + Sync> = match config.backend {
             Backend::RStar => {
                 Box::new(RStarTree::with_page_size(config.feature_dims, config.page_bytes))
             }
@@ -183,9 +190,7 @@ impl QbhSystem {
     }
 
     /// The underlying engine, for experiments that need raw control.
-    pub fn engine(
-        &self,
-    ) -> &DtwIndexEngine<Box<dyn EnvelopeTransform>, Box<dyn SpatialIndex>> {
+    pub fn engine(&self) -> &QbhEngine {
         &self.engine
     }
 
@@ -211,6 +216,33 @@ impl QbhSystem {
         let query = self.normal.apply(pitch_series);
         let result = self.engine.range_query(&query, band, radius);
         self.annotate(result)
+    }
+
+    /// Batched [`QbhSystem::query_series`]: top-`k` matches for each of `n`
+    /// hummed pitch series at the configured warping width, executed across
+    /// [`BatchOptions::threads`] worker threads in deterministic fixed-size
+    /// chunks. Results — matches *and* counters — are bit-identical to `n`
+    /// sequential [`QbhSystem::query_series`] calls for every thread count.
+    pub fn query_series_batch(
+        &self,
+        pitch_series: &[Vec<f64>],
+        k: usize,
+        options: &BatchOptions,
+    ) -> Vec<QbhResults> {
+        let batch: Vec<BatchQuery> = pitch_series
+            .iter()
+            .map(|series| BatchQuery::Knn {
+                query: self.normal.apply(series),
+                band: self.band,
+                k,
+            })
+            .collect();
+        self.engine
+            .query_batch(&batch, options)
+            .results
+            .into_iter()
+            .map(|r| self.annotate(r))
+            .collect()
     }
 
     /// Full pipeline from raw microphone audio: pitch-track at 10 ms frames,
@@ -331,6 +363,24 @@ mod tests {
             results.matches.iter().any(|m| m.id == target),
             "audio-route query missed its target"
         );
+    }
+
+    #[test]
+    fn batched_queries_match_sequential_for_every_thread_count() {
+        let db = small_db();
+        let system = QbhSystem::build(&db, &QbhConfig::default());
+        let hums: Vec<Vec<f64>> = (0..6)
+            .map(|i| {
+                let mut singer = HummingSimulator::new(SingerProfile::good(), 400 + i);
+                singer.sing_series(db.entry(i * 7).unwrap().melody(), 0.01)
+            })
+            .collect();
+        let expected: Vec<QbhResults> =
+            hums.iter().map(|h| system.query_series(h, 5)).collect();
+        for threads in [1, 2, 8] {
+            let got = system.query_series_batch(&hums, 5, &BatchOptions::new(threads, 2));
+            assert_eq!(got, expected, "threads={threads}");
+        }
     }
 
     #[test]
