@@ -7,10 +7,18 @@ cargo build --release
 cargo test -q
 
 # The batch layer's determinism contract must hold at both extremes of the
-# HUM_THREADS override (BatchOptions::default() reads it).
+# HUM_THREADS override (BatchOptions::default() reads it). The obs suite
+# additionally checks that traces and registry counters are thread-count-
+# invariant and that tracing never changes an answer.
 HUM_THREADS=1 cargo test -q -p hum-core --test batch
 HUM_THREADS=8 cargo test -q -p hum-core --test batch
+HUM_THREADS=1 cargo test -q -p hum-core --test obs
+HUM_THREADS=8 cargo test -q -p hum-core --test obs
 HUM_THREADS=1 cargo test -q -p hum-integration-tests --test batch_determinism
 HUM_THREADS=8 cargo test -q -p hum-integration-tests --test batch_determinism
+
+# Every panic!() in library code must be a documented wrapper around a
+# try_ API (tools/panic_allowlist.txt).
+./tools/check_panics.sh
 
 cargo clippy --all-targets -- -D warnings

@@ -4,9 +4,10 @@
 //! repro [EXPERIMENT ...] [--quick] [--out DIR]
 //!
 //! EXPERIMENT: table2 | table3 | fig6 | fig7 | fig8 | fig9 | fig10 | extras
-//!             | throughput | all
+//!             | throughput | obs | all
 //!             (default: all; `extras` runs the DESIGN.md ablations,
-//!             `throughput` the batched-query scaling sweep)
+//!             `throughput` the batched-query scaling sweep, `obs` the
+//!             traced cascade-trajectory run of the Figure-9 workload)
 //! --quick     small workloads (seconds instead of minutes)
 //! --out DIR   where to write .txt/.csv/.json results (default: results)
 //! ```
@@ -14,11 +15,13 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use hum_bench::experiments::{extras, fig10, fig6, fig7, fig8, fig9, table2, table3, throughput};
+use hum_bench::experiments::{
+    extras, fig10, fig6, fig7, fig8, fig9, obs, table2, table3, throughput,
+};
 use hum_bench::report::persist;
 
-const EXPERIMENTS: [&str; 9] =
-    ["table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "extras", "throughput"];
+const EXPERIMENTS: [&str; 10] =
+    ["table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "extras", "throughput", "obs"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -133,6 +136,14 @@ fn main() {
                 println!("{text}");
                 persist(&out_dir, name, &text, &table, &serde_json::json!(output));
                 throughput::check(&output)
+            }
+            "obs" => {
+                let params = if quick { obs::Params::quick() } else { obs::Params::paper() };
+                let output = obs::run(&params);
+                let (text, table) = obs::render(&output);
+                println!("{text}");
+                persist(&out_dir, name, &text, &table, &serde_json::json!(output));
+                obs::check(&output)
             }
             _ => unreachable!("validated above"),
         };

@@ -13,9 +13,12 @@
 //! [`sweep`] holds the shared candidate/page-access sweep machinery used by
 //! figures 8–10, [`extras`] runs the design-choice ablations listed in
 //! DESIGN.md (backends, LB second filter, build strategy, transform
-//! pruning), and [`throughput`] measures batched-query throughput versus
+//! pruning), [`throughput`] measures batched-query throughput versus
 //! worker-thread count and chunk size with a bit-identity check against the
-//! sequential baseline.
+//! sequential baseline, and [`obs`] re-runs the Figure-9 workload with
+//! per-query tracing on, printing the full cascade trajectory (candidates →
+//! envelope-LB pruned → `LB_Improved` pruned → early-abandoned → verified)
+//! from the library's own observability layer.
 
 pub mod extras;
 pub mod fig10;
@@ -23,6 +26,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod obs;
 pub mod sweep;
 pub mod table2;
 pub mod table3;

@@ -20,6 +20,15 @@
 //! any other thread count reproduces `threads = 1` bit for bit. The
 //! regression gate in `ci.sh` runs the determinism tests under
 //! `HUM_THREADS=1` and `HUM_THREADS=8` to keep it that way.
+//!
+//! Observability rides on the same discipline: per-query
+//! [`QueryTrace`](crate::obs::QueryTrace)s are plain values inside each
+//! item's result (merged in chunk order, hence permutation-invariant), and
+//! the shared [`MetricsRegistry`](crate::obs::MetricsRegistry) accumulates
+//! `u64` counter deltas whose sums commute — so with tracing on or off, at
+//! any thread count, every counter total is identical. Only the registry's
+//! wall-clock histograms are run-dependent, and those never feed back into
+//! results.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -27,14 +27,36 @@
 //! The warping band is a *query-time* parameter: one index serves every
 //! warping width, which is the paper's point that "adding the DTW support
 //! requires changes only to the time series query".
+//!
+//! # The query API
+//!
+//! Every query path goes through one request type: build a
+//! [`QueryRequest`] ([`QueryRequest::range`] / [`QueryRequest::knn`], with
+//! optional band override, per-query trace toggle, and brute-force scan
+//! fallback) and execute it with [`DtwIndexEngine::query`] (panicking) or
+//! [`DtwIndexEngine::try_query`] (returning [`EngineError`]). The legacy
+//! entry points — `range_query{,_with}`, `knn{,_with}`, `scan_range`,
+//! `scan_knn`, `query_batch` — are thin delegates over the same path and
+//! return bit-identical results.
+//!
+//! # Observability
+//!
+//! The engine optionally records every query into a shared
+//! [`MetricsRegistry`](crate::obs::MetricsRegistry) (see
+//! [`DtwIndexEngine::set_metrics`]) and, per request, emits a
+//! [`QueryTrace`] of the cascade trajectory. Both are off by default and
+//! free when disabled; traces carry counters only (never wall-clock time),
+//! so they are bit-identical across runs and thread counts.
 
 use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
 
 use hum_index::{ItemId, Query, QueryStats, SpatialIndex};
 
 use crate::batch::{parallel_map_chunked, BatchOptions};
 use crate::dtw::{ldtw_distance_sq_bounded_with, DtwWorkspace};
 use crate::envelope::{lb_improved_tail_sq, Envelope, LbScratch};
+use crate::obs::{debug_assert_trace_consistent, Metric, MetricsSink, QueryKind, QueryTrace, Timer};
 use crate::transform::EnvelopeTransform;
 
 /// Engine tuning knobs.
@@ -85,16 +107,88 @@ impl EngineStats {
     /// Adds another query's counters into this accumulator (for averaging
     /// work over a batch of queries).
     pub fn absorb(&mut self, other: &EngineStats) {
-        self.index.node_accesses += other.index.node_accesses;
-        self.index.leaf_accesses += other.index.leaf_accesses;
-        self.index.points_examined += other.index.points_examined;
-        self.index.candidates += other.index.candidates;
+        self.index.absorb(&other.index);
         self.lb_pruned += other.lb_pruned;
         self.lb_improved_pruned += other.lb_improved_pruned;
         self.exact_computations += other.exact_computations;
         self.early_abandoned += other.early_abandoned;
         self.dp_cells += other.dp_cells;
         self.matches += other.matches;
+    }
+}
+
+/// A rejected input, reported at the engine boundary before any state is
+/// touched (failed calls never mutate the engine or the index).
+///
+/// The panicking entry points (`insert`, `query`, `range_query`, ...) format
+/// these with `Display`, so the legacy panic messages — "must be in normal
+/// form", "non-finite sample ...", "duplicate id ..." — are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineError {
+    /// The query series has no samples.
+    EmptyQuery,
+    /// A series' length differs from the transform's normal-form length.
+    LengthMismatch {
+        /// What was being validated ("query", "inserted series").
+        context: &'static str,
+        /// The normal-form length the engine requires.
+        expected: usize,
+        /// The length that was provided.
+        got: usize,
+    },
+    /// A sample is NaN or infinite; reports exactly where and what.
+    NonFiniteSample {
+        /// What was being validated ("query", "inserted series").
+        context: &'static str,
+        /// Index of the first offending sample.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The Sakoe-Chiba band half-width is at least the series length, which
+    /// would make the "banded" DTW unconstrained.
+    BandTooWide {
+        /// The requested half-width.
+        band: usize,
+        /// The normal-form series length it must stay below.
+        len: usize,
+    },
+    /// An insert reused an id that is already stored.
+    DuplicateId(ItemId),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::EmptyQuery => write!(f, "empty query: at least one sample is required"),
+            EngineError::LengthMismatch { context, expected, got } => write!(
+                f,
+                "{context} must be in normal form: expected {expected} samples, got {got}"
+            ),
+            EngineError::NonFiniteSample { context, index, value } => {
+                write!(f, "non-finite sample {value} at index {index} in {context}")
+            }
+            EngineError::BandTooWide { band, len } => {
+                write!(f, "band half-width {band} too wide for series length {len}")
+            }
+            EngineError::DuplicateId(id) => write!(f, "duplicate id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Returns the first NaN/infinite sample as an error. The engine validates
+/// every series at its boundary — on insert and on query — so non-finite
+/// input cannot reach the spatial index or the distance kernels, where it
+/// would poison feature boxes and break distance sorting far from its
+/// origin.
+fn check_finite(series: &[f64], context: &'static str) -> Result<(), EngineError> {
+    match series.iter().position(|v| !v.is_finite()) {
+        Some(index) => {
+            Err(EngineError::NonFiniteSample { context, index, value: series[index] })
+        }
+        None => Ok(()),
     }
 }
 
@@ -108,14 +202,123 @@ pub struct QueryResult {
     pub stats: EngineStats,
 }
 
-/// Panics with a clear message if any sample is NaN or infinite. The engine
-/// validates every series at its boundary — on insert and on query — so
-/// non-finite input cannot reach the spatial index or the distance kernels,
-/// where it would poison feature boxes and break distance sorting far from
-/// its origin.
-fn assert_finite(series: &[f64], what: &str) {
-    if let Some(i) = series.iter().position(|v| !v.is_finite()) {
-        panic!("non-finite sample {} at index {i} in {what}", series[i]);
+/// Result of one [`QueryRequest`]: the matches and counters, plus the
+/// cascade trace when the request asked for one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Matches and work counters — identical to the legacy entry points.
+    pub result: QueryResult,
+    /// The cascade trajectory, present iff [`QueryRequest::with_trace`] was
+    /// set. Counters only; bit-identical across runs and thread counts.
+    pub trace: Option<QueryTrace>,
+}
+
+/// What a [`QueryRequest`] asks for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RequestKind {
+    /// ε-range query: everything within `radius`.
+    Range {
+        /// Query radius (plain DTW distance, not squared).
+        radius: f64,
+    },
+    /// k-nearest-neighbors query.
+    Knn {
+        /// Neighbors requested.
+        k: usize,
+    },
+}
+
+/// One similarity query, built fluently and executed with
+/// [`DtwIndexEngine::query`] / [`DtwIndexEngine::try_query`].
+///
+/// ```
+/// use hum_core::engine::QueryRequest;
+/// let series = vec![0.25, -0.25, 0.25, -0.25];
+/// let request = QueryRequest::knn(5).with_series(series).with_band(1).with_trace(true);
+/// assert_eq!(request.band(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    series: Vec<f64>,
+    kind: RequestKind,
+    band: usize,
+    trace: bool,
+    scan: bool,
+}
+
+impl QueryRequest {
+    /// An ε-range request at `radius`. Attach the query series with
+    /// [`QueryRequest::with_series`].
+    pub fn range(radius: f64) -> Self {
+        QueryRequest {
+            series: Vec::new(),
+            kind: RequestKind::Range { radius },
+            band: 0,
+            trace: false,
+            scan: false,
+        }
+    }
+
+    /// A k-NN request. Attach the query series with
+    /// [`QueryRequest::with_series`].
+    pub fn knn(k: usize) -> Self {
+        QueryRequest {
+            series: Vec::new(),
+            kind: RequestKind::Knn { k },
+            band: 0,
+            trace: false,
+            scan: false,
+        }
+    }
+
+    /// Sets the normal-form query series.
+    pub fn with_series(mut self, series: impl Into<Vec<f64>>) -> Self {
+        self.series = series.into();
+        self
+    }
+
+    /// Overrides the Sakoe-Chiba band half-width (default 0 = no warping).
+    pub fn with_band(mut self, band: usize) -> Self {
+        self.band = band;
+        self
+    }
+
+    /// Toggles the per-query cascade trace (default off).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Toggles the brute-force scan fallback: bypass the spatial index and
+    /// run the verification cascade over every stored series (default off).
+    pub fn with_scan(mut self, scan: bool) -> Self {
+        self.scan = scan;
+        self
+    }
+
+    /// The query series.
+    pub fn series(&self) -> &[f64] {
+        &self.series
+    }
+
+    /// What the request asks for.
+    pub fn kind(&self) -> RequestKind {
+        self.kind
+    }
+
+    /// The Sakoe-Chiba band half-width.
+    pub fn band(&self) -> usize {
+        self.band
+    }
+
+    /// `true` when a [`QueryTrace`] was requested.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
+    }
+
+    /// `true` when the brute-force scan fallback was requested.
+    pub fn scan_enabled(&self) -> bool {
+        self.scan
     }
 }
 
@@ -143,10 +346,12 @@ pub struct DtwIndexEngine<T, I> {
     index: I,
     series: HashMap<ItemId, Vec<f64>>,
     config: EngineConfig,
+    metrics: MetricsSink,
 }
 
 impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
     /// Creates an engine from a transform and an (empty) index backend.
+    /// Metrics start [disabled](MetricsSink::Disabled).
     ///
     /// # Panics
     /// Panics if the index dimensionality differs from the transform output.
@@ -156,7 +361,34 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
             transform.output_dims(),
             "index dimensionality must match the transform output"
         );
-        DtwIndexEngine { transform, index, series: HashMap::new(), config }
+        DtwIndexEngine {
+            transform,
+            index,
+            series: HashMap::new(),
+            config,
+            metrics: MetricsSink::Disabled,
+        }
+    }
+
+    /// Builder form of [`DtwIndexEngine::set_metrics`].
+    pub fn with_metrics(mut self, sink: MetricsSink) -> Self {
+        self.metrics = sink;
+        self
+    }
+
+    /// Points the engine at a metrics sink. Pass
+    /// [`MetricsSink::enabled`] (or share one registry across engines via
+    /// `MetricsSink::Enabled(arc.clone())`) to start recording;
+    /// [`MetricsSink::Disabled`] to stop. Cloning an engine shares its
+    /// sink. Enabling metrics never changes matches or [`EngineStats`] —
+    /// only what gets recorded on the side.
+    pub fn set_metrics(&mut self, sink: MetricsSink) {
+        self.metrics = sink;
+    }
+
+    /// The metrics sink in use (disabled by default).
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.metrics
     }
 
     /// Number of indexed series.
@@ -190,18 +422,33 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
     }
 
     /// Inserts a normal-form series under `id` (replacing nothing: ids must
-    /// be unique).
+    /// be unique). On error the engine is unchanged.
+    pub fn try_insert(&mut self, id: ItemId, series: Vec<f64>) -> Result<(), EngineError> {
+        if series.len() != self.transform.input_len() {
+            return Err(EngineError::LengthMismatch {
+                context: "inserted series",
+                expected: self.transform.input_len(),
+                got: series.len(),
+            });
+        }
+        check_finite(&series, "inserted series")?;
+        if self.series.contains_key(&id) {
+            return Err(EngineError::DuplicateId(id));
+        }
+        let features = self.transform.project(&series);
+        self.series.insert(id, series);
+        self.index.insert(id, features);
+        self.metrics.add(Metric::Inserts, 1);
+        Ok(())
+    }
+
+    /// Panicking form of [`DtwIndexEngine::try_insert`].
     ///
     /// # Panics
     /// Panics if the length is wrong, the id is already present, or any
     /// sample is NaN/infinite.
     pub fn insert(&mut self, id: ItemId, series: Vec<f64>) {
-        assert_eq!(series.len(), self.transform.input_len(), "series must be in normal form");
-        assert_finite(&series, "inserted series");
-        let features = self.transform.project(&series);
-        let prior = self.series.insert(id, series);
-        assert!(prior.is_none(), "duplicate id {id}");
-        self.index.insert(id, features);
+        self.try_insert(id, series).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Removes the series stored under `id` from both the store and the
@@ -212,7 +459,104 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         }
         let removed = self.index.remove(id);
         debug_assert!(removed, "series and index must stay in lockstep");
+        self.metrics.add(Metric::Removals, 1);
         true
+    }
+
+    /// Rejects malformed query input; every query path calls this before
+    /// touching the index, so failed queries observe nothing and count
+    /// nothing.
+    fn validate_query(&self, query: &[f64], band: usize) -> Result<(), EngineError> {
+        if query.is_empty() {
+            return Err(EngineError::EmptyQuery);
+        }
+        if query.len() != self.transform.input_len() {
+            return Err(EngineError::LengthMismatch {
+                context: "query",
+                expected: self.transform.input_len(),
+                got: query.len(),
+            });
+        }
+        check_finite(query, "query")?;
+        if band >= query.len() {
+            return Err(EngineError::BandTooWide { band, len: query.len() });
+        }
+        Ok(())
+    }
+
+    /// Executes a request against this engine. The single entry point every
+    /// other query method delegates to.
+    ///
+    /// # Errors
+    /// [`EngineError::EmptyQuery`], [`EngineError::LengthMismatch`],
+    /// [`EngineError::NonFiniteSample`], or [`EngineError::BandTooWide`] —
+    /// all reported before any work (or metrics recording) happens.
+    pub fn try_query(&self, request: &QueryRequest) -> Result<QueryOutcome, EngineError> {
+        self.try_query_with(request, &mut QueryScratch::new())
+    }
+
+    /// [`DtwIndexEngine::try_query`] computing in caller-provided scratch.
+    /// Results and counters are identical to a fresh-scratch call — reuse
+    /// only avoids the per-query row allocations.
+    pub fn try_query_with(
+        &self,
+        request: &QueryRequest,
+        scratch: &mut QueryScratch,
+    ) -> Result<QueryOutcome, EngineError> {
+        self.validate_query(&request.series, request.band)?;
+        Ok(self.run_request(request, scratch))
+    }
+
+    /// Panicking form of [`DtwIndexEngine::try_query`].
+    ///
+    /// # Panics
+    /// Panics on any [`EngineError`] the `try_` form would return.
+    pub fn query(&self, request: &QueryRequest) -> QueryOutcome {
+        self.try_query(request).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Panicking form of [`DtwIndexEngine::try_query_with`].
+    ///
+    /// # Panics
+    /// Panics on any [`EngineError`] the `try_` form would return.
+    pub fn query_with(&self, request: &QueryRequest, scratch: &mut QueryScratch) -> QueryOutcome {
+        self.try_query_with(request, scratch).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Dispatches a *validated* request, records it into the metrics sink,
+    /// and builds the trace if asked. Shared by the single-query and batch
+    /// paths.
+    fn run_request(&self, request: &QueryRequest, scratch: &mut QueryScratch) -> QueryOutcome {
+        let started = self.metrics.start_timer();
+        let query = request.series.as_slice();
+        let band = request.band;
+        let (kind, result) = match (request.kind, request.scan) {
+            (RequestKind::Range { radius }, false) => {
+                (QueryKind::Range, self.run_range(query, band, radius, scratch))
+            }
+            (RequestKind::Knn { k }, false) => {
+                (QueryKind::Knn, self.run_knn(query, band, k, scratch))
+            }
+            (RequestKind::Range { radius }, true) => {
+                (QueryKind::ScanRange, self.run_scan_range(query, band, radius, scratch))
+            }
+            (RequestKind::Knn { k }, true) => {
+                (QueryKind::ScanKnn, self.run_scan_knn(query, band, k, scratch))
+            }
+        };
+        self.metrics.record_query(kind, &result.stats, started);
+        let trace = request.trace.then(|| {
+            let candidates_in = match kind {
+                // Indexed paths: the cascade sees the index's candidate set.
+                QueryKind::Range | QueryKind::Knn => result.stats.index.candidates,
+                // Scan paths: the cascade sees the whole database.
+                QueryKind::ScanRange | QueryKind::ScanKnn => self.series.len() as u64,
+            };
+            let trace = QueryTrace::from_stats(kind, band, candidates_in, &result.stats);
+            debug_assert_trace_consistent(&trace, &result.stats);
+            trace
+        });
+        QueryOutcome { result, trace }
     }
 
     /// Runs the post-index verification cascade for one candidate at a fixed
@@ -283,8 +627,18 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         radius: f64,
         scratch: &mut QueryScratch,
     ) -> QueryResult {
-        assert_eq!(query.len(), self.transform.input_len(), "query must be in normal form");
-        assert_finite(query, "query");
+        let request = QueryRequest::range(radius).with_series(query).with_band(band);
+        self.query_with(&request, scratch).result
+    }
+
+    /// The indexed range path. Input already validated.
+    fn run_range(
+        &self,
+        query: &[f64],
+        band: usize,
+        radius: f64,
+        scratch: &mut QueryScratch,
+    ) -> QueryResult {
         let cells_before = scratch.ws.cells();
         let radius_sq = radius * radius;
         let envelope = Envelope::compute(query, band);
@@ -329,8 +683,18 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         k: usize,
         scratch: &mut QueryScratch,
     ) -> QueryResult {
-        assert_eq!(query.len(), self.transform.input_len(), "query must be in normal form");
-        assert_finite(query, "query");
+        let request = QueryRequest::knn(k).with_series(query).with_band(band);
+        self.query_with(&request, scratch).result
+    }
+
+    /// The indexed k-NN path. Input already validated.
+    fn run_knn(
+        &self,
+        query: &[f64],
+        band: usize,
+        k: usize,
+        scratch: &mut QueryScratch,
+    ) -> QueryResult {
         if k == 0 || self.series.is_empty() {
             return QueryResult::default();
         }
@@ -444,19 +808,34 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
     /// and speed comparisons. Runs the same verification cascade as
     /// [`DtwIndexEngine::range_query`], over every stored series in id order
     /// (so the work counters are deterministic).
+    ///
+    /// # Panics
+    /// Panics if `query.len()` differs from the normal-form length or the
+    /// query contains NaN/infinite samples.
     pub fn scan_range(&self, query: &[f64], band: usize, radius: f64) -> QueryResult {
-        assert_eq!(query.len(), self.transform.input_len(), "query must be in normal form");
-        assert_finite(query, "query");
+        let request =
+            QueryRequest::range(radius).with_series(query).with_band(band).with_scan(true);
+        self.query(&request).result
+    }
+
+    /// The brute-force range path. Input already validated.
+    fn run_scan_range(
+        &self,
+        query: &[f64],
+        band: usize,
+        radius: f64,
+        scratch: &mut QueryScratch,
+    ) -> QueryResult {
+        let cells_before = scratch.ws.cells();
         let radius_sq = radius * radius;
         let envelope = Envelope::compute(query, band);
         let mut stats = EngineStats::default();
-        let mut ws = DtwWorkspace::new();
-        let mut scratch = LbScratch::new();
+        let QueryScratch { ws, lb } = scratch;
         let mut matches = Vec::new();
         for id in self.sorted_ids() {
             let series = &self.series[&id];
             if let Some(d_sq) = self.cascade_verify(
-                query, &envelope, band, series, radius_sq, None, &mut stats, &mut ws, &mut scratch,
+                query, &envelope, band, series, radius_sq, None, &mut stats, ws, lb,
             ) {
                 if d_sq <= radius_sq {
                     matches.push((id, d_sq.sqrt()));
@@ -465,7 +844,7 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         }
         sort_by_distance(&mut matches);
         stats.matches = matches.len() as u64;
-        stats.dp_cells = ws.cells();
+        stats.dp_cells = ws.cells() - cells_before;
         QueryResult { matches, stats }
     }
 
@@ -473,11 +852,26 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
     /// id order, threading the best-so-far `k`-th distance through the
     /// early-abandoning kernel (no lower-bound stages: this is the
     /// what-if-there-were-no-envelopes baseline).
+    ///
+    /// # Panics
+    /// Panics if `query.len()` differs from the normal-form length or the
+    /// query contains NaN/infinite samples.
     pub fn scan_knn(&self, query: &[f64], band: usize, k: usize) -> QueryResult {
-        assert_eq!(query.len(), self.transform.input_len(), "query must be in normal form");
-        assert_finite(query, "query");
+        let request = QueryRequest::knn(k).with_series(query).with_band(band).with_scan(true);
+        self.query(&request).result
+    }
+
+    /// The brute-force k-NN path. Input already validated.
+    fn run_scan_knn(
+        &self,
+        query: &[f64],
+        band: usize,
+        k: usize,
+        scratch: &mut QueryScratch,
+    ) -> QueryResult {
+        let cells_before = scratch.ws.cells();
+        let ws = &mut scratch.ws;
         let mut stats = EngineStats::default();
-        let mut ws = DtwWorkspace::new();
         let mut heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
         for id in self.sorted_ids() {
             let full = k > 0 && heap.len() >= k;
@@ -488,7 +882,7 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
             };
             stats.exact_computations += 1;
             let d_sq =
-                ldtw_distance_sq_bounded_with(&mut ws, query, &self.series[&id], band, threshold_sq);
+                ldtw_distance_sq_bounded_with(ws, query, &self.series[&id], band, threshold_sq);
             if d_sq.is_infinite() {
                 stats.early_abandoned += 1;
                 continue;
@@ -509,7 +903,7 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
             heap.into_sorted_vec().into_iter().map(|c| (c.id, c.d_sq.sqrt())).collect();
         sort_by_distance(&mut matches);
         stats.matches = matches.len() as u64;
-        stats.dp_cells = ws.cells();
+        stats.dp_cells = ws.cells() - cells_before;
         QueryResult { matches, stats }
     }
 
@@ -544,6 +938,20 @@ pub enum BatchQuery {
     },
 }
 
+impl BatchQuery {
+    /// The equivalent [`QueryRequest`] (indexed path, no trace).
+    pub fn to_request(&self) -> QueryRequest {
+        match self {
+            BatchQuery::Range { query, band, radius } => {
+                QueryRequest::range(*radius).with_series(query.clone()).with_band(*band)
+            }
+            BatchQuery::Knn { query, band, k } => {
+                QueryRequest::knn(*k).with_series(query.clone()).with_band(*band)
+            }
+        }
+    }
+}
+
 /// Result of a batched query execution.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchResult {
@@ -551,6 +959,17 @@ pub struct BatchResult {
     /// bit-identical to the corresponding single-query call.
     pub results: Vec<QueryResult>,
     /// All per-query counters merged in submission order.
+    pub stats: EngineStats,
+}
+
+/// Result of a batched [`QueryRequest`] execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchOutcome {
+    /// Per-request outcomes (result + optional trace), in submission order.
+    /// Each is bit-identical to the corresponding single-request call, for
+    /// every thread count.
+    pub outcomes: Vec<QueryOutcome>,
+    /// All per-request counters merged in submission order.
     pub stats: EngineStats,
 }
 
@@ -571,22 +990,62 @@ impl<T: EnvelopeTransform + Sync, I: SpatialIndex + Sync> DtwIndexEngine<T, I> {
     /// # Panics
     /// Panics if any query has the wrong length or non-finite samples.
     pub fn query_batch(&self, batch: &[BatchQuery], options: &BatchOptions) -> BatchResult {
-        let results = parallel_map_chunked(
-            batch,
+        let requests: Vec<QueryRequest> = batch.iter().map(BatchQuery::to_request).collect();
+        let outcome =
+            self.try_query_batch(&requests, options).unwrap_or_else(|e| panic!("{e}"));
+        BatchResult {
+            results: outcome.outcomes.into_iter().map(|o| o.result).collect(),
+            stats: outcome.stats,
+        }
+    }
+
+    /// Executes a batch of [`QueryRequest`]s with the same deterministic
+    /// fan-out as [`DtwIndexEngine::query_batch`]. Per-request traces (where
+    /// enabled) ride inside the outcomes, which are merged in submission
+    /// order — so the trace stream, like every counter, is permutation- and
+    /// thread-count-invariant.
+    ///
+    /// # Errors
+    /// Validates every request up front and returns the first
+    /// [`EngineError`] before running anything: a failed batch does no work
+    /// and records no metrics.
+    pub fn try_query_batch(
+        &self,
+        requests: &[QueryRequest],
+        options: &BatchOptions,
+    ) -> Result<BatchOutcome, EngineError> {
+        for request in requests {
+            self.validate_query(&request.series, request.band)?;
+        }
+        let started = self.metrics.start_timer();
+        let outcomes = parallel_map_chunked(
+            requests,
             options,
             QueryScratch::new,
-            |scratch, _i, q| match q {
-                BatchQuery::Range { query, band, radius } => {
-                    self.range_query_with(query, *band, *radius, scratch)
-                }
-                BatchQuery::Knn { query, band, k } => self.knn_with(query, *band, *k, scratch),
-            },
+            |scratch, _i, request| self.run_request(request, scratch),
         );
         let mut stats = EngineStats::default();
-        for result in &results {
-            stats.absorb(&result.stats);
+        for outcome in &outcomes {
+            stats.absorb(&outcome.result.stats);
         }
-        BatchResult { results, stats }
+        // Drift guard (debug builds): when every request carries a trace,
+        // the merged stats must equal the sum of the per-query trace totals
+        // — `EngineStats::absorb` and `QueryTrace::totals` can never
+        // disagree silently.
+        #[cfg(debug_assertions)]
+        if !outcomes.is_empty() && outcomes.iter().all(|o| o.trace.is_some()) {
+            let mut from_traces = EngineStats::default();
+            for outcome in &outcomes {
+                from_traces.absorb(&outcome.trace.as_ref().expect("all traced").totals());
+            }
+            debug_assert_eq!(
+                from_traces, stats,
+                "batch trace totals drifted from merged EngineStats"
+            );
+        }
+        self.metrics.add(Metric::Batches, 1);
+        self.metrics.observe_since(Timer::Batch, started);
+        Ok(BatchOutcome { outcomes, stats })
     }
 }
 
@@ -990,5 +1449,157 @@ mod tests {
         );
         engine.insert(7, series[0].clone());
         engine.insert(7, series[1].clone());
+    }
+
+    #[test]
+    fn try_insert_reports_every_error_and_mutates_nothing() {
+        let series = lcg_series(3, 32, 4);
+        let mut engine = DtwIndexEngine::new(
+            NewPaa::new(32, 4),
+            RStarTree::new(4),
+            EngineConfig::default(),
+        );
+        assert_eq!(
+            engine.try_insert(0, vec![1.0; 31]),
+            Err(EngineError::LengthMismatch {
+                context: "inserted series",
+                expected: 32,
+                got: 31
+            })
+        );
+        let mut bad = series[0].clone();
+        bad[9] = f64::NAN;
+        match engine.try_insert(0, bad) {
+            Err(EngineError::NonFiniteSample { context, index, value }) => {
+                assert_eq!(context, "inserted series");
+                assert_eq!(index, 9);
+                assert!(value.is_nan());
+            }
+            other => panic!("expected NonFiniteSample, got {other:?}"),
+        }
+        assert!(engine.is_empty(), "failed inserts must not mutate");
+        engine.try_insert(3, series[1].clone()).unwrap();
+        assert_eq!(
+            engine.try_insert(3, series[2].clone()),
+            Err(EngineError::DuplicateId(3))
+        );
+        assert_eq!(engine.get(3).unwrap(), series[1].as_slice(), "original survives");
+    }
+
+    #[test]
+    fn try_query_reports_every_error_variant() {
+        let series = lcg_series(2, 32, 4);
+        let mut engine = DtwIndexEngine::new(
+            NewPaa::new(32, 4),
+            RStarTree::new(4),
+            EngineConfig::default(),
+        );
+        engine.insert(0, series[0].clone());
+        let empty = QueryRequest::range(1.0);
+        assert_eq!(engine.try_query(&empty), Err(EngineError::EmptyQuery));
+        let short = QueryRequest::knn(1).with_series(vec![0.0; 16]);
+        assert_eq!(
+            engine.try_query(&short),
+            Err(EngineError::LengthMismatch { context: "query", expected: 32, got: 16 })
+        );
+        let mut bad = series[1].clone();
+        bad[30] = f64::NEG_INFINITY;
+        match engine.try_query(&QueryRequest::range(1.0).with_series(bad)) {
+            Err(EngineError::NonFiniteSample { context, index, value }) => {
+                assert_eq!(context, "query");
+                assert_eq!(index, 30);
+                assert_eq!(value, f64::NEG_INFINITY);
+            }
+            other => panic!("expected NonFiniteSample, got {other:?}"),
+        }
+        let wide = QueryRequest::range(1.0).with_series(series[1].clone()).with_band(32);
+        assert_eq!(
+            engine.try_query(&wide),
+            Err(EngineError::BandTooWide { band: 32, len: 32 })
+        );
+        // The same input is fine one sample narrower.
+        let ok = QueryRequest::range(1.0).with_series(series[1].clone()).with_band(31);
+        assert!(engine.try_query(&ok).is_ok());
+    }
+
+    #[test]
+    fn error_display_keeps_legacy_panic_substrings() {
+        let messages = [
+            EngineError::LengthMismatch { context: "query", expected: 4, got: 2 }.to_string(),
+            EngineError::NonFiniteSample { context: "query", index: 3, value: f64::NAN }
+                .to_string(),
+            EngineError::DuplicateId(7).to_string(),
+        ];
+        assert!(messages[0].contains("must be in normal form"));
+        assert!(messages[1].contains("non-finite sample"));
+        assert!(messages[1].contains("index 3"));
+        assert!(messages[2].contains("duplicate id 7"));
+    }
+
+    #[test]
+    fn request_api_reproduces_legacy_entry_points() {
+        let series = lcg_series(100, 64, 50);
+        let engine = build_engine(&series);
+        let query = lcg_series(1, 64, 808).remove(0);
+        let range = engine.query(&QueryRequest::range(2.5).with_series(query.clone()).with_band(3));
+        assert_eq!(range.result, engine.range_query(&query, 3, 2.5));
+        assert!(range.trace.is_none(), "trace is opt-in");
+        let knn = engine.query(&QueryRequest::knn(7).with_series(query.clone()).with_band(3));
+        assert_eq!(knn.result, engine.knn(&query, 3, 7));
+        let scan = engine
+            .query(&QueryRequest::range(2.5).with_series(query.clone()).with_band(3).with_scan(true));
+        assert_eq!(scan.result, engine.scan_range(&query, 3, 2.5));
+        let scan_knn = engine
+            .query(&QueryRequest::knn(7).with_series(query.clone()).with_band(3).with_scan(true));
+        assert_eq!(scan_knn.result, engine.scan_knn(&query, 3, 7));
+    }
+
+    #[test]
+    fn trace_totals_equal_stats_on_every_path() {
+        let series = lcg_series(100, 64, 51);
+        let engine = build_engine(&series);
+        let query = lcg_series(1, 64, 909).remove(0);
+        for (request, scan) in [
+            (QueryRequest::range(2.5), false),
+            (QueryRequest::knn(5), false),
+            (QueryRequest::range(2.5), true),
+            (QueryRequest::knn(5), true),
+        ] {
+            let request =
+                request.with_series(query.clone()).with_band(3).with_trace(true).with_scan(scan);
+            let outcome = engine.query(&request);
+            let trace = outcome.trace.expect("trace requested");
+            assert_eq!(trace.totals(), outcome.result.stats, "scan={scan}");
+            assert_eq!(trace.band, 3);
+            if scan {
+                assert_eq!(trace.candidates_in, engine.len() as u64);
+                assert_eq!(trace.index, QueryStats::default());
+            } else {
+                assert_eq!(trace.candidates_in, outcome.result.stats.index.candidates);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_requests_carry_traces_in_submission_order() {
+        let series = lcg_series(80, 64, 52);
+        let engine = build_engine(&series);
+        let queries = lcg_series(6, 64, 6001);
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let r = if i % 2 == 0 { QueryRequest::range(2.0) } else { QueryRequest::knn(4) };
+                r.with_series(q.clone()).with_band(2).with_trace(true)
+            })
+            .collect();
+        let expected: Vec<QueryOutcome> =
+            requests.iter().map(|r| engine.query(r)).collect();
+        for threads in [1, 2, 8] {
+            let got = engine
+                .try_query_batch(&requests, &crate::batch::BatchOptions::new(threads, 2))
+                .unwrap();
+            assert_eq!(got.outcomes, expected, "threads={threads}");
+        }
     }
 }

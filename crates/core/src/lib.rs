@@ -29,6 +29,10 @@
 //!   across threads with bit-identical, thread-count-invariant results.
 //! * [`batch`] — the deterministic chunked fan-out underneath batched
 //!   execution (fixed-size chunks, chunk-order merge, per-worker scratch).
+//! * [`obs`] — observability: a registry of named monotonic counters and
+//!   duration histograms, opt-in per-query cascade traces
+//!   ([`obs::QueryTrace`]), and text/JSON exporters. Counters are
+//!   deterministic and may appear in results; wall-clock timers never do.
 //! * [`subsequence`] — sliding-window subsequence matching over long series,
 //!   the §3.2 alternative to whole-sequence matching.
 //! * [`l1`] — the same framework under the L1 metric, the "other distance
@@ -64,6 +68,7 @@ pub mod engine;
 pub mod envelope;
 pub mod l1;
 pub mod normal;
+pub mod obs;
 pub mod subsequence;
 pub mod tightness;
 pub mod transform;

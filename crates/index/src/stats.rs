@@ -20,6 +20,23 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
+    /// Page accesses for the operation — the paper's IO-cost proxy (one
+    /// index node = one disk page).
+    pub fn pages(&self) -> u64 {
+        self.node_accesses
+    }
+
+    /// Fraction of `total_points` that survived the index-level predicate —
+    /// the candidate ratio the paper plots in Figs. 8–9. Returns 0 for an
+    /// empty database.
+    pub fn selectivity(&self, total_points: u64) -> f64 {
+        if total_points == 0 {
+            0.0
+        } else {
+            self.candidates as f64 / total_points as f64
+        }
+    }
+
     /// Merges counters from another operation (for averaging over query
     /// batches).
     pub fn absorb(&mut self, other: &QueryStats) {
@@ -86,6 +103,14 @@ mod tests {
             a,
             QueryStats { node_accesses: 4, leaf_accesses: 3, points_examined: 12, candidates: 3 }
         );
+    }
+
+    #[test]
+    fn pages_and_selectivity_derive_from_counters() {
+        let s = QueryStats { node_accesses: 6, leaf_accesses: 4, points_examined: 50, candidates: 5 };
+        assert_eq!(s.pages(), 6);
+        assert_eq!(s.selectivity(100), 0.05);
+        assert_eq!(s.selectivity(0), 0.0);
     }
 
     #[test]

@@ -8,8 +8,11 @@
 use hum_audio::{track_pitch, PitchTrackerConfig};
 use hum_core::batch::BatchOptions;
 use hum_core::dtw::band_for_warping_width;
-use hum_core::engine::{BatchQuery, DtwIndexEngine, EngineConfig, EngineStats};
+use hum_core::engine::{
+    BatchQuery, DtwIndexEngine, EngineConfig, EngineError, EngineStats, QueryRequest,
+};
 use hum_core::normal::NormalForm;
+use hum_core::obs::{MetricsSink, QueryTrace};
 use hum_core::transform::dft::Dft;
 use hum_core::transform::dwt::Dwt;
 use hum_core::transform::paa::{KeoghPaa, NewPaa};
@@ -192,6 +195,55 @@ impl QbhSystem {
     /// The underlying engine, for experiments that need raw control.
     pub fn engine(&self) -> &QbhEngine {
         &self.engine
+    }
+
+    /// Points the engine at a metrics sink (see
+    /// [`DtwIndexEngine::set_metrics`]); pass [`MetricsSink::enabled`] to
+    /// start recording every query into a shared registry.
+    pub fn set_metrics(&mut self, sink: MetricsSink) {
+        self.engine.set_metrics(sink);
+    }
+
+    /// The metrics sink in use (disabled by default).
+    pub fn metrics(&self) -> &MetricsSink {
+        self.engine.metrics()
+    }
+
+    /// Executes a [`QueryRequest`] on a hummed pitch series: the series is
+    /// normalized and attached to the request (any series already on the
+    /// request is replaced), so callers only choose kind, band, trace, and
+    /// scan fallback. Use [`QbhSystem::band`] for the configured warping
+    /// width. Returns annotated results plus the cascade trace when the
+    /// request asked for one.
+    ///
+    /// # Errors
+    /// [`EngineError::EmptyQuery`] on an empty pitch series, plus anything
+    /// [`DtwIndexEngine::try_query`] reports.
+    pub fn try_query_request(
+        &self,
+        pitch_series: &[f64],
+        request: QueryRequest,
+    ) -> Result<(QbhResults, Option<QueryTrace>), EngineError> {
+        if pitch_series.is_empty() {
+            // Report before `NormalForm::apply`, which cannot resample an
+            // empty series.
+            return Err(EngineError::EmptyQuery);
+        }
+        let request = request.with_series(self.normal.apply(pitch_series));
+        let outcome = self.engine.try_query(&request)?;
+        Ok((self.annotate(outcome.result), outcome.trace))
+    }
+
+    /// Panicking form of [`QbhSystem::try_query_request`].
+    ///
+    /// # Panics
+    /// Panics on any [`EngineError`] the `try_` form would return.
+    pub fn query_request(
+        &self,
+        pitch_series: &[f64],
+        request: QueryRequest,
+    ) -> (QbhResults, Option<QueryTrace>) {
+        self.try_query_request(pitch_series, request).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Top-`k` matches for a hummed pitch series (fractional MIDI values,
@@ -406,5 +458,46 @@ mod tests {
     #[should_panic(expected = "empty melody database")]
     fn empty_database_rejected() {
         let _ = QbhSystem::build(&MelodyDatabase::empty(), &QbhConfig::default());
+    }
+
+    #[test]
+    fn query_request_matches_legacy_paths_and_traces() {
+        let db = small_db();
+        let system = QbhSystem::build(&db, &QbhConfig::default());
+        let series = db.entry(12).unwrap().melody().to_time_series(4);
+        let (results, trace) = system.query_request(
+            &series,
+            QueryRequest::knn(5).with_band(system.band()).with_trace(true),
+        );
+        assert_eq!(results, system.query_series(&series, 5));
+        let trace = trace.expect("trace requested");
+        assert_eq!(trace.totals(), results.stats);
+        assert_eq!(trace.matches, 5);
+    }
+
+    #[test]
+    fn empty_pitch_series_is_a_typed_error() {
+        let db = small_db();
+        let system = QbhSystem::build(&db, &QbhConfig::default());
+        assert_eq!(
+            system.try_query_request(&[], QueryRequest::knn(3)).unwrap_err(),
+            EngineError::EmptyQuery
+        );
+    }
+
+    #[test]
+    fn metrics_sink_records_system_queries() {
+        let db = small_db();
+        let mut system = QbhSystem::build(&db, &QbhConfig::default());
+        assert!(!system.metrics().is_enabled());
+        system.set_metrics(MetricsSink::enabled());
+        let series = db.entry(3).unwrap().melody().to_time_series(4);
+        let results = system.query_series(&series, 4);
+        let snapshot = system.metrics().registry().expect("enabled").snapshot();
+        assert_eq!(snapshot.counter(hum_core::obs::Metric::KnnQueries), 1);
+        assert_eq!(
+            snapshot.counter(hum_core::obs::Metric::DpCells),
+            results.stats.dp_cells
+        );
     }
 }

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Guards the public API against undocumented panics.
+#
+# Every `panic!(` in library code (the bottom-of-file `#[cfg(test)]` modules
+# are excluded) must appear verbatim in tools/panic_allowlist.txt. The
+# intended shape of the allowlist is the set of documented panicking
+# wrappers that delegate to `try_`-prefixed fallible APIs; anything else
+# should return a typed `EngineError` instead. Run with `--update` after a
+# deliberate change to a documented panic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allowlist=tools/panic_allowlist.txt
+
+scan() {
+  find crates -path '*/src/*' -name '*.rs' -print0 | sort -z |
+    while IFS= read -r -d '' f; do
+      awk -v file="$f" '
+        /^#\[cfg\(test\)\]/ { exit }  # test module starts: stop scanning
+        /panic!\(/ {
+          line = $0
+          gsub(/^[ \t]+|[ \t]+$/, "", line)
+          print file ": " line
+        }
+      ' "$f"
+    done
+}
+
+if [[ "${1:-}" == "--update" ]]; then
+  scan > "$allowlist"
+  echo "check_panics: rewrote $allowlist ($(wc -l < "$allowlist") entries)"
+  exit 0
+fi
+
+if ! diff -u "$allowlist" <(scan); then
+  echo >&2
+  echo "check_panics: library panic!() sites differ from $allowlist." >&2
+  echo "If the change is deliberate and the panic is documented, run" >&2
+  echo "  tools/check_panics.sh --update" >&2
+  echo "Otherwise return a typed EngineError through a try_ API instead." >&2
+  exit 1
+fi
+echo "check_panics: all library panic sites are allowlisted."
