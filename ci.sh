@@ -17,8 +17,14 @@ HUM_THREADS=8 cargo test -q -p hum-core --test obs
 HUM_THREADS=1 cargo test -q -p hum-integration-tests --test batch_determinism
 HUM_THREADS=8 cargo test -q -p hum-integration-tests --test batch_determinism
 
+# Storage durability: exhaustive fault-injection, truncation, and bit-flip
+# matrices over both snapshot formats. Every fault must surface as a typed
+# StorageError — never a panic, never silently wrong data.
+cargo test -q -p hum-qbh --test storage_faults
+
 # Every panic!() in library code must be a documented wrapper around a
-# try_ API (tools/panic_allowlist.txt).
+# try_ API (tools/panic_allowlist.txt); hum-qbh is additionally scanned for
+# .unwrap()/.expect() since its storage layer parses untrusted bytes.
 ./tools/check_panics.sh
 
 cargo clippy --all-targets -- -D warnings

@@ -66,11 +66,24 @@ pub enum Metric {
     DpCells,
     /// Final matches returned.
     Matches,
+    /// Database snapshot saves that committed successfully.
+    StorageSaves,
+    /// Database snapshot saves that failed (the previous snapshot, if any,
+    /// is still intact — saves are atomic).
+    StorageSaveErrors,
+    /// Database snapshot loads that completed successfully.
+    StorageLoads,
+    /// Database snapshot loads that failed with a typed `StorageError`.
+    StorageLoadErrors,
+    /// Bytes written by successful snapshot saves.
+    StorageBytesWritten,
+    /// Bytes read by successful snapshot loads.
+    StorageBytesRead,
 }
 
 impl Metric {
     /// Every counter slot, in export order.
-    pub const ALL: [Metric; 17] = [
+    pub const ALL: [Metric; 23] = [
         Metric::RangeQueries,
         Metric::KnnQueries,
         Metric::ScanRangeQueries,
@@ -88,6 +101,12 @@ impl Metric {
         Metric::EarlyAbandoned,
         Metric::DpCells,
         Metric::Matches,
+        Metric::StorageSaves,
+        Metric::StorageSaveErrors,
+        Metric::StorageLoads,
+        Metric::StorageLoadErrors,
+        Metric::StorageBytesWritten,
+        Metric::StorageBytesRead,
     ];
 
     /// The counter's exported name.
@@ -110,6 +129,12 @@ impl Metric {
             Metric::EarlyAbandoned => "cascade.early_abandoned",
             Metric::DpCells => "cascade.dp_cells",
             Metric::Matches => "engine.matches",
+            Metric::StorageSaves => "storage.saves",
+            Metric::StorageSaveErrors => "storage.save_errors",
+            Metric::StorageLoads => "storage.loads",
+            Metric::StorageLoadErrors => "storage.load_errors",
+            Metric::StorageBytesWritten => "storage.bytes_written",
+            Metric::StorageBytesRead => "storage.bytes_read",
         }
     }
 }

@@ -20,7 +20,54 @@ use std::process::ExitCode;
 
 use hum_music::{HummingSimulator, Melody, SingerProfile, Songbook, SongbookConfig};
 use hum_qbh::corpus::{melody_from_smf, melody_to_smf};
+use hum_qbh::storage::StorageError;
 use hum_qbh::system::{QbhConfig, QbhSystem};
+
+/// CLI failure modes, each with its own exit code so scripts can tell a
+/// misused invocation (2) from a corrupt or unwritable snapshot (3).
+enum CliError {
+    /// Bad arguments or an unreadable corpus directory.
+    Usage(String),
+    /// A typed storage failure: corrupt snapshot, checksum mismatch,
+    /// interrupted save, unrepresentable database.
+    Storage(StorageError),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Storage(_) => 3,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Usage(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::Usage(message.to_string())
+    }
+}
+
+impl From<StorageError> for CliError {
+    fn from(e: StorageError) -> Self {
+        CliError::Storage(e)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(message) => write!(f, "{message}"),
+            CliError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,14 +81,16 @@ fn main() -> ExitCode {
             usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown command: {other}")),
+        Some(other) => Err(CliError::Usage(format!("unknown command: {other}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            usage();
-            ExitCode::from(2)
+        Err(error) => {
+            eprintln!("error: {error}");
+            if matches!(error, CliError::Usage(_)) {
+                usage();
+            }
+            ExitCode::from(error.exit_code())
         }
     }
 }
@@ -67,7 +116,7 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<u64>, String> {
     }
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     let dir = PathBuf::from(args.first().ok_or("generate needs a directory")?);
     let songs = flag_value(args, "--songs")?.unwrap_or(50) as usize;
     let seed = flag_value(args, "--seed")?.unwrap_or(2003);
@@ -127,7 +176,7 @@ fn build_system(corpus: &BTreeMap<String, Melody>) -> (QbhSystem, Vec<String>) {
     (QbhSystem::build(&db, &QbhConfig::default()), names)
 }
 
-fn cmd_info(args: &[String]) -> Result<(), String> {
+fn cmd_info(args: &[String]) -> Result<(), CliError> {
     let dir = PathBuf::from(args.first().ok_or("info needs a directory")?);
     let corpus = load_corpus(&dir)?;
     let notes: usize = corpus.values().map(Melody::len).sum();
@@ -144,7 +193,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_hum(args: &[String]) -> Result<(), String> {
+fn cmd_hum(args: &[String]) -> Result<(), CliError> {
     let dir = PathBuf::from(args.first().ok_or("hum needs a directory")?);
     let name = args.get(1).ok_or("hum needs a melody file name")?;
     let out = PathBuf::from(args.get(2).ok_or("hum needs an output .wav path")?);
@@ -154,7 +203,7 @@ fn cmd_hum(args: &[String]) -> Result<(), String> {
         Some(i) => match args.get(i + 1).map(String::as_str) {
             Some("good") => SingerProfile::good(),
             Some("poor") => SingerProfile::poor(),
-            other => return Err(format!("--singer must be good|poor, got {other:?}")),
+            other => return Err(format!("--singer must be good|poor, got {other:?}").into()),
         },
     };
 
@@ -178,34 +227,34 @@ fn cmd_hum(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_index(args: &[String]) -> Result<(), String> {
+fn cmd_index(args: &[String]) -> Result<(), CliError> {
     let dir = PathBuf::from(args.first().ok_or("index needs a directory")?);
     let out = PathBuf::from(args.get(1).ok_or("index needs an output .humidx path")?);
     let corpus = load_corpus(&dir)?;
     let db = hum_qbh::corpus::MelodyDatabase::from_melodies(
         corpus.values().cloned().collect::<Vec<_>>(),
     );
-    hum_qbh::storage::save(&out, &db, &QbhConfig::default()).map_err(|e| e.to_string())?;
-    println!(
-        "Persisted {} melodies to {} ({} bytes).",
-        db.len(),
-        out.display(),
-        std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0)
-    );
+    // Atomic, checksummed save: either the complete snapshot lands at `out`
+    // or a typed error is reported and any previous file stays intact.
+    let bytes = hum_qbh::storage::save(&out, &db, &QbhConfig::default())?;
+    println!("Persisted {} melodies to {} ({bytes} bytes).", db.len(), out.display());
     println!("Note: melody names are not stored; query hits report database ids.");
     Ok(())
 }
 
-fn cmd_query(args: &[String]) -> Result<(), String> {
+fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let source = PathBuf::from(args.first().ok_or("query needs a directory or .humidx file")?);
     let wav_path = PathBuf::from(args.get(1).ok_or("query needs a .wav file")?);
     let top = flag_value(args, "--top")?.unwrap_or(5) as usize;
 
     let (system, names) = if source.extension().and_then(|e| e.to_str()) == Some("humidx") {
-        let (db, config) = hum_qbh::storage::load(&source).map_err(|e| e.to_string())?;
-        println!("Loaded {} melodies from {}...", db.len(), source.display());
-        let names = (0..db.len()).map(|i| format!("melody #{i}")).collect();
-        (QbhSystem::build(&db, &config), names)
+        // The fallible load validates checksums and the configuration, so a
+        // corrupt or truncated snapshot is a typed error (exit code 3)
+        // rather than a panic somewhere inside the build.
+        let system = QbhSystem::try_load(&source)?;
+        println!("Loaded {} melodies from {}...", system.len(), source.display());
+        let names = (0..system.len()).map(|i| format!("melody #{i}")).collect();
+        (system, names)
     } else {
         let corpus = load_corpus(&source)?;
         println!("Indexing {} melodies from {}...", corpus.len(), source.display());

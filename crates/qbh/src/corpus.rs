@@ -89,11 +89,15 @@ impl MelodyDatabase {
         MelodyDatabase { entries: Vec::new() }
     }
 
-    /// Builds the database from bare melodies (no song/phrase provenance —
-    /// both indices are zeroed). Used when the corpus comes from external
-    /// files rather than a songbook.
+    /// Builds the database from bare melodies. Used when the corpus comes
+    /// from external files rather than a songbook: each melody is treated
+    /// as its own single-phrase song (`song = position`, `phrase = 0`), so
+    /// every entry keeps a distinct `(song, phrase)` provenance pair — the
+    /// uniqueness [`crate::storage`] enforces. (Databases persisted before
+    /// provenance was assigned carry `(0, 0)` everywhere; the storage
+    /// reader still accepts that legacy case for `HUMIDX01` files.)
     pub fn from_melodies(melodies: Vec<Melody>) -> Self {
-        Self::from_phrases(melodies.into_iter().map(|m| (0, 0, m)).collect())
+        Self::from_phrases(melodies.into_iter().enumerate().map(|(i, m)| (i, 0, m)).collect())
     }
 
     /// Builds the database from `(song, phrase, melody)` triples, e.g. as

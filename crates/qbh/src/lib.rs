@@ -38,6 +38,7 @@
 
 pub mod corpus;
 pub mod eval;
+pub mod fault;
 pub mod songsearch;
 pub mod storage;
 pub mod system;

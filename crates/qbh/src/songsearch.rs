@@ -11,14 +11,19 @@
 //! (users who start mid-verse), at the cost the paper predicts: many more
 //! indexed windows than melodies.
 
+use std::collections::BTreeMap;
+
 use hum_core::batch::BatchOptions;
 use hum_core::dtw::band_for_warping_width;
 use hum_core::engine::EngineStats;
 use hum_core::normal::NormalForm;
+use hum_core::obs::MetricsSink;
 use hum_core::subsequence::{SubsequenceConfig, SubsequenceIndex};
 use hum_core::transform::paa::NewPaa;
 use hum_index::RStarTree;
-use hum_music::Songbook;
+use hum_music::{Melody, Song, Songbook};
+
+use crate::storage::StorageError;
 
 /// Song-search configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -110,6 +115,58 @@ impl SongSearch {
             band: band_for_warping_width(config.warping_width, config.normal_length),
             songs: book.songs.len(),
         }
+    }
+
+    /// Loads a persisted melody snapshot (either `HUMIDX` version) and
+    /// builds whole-song subsequence search over it: entries are grouped by
+    /// their `song` provenance (renumbered densely in ascending order) and
+    /// each song's phrases are concatenated in phrase order. Reconstructed
+    /// songs carry placeholder names/keys — the snapshot stores melodies,
+    /// not song metadata.
+    ///
+    /// # Errors
+    /// Any [`StorageError`] from [`crate::storage::load`], plus
+    /// [`StorageError::Corrupt`] for a snapshot that holds zero melodies.
+    pub fn try_load(
+        path: &std::path::Path,
+        config: &SongSearchConfig,
+    ) -> Result<Self, StorageError> {
+        Self::try_load_with(path, config, &MetricsSink::Disabled)
+    }
+
+    /// [`SongSearch::try_load`], recording the load outcome and byte count
+    /// into a metrics sink.
+    pub fn try_load_with(
+        path: &std::path::Path,
+        config: &SongSearchConfig,
+        metrics: &MetricsSink,
+    ) -> Result<Self, StorageError> {
+        let (db, _) = crate::storage::load_with(path, metrics)?;
+        if db.is_empty() {
+            return Err(StorageError::Corrupt(
+                "snapshot holds no melodies; cannot build song search".into(),
+            ));
+        }
+        let mut by_song: BTreeMap<usize, Vec<(usize, Melody)>> = BTreeMap::new();
+        for entry in db.entries() {
+            by_song
+                .entry(entry.song())
+                .or_default()
+                .push((entry.phrase(), entry.melody().clone()));
+        }
+        let songs = by_song
+            .into_iter()
+            .map(|(song, mut phrases)| {
+                phrases.sort_by_key(|(phrase, _)| *phrase);
+                Song {
+                    name: format!("Song {song}"),
+                    tonic: 60,
+                    major: true,
+                    phrases: phrases.into_iter().map(|(_, melody)| melody).collect(),
+                }
+            })
+            .collect();
+        Ok(Self::build(&Songbook { songs }, config))
     }
 
     /// Number of indexed songs.

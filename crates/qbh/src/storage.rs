@@ -7,27 +7,100 @@
 //! with [`crate::system::QbhSystem::build`]. Melody content — not index pages — is what is
 //! persisted: the index is cheap to rebuild and its in-memory layout is not
 //! a stable contract.
+//!
+//! # Format versions
+//!
+//! * **`HUMIDX01`** (legacy, read-only here): magic, raw config fields,
+//!   entry count, entries. No checksums; [`save`] no longer produces it but
+//!   [`read_database`] still accepts it, and [`write_database_v1`] keeps the
+//!   writer around for compatibility tests.
+//! * **`HUMIDX02`** (current): the same logical content, framed for
+//!   durability —
+//!
+//!   ```text
+//!   [ magic "HUMIDX02"                        8 bytes ]
+//!   [ config section body                    26 bytes ]
+//!   [ CRC32(config body)                      4 bytes ]
+//!   [ entries section: count u64, entries…     varies ]
+//!   [ CRC32(entries section body)             4 bytes ]
+//!   [ CRC32(every preceding byte)             4 bytes ]  ← whole-file footer
+//!   ```
+//!
+//!   Every section carries its own CRC32 (IEEE) so corruption is localized
+//!   in error messages, and the footer checksums the entire file so *any*
+//!   single-bit corruption — including inside the section CRCs themselves —
+//!   fails loudly instead of round-tripping different data. Trailing bytes
+//!   after the footer are rejected.
+//!
+//! # Durability
+//!
+//! [`save`] is atomic: it writes to a sibling temp file, flushes and
+//! `sync_all`s it, then `rename`s it into place. A crash at any point
+//! leaves either the previous complete snapshot or the new one — never a
+//! torn file (the orphaned temp file, if any, is ignored by loads and
+//! overwritten by the next save from the same process).
+//!
+//! # Robustness
+//!
+//! Readers never trust header counts: preallocation is clamped to a small
+//! constant and vectors grow only as entries actually parse, so a 30-byte
+//! file claiming 100 million melodies cannot reserve gigabytes. Every
+//! injected fault — short write, I/O error at byte N, bit flip, truncation —
+//! surfaces as a typed [`StorageError`] (see `tests/storage_faults.rs` and
+//! [`crate::fault`]); library code here never panics on untrusted input.
 
+use std::collections::HashSet;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
+use hum_core::obs::{Metric, MetricsSink};
 use hum_music::{Melody, Note};
 
 use crate::corpus::{MelodyDatabase, MelodyEntry};
 use crate::system::{Backend, QbhConfig, TransformKind};
 
-/// File magic (8 bytes): name plus format version.
-const MAGIC: &[u8; 8] = b"HUMIDX01";
+/// Legacy file magic (8 bytes): name plus format version 1.
+const MAGIC_V1: &[u8; 8] = b"HUMIDX01";
 
-/// Errors while reading a `HUMIDX` file.
+/// Current file magic (8 bytes): name plus format version 2.
+const MAGIC_V2: &[u8; 8] = b"HUMIDX02";
+
+/// Serialized size of the fixed config section body (v2).
+const CONFIG_BODY_LEN: usize = 26;
+
+/// Hard cap on the melody count a file may claim.
+const MAX_MELODIES: u64 = 100_000_000;
+
+/// Hard cap on the note count of a single melody.
+const MAX_NOTES: u32 = 1_000_000;
+
+/// Hard cap on a single note's duration in beats.
+const MAX_NOTE_BEATS: f64 = 1e6;
+
+/// Hard cap on a melody's total duration in beats (bounds the time-series
+/// length [`crate::system::QbhSystem::build`] will render).
+const MAX_MELODY_BEATS: f64 = 1e7;
+
+/// Upper bound on speculative preallocation from untrusted header counts.
+/// Vectors grow past this only as entries actually parse.
+const PREALLOC_CAP: usize = 1024;
+
+/// Errors while reading or writing a `HUMIDX` file.
 #[derive(Debug)]
 pub enum StorageError {
-    /// Underlying I/O failure.
+    /// Underlying I/O failure (includes short writes and truncated reads).
     Io(io::Error),
     /// Not a `HUMIDX` file, or an unsupported version.
     BadMagic,
     /// Structurally invalid content.
     Corrupt(String),
+    /// A section or the whole-file footer failed its CRC32 check; the
+    /// payload names the section ("config", "entries", or "file").
+    Checksum(&'static str),
+    /// The in-memory database or configuration cannot be represented in the
+    /// format (field overflows `u32`, duplicate provenance, invalid note…).
+    /// Returned by writers instead of silently truncating.
+    Unrepresentable(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -36,6 +109,12 @@ impl std::fmt::Display for StorageError {
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
             StorageError::BadMagic => write!(f, "not a HUMIDX file (or unsupported version)"),
             StorageError::Corrupt(msg) => write!(f, "corrupt HUMIDX file: {msg}"),
+            StorageError::Checksum(section) => {
+                write!(f, "corrupt HUMIDX file: {section} checksum mismatch")
+            }
+            StorageError::Unrepresentable(msg) => {
+                write!(f, "cannot serialize database: {msg}")
+            }
         }
     }
 }
@@ -48,108 +127,610 @@ impl From<io::Error> for StorageError {
     }
 }
 
-/// Serializes a database and its indexing configuration.
-pub fn write_database<W: Write>(
-    out: &mut W,
-    db: &MelodyDatabase,
-    config: &QbhConfig,
-) -> io::Result<()> {
-    out.write_all(MAGIC)?;
-    out.write_all(&(config.normal_length as u32).to_le_bytes())?;
-    out.write_all(&(config.feature_dims as u32).to_le_bytes())?;
-    out.write_all(&(config.samples_per_beat as u32).to_le_bytes())?;
-    out.write_all(&config.warping_width.to_le_bytes())?;
-    out.write_all(&[transform_tag(config.transform), backend_tag(config.backend)])?;
-    out.write_all(&(config.page_bytes as u32).to_le_bytes())?;
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, polynomial 0xEDB88320) — self-contained, table-driven.
 
-    out.write_all(&(db.len() as u64).to_le_bytes())?;
-    for entry in db.entries() {
-        out.write_all(&(entry.song() as u32).to_le_bytes())?;
-        out.write_all(&(entry.phrase() as u32).to_le_bytes())?;
-        let melody = entry.melody();
-        out.write_all(&(melody.len() as u32).to_le_bytes())?;
-        for note in melody.notes() {
-            out.write_all(&[note.pitch])?;
-            out.write_all(&note.beats.to_le_bytes())?;
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Running CRC32 state.
+#[derive(Clone, Copy)]
+struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ CRC32_TABLE[idx];
+        }
+    }
+
+    fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+/// CRC32 (IEEE) of a byte slice — the checksum the `HUMIDX02` sections and
+/// footer use. Public so tests and tools can recompute checksums when
+/// crafting or repairing files.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Checksumming, byte-counting reader/writer adapters.
+
+/// Write adapter tracking the whole-file CRC, the current section CRC, and
+/// the byte count.
+struct SnapshotWriter<'a, W: Write> {
+    inner: &'a mut W,
+    bytes: u64,
+    file_crc: Crc32,
+    section_crc: Crc32,
+}
+
+impl<'a, W: Write> SnapshotWriter<'a, W> {
+    fn new(inner: &'a mut W) -> Self {
+        SnapshotWriter { inner, bytes: 0, file_crc: Crc32::new(), section_crc: Crc32::new() }
+    }
+
+    /// Writes bytes that belong to the current section.
+    fn put(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.inner.write_all(bytes)?;
+        self.bytes += bytes.len() as u64;
+        self.file_crc.update(bytes);
+        self.section_crc.update(bytes);
+        Ok(())
+    }
+
+    /// Resets the section CRC for the next section.
+    fn begin_section(&mut self) {
+        self.section_crc = Crc32::new();
+    }
+
+    /// Writes the current section's CRC32 (covered by the file CRC but not
+    /// by any section CRC) and resets the section state.
+    fn finish_section(&mut self) -> Result<(), StorageError> {
+        let sum = self.section_crc.finish().to_le_bytes();
+        self.inner.write_all(&sum)?;
+        self.bytes += sum.len() as u64;
+        self.file_crc.update(&sum);
+        self.section_crc = Crc32::new();
+        Ok(())
+    }
+
+    /// Writes the whole-file footer CRC32 (checksums everything before it).
+    fn finish_file(&mut self) -> Result<(), StorageError> {
+        let sum = self.file_crc.finish().to_le_bytes();
+        self.inner.write_all(&sum)?;
+        self.bytes += sum.len() as u64;
+        Ok(())
+    }
+}
+
+/// Read adapter mirroring [`SnapshotWriter`].
+struct SnapshotReader<'a, R: Read> {
+    inner: &'a mut R,
+    bytes: u64,
+    file_crc: Crc32,
+    section_crc: Crc32,
+}
+
+impl<'a, R: Read> SnapshotReader<'a, R> {
+    fn new(inner: &'a mut R) -> Self {
+        SnapshotReader { inner, bytes: 0, file_crc: Crc32::new(), section_crc: Crc32::new() }
+    }
+
+    /// Reads bytes that belong to the current section.
+    fn take(&mut self, buf: &mut [u8]) -> Result<(), StorageError> {
+        self.inner.read_exact(buf)?;
+        self.bytes += buf.len() as u64;
+        self.file_crc.update(buf);
+        self.section_crc.update(buf);
+        Ok(())
+    }
+
+    fn begin_section(&mut self) {
+        self.section_crc = Crc32::new();
+    }
+
+    /// Reads a stored section CRC32 and checks it against the bytes read
+    /// since [`SnapshotReader::begin_section`].
+    fn verify_section(&mut self, section: &'static str) -> Result<(), StorageError> {
+        let expected = self.section_crc.finish();
+        let mut buf = [0u8; 4];
+        self.inner.read_exact(&mut buf)?;
+        self.bytes += 4;
+        self.file_crc.update(&buf);
+        self.section_crc = Crc32::new();
+        if u32::from_le_bytes(buf) != expected {
+            return Err(StorageError::Checksum(section));
+        }
+        Ok(())
+    }
+
+    /// Reads the whole-file footer CRC32, checks it, and rejects trailing
+    /// bytes after it.
+    fn verify_footer(&mut self) -> Result<(), StorageError> {
+        let expected = self.file_crc.finish();
+        let mut buf = [0u8; 4];
+        self.inner.read_exact(&mut buf)?;
+        self.bytes += 4;
+        if u32::from_le_bytes(buf) != expected {
+            return Err(StorageError::Checksum("file"));
+        }
+        let mut probe = [0u8; 1];
+        match self.inner.read_exact(&mut probe) {
+            Ok(()) => Err(StorageError::Corrupt("trailing bytes after footer".into())),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(()),
+            Err(e) => Err(StorageError::Io(e)),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, StorageError> {
+        let mut buf = [0u8; 4];
+        self.take(&mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn u64(&mut self) -> Result<u64, StorageError> {
+        let mut buf = [0u8; 8];
+        self.take(&mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn f64(&mut self) -> Result<f64, StorageError> {
+        let mut buf = [0u8; 8];
+        self.take(&mut buf)?;
+        Ok(f64::from_le_bytes(buf))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Validation shared by readers and writers.
+
+/// Checks that a configuration is structurally sound *and* buildable — every
+/// constraint a [`crate::system::QbhSystem::build`] would otherwise assert on, so an
+/// untrusted file can never turn into a panic after a successful load.
+fn validate_config(config: &QbhConfig) -> Result<(), String> {
+    if config.normal_length == 0 || config.feature_dims == 0 || config.samples_per_beat == 0 {
+        return Err("zero-sized configuration field".into());
+    }
+    if config.page_bytes == 0 {
+        return Err("zero page size".into());
+    }
+    if !(0.0..=1.0).contains(&config.warping_width) {
+        return Err(format!("warping width {}", config.warping_width));
+    }
+    if config.normal_length > 1 << 20 {
+        return Err(format!("implausible normal length {}", config.normal_length));
+    }
+    if config.samples_per_beat > 1 << 16 {
+        return Err(format!("implausible samples per beat {}", config.samples_per_beat));
+    }
+    if config.page_bytes > 1 << 30 {
+        return Err(format!("implausible page size {}", config.page_bytes));
+    }
+    if config.feature_dims > config.normal_length {
+        return Err(format!(
+            "feature dims {} exceed normal length {}",
+            config.feature_dims, config.normal_length
+        ));
+    }
+    match config.transform {
+        TransformKind::NewPaa | TransformKind::KeoghPaa
+            if !config.normal_length.is_multiple_of(config.feature_dims) =>
+        {
+            return Err(format!(
+                "PAA frame count {} must divide normal length {}",
+                config.feature_dims, config.normal_length
+            ));
+        }
+        _ => {}
+    }
+    if config.backend == Backend::RStar {
+        let leaf_entry = config.feature_dims * 8 + 8;
+        if config.page_bytes / leaf_entry < 4 {
+            return Err(format!(
+                "page size {} too small for an R*-tree over {} dims",
+                config.page_bytes, config.feature_dims
+            ));
         }
     }
     Ok(())
 }
 
-/// Deserializes a database and configuration.
-pub fn read_database<R: Read>(input: &mut R) -> Result<(MelodyDatabase, QbhConfig), StorageError> {
-    let mut magic = [0u8; 8];
-    input.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(StorageError::BadMagic);
-    }
-    let normal_length = read_u32(input)? as usize;
-    let feature_dims = read_u32(input)? as usize;
-    let samples_per_beat = read_u32(input)? as usize;
-    let warping_width = read_f64(input)?;
-    let mut tags = [0u8; 2];
-    input.read_exact(&mut tags)?;
-    let transform = transform_from_tag(tags[0])?;
-    let backend = backend_from_tag(tags[1])?;
-    let page_bytes = read_u32(input)? as usize;
-    if normal_length == 0 || feature_dims == 0 || samples_per_beat == 0 {
-        return Err(StorageError::Corrupt("zero-sized configuration field".into()));
-    }
-    if !(0.0..=1.0).contains(&warping_width) {
-        return Err(StorageError::Corrupt(format!("warping width {warping_width}")));
-    }
-    let config = QbhConfig {
-        normal_length,
-        feature_dims,
-        samples_per_beat,
-        warping_width,
-        transform,
-        backend,
-        page_bytes,
-    };
+fn as_u32(value: usize, what: &str) -> Result<u32, StorageError> {
+    u32::try_from(value)
+        .map_err(|_| StorageError::Unrepresentable(format!("{what} {value} overflows u32")))
+}
 
-    let count = read_u64(input)?;
-    if count > 100_000_000 {
+/// Checks one note against the invariants both reader and writer enforce.
+fn validate_note(pitch: u8, beats: f64) -> Result<(), String> {
+    if pitch > 127 {
+        return Err(format!("invalid note (pitch {pitch})"));
+    }
+    if !beats.is_finite() || beats <= 0.0 || beats > MAX_NOTE_BEATS {
+        return Err(format!("invalid note (pitch {pitch}, beats {beats})"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Writers.
+
+/// Serializes a database and its indexing configuration in the current
+/// (`HUMIDX02`) format, returning the number of bytes written.
+///
+/// # Errors
+/// [`StorageError::Unrepresentable`] when a field would overflow its on-disk
+/// width (no silent `as u32` truncation), when provenance pairs collide, or
+/// when a melody is empty/invalid; [`StorageError::Io`] on write failures.
+pub fn write_database<W: Write>(
+    out: &mut W,
+    db: &MelodyDatabase,
+    config: &QbhConfig,
+) -> Result<u64, StorageError> {
+    validate_config(config).map_err(StorageError::Unrepresentable)?;
+    let mut dst = SnapshotWriter::new(out);
+    dst.put(MAGIC_V2)?;
+
+    dst.begin_section();
+    write_config(&mut dst, config)?;
+    dst.finish_section()?;
+
+    dst.begin_section();
+    if db.len() as u64 > MAX_MELODIES {
+        return Err(StorageError::Unrepresentable(format!(
+            "melody count {} exceeds the format cap {MAX_MELODIES}",
+            db.len()
+        )));
+    }
+    dst.put(&(db.len() as u64).to_le_bytes())?;
+    let mut seen = HashSet::with_capacity(db.len().min(PREALLOC_CAP));
+    for entry in db.entries() {
+        if !seen.insert((entry.song(), entry.phrase())) {
+            return Err(StorageError::Unrepresentable(format!(
+                "duplicate provenance (song {}, phrase {})",
+                entry.song(),
+                entry.phrase()
+            )));
+        }
+        write_entry(&mut dst, entry)?;
+    }
+    dst.finish_section()?;
+    dst.finish_file()?;
+    Ok(dst.bytes)
+}
+
+/// Serializes in the legacy `HUMIDX01` format (no checksums, no duplicate-
+/// provenance rejection), returning the number of bytes written. Kept for
+/// compatibility tests; [`save`] always writes `HUMIDX02`.
+///
+/// # Errors
+/// Same overflow and note-validity errors as [`write_database`].
+pub fn write_database_v1<W: Write>(
+    out: &mut W,
+    db: &MelodyDatabase,
+    config: &QbhConfig,
+) -> Result<u64, StorageError> {
+    validate_config(config).map_err(StorageError::Unrepresentable)?;
+    let mut dst = SnapshotWriter::new(out);
+    dst.put(MAGIC_V1)?;
+    write_config(&mut dst, config)?;
+    dst.put(&(db.len() as u64).to_le_bytes())?;
+    for entry in db.entries() {
+        write_entry(&mut dst, entry)?;
+    }
+    Ok(dst.bytes)
+}
+
+/// Writes the 26-byte config body (identical field layout in v1 and v2).
+fn write_config<W: Write>(
+    dst: &mut SnapshotWriter<'_, W>,
+    config: &QbhConfig,
+) -> Result<(), StorageError> {
+    dst.put(&as_u32(config.normal_length, "normal length")?.to_le_bytes())?;
+    dst.put(&as_u32(config.feature_dims, "feature dims")?.to_le_bytes())?;
+    dst.put(&as_u32(config.samples_per_beat, "samples per beat")?.to_le_bytes())?;
+    dst.put(&config.warping_width.to_le_bytes())?;
+    dst.put(&[transform_tag(config.transform), backend_tag(config.backend)])?;
+    dst.put(&as_u32(config.page_bytes, "page size")?.to_le_bytes())?;
+    Ok(())
+}
+
+/// Writes one entry (identical layout in v1 and v2), validating every field
+/// instead of truncating.
+fn write_entry<W: Write>(
+    dst: &mut SnapshotWriter<'_, W>,
+    entry: &MelodyEntry,
+) -> Result<(), StorageError> {
+    dst.put(&as_u32(entry.song(), "song index")?.to_le_bytes())?;
+    dst.put(&as_u32(entry.phrase(), "phrase index")?.to_le_bytes())?;
+    let melody = entry.melody();
+    let notes = as_u32(melody.len(), "melody length")?;
+    if notes == 0 {
+        return Err(StorageError::Unrepresentable(format!(
+            "empty melody (song {}, phrase {})",
+            entry.song(),
+            entry.phrase()
+        )));
+    }
+    if notes > MAX_NOTES {
+        return Err(StorageError::Unrepresentable(format!(
+            "melody of {notes} notes exceeds the format cap {MAX_NOTES}"
+        )));
+    }
+    dst.put(&notes.to_le_bytes())?;
+    let mut total_beats = 0.0;
+    for note in melody.notes() {
+        validate_note(note.pitch, note.beats).map_err(StorageError::Unrepresentable)?;
+        total_beats += note.beats;
+        dst.put(&[note.pitch])?;
+        dst.put(&note.beats.to_le_bytes())?;
+    }
+    if total_beats > MAX_MELODY_BEATS {
+        return Err(StorageError::Unrepresentable(format!(
+            "melody of {total_beats} total beats exceeds the format cap {MAX_MELODY_BEATS}"
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Readers.
+
+/// Deserializes a database and configuration, accepting both `HUMIDX01`
+/// (legacy, unchecksummed) and `HUMIDX02` (checksummed) files.
+pub fn read_database<R: Read>(input: &mut R) -> Result<(MelodyDatabase, QbhConfig), StorageError> {
+    read_database_counted(input).map(|(db, config, _)| (db, config))
+}
+
+/// [`read_database`], also reporting the number of bytes consumed.
+fn read_database_counted<R: Read>(
+    input: &mut R,
+) -> Result<(MelodyDatabase, QbhConfig, u64), StorageError> {
+    let mut src = SnapshotReader::new(input);
+    let mut magic = [0u8; 8];
+    src.take(&mut magic)?;
+    if &magic == MAGIC_V1 {
+        read_v1(&mut src)
+    } else if &magic == MAGIC_V2 {
+        read_v2(&mut src)
+    } else {
+        Err(StorageError::BadMagic)
+    }
+}
+
+fn read_v1<R: Read>(
+    src: &mut SnapshotReader<'_, R>,
+) -> Result<(MelodyDatabase, QbhConfig, u64), StorageError> {
+    let mut body = [0u8; CONFIG_BODY_LEN];
+    src.take(&mut body)?;
+    let config = parse_config(&body)?;
+    let count = src.u64()?;
+    if count > MAX_MELODIES {
         return Err(StorageError::Corrupt(format!("implausible melody count {count}")));
     }
-    let mut phrases = Vec::with_capacity(count as usize);
+    // v1 files written by `MelodyDatabase::from_melodies` before provenance
+    // was assigned carry (0, 0) for every entry; tolerate exactly that
+    // legacy duplicate so old snapshots keep loading.
+    let phrases = read_entries(src, count, true)?;
+    Ok((MelodyDatabase::from_provenanced(phrases), config, src.bytes))
+}
+
+fn read_v2<R: Read>(
+    src: &mut SnapshotReader<'_, R>,
+) -> Result<(MelodyDatabase, QbhConfig, u64), StorageError> {
+    src.begin_section();
+    let mut body = [0u8; CONFIG_BODY_LEN];
+    src.take(&mut body)?;
+    src.verify_section("config")?;
+    let config = parse_config(&body)?;
+
+    src.begin_section();
+    let count = src.u64()?;
+    if count > MAX_MELODIES {
+        return Err(StorageError::Corrupt(format!("implausible melody count {count}")));
+    }
+    let phrases = read_entries(src, count, false)?;
+    src.verify_section("entries")?;
+    src.verify_footer()?;
+    Ok((MelodyDatabase::from_provenanced(phrases), config, src.bytes))
+}
+
+/// Parses and validates the 26-byte config body.
+fn parse_config(body: &[u8; CONFIG_BODY_LEN]) -> Result<QbhConfig, StorageError> {
+    let le_u32 = |at: usize| u32::from_le_bytes([body[at], body[at + 1], body[at + 2], body[at + 3]]);
+    let mut ww = [0u8; 8];
+    ww.copy_from_slice(&body[12..20]);
+    let config = QbhConfig {
+        normal_length: le_u32(0) as usize,
+        feature_dims: le_u32(4) as usize,
+        samples_per_beat: le_u32(8) as usize,
+        warping_width: f64::from_le_bytes(ww),
+        transform: transform_from_tag(body[20])?,
+        backend: backend_from_tag(body[21])?,
+        page_bytes: le_u32(22) as usize,
+    };
+    validate_config(&config).map_err(StorageError::Corrupt)?;
+    Ok(config)
+}
+
+/// Streams `count` entries, validating each one. Preallocation from the
+/// untrusted `count` is clamped to [`PREALLOC_CAP`]; vectors grow only as
+/// entries actually parse.
+fn read_entries<R: Read>(
+    src: &mut SnapshotReader<'_, R>,
+    count: u64,
+    allow_legacy_zero_duplicates: bool,
+) -> Result<Vec<(usize, usize, Melody)>, StorageError> {
+    let clamped = usize::try_from(count).unwrap_or(usize::MAX).min(PREALLOC_CAP);
+    let mut phrases = Vec::with_capacity(clamped);
+    let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(clamped);
     for _ in 0..count {
-        let song = read_u32(input)? as usize;
-        let phrase = read_u32(input)? as usize;
-        let notes = read_u32(input)?;
-        if notes > 1_000_000 {
+        let song = src.u32()? as usize;
+        let phrase = src.u32()? as usize;
+        let notes = src.u32()?;
+        if notes == 0 {
+            return Err(StorageError::Corrupt(format!(
+                "empty melody (song {song}, phrase {phrase})"
+            )));
+        }
+        if notes > MAX_NOTES {
             return Err(StorageError::Corrupt(format!("implausible note count {notes}")));
         }
+        let legacy_zero = allow_legacy_zero_duplicates && song == 0 && phrase == 0;
+        if !seen.insert((song, phrase)) && !legacy_zero {
+            return Err(StorageError::Corrupt(format!(
+                "duplicate provenance (song {song}, phrase {phrase})"
+            )));
+        }
         let mut melody = Melody::default();
+        let mut total_beats = 0.0;
         for _ in 0..notes {
             let mut pitch = [0u8; 1];
-            input.read_exact(&mut pitch)?;
-            let beats = read_f64(input)?;
-            if pitch[0] > 127 || !beats.is_finite() || beats <= 0.0 {
+            src.take(&mut pitch)?;
+            let beats = src.f64()?;
+            validate_note(pitch[0], beats).map_err(StorageError::Corrupt)?;
+            total_beats += beats;
+            if total_beats > MAX_MELODY_BEATS {
                 return Err(StorageError::Corrupt(format!(
-                    "invalid note (pitch {}, beats {beats})",
-                    pitch[0]
+                    "melody exceeds {MAX_MELODY_BEATS} total beats"
                 )));
             }
             melody.push(Note::new(pitch[0], beats));
         }
         phrases.push((song, phrase, melody));
     }
-    Ok((MelodyDatabase::from_provenanced(phrases), config))
+    Ok(phrases)
 }
 
-/// Saves to a file path.
-pub fn save(path: &Path, db: &MelodyDatabase, config: &QbhConfig) -> Result<(), StorageError> {
-    let mut out = io::BufWriter::new(std::fs::File::create(path)?);
-    write_database(&mut out, db, config)?;
+// ---------------------------------------------------------------------------
+// File-level save/load.
+
+/// Saves to a file path atomically in the current (`HUMIDX02`) format,
+/// returning the number of bytes written.
+///
+/// The snapshot is written to a sibling temp file, flushed and fsynced,
+/// then renamed into place: a crash at any point leaves either the old or
+/// the new complete snapshot, never a torn file. On error the temp file is
+/// removed (best effort) and any previous snapshot at `path` is untouched.
+pub fn save(path: &Path, db: &MelodyDatabase, config: &QbhConfig) -> Result<u64, StorageError> {
+    save_with(path, db, config, &MetricsSink::Disabled)
+}
+
+/// [`save`], recording the outcome and byte count into a metrics sink
+/// (`storage.saves` / `storage.save_errors` / `storage.bytes_written`).
+pub fn save_with(
+    path: &Path,
+    db: &MelodyDatabase,
+    config: &QbhConfig,
+    metrics: &MetricsSink,
+) -> Result<u64, StorageError> {
+    let result = save_atomic(path, db, config);
+    match &result {
+        Ok(bytes) => {
+            metrics.add(Metric::StorageSaves, 1);
+            metrics.add(Metric::StorageBytesWritten, *bytes);
+        }
+        Err(_) => metrics.add(Metric::StorageSaveErrors, 1),
+    }
+    result
+}
+
+fn save_atomic(path: &Path, db: &MelodyDatabase, config: &QbhConfig) -> Result<u64, StorageError> {
+    let file_name = path.file_name().ok_or_else(|| {
+        StorageError::Io(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("save path {} has no file name", path.display()),
+        ))
+    })?;
+    let tmp = path.with_file_name(format!(
+        "{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = write_snapshot(&tmp, path, db, config);
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn write_snapshot(
+    tmp: &Path,
+    path: &Path,
+    db: &MelodyDatabase,
+    config: &QbhConfig,
+) -> Result<u64, StorageError> {
+    let file = std::fs::File::create(tmp)?;
+    let mut out = io::BufWriter::new(file);
+    let bytes = write_database(&mut out, db, config)?;
     out.flush()?;
-    Ok(())
+    let file = out.into_inner().map_err(|e| StorageError::Io(e.into_error()))?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(tmp, path)?;
+    // Make the rename itself durable where the platform allows syncing a
+    // directory handle; failure to do so is not an error we can act on.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(bytes)
 }
 
-/// Loads from a file path.
+/// Loads from a file path (either format version).
 pub fn load(path: &Path) -> Result<(MelodyDatabase, QbhConfig), StorageError> {
-    let mut input = io::BufReader::new(std::fs::File::open(path)?);
-    read_database(&mut input)
+    load_with(path, &MetricsSink::Disabled)
+}
+
+/// [`load`], recording the outcome and byte count into a metrics sink
+/// (`storage.loads` / `storage.load_errors` / `storage.bytes_read`).
+pub fn load_with(
+    path: &Path,
+    metrics: &MetricsSink,
+) -> Result<(MelodyDatabase, QbhConfig), StorageError> {
+    let result = (|| {
+        let mut input = io::BufReader::new(std::fs::File::open(path)?);
+        read_database_counted(&mut input)
+    })();
+    match result {
+        Ok((db, config, bytes)) => {
+            metrics.add(Metric::StorageLoads, 1);
+            metrics.add(Metric::StorageBytesRead, bytes);
+            Ok((db, config))
+        }
+        Err(e) => {
+            metrics.add(Metric::StorageLoadErrors, 1);
+            Err(e)
+        }
+    }
 }
 
 fn transform_tag(t: TransformKind) -> u8 {
@@ -190,24 +771,6 @@ fn backend_from_tag(tag: u8) -> Result<Backend, StorageError> {
     })
 }
 
-fn read_u32<R: Read>(input: &mut R) -> Result<u32, StorageError> {
-    let mut buf = [0u8; 4];
-    input.read_exact(&mut buf)?;
-    Ok(u32::from_le_bytes(buf))
-}
-
-fn read_u64<R: Read>(input: &mut R) -> Result<u64, StorageError> {
-    let mut buf = [0u8; 8];
-    input.read_exact(&mut buf)?;
-    Ok(u64::from_le_bytes(buf))
-}
-
-fn read_f64<R: Read>(input: &mut R) -> Result<f64, StorageError> {
-    let mut buf = [0u8; 8];
-    input.read_exact(&mut buf)?;
-    Ok(f64::from_le_bytes(buf))
-}
-
 /// Round-trip aid for [`MelodyEntry`]-level assertions in tests.
 pub fn entries_equal(a: &MelodyEntry, b: &MelodyEntry) -> bool {
     a.song() == b.song() && a.phrase() == b.phrase() && a.melody() == b.melody()
@@ -216,6 +779,7 @@ pub fn entries_equal(a: &MelodyEntry, b: &MelodyEntry) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::TempFile;
     use hum_music::SongbookConfig;
 
     fn sample() -> (MelodyDatabase, QbhConfig) {
@@ -233,29 +797,66 @@ mod tests {
         (db, config)
     }
 
-    #[test]
-    fn roundtrip_preserves_everything() {
-        let (db, config) = sample();
-        let mut bytes = Vec::new();
-        write_database(&mut bytes, &db, &config).unwrap();
-        let (back_db, back_config) = read_database(&mut bytes.as_slice()).unwrap();
-        assert_eq!(back_config, config);
-        assert_eq!(back_db.len(), db.len());
-        for (a, b) in db.entries().iter().zip(back_db.entries()) {
+    fn assert_same(db: &MelodyDatabase, config: &QbhConfig, back: &(MelodyDatabase, QbhConfig)) {
+        assert_eq!(&back.1, config);
+        assert_eq!(back.0.len(), db.len());
+        for (a, b) in db.entries().iter().zip(back.0.entries()) {
             assert!(entries_equal(a, b));
             assert_eq!(a.id(), b.id());
         }
     }
 
     #[test]
+    fn roundtrip_preserves_everything() {
+        let (db, config) = sample();
+        let mut bytes = Vec::new();
+        write_database(&mut bytes, &db, &config).unwrap();
+        let back = read_database(&mut bytes.as_slice()).unwrap();
+        assert_same(&db, &config, &back);
+    }
+
+    #[test]
+    fn v1_roundtrip_still_supported() {
+        let (db, config) = sample();
+        let mut bytes = Vec::new();
+        write_database_v1(&mut bytes, &db, &config).unwrap();
+        let back = read_database(&mut bytes.as_slice()).unwrap();
+        assert_same(&db, &config, &back);
+    }
+
+    #[test]
     fn file_roundtrip() {
         let (db, config) = sample();
-        let path = std::env::temp_dir().join(format!("humidx-test-{}.humidx", std::process::id()));
-        save(&path, &db, &config).unwrap();
-        let (back_db, back_config) = load(&path).unwrap();
-        assert_eq!(back_config, config);
-        assert_eq!(back_db.len(), db.len());
-        let _ = std::fs::remove_file(&path);
+        let path = TempFile::unique("storage-roundtrip");
+        save(path.path(), &db, &config).unwrap();
+        let back = load(path.path()).unwrap();
+        assert_same(&db, &config, &back);
+    }
+
+    #[test]
+    fn save_is_atomic_over_an_existing_snapshot() {
+        let (db, config) = sample();
+        let path = TempFile::unique("storage-atomic");
+        save(path.path(), &db, &config).unwrap();
+
+        // A database the writer must reject (song index overflows u32)
+        // leaves the previous snapshot untouched and no temp file behind.
+        let bad = MelodyDatabase::from_provenanced(vec![(
+            u32::MAX as usize + 1,
+            0,
+            db.entries()[0].melody().clone(),
+        )]);
+        let err = save(path.path(), &bad, &config).unwrap_err();
+        assert!(matches!(err, StorageError::Unrepresentable(_)), "{err}");
+        let back = load(path.path()).unwrap();
+        assert_same(&db, &config, &back);
+        let dir = path.path().parent().unwrap();
+        let leftovers = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("storage-atomic"))
+            .count();
+        assert_eq!(leftovers, 1, "temp files must be cleaned up after a failed save");
     }
 
     #[test]
@@ -279,24 +880,174 @@ mod tests {
     }
 
     #[test]
+    fn trailing_bytes_rejected() {
+        let (db, config) = sample();
+        let mut bytes = Vec::new();
+        write_database(&mut bytes, &db, &config).unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            read_database(&mut bytes.as_slice()),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
     fn corrupt_tags_and_notes_rejected() {
         let (db, config) = sample();
         let mut bytes = Vec::new();
         write_database(&mut bytes, &db, &config).unwrap();
-        // Transform tag lives right after magic + 3 u32 + f64.
-        let tag_at = 8 + 12 + 8;
+        // The transform/backend tags live at offsets 28/29 (inside the
+        // config section body at [8, 34)). A bare patch trips the section
+        // checksum; with the section CRC recomputed, the typed tag error
+        // surfaces instead (the config section is parsed before the
+        // footer is reached).
+        for tag_at in [28usize, 29] {
+            let mut bad = bytes.clone();
+            bad[tag_at] = 99;
+            assert!(matches!(
+                read_database(&mut bad.as_slice()),
+                Err(StorageError::Checksum("config"))
+            ));
+            let crc = crc32(&bad[8..34]).to_le_bytes();
+            bad[34..38].copy_from_slice(&crc);
+            assert!(matches!(
+                read_database(&mut bad.as_slice()),
+                Err(StorageError::Corrupt(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn checksum_catches_a_flipped_payload_byte() {
+        let (db, config) = sample();
+        let mut bytes = Vec::new();
+        write_database(&mut bytes, &db, &config).unwrap();
         let mut bad = bytes.clone();
-        bad[tag_at] = 99;
-        assert!(matches!(
-            read_database(&mut bad.as_slice()),
-            Err(StorageError::Corrupt(_))
-        ));
-        let mut bad = bytes.clone();
-        bad[tag_at + 1] = 99; // backend tag
-        assert!(matches!(
-            read_database(&mut bad.as_slice()),
-            Err(StorageError::Corrupt(_))
-        ));
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        assert!(read_database(&mut bad.as_slice()).is_err(), "flipped byte {mid} parsed");
+    }
+
+    #[test]
+    fn lying_header_count_is_rejected_without_preallocating() {
+        let (db, config) = sample();
+        let mut bytes = Vec::new();
+        write_database_v1(&mut bytes, &db, &config).unwrap();
+        // Patch the count (offset 34 in v1) to claim 99,999,999 melodies,
+        // then truncate right after the header: the reader must fail with a
+        // typed error instead of reserving gigabytes up front.
+        let mut lying = bytes[..42].to_vec();
+        lying[34..42].copy_from_slice(&99_999_999u64.to_le_bytes());
+        let err = read_database(&mut lying.as_slice()).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)), "{err}");
+        // And a count over the cap is rejected before any entry is read.
+        let mut bytes2 = Vec::new();
+        write_database(&mut bytes2, &db, &config).unwrap();
+        let mut absurd = bytes2[..46].to_vec();
+        absurd[38..46].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_database(&mut absurd.as_slice()).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn write_overflow_is_an_error_not_a_truncation() {
+        let (db, config) = sample();
+        // Oversized song index.
+        let bad = MelodyDatabase::from_provenanced(vec![(
+            u32::MAX as usize + 1,
+            0,
+            db.entries()[0].melody().clone(),
+        )]);
+        let err = write_database(&mut Vec::new(), &bad, &config).unwrap_err();
+        assert!(matches!(err, StorageError::Unrepresentable(_)), "{err}");
+        // Oversized phrase index.
+        let bad = MelodyDatabase::from_provenanced(vec![(
+            0,
+            u32::MAX as usize + 1,
+            db.entries()[0].melody().clone(),
+        )]);
+        let err = write_database(&mut Vec::new(), &bad, &config).unwrap_err();
+        assert!(matches!(err, StorageError::Unrepresentable(_)), "{err}");
+        // Oversized configuration field.
+        let bad_config = QbhConfig { samples_per_beat: u32::MAX as usize + 1, ..config };
+        let err = write_database(&mut Vec::new(), &db, &bad_config).unwrap_err();
+        assert!(matches!(err, StorageError::Unrepresentable(_)), "{err}");
+    }
+
+    #[test]
+    fn duplicate_provenance_rejected_on_write_and_read() {
+        let (db, config) = sample();
+        let melody = db.entries()[0].melody().clone();
+        let dup = MelodyDatabase::from_provenanced(vec![
+            (1, 2, melody.clone()),
+            (1, 2, melody.clone()),
+        ]);
+        // The v2 writer refuses to produce such a file…
+        let err = write_database(&mut Vec::new(), &dup, &config).unwrap_err();
+        assert!(matches!(err, StorageError::Unrepresentable(_)), "{err}");
+        // …and the reader rejects one crafted through the legacy writer.
+        let mut bytes = Vec::new();
+        write_database_v1(&mut bytes, &dup, &config).unwrap();
+        let err = read_database(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn legacy_all_zero_provenance_still_loads() {
+        // Old `from_melodies` databases carried (0, 0) for every entry;
+        // v1 files like that must keep loading.
+        let (db, config) = sample();
+        let zeroed = MelodyDatabase::from_provenanced(
+            db.entries().iter().map(|e| (0, 0, e.melody().clone())).collect(),
+        );
+        let mut bytes = Vec::new();
+        write_database_v1(&mut bytes, &zeroed, &config).unwrap();
+        let (back, _) = read_database(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.len(), db.len());
+        assert!(back.entries().iter().all(|e| e.song() == 0 && e.phrase() == 0));
+    }
+
+    #[test]
+    fn unbuildable_configs_rejected_at_read() {
+        let (db, _) = sample();
+        // PAA dims that do not divide the normal length would panic inside
+        // QbhSystem::build; the reader must reject them instead.
+        let bad = QbhConfig {
+            transform: TransformKind::NewPaa,
+            normal_length: 100,
+            feature_dims: 7,
+            ..QbhConfig::default()
+        };
+        let err = write_database(&mut Vec::new(), &db, &bad).unwrap_err();
+        assert!(matches!(err, StorageError::Unrepresentable(_)), "{err}");
+        // Craft the same config through the byte layout to hit the reader.
+        let ok = QbhConfig { transform: TransformKind::Dft, ..QbhConfig::default() };
+        let mut bytes = Vec::new();
+        write_database_v1(&mut bytes, &db, &ok).unwrap();
+        bytes[8..12].copy_from_slice(&100u32.to_le_bytes()); // normal_length
+        bytes[12..16].copy_from_slice(&7u32.to_le_bytes()); // feature_dims
+        bytes[28] = 0; // transform tag -> NewPaa
+        let err = read_database(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn metrics_record_save_and_load_outcomes() {
+        use hum_core::obs::Metric;
+        let (db, config) = sample();
+        let sink = MetricsSink::enabled();
+        let path = TempFile::unique("storage-metrics");
+        let written = save_with(path.path(), &db, &config, &sink).unwrap();
+        load_with(path.path(), &sink).unwrap();
+        let missing = TempFile::unique("storage-missing");
+        assert!(load_with(missing.path(), &sink).is_err());
+        let reg = sink.registry().unwrap();
+        assert_eq!(reg.get(Metric::StorageSaves), 1);
+        assert_eq!(reg.get(Metric::StorageSaveErrors), 0);
+        assert_eq!(reg.get(Metric::StorageLoads), 1);
+        assert_eq!(reg.get(Metric::StorageLoadErrors), 1);
+        assert_eq!(reg.get(Metric::StorageBytesWritten), written);
+        assert_eq!(reg.get(Metric::StorageBytesRead), written);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use hum_core::transform::EnvelopeTransform;
 use hum_index::{GridFile, LinearScan, RStarTree, SpatialIndex};
 
 use crate::corpus::MelodyDatabase;
+use crate::storage::StorageError;
 
 /// Which envelope transform the index uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,6 +176,37 @@ impl QbhSystem {
             band: band_for_warping_width(config.warping_width, config.normal_length),
             provenance,
         }
+    }
+
+    /// Loads a persisted snapshot (either `HUMIDX` version) and builds the
+    /// system over it.
+    ///
+    /// # Errors
+    /// Any [`StorageError`] from [`crate::storage::load`], plus
+    /// [`StorageError::Corrupt`] for a snapshot that holds zero melodies
+    /// (structurally valid, but no system can be built over it). The
+    /// configuration itself is validated during the read, so this never
+    /// panics on untrusted files.
+    pub fn try_load(path: &std::path::Path) -> Result<Self, StorageError> {
+        Self::try_load_with(path, &MetricsSink::Disabled)
+    }
+
+    /// [`QbhSystem::try_load`], recording the load outcome and byte count
+    /// into `metrics` and installing the same sink on the built engine so
+    /// subsequent queries are recorded too.
+    pub fn try_load_with(
+        path: &std::path::Path,
+        metrics: &MetricsSink,
+    ) -> Result<Self, StorageError> {
+        let (db, config) = crate::storage::load_with(path, metrics)?;
+        if db.is_empty() {
+            return Err(StorageError::Corrupt(
+                "snapshot holds no melodies; cannot build a query system".into(),
+            ));
+        }
+        let mut system = Self::build(&db, &config);
+        system.set_metrics(metrics.clone());
+        Ok(system)
     }
 
     /// Number of indexed melodies.

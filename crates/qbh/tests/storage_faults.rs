@@ -1,0 +1,410 @@
+//! Fault-injection and corruption-fuzzing suite for `hum_qbh::storage`.
+//!
+//! The durability contract under test: every short write, injected I/O
+//! error, truncation, or bit flip surfaces as a typed
+//! [`StorageError`] — never a panic, and (for the checksummed `HUMIDX02`
+//! format) never silently wrong data. The matrices below are exhaustive
+//! over a small database image: every byte budget, every truncation
+//! length, every single-bit corruption.
+
+use std::io;
+
+use hum_music::{HummingSimulator, Melody, Note, SingerProfile, SongbookConfig};
+use hum_qbh::corpus::MelodyDatabase;
+use hum_qbh::fault::{flip_bit, FailingReader, FailingWriter, FaultMode, TempFile};
+use hum_qbh::songsearch::{SongSearch, SongSearchConfig};
+use hum_qbh::storage::{
+    self, entries_equal, read_database, write_database, write_database_v1, StorageError,
+};
+use hum_qbh::system::{Backend, QbhConfig, QbhSystem, TransformKind};
+use proptest::prelude::*;
+
+/// A small database so the O(bytes × bits) sweeps stay fast, but with
+/// several songs and phrases so provenance grouping is exercised.
+fn sample() -> (MelodyDatabase, QbhConfig) {
+    let db = MelodyDatabase::from_songbook(&SongbookConfig {
+        songs: 3,
+        phrases_per_song: 2,
+        min_notes: 4,
+        max_notes: 7,
+        ..SongbookConfig::default()
+    });
+    (db, QbhConfig::default())
+}
+
+fn v2_image(db: &MelodyDatabase, config: &QbhConfig) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_database(&mut bytes, db, config).expect("serialize v2");
+    bytes
+}
+
+fn v1_image(db: &MelodyDatabase, config: &QbhConfig) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_database_v1(&mut bytes, db, config).expect("serialize v1");
+    bytes
+}
+
+fn databases_equal(a: &MelodyDatabase, b: &MelodyDatabase) -> bool {
+    a.len() == b.len()
+        && a.entries().iter().zip(b.entries()).all(|(x, y)| entries_equal(x, y))
+}
+
+// ---------------------------------------------------------------------------
+// Write-side fault matrix.
+
+#[test]
+fn every_write_budget_fails_typed_in_both_modes() {
+    let (db, config) = sample();
+    let len = v2_image(&db, &config).len() as u64;
+    for mode in [FaultMode::Error(io::ErrorKind::Other), FaultMode::Cutoff] {
+        for budget in 0..len {
+            let mut w = FailingWriter::new(Vec::new(), budget, mode);
+            let err = write_database(&mut w, &db, &config)
+                .expect_err("a write that cannot complete must error");
+            assert!(
+                matches!(err, StorageError::Io(_)),
+                "budget {budget} mode {mode:?}: expected Io, got {err:?}"
+            );
+            // Never more bytes on the device than the budget allowed.
+            assert!(w.into_inner().len() as u64 <= budget);
+        }
+    }
+}
+
+#[test]
+fn v1_writer_under_faults_also_fails_typed() {
+    let (db, config) = sample();
+    let len = v1_image(&db, &config).len() as u64;
+    // Sparse sweep: the v1 writer shares the fault path with v2.
+    for budget in (0..len).step_by(7) {
+        let mut w = FailingWriter::new(Vec::new(), budget, FaultMode::Cutoff);
+        let err = write_database_v1(&mut w, &db, &config).expect_err("short write");
+        assert!(matches!(err, StorageError::Io(_)), "budget {budget}: {err:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Read-side fault matrix: injected errors, cutoffs, and plain truncation.
+
+#[test]
+fn every_read_budget_fails_typed_in_both_modes() {
+    let (db, config) = sample();
+    let image = v2_image(&db, &config);
+    for mode in [FaultMode::Error(io::ErrorKind::Other), FaultMode::Cutoff] {
+        for budget in 0..image.len() as u64 {
+            let mut r = FailingReader::new(image.as_slice(), budget, mode);
+            let err = read_database(&mut r)
+                .expect_err("a read that cannot complete must error");
+            assert!(
+                matches!(err, StorageError::Io(_) | StorageError::BadMagic),
+                "budget {budget} mode {mode:?}: got {err:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_either_format_fails_typed() {
+    let (db, config) = sample();
+    for image in [v2_image(&db, &config), v1_image(&db, &config)] {
+        for cut in 0..image.len() {
+            let err = read_database(&mut &image[..cut])
+                .expect_err("a strict prefix is never a valid snapshot");
+            assert!(
+                matches!(err, StorageError::Io(_) | StorageError::BadMagic),
+                "cut {cut}/{}: got {err:?}",
+                image.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn appended_trailing_bytes_are_rejected_for_v2() {
+    let (db, config) = sample();
+    let mut image = v2_image(&db, &config);
+    image.push(0);
+    let err = read_database(&mut image.as_slice()).expect_err("trailing byte");
+    assert!(matches!(err, StorageError::Corrupt(_)), "got {err:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Bit-flip matrices.
+
+/// Every single-bit corruption of a `HUMIDX02` image must fail typed: the
+/// whole-file CRC32 guarantees no single-bit flip can round-trip, and the
+/// per-section checksums plus bounded parsing guarantee it cannot panic or
+/// allocate absurdly on the way to that error.
+#[test]
+fn every_single_bit_flip_of_a_v2_image_fails_typed() {
+    let (db, config) = sample();
+    let image = v2_image(&db, &config);
+    for index in 0..image.len() {
+        for bit in 0..8u8 {
+            let mut corrupted = image.clone();
+            flip_bit(&mut corrupted, index, bit);
+            let err = read_database(&mut corrupted.as_slice()).expect_err("flipped bit");
+            assert!(
+                matches!(
+                    err,
+                    StorageError::BadMagic
+                        | StorageError::Corrupt(_)
+                        | StorageError::Checksum(_)
+                        | StorageError::Io(_)
+                ),
+                "byte {index} bit {bit}: got {err:?}"
+            );
+        }
+    }
+}
+
+/// `HUMIDX01` has no checksums, so a flip may load (possibly as different
+/// data — that is the legacy format's documented weakness) or fail typed;
+/// what it must never do is panic. A flip that *does* load must at least
+/// not masquerade as the original database with a different byte image.
+#[test]
+fn every_single_bit_flip_of_a_v1_image_loads_or_fails_without_panicking() {
+    let (db, config) = sample();
+    let image = v1_image(&db, &config);
+    let (original, original_config) =
+        read_database(&mut image.as_slice()).expect("clean v1 loads");
+    let mut silent = 0usize;
+    for index in 0..image.len() {
+        for bit in 0..8u8 {
+            let mut corrupted = image.clone();
+            flip_bit(&mut corrupted, index, bit);
+            // Reaching the next iteration at all is the assertion: no panic,
+            // no unbounded allocation, regardless of outcome.
+            if let Ok((loaded, config)) = read_database(&mut corrupted.as_slice()) {
+                if databases_equal(&loaded, &original) && config == original_config {
+                    silent += 1;
+                }
+            }
+        }
+    }
+    // Every byte of the v1 layout is semantically live, so even without
+    // checksums a single flip cannot reproduce the original (db, config)
+    // pair — it either changes what loads or fails the bounds checks.
+    assert_eq!(silent, 0, "{silent} flips round-tripped as the original snapshot");
+}
+
+// ---------------------------------------------------------------------------
+// Interrupted saves and stale temp files.
+
+#[test]
+fn failed_save_leaves_the_previous_snapshot_loadable() {
+    let (db, config) = sample();
+    let file = TempFile::unique("faults-prev");
+    storage::save(file.path(), &db, &config).expect("first save");
+
+    // A database the format cannot represent: colliding provenance.
+    let melody: Melody = vec![Note::new(60, 1.0), Note::new(62, 0.5)].into_iter().collect();
+    let bad = MelodyDatabase::from_provenanced(vec![
+        (1, 1, melody.clone()),
+        (1, 1, melody),
+    ]);
+    let err = storage::save(file.path(), &bad, &config).expect_err("duplicate provenance");
+    assert!(matches!(err, StorageError::Unrepresentable(_)), "got {err:?}");
+
+    let (loaded, loaded_config) = storage::load(file.path()).expect("old snapshot intact");
+    assert!(databases_equal(&loaded, &db));
+    assert_eq!(loaded_config, config);
+}
+
+#[test]
+fn save_replaces_a_stale_crashed_temp_file_and_cleans_up() {
+    let (db, config) = sample();
+    let file = TempFile::unique("faults-stale");
+    // Simulate a previous process that died mid-save: a torn temp file is
+    // sitting next to the target path.
+    let tmp = file.path().with_file_name(format!(
+        "{}.tmp.{}",
+        file.path().file_name().unwrap().to_string_lossy(),
+        std::process::id()
+    ));
+    std::fs::write(&tmp, b"HUMIDX02 torn garbage from a crashed writer").unwrap();
+
+    storage::save(file.path(), &db, &config).expect("save over stale temp");
+    assert!(!tmp.exists(), "temp file must be renamed away, not left behind");
+    let (loaded, _) = storage::load(file.path()).expect("snapshot loads");
+    assert!(databases_equal(&loaded, &db));
+}
+
+#[test]
+fn torn_file_at_the_target_path_is_a_typed_error_not_a_panic() {
+    let (db, config) = sample();
+    let image = v2_image(&db, &config);
+    let file = TempFile::unique("faults-torn");
+    // What a non-atomic writer would have left after a crash.
+    std::fs::write(file.path(), &image[..image.len() / 2]).unwrap();
+    let err = storage::load(file.path()).expect_err("torn file");
+    assert!(matches!(err, StorageError::Io(_)), "got {err:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Cross-version compatibility: legacy files keep answering queries.
+
+#[test]
+fn v1_and_v2_snapshots_yield_identical_query_results() {
+    let (db, config) = sample();
+    let v1 = TempFile::unique("faults-compat-v1");
+    let v2 = TempFile::unique("faults-compat-v2");
+    std::fs::write(v1.path(), v1_image(&db, &config)).unwrap();
+    storage::save(v2.path(), &db, &config).expect("v2 save");
+
+    let direct = QbhSystem::build(&db, &config);
+    let from_v1 = QbhSystem::try_load(v1.path()).expect("legacy snapshot loads");
+    let from_v2 = QbhSystem::try_load(v2.path()).expect("current snapshot loads");
+
+    for (i, entry) in db.entries().iter().enumerate().take(3) {
+        let mut singer = HummingSimulator::new(SingerProfile::good(), 400 + i as u64);
+        let hum = singer.sing_series(entry.melody(), 0.01);
+        let expected = direct.query_series(&hum, 3);
+        let got_v1 = from_v1.query_series(&hum, 3);
+        let got_v2 = from_v2.query_series(&hum, 3);
+        assert_eq!(got_v1.matches, expected.matches, "v1 diverged on hum {i}");
+        assert_eq!(got_v2.matches, expected.matches, "v2 diverged on hum {i}");
+    }
+}
+
+#[test]
+fn song_search_loads_either_format_and_groups_by_provenance() {
+    let (db, config) = sample();
+    let file = TempFile::unique("faults-songsearch");
+    storage::save(file.path(), &db, &config).expect("save");
+    let search = SongSearch::try_load(file.path(), &SongSearchConfig::default())
+        .expect("song search from snapshot");
+    assert_eq!(search.song_count(), 3, "one reconstructed song per provenance group");
+    assert!(search.window_count() > 0);
+}
+
+#[test]
+fn try_load_propagates_typed_errors_with_no_partial_state() {
+    let missing = TempFile::unique("faults-missing");
+    let Err(err) = QbhSystem::try_load(missing.path()) else {
+        panic!("loading a missing file must fail");
+    };
+    assert!(matches!(err, StorageError::Io(_)), "got {err:?}");
+
+    let garbage = TempFile::unique("faults-garbage");
+    std::fs::write(garbage.path(), b"not a snapshot at all").unwrap();
+    let Err(err) = QbhSystem::try_load(garbage.path()) else {
+        panic!("loading garbage must fail");
+    };
+    assert!(matches!(err, StorageError::BadMagic), "got {err:?}");
+    let Err(err) = SongSearch::try_load(garbage.path(), &SongSearchConfig::default()) else {
+        panic!("loading garbage must fail");
+    };
+    assert!(matches!(err, StorageError::BadMagic), "got {err:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: round-trips over arbitrary databases and configurations,
+// plus randomized corruption beyond the exhaustive single-bit matrix.
+
+fn melody_strategy() -> impl Strategy<Value = Melody> {
+    proptest::collection::vec((30u8..100, 1u32..=16), 1..10)
+        .prop_map(|notes| {
+            notes.into_iter().map(|(pitch, q)| Note::new(pitch, f64::from(q) * 0.25)).collect()
+        })
+}
+
+fn database_strategy() -> impl Strategy<Value = MelodyDatabase> {
+    proptest::collection::vec(melody_strategy(), 1..6)
+        .prop_map(MelodyDatabase::from_melodies)
+}
+
+fn config_strategy() -> impl Strategy<Value = QbhConfig> {
+    (
+        (
+            prop_oneof![Just(64usize), Just(128usize)],
+            prop_oneof![Just(4usize), Just(8usize)],
+            1usize..6,
+            0.0f64..0.3,
+        ),
+        (0u8..5, 0u8..3),
+    )
+        .prop_map(|((normal_length, feature_dims, samples_per_beat, warping_width), (t, b))| {
+            QbhConfig {
+                normal_length,
+                feature_dims,
+                samples_per_beat,
+                warping_width,
+                transform: match t {
+                    0 => TransformKind::NewPaa,
+                    1 => TransformKind::KeoghPaa,
+                    2 => TransformKind::Dft,
+                    3 => TransformKind::Dwt,
+                    _ => TransformKind::Svd,
+                },
+                backend: match b {
+                    0 => Backend::RStar,
+                    1 => Backend::Grid,
+                    _ => Backend::Linear,
+                },
+                page_bytes: 4096,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_databases_round_trip_in_both_formats(
+        db in database_strategy(),
+        config in config_strategy(),
+    ) {
+        for v1 in [false, true] {
+            let mut bytes = Vec::new();
+            if v1 {
+                write_database_v1(&mut bytes, &db, &config).expect("serialize v1");
+            } else {
+                write_database(&mut bytes, &db, &config).expect("serialize v2");
+            }
+            let (loaded, loaded_config) =
+                read_database(&mut bytes.as_slice()).expect("round-trip read");
+            prop_assert!(databases_equal(&loaded, &db), "v1={v1}: entries diverged");
+            prop_assert_eq!(loaded_config, config);
+        }
+    }
+
+    #[test]
+    fn random_multi_bit_corruption_of_v2_never_round_trips(
+        db in database_strategy(),
+        config in config_strategy(),
+        flips in proptest::collection::vec((0usize..4096, 0u8..8), 1..5),
+    ) {
+        let mut image = Vec::new();
+        write_database(&mut image, &db, &config).expect("serialize v2");
+        let pristine = image.clone();
+        for (index, bit) in flips {
+            flip_bit(&mut image, index, bit);
+        }
+        if image == pristine {
+            // Flip pairs can cancel (same byte, same bit, twice).
+            return Ok(());
+        }
+        let result = read_database(&mut image.as_slice());
+        prop_assert!(result.is_err(), "corrupted image must not parse");
+    }
+
+    #[test]
+    fn random_truncation_of_v2_fails_typed(
+        db in database_strategy(),
+        config in config_strategy(),
+        fraction in 0.0f64..1.0,
+    ) {
+        let mut image = Vec::new();
+        write_database(&mut image, &db, &config).expect("serialize v2");
+        let cut = ((image.len() as f64) * fraction) as usize;
+        if cut == image.len() {
+            return Ok(());
+        }
+        let err = read_database(&mut &image[..cut]).expect_err("truncated image");
+        prop_assert!(
+            matches!(err, StorageError::Io(_) | StorageError::BadMagic),
+            "cut {}/{}: {:?}", cut, image.len(), err
+        );
+    }
+}

@@ -7,6 +7,7 @@ use hum_core::dtw::band_for_warping_width;
 use hum_music::{HummingSimulator, SingerProfile, Songbook, SongbookConfig};
 use hum_qbh::corpus::MelodyDatabase;
 use hum_qbh::eval::{generate_hums, retrieval_metrics, target_ranks};
+use hum_qbh::fault::TempFile;
 use hum_qbh::songsearch::{SongSearch, SongSearchConfig};
 use hum_qbh::system::{QbhConfig, QbhSystem};
 
@@ -18,11 +19,12 @@ fn songbook_config() -> SongbookConfig {
 fn persisted_database_serves_the_same_hums() {
     let db = MelodyDatabase::from_songbook(&songbook_config());
     let config = QbhConfig::default();
-    let path =
-        std::env::temp_dir().join(format!("ext-test-{}.humidx", std::process::id()));
-    hum_qbh::storage::save(&path, &db, &config).expect("save");
-    let (restored_db, restored_config) = hum_qbh::storage::load(&path).expect("load");
-    let _ = std::fs::remove_file(&path);
+    // TempFile paths are unique per test *and* per process, and the file is
+    // removed on drop even when an assertion below panics — a pid-only name
+    // collides when the test harness runs files in one process.
+    let file = TempFile::unique("ext-test");
+    hum_qbh::storage::save(file.path(), &db, &config).expect("save");
+    let (restored_db, restored_config) = hum_qbh::storage::load(file.path()).expect("load");
 
     let original = QbhSystem::build(&db, &config);
     let restored = QbhSystem::build(&restored_db, &restored_config);
