@@ -22,9 +22,19 @@ HUM_THREADS=8 cargo test -q -p hum-integration-tests --test batch_determinism
 # StorageError — never a panic, never silently wrong data.
 cargo test -q -p hum-qbh --test storage_faults
 
+# Serving: transport-level tests against a mock service, then end-to-end
+# bit-identity/overload/deadline/drain tests and the wire-protocol fuzz
+# matrix against the real system, at both extremes of the thread override.
+cargo test -q -p hum-server
+HUM_THREADS=1 cargo test -q -p hum-qbh --test server_integration
+HUM_THREADS=8 cargo test -q -p hum-qbh --test server_integration
+HUM_THREADS=1 cargo test -q -p hum-qbh --test server_fuzz
+HUM_THREADS=8 cargo test -q -p hum-qbh --test server_fuzz
+
 # Every panic!() in library code must be a documented wrapper around a
-# try_ API (tools/panic_allowlist.txt); hum-qbh is additionally scanned for
-# .unwrap()/.expect() since its storage layer parses untrusted bytes.
+# try_ API (tools/panic_allowlist.txt); hum-qbh and hum-server are
+# additionally scanned for .unwrap()/.expect() since they parse untrusted
+# bytes (snapshots and wire frames respectively).
 ./tools/check_panics.sh
 
 cargo clippy --all-targets -- -D warnings

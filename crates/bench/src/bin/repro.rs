@@ -4,10 +4,11 @@
 //! repro [EXPERIMENT ...] [--quick] [--out DIR]
 //!
 //! EXPERIMENT: table2 | table3 | fig6 | fig7 | fig8 | fig9 | fig10 | extras
-//!             | throughput | obs | all
+//!             | throughput | obs | serve | all
 //!             (default: all; `extras` runs the DESIGN.md ablations,
 //!             `throughput` the batched-query scaling sweep, `obs` the
-//!             traced cascade-trajectory run of the Figure-9 workload)
+//!             traced cascade-trajectory run of the Figure-9 workload,
+//!             `serve` the TCP-serving latency/throughput sweep)
 //! --quick     small workloads (seconds instead of minutes)
 //! --out DIR   where to write .txt/.csv/.json results (default: results)
 //! ```
@@ -16,12 +17,14 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use hum_bench::experiments::{
-    extras, fig10, fig6, fig7, fig8, fig9, obs, table2, table3, throughput,
+    extras, fig10, fig6, fig7, fig8, fig9, obs, serve, table2, table3, throughput,
 };
 use hum_bench::report::persist;
 
-const EXPERIMENTS: [&str; 10] =
-    ["table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "extras", "throughput", "obs"];
+const EXPERIMENTS: [&str; 11] = [
+    "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "extras", "throughput", "obs",
+    "serve",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -144,6 +147,14 @@ fn main() {
                 println!("{text}");
                 persist(&out_dir, name, &text, &table, &serde_json::json!(output));
                 obs::check(&output)
+            }
+            "serve" => {
+                let params = if quick { serve::Params::quick() } else { serve::Params::paper() };
+                let output = serve::run(&params);
+                let (text, table) = serve::render(&output);
+                println!("{text}");
+                persist(&out_dir, name, &text, &table, &serde_json::json!(output));
+                serve::check(&output)
             }
             _ => unreachable!("validated above"),
         };

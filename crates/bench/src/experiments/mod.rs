@@ -15,10 +15,12 @@
 //! DESIGN.md (backends, LB second filter, build strategy, transform
 //! pruning), [`throughput`] measures batched-query throughput versus
 //! worker-thread count and chunk size with a bit-identity check against the
-//! sequential baseline, and [`obs`] re-runs the Figure-9 workload with
+//! sequential baseline, [`obs`] re-runs the Figure-9 workload with
 //! per-query tracing on, printing the full cascade trajectory (candidates →
 //! envelope-LB pruned → `LB_Improved` pruned → early-abandoned → verified)
-//! from the library's own observability layer.
+//! from the library's own observability layer, and [`serve`] drives the TCP
+//! query server with a closed-loop multi-connection load generator,
+//! reporting p50/p95/p99 latency and throughput versus worker-pool size.
 
 pub mod extras;
 pub mod fig10;
@@ -27,6 +29,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod obs;
+pub mod serve;
 pub mod sweep;
 pub mod table2;
 pub mod table3;

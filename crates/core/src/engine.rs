@@ -50,6 +50,7 @@
 
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use hum_index::{ItemId, Query, QueryStats, SpatialIndex};
 
@@ -155,6 +156,14 @@ pub enum EngineError {
     },
     /// An insert reused an id that is already stored.
     DuplicateId(ItemId),
+    /// The request's [`QueryBudget`] deadline passed while the query was
+    /// running. Carries the counters for the work done up to the abort
+    /// point (`matches` is always 0 — partial match sets are never
+    /// reported, so a completed query is the only way to observe matches).
+    DeadlineExceeded {
+        /// Work counters accumulated before the abort.
+        stats: EngineStats,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -172,6 +181,11 @@ impl fmt::Display for EngineError {
                 write!(f, "band half-width {band} too wide for series length {len}")
             }
             EngineError::DuplicateId(id) => write!(f, "duplicate id {id}"),
+            EngineError::DeadlineExceeded { stats } => write!(
+                f,
+                "deadline exceeded after {} candidates examined ({} exact DTW computations)",
+                stats.index.candidates, stats.exact_computations
+            ),
         }
     }
 }
@@ -182,8 +196,10 @@ impl std::error::Error for EngineError {}
 /// every series at its boundary — on insert and on query — so non-finite
 /// input cannot reach the spatial index or the distance kernels, where it
 /// would poison feature boxes and break distance sorting far from its
-/// origin.
-fn check_finite(series: &[f64], context: &'static str) -> Result<(), EngineError> {
+/// origin. Public so layers above the engine (raw pitch-series ingest)
+/// can reject bad input with the same error, at the caller's indices,
+/// before any resampling obscures the offending position.
+pub fn check_finite(series: &[f64], context: &'static str) -> Result<(), EngineError> {
     match series.iter().position(|v| !v.is_finite()) {
         Some(index) => {
             Err(EngineError::NonFiniteSample { context, index, value: series[index] })
@@ -211,6 +227,59 @@ pub struct QueryOutcome {
     /// The cascade trajectory, present iff [`QueryRequest::with_trace`] was
     /// set. Counters only; bit-identical across runs and thread counts.
     pub trace: Option<QueryTrace>,
+}
+
+/// A cooperative time budget for one query.
+///
+/// The default ([`QueryBudget::unlimited`]) never expires and costs nothing:
+/// no clock is read anywhere in the engine. With a deadline set, the run
+/// paths poll [`QueryBudget::expired`] once per *candidate* — never inside
+/// the distance kernels — so a query that finishes before its deadline does
+/// exactly the same arithmetic in exactly the same order as an unbudgeted
+/// one and returns bit-identical matches and counters. A query that hits
+/// its deadline aborts between candidates with
+/// [`EngineError::DeadlineExceeded`], carrying the partial work counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryBudget {
+    deadline: Option<Instant>,
+}
+
+impl QueryBudget {
+    /// A budget that never expires (the default).
+    pub const fn unlimited() -> Self {
+        QueryBudget { deadline: None }
+    }
+
+    /// A budget that expires at `deadline`.
+    pub const fn with_deadline(deadline: Instant) -> Self {
+        QueryBudget { deadline: Some(deadline) }
+    }
+
+    /// A budget that expires `timeout` from now. Saturates to unlimited if
+    /// the deadline is not representable.
+    pub fn within(timeout: Duration) -> Self {
+        QueryBudget { deadline: Instant::now().checked_add(timeout) }
+    }
+
+    /// The deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// `true` when no deadline is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+    }
+
+    /// `true` once the deadline has passed. Reads the clock only when a
+    /// deadline is set.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        match self.deadline {
+            None => false,
+            Some(deadline) => Instant::now() >= deadline,
+        }
+    }
 }
 
 /// What a [`QueryRequest`] asks for.
@@ -244,6 +313,7 @@ pub struct QueryRequest {
     band: usize,
     trace: bool,
     scan: bool,
+    budget: QueryBudget,
 }
 
 impl QueryRequest {
@@ -256,6 +326,7 @@ impl QueryRequest {
             band: 0,
             trace: false,
             scan: false,
+            budget: QueryBudget::unlimited(),
         }
     }
 
@@ -268,6 +339,7 @@ impl QueryRequest {
             band: 0,
             trace: false,
             scan: false,
+            budget: QueryBudget::unlimited(),
         }
     }
 
@@ -319,6 +391,17 @@ impl QueryRequest {
     /// `true` when the brute-force scan fallback was requested.
     pub fn scan_enabled(&self) -> bool {
         self.scan
+    }
+
+    /// Attaches a time budget (default [`QueryBudget::unlimited`]).
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The time budget.
+    pub fn budget(&self) -> QueryBudget {
+        self.budget
     }
 }
 
@@ -490,7 +573,9 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
     /// # Errors
     /// [`EngineError::EmptyQuery`], [`EngineError::LengthMismatch`],
     /// [`EngineError::NonFiniteSample`], or [`EngineError::BandTooWide`] —
-    /// all reported before any work (or metrics recording) happens.
+    /// all reported before any work (or metrics recording) happens — plus
+    /// [`EngineError::DeadlineExceeded`] when the request carries a
+    /// [`QueryBudget`] whose deadline passes mid-query.
     pub fn try_query(&self, request: &QueryRequest) -> Result<QueryOutcome, EngineError> {
         self.try_query_with(request, &mut QueryScratch::new())
     }
@@ -504,7 +589,7 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         scratch: &mut QueryScratch,
     ) -> Result<QueryOutcome, EngineError> {
         self.validate_query(&request.series, request.band)?;
-        Ok(self.run_request(request, scratch))
+        self.run_request(request, scratch)
     }
 
     /// Panicking form of [`DtwIndexEngine::try_query`].
@@ -525,24 +610,36 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
 
     /// Dispatches a *validated* request, records it into the metrics sink,
     /// and builds the trace if asked. Shared by the single-query and batch
-    /// paths.
-    fn run_request(&self, request: &QueryRequest, scratch: &mut QueryScratch) -> QueryOutcome {
+    /// paths. A deadline abort surfaces as
+    /// [`EngineError::DeadlineExceeded`] with the partial counters and is
+    /// *not* recorded as a completed query in the metrics sink (the serving
+    /// layer counts aborts separately).
+    fn run_request(
+        &self,
+        request: &QueryRequest,
+        scratch: &mut QueryScratch,
+    ) -> Result<QueryOutcome, EngineError> {
         let started = self.metrics.start_timer();
         let query = request.series.as_slice();
         let band = request.band;
-        let (kind, result) = match (request.kind, request.scan) {
+        let budget = request.budget;
+        let (kind, run) = match (request.kind, request.scan) {
             (RequestKind::Range { radius }, false) => {
-                (QueryKind::Range, self.run_range(query, band, radius, scratch))
+                (QueryKind::Range, self.run_range(query, band, radius, budget, scratch))
             }
             (RequestKind::Knn { k }, false) => {
-                (QueryKind::Knn, self.run_knn(query, band, k, scratch))
+                (QueryKind::Knn, self.run_knn(query, band, k, budget, scratch))
             }
             (RequestKind::Range { radius }, true) => {
-                (QueryKind::ScanRange, self.run_scan_range(query, band, radius, scratch))
+                (QueryKind::ScanRange, self.run_scan_range(query, band, radius, budget, scratch))
             }
             (RequestKind::Knn { k }, true) => {
-                (QueryKind::ScanKnn, self.run_scan_knn(query, band, k, scratch))
+                (QueryKind::ScanKnn, self.run_scan_knn(query, band, k, budget, scratch))
             }
+        };
+        let result = match run {
+            Ok(result) => result,
+            Err(stats) => return Err(EngineError::DeadlineExceeded { stats }),
         };
         self.metrics.record_query(kind, &result.stats, started);
         let trace = request.trace.then(|| {
@@ -556,7 +653,7 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
             debug_assert_trace_consistent(&trace, &result.stats);
             trace
         });
-        QueryOutcome { result, trace }
+        Ok(QueryOutcome { result, trace })
     }
 
     /// Runs the post-index verification cascade for one candidate at a fixed
@@ -631,14 +728,17 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         self.query_with(&request, scratch).result
     }
 
-    /// The indexed range path. Input already validated.
+    /// The indexed range path. Input already validated. `Err` carries the
+    /// partial counters when the budget's deadline passes between
+    /// candidates.
     fn run_range(
         &self,
         query: &[f64],
         band: usize,
         radius: f64,
+        budget: QueryBudget,
         scratch: &mut QueryScratch,
-    ) -> QueryResult {
+    ) -> Result<QueryResult, EngineStats> {
         let cells_before = scratch.ws.cells();
         let radius_sq = radius * radius;
         let envelope = Envelope::compute(query, band);
@@ -650,6 +750,10 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         let QueryScratch { ws, lb } = scratch;
         let mut matches = Vec::new();
         for id in candidates {
+            if budget.expired() {
+                stats.dp_cells = ws.cells() - cells_before;
+                return Err(stats);
+            }
             let series = &self.series[&id];
             if let Some(d_sq) = self.cascade_verify(
                 query, &envelope, band, series, radius_sq, None, &mut stats, ws, lb,
@@ -662,7 +766,7 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         sort_by_distance(&mut matches);
         stats.matches = matches.len() as u64;
         stats.dp_cells = ws.cells() - cells_before;
-        QueryResult { matches, stats }
+        Ok(QueryResult { matches, stats })
     }
 
     /// k-NN query under band-`k` DTW via the optimal multi-step scheme.
@@ -687,16 +791,19 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         self.query_with(&request, scratch).result
     }
 
-    /// The indexed k-NN path. Input already validated.
+    /// The indexed k-NN path. Input already validated. `Err` carries the
+    /// partial counters when the budget's deadline passes between
+    /// candidates.
     fn run_knn(
         &self,
         query: &[f64],
         band: usize,
         k: usize,
+        budget: QueryBudget,
         scratch: &mut QueryScratch,
-    ) -> QueryResult {
+    ) -> Result<QueryResult, EngineStats> {
         if k == 0 || self.series.is_empty() {
-            return QueryResult::default();
+            return Ok(QueryResult::default());
         }
         let cells_before = scratch.ws.cells();
         let envelope = Envelope::compute(query, band);
@@ -713,6 +820,10 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         let mut exact: HashMap<ItemId, f64> = HashMap::with_capacity(probes.len());
         let mut radius_sq = 0.0f64;
         for (id, _) in &probes {
+            if budget.expired() {
+                stats.dp_cells = ws.cells() - cells_before;
+                return Err(stats);
+            }
             stats.exact_computations += 1;
             let d_sq =
                 ldtw_distance_sq_bounded_with(ws, query, &self.series[id], band, f64::INFINITY);
@@ -758,6 +869,10 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         });
 
         for (lb_sq, id) in pending {
+            if budget.expired() {
+                stats.dp_cells = ws.cells() - cells_before;
+                return Err(stats);
+            }
             // The threshold an entrant must beat: the current k-th best when
             // the heap is full, the provisional radius while it is not.
             let full = heap.len() >= k;
@@ -800,7 +915,7 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         matches.truncate(k);
         stats.matches = matches.len() as u64;
         stats.dp_cells = ws.cells() - cells_before;
-        QueryResult { matches, stats }
+        Ok(QueryResult { matches, stats })
     }
 
     /// Brute-force ε-range query (no index): the slow baseline the paper's
@@ -818,14 +933,17 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         self.query(&request).result
     }
 
-    /// The brute-force range path. Input already validated.
+    /// The brute-force range path. Input already validated. `Err` carries
+    /// the partial counters when the budget's deadline passes between
+    /// candidates.
     fn run_scan_range(
         &self,
         query: &[f64],
         band: usize,
         radius: f64,
+        budget: QueryBudget,
         scratch: &mut QueryScratch,
-    ) -> QueryResult {
+    ) -> Result<QueryResult, EngineStats> {
         let cells_before = scratch.ws.cells();
         let radius_sq = radius * radius;
         let envelope = Envelope::compute(query, band);
@@ -833,6 +951,10 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         let QueryScratch { ws, lb } = scratch;
         let mut matches = Vec::new();
         for id in self.sorted_ids() {
+            if budget.expired() {
+                stats.dp_cells = ws.cells() - cells_before;
+                return Err(stats);
+            }
             let series = &self.series[&id];
             if let Some(d_sq) = self.cascade_verify(
                 query, &envelope, band, series, radius_sq, None, &mut stats, ws, lb,
@@ -845,7 +967,7 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         sort_by_distance(&mut matches);
         stats.matches = matches.len() as u64;
         stats.dp_cells = ws.cells() - cells_before;
-        QueryResult { matches, stats }
+        Ok(QueryResult { matches, stats })
     }
 
     /// Brute-force k-NN (no index). Exact by construction. Visits series in
@@ -861,19 +983,26 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         self.query(&request).result
     }
 
-    /// The brute-force k-NN path. Input already validated.
+    /// The brute-force k-NN path. Input already validated. `Err` carries
+    /// the partial counters when the budget's deadline passes between
+    /// candidates.
     fn run_scan_knn(
         &self,
         query: &[f64],
         band: usize,
         k: usize,
+        budget: QueryBudget,
         scratch: &mut QueryScratch,
-    ) -> QueryResult {
+    ) -> Result<QueryResult, EngineStats> {
         let cells_before = scratch.ws.cells();
         let ws = &mut scratch.ws;
         let mut stats = EngineStats::default();
         let mut heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
         for id in self.sorted_ids() {
+            if budget.expired() {
+                stats.dp_cells = ws.cells() - cells_before;
+                return Err(stats);
+            }
             let full = k > 0 && heap.len() >= k;
             let threshold_sq = if full && self.config.early_abandon {
                 heap.peek().expect("non-empty heap").d_sq
@@ -904,7 +1033,7 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         sort_by_distance(&mut matches);
         stats.matches = matches.len() as u64;
         stats.dp_cells = ws.cells() - cells_before;
-        QueryResult { matches, stats }
+        Ok(QueryResult { matches, stats })
     }
 
     /// All stored ids, ascending — a deterministic scan order.
@@ -1007,8 +1136,13 @@ impl<T: EnvelopeTransform + Sync, I: SpatialIndex + Sync> DtwIndexEngine<T, I> {
     ///
     /// # Errors
     /// Validates every request up front and returns the first
-    /// [`EngineError`] before running anything: a failed batch does no work
-    /// and records no metrics.
+    /// [`EngineError`] before running anything: a batch that fails
+    /// validation does no work and records no metrics. A request whose
+    /// [`QueryBudget`] deadline passes mid-run fails the whole batch with
+    /// the [`EngineError::DeadlineExceeded`] of the earliest such request
+    /// in submission order (other requests may already have completed and
+    /// recorded their per-query metrics; the batch-level counters are
+    /// skipped).
     pub fn try_query_batch(
         &self,
         requests: &[QueryRequest],
@@ -1018,12 +1152,16 @@ impl<T: EnvelopeTransform + Sync, I: SpatialIndex + Sync> DtwIndexEngine<T, I> {
             self.validate_query(&request.series, request.band)?;
         }
         let started = self.metrics.start_timer();
-        let outcomes = parallel_map_chunked(
+        let runs = parallel_map_chunked(
             requests,
             options,
             QueryScratch::new,
             |scratch, _i, request| self.run_request(request, scratch),
         );
+        let mut outcomes = Vec::with_capacity(runs.len());
+        for run in runs {
+            outcomes.push(run?);
+        }
         let mut stats = EngineStats::default();
         for outcome in &outcomes {
             stats.absorb(&outcome.result.stats);
@@ -1601,5 +1739,103 @@ mod tests {
                 .unwrap();
             assert_eq!(got.outcomes, expected, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_partial_stats_on_every_path() {
+        let series = lcg_series(120, 64, 55);
+        let engine = build_engine(&series);
+        let query = lcg_series(1, 64, 1010).remove(0);
+        // A deadline of "now" is already expired by the first poll.
+        let expired = QueryBudget::with_deadline(Instant::now());
+        assert!(expired.expired());
+        for (request, scan) in [
+            (QueryRequest::range(50.0), false),
+            (QueryRequest::knn(5), false),
+            (QueryRequest::range(50.0), true),
+            (QueryRequest::knn(5), true),
+        ] {
+            let request = request
+                .with_series(query.clone())
+                .with_band(3)
+                .with_scan(scan)
+                .with_budget(expired);
+            match engine.try_query(&request) {
+                Err(EngineError::DeadlineExceeded { stats }) => {
+                    // Aborted before the first candidate: no matches, no
+                    // exact DTW, but the index walk already happened on the
+                    // indexed paths.
+                    assert_eq!(stats.matches, 0, "scan={scan}");
+                    assert_eq!(stats.exact_computations, 0, "scan={scan}");
+                    if !scan {
+                        assert!(stats.index.candidates > 0, "scan={scan}");
+                    }
+                }
+                other => panic!("expected DeadlineExceeded (scan={scan}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unexpired_deadline_is_bit_identical_to_unbudgeted() {
+        let series = lcg_series(100, 64, 56);
+        let engine = build_engine(&series);
+        let query = lcg_series(1, 64, 2020).remove(0);
+        let budget = QueryBudget::within(Duration::from_secs(3600));
+        assert!(!budget.expired());
+        for (request, scan) in [
+            (QueryRequest::range(2.5), false),
+            (QueryRequest::knn(7), false),
+            (QueryRequest::range(2.5), true),
+            (QueryRequest::knn(7), true),
+        ] {
+            let request =
+                request.with_series(query.clone()).with_band(3).with_trace(true).with_scan(scan);
+            let plain = engine.query(&request);
+            let budgeted = engine.query(&request.clone().with_budget(budget));
+            assert_eq!(plain, budgeted, "scan={scan}");
+        }
+    }
+
+    #[test]
+    fn batch_with_expired_deadline_fails_with_deadline_error() {
+        let series = lcg_series(60, 64, 57);
+        let engine = build_engine(&series);
+        let queries = lcg_series(3, 64, 3030);
+        let mut requests: Vec<QueryRequest> = queries
+            .iter()
+            .map(|q| QueryRequest::knn(3).with_series(q.clone()).with_band(2))
+            .collect();
+        requests[1] =
+            requests[1].clone().with_budget(QueryBudget::with_deadline(Instant::now()));
+        let got = engine.try_query_batch(&requests, &crate::batch::BatchOptions::new(2, 1));
+        assert!(
+            matches!(got, Err(EngineError::DeadlineExceeded { .. })),
+            "expected DeadlineExceeded, got {got:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_abort_is_not_recorded_as_a_completed_query() {
+        let series = lcg_series(60, 64, 58);
+        let mut engine = build_engine(&series);
+        engine.set_metrics(MetricsSink::enabled());
+        let query = lcg_series(1, 64, 4040).remove(0);
+        let expired = QueryRequest::range(50.0)
+            .with_series(query.clone())
+            .with_band(3)
+            .with_budget(QueryBudget::with_deadline(Instant::now()));
+        assert!(engine.try_query(&expired).is_err());
+        let completed = QueryRequest::range(50.0).with_series(query).with_band(3);
+        assert!(engine.try_query(&completed).is_ok());
+        let registry = engine.metrics().registry().expect("enabled");
+        assert_eq!(registry.snapshot().counter(Metric::RangeQueries), 1);
+    }
+
+    #[test]
+    fn deadline_error_display_names_the_deadline() {
+        let message =
+            EngineError::DeadlineExceeded { stats: EngineStats::default() }.to_string();
+        assert!(message.contains("deadline exceeded"), "{message}");
     }
 }

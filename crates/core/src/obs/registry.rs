@@ -79,11 +79,31 @@ pub enum Metric {
     StorageBytesWritten,
     /// Bytes read by successful snapshot loads.
     StorageBytesRead,
+    /// TCP connections accepted by the serving layer.
+    ServerConnections,
+    /// Requests admitted into the server's bounded queue.
+    ServerRequestsAccepted,
+    /// Requests rejected with a typed `Overloaded` response because the
+    /// queue was full (never a silent drop).
+    ServerRequestsRejectedOverload,
+    /// Requests that answered `DeadlineExceeded` (expired in the queue or
+    /// aborted inside the verification cascade).
+    ServerDeadlineExceeded,
+    /// Frames the server could not parse: bad length prefix, truncation,
+    /// non-UTF8, malformed JSON, or an unrecognized request shape.
+    ServerProtocolErrors,
+    /// Request bytes read off the wire (frame headers included).
+    ServerBytesIn,
+    /// Response bytes written to the wire (frame headers included).
+    ServerBytesOut,
+    /// High-water mark of the admission queue depth (recorded with
+    /// [`MetricsRegistry::record_max`], not an accumulating counter).
+    ServerQueueHighWater,
 }
 
 impl Metric {
     /// Every counter slot, in export order.
-    pub const ALL: [Metric; 23] = [
+    pub const ALL: [Metric; 31] = [
         Metric::RangeQueries,
         Metric::KnnQueries,
         Metric::ScanRangeQueries,
@@ -107,6 +127,14 @@ impl Metric {
         Metric::StorageLoadErrors,
         Metric::StorageBytesWritten,
         Metric::StorageBytesRead,
+        Metric::ServerConnections,
+        Metric::ServerRequestsAccepted,
+        Metric::ServerRequestsRejectedOverload,
+        Metric::ServerDeadlineExceeded,
+        Metric::ServerProtocolErrors,
+        Metric::ServerBytesIn,
+        Metric::ServerBytesOut,
+        Metric::ServerQueueHighWater,
     ];
 
     /// The counter's exported name.
@@ -135,6 +163,14 @@ impl Metric {
             Metric::StorageLoadErrors => "storage.load_errors",
             Metric::StorageBytesWritten => "storage.bytes_written",
             Metric::StorageBytesRead => "storage.bytes_read",
+            Metric::ServerConnections => "server.connections",
+            Metric::ServerRequestsAccepted => "server.requests.accepted",
+            Metric::ServerRequestsRejectedOverload => "server.requests.rejected_overload",
+            Metric::ServerDeadlineExceeded => "server.requests.deadline_exceeded",
+            Metric::ServerProtocolErrors => "server.protocol_errors",
+            Metric::ServerBytesIn => "server.bytes_in",
+            Metric::ServerBytesOut => "server.bytes_out",
+            Metric::ServerQueueHighWater => "server.queue_high_water",
         }
     }
 }
@@ -151,12 +187,23 @@ pub enum Timer {
     ScanQuery,
     /// Wall time of one whole batch execution.
     Batch,
+    /// Wall time of one served request, from frame decode to response
+    /// enqueue (includes queue wait).
+    ServerRequest,
+    /// Time a request spent waiting in the server's admission queue.
+    ServerQueueWait,
 }
 
 impl Timer {
     /// Every histogram slot, in export order.
-    pub const ALL: [Timer; 4] =
-        [Timer::RangeQuery, Timer::KnnQuery, Timer::ScanQuery, Timer::Batch];
+    pub const ALL: [Timer; 6] = [
+        Timer::RangeQuery,
+        Timer::KnnQuery,
+        Timer::ScanQuery,
+        Timer::Batch,
+        Timer::ServerRequest,
+        Timer::ServerQueueWait,
+    ];
 
     /// The histogram's exported name.
     pub fn name(self) -> &'static str {
@@ -165,6 +212,8 @@ impl Timer {
             Timer::KnnQuery => "latency.knn_query",
             Timer::ScanQuery => "latency.scan_query",
             Timer::Batch => "latency.batch",
+            Timer::ServerRequest => "latency.server_request",
+            Timer::ServerQueueWait => "latency.server_queue_wait",
         }
     }
 }
@@ -283,6 +332,14 @@ impl MetricsRegistry {
     /// Current value of a counter.
     pub fn get(&self, metric: Metric) -> u64 {
         self.counters[metric as usize].load(Ordering::Relaxed)
+    }
+
+    /// Raises a counter to `value` if it is below it (lock-free
+    /// `fetch_max`) — for high-water-mark style metrics such as
+    /// [`Metric::ServerQueueHighWater`].
+    #[inline]
+    pub fn record_max(&self, metric: Metric, value: u64) {
+        self.counters[metric as usize].fetch_max(value, Ordering::Relaxed);
     }
 
     /// Records one duration into a histogram.
@@ -413,6 +470,14 @@ impl MetricsSink {
         }
     }
 
+    /// Raises a high-water-mark counter to `value` (no-op when disabled).
+    #[inline]
+    pub fn record_max(&self, metric: Metric, value: u64) {
+        if let MetricsSink::Enabled(r) = self {
+            r.record_max(metric, value);
+        }
+    }
+
     /// Starts a wall-clock timer — `None` (no clock read) when disabled.
     #[inline]
     pub fn start_timer(&self) -> Option<Instant> {
@@ -508,6 +573,17 @@ mod tests {
         assert!(sink.registry().is_none());
         assert!(sink.start_timer().is_none());
         sink.add(Metric::Matches, 7); // must not panic (and has nowhere to go)
+    }
+
+    #[test]
+    fn record_max_keeps_the_high_water_mark() {
+        let reg = MetricsRegistry::new();
+        reg.record_max(Metric::ServerQueueHighWater, 3);
+        reg.record_max(Metric::ServerQueueHighWater, 9);
+        reg.record_max(Metric::ServerQueueHighWater, 5);
+        assert_eq!(reg.get(Metric::ServerQueueHighWater), 9);
+        let sink = MetricsSink::Disabled;
+        sink.record_max(Metric::ServerQueueHighWater, 100); // inert
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use hum_index::{ItemId, SpatialIndex};
 
 use crate::batch::{parallel_map_chunked, BatchOptions};
-use crate::engine::{DtwIndexEngine, EngineConfig, EngineStats};
+use crate::engine::{DtwIndexEngine, EngineConfig, EngineError, EngineStats};
 use crate::normal::NormalForm;
 use crate::transform::EnvelopeTransform;
 
@@ -62,8 +62,13 @@ pub struct SubsequenceResult {
 pub struct SubsequenceIndex<T, I> {
     engine: DtwIndexEngine<T, I>,
     config: SubsequenceConfig,
-    /// window id → (source, offset).
-    windows: Vec<(ItemId, usize)>,
+    /// window id → (source, offset). Keyed (not a Vec indexed by window id)
+    /// because removing a source leaves id holes.
+    windows: HashMap<ItemId, (ItemId, usize)>,
+    /// source → its window ids, so a source can be removed as a unit.
+    source_windows: HashMap<ItemId, Vec<ItemId>>,
+    /// Next window id; never reused after removal.
+    next_wid: ItemId,
 }
 
 impl<T: EnvelopeTransform, I: SpatialIndex> SubsequenceIndex<T, I> {
@@ -83,7 +88,9 @@ impl<T: EnvelopeTransform, I: SpatialIndex> SubsequenceIndex<T, I> {
         SubsequenceIndex {
             engine: DtwIndexEngine::new(transform, index, EngineConfig::default()),
             config,
-            windows: Vec::new(),
+            windows: HashMap::new(),
+            source_windows: HashMap::new(),
+            next_wid: 0,
         }
     }
 
@@ -99,14 +106,43 @@ impl<T: EnvelopeTransform, I: SpatialIndex> SubsequenceIndex<T, I> {
 
     /// Indexes every window of a source series. Sources shorter than one
     /// window contribute a single (whole-series) window.
+    ///
+    /// # Panics
+    /// Panics on any [`EngineError`] the `try_` form would return.
     pub fn insert_source(&mut self, source: ItemId, series: &[f64]) {
-        assert!(!series.is_empty(), "empty source series");
+        self.try_insert_source(source, series).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`SubsequenceIndex::insert_source`]: validates the whole
+    /// series up front, so on error nothing was indexed.
+    ///
+    /// # Errors
+    /// [`EngineError::EmptyQuery`] on an empty series,
+    /// [`EngineError::NonFiniteSample`] on NaN/infinite samples, and
+    /// [`EngineError::DuplicateId`] when `source` is already indexed
+    /// (remove it first to replace it).
+    pub fn try_insert_source(
+        &mut self,
+        source: ItemId,
+        series: &[f64],
+    ) -> Result<(), EngineError> {
+        if series.is_empty() {
+            return Err(EngineError::EmptyQuery);
+        }
+        crate::engine::check_finite(series, "source series")?;
+        if self.source_windows.contains_key(&source) {
+            return Err(EngineError::DuplicateId(source));
+        }
         let window = self.config.window.min(series.len());
+        let mut wids = Vec::new();
         let mut offset = 0;
         loop {
             let slice = &series[offset..(offset + window).min(series.len())];
-            let wid = self.windows.len() as ItemId;
-            self.windows.push((source, offset));
+            let wid = self.next_wid;
+            self.next_wid += 1;
+            self.windows.insert(wid, (source, offset));
+            wids.push(wid);
+            // Cannot fail: the slice is validated above and `wid` is fresh.
             self.engine.insert(wid, self.config.normal.apply(slice));
             if offset + window >= series.len() {
                 break;
@@ -118,6 +154,22 @@ impl<T: EnvelopeTransform, I: SpatialIndex> SubsequenceIndex<T, I> {
                 offset = series.len() - window;
             }
         }
+        self.source_windows.insert(source, wids);
+        Ok(())
+    }
+
+    /// Removes every window of `source` from the engine and the index.
+    /// Returns `true` if the source was present.
+    pub fn remove_source(&mut self, source: ItemId) -> bool {
+        let Some(wids) = self.source_windows.remove(&source) else {
+            return false;
+        };
+        for wid in wids {
+            self.windows.remove(&wid);
+            let removed = self.engine.remove(wid);
+            debug_assert!(removed, "window table and engine must stay in lockstep");
+        }
+        true
     }
 
     /// All windows whose band-`k` DTW distance to the query's normal form is
@@ -225,7 +277,8 @@ impl<T: EnvelopeTransform, I: SpatialIndex> SubsequenceIndex<T, I> {
             .matches
             .into_iter()
             .map(|(wid, distance)| {
-                let (source, offset) = self.windows[wid as usize];
+                let (source, offset) =
+                    *self.windows.get(&wid).expect("hit maps to an indexed window");
                 SubsequenceMatch { source, offset, distance }
             })
             .collect();
@@ -317,7 +370,8 @@ mod tests {
         index.insert_source(0, &noise(100, 3));
         // Offsets: 0, 32, then snapped tail 36.
         assert_eq!(index.window_count(), 3);
-        let offsets: Vec<usize> = index.windows.iter().map(|w| w.1).collect();
+        let mut offsets: Vec<usize> = index.windows.values().map(|w| w.1).collect();
+        offsets.sort_unstable();
         assert_eq!(offsets, vec![0, 32, 36]);
     }
 
@@ -379,6 +433,48 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn removed_source_is_unfindable_and_reinsertable() {
+        let (mut index, plant_at) = build();
+        let before = index.window_count();
+        assert!(index.remove_source(0));
+        assert!(!index.remove_source(0), "second removal finds nothing");
+        assert!(index.window_count() < before);
+
+        let result = index.knn(&motif(64), 2, 4, true);
+        assert!(
+            result.matches.iter().all(|m| m.source != 0),
+            "removed source must not appear in results"
+        );
+
+        // Re-inserting under the same source id works after removal, and
+        // the motif is found at its offset again.
+        let mut source0 = noise(256, 1);
+        source0.splice(plant_at..plant_at + 64, motif(64));
+        index.try_insert_source(0, &source0).unwrap();
+        assert_eq!(index.window_count(), before);
+        let top = index.knn(&motif(64), 2, 1, false).matches[0];
+        assert_eq!((top.source, top.offset), (0, plant_at));
+    }
+
+    #[test]
+    fn insert_source_rejects_duplicates_and_bad_input() {
+        let (mut index, _) = build();
+        assert_eq!(
+            index.try_insert_source(0, &noise(64, 9)).unwrap_err(),
+            EngineError::DuplicateId(0)
+        );
+        assert_eq!(index.try_insert_source(50, &[]).unwrap_err(), EngineError::EmptyQuery);
+        let mut bad = noise(100, 9);
+        bad[5] = f64::INFINITY;
+        let before = index.window_count();
+        match index.try_insert_source(50, &bad) {
+            Err(EngineError::NonFiniteSample { index: i, .. }) => assert_eq!(i, 5),
+            other => panic!("expected NonFiniteSample, got {other:?}"),
+        }
+        assert_eq!(index.window_count(), before, "failed insert indexes nothing");
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //!              [--singer good|poor] [--seed S]
 //! qbh query    <dir|file.humidx> <hum.wav> [--top K]
 //!                                             find a hummed melody in the corpus
+//! qbh serve    <file.humidx> [--addr A] [--workers N] [--queue-depth D]
+//!              [--default-deadline-ms MS]     serve the index over TCP
 //! ```
+//!
+//! Results go to stdout; progress and diagnostics go to stderr, so scripted
+//! consumers can pipe stdout without filtering.
 //!
 //! Everything on disk goes through this workspace's own codecs: melodies are
 //! Standard MIDI Files written/parsed by `hum-midi`, hums are PCM16 WAV
@@ -18,19 +23,24 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use hum_core::obs::{Metric, MetricsSink};
 use hum_music::{HummingSimulator, Melody, SingerProfile, Songbook, SongbookConfig};
 use hum_qbh::corpus::{melody_from_smf, melody_to_smf};
+use hum_server::{Server, ServerConfig};
 use hum_qbh::storage::StorageError;
 use hum_qbh::system::{QbhConfig, QbhSystem};
 
 /// CLI failure modes, each with its own exit code so scripts can tell a
-/// misused invocation (2) from a corrupt or unwritable snapshot (3).
+/// misused invocation (2) from a corrupt or unwritable snapshot (3) or a
+/// serving failure such as an unbindable address (4).
 enum CliError {
     /// Bad arguments or an unreadable corpus directory.
     Usage(String),
     /// A typed storage failure: corrupt snapshot, checksum mismatch,
     /// interrupted save, unrepresentable database.
     Storage(StorageError),
+    /// A serving failure: the listen address cannot be bound.
+    Server(String),
 }
 
 impl CliError {
@@ -38,6 +48,7 @@ impl CliError {
         match self {
             CliError::Usage(_) => 2,
             CliError::Storage(_) => 3,
+            CliError::Server(_) => 4,
         }
     }
 }
@@ -65,6 +76,7 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Usage(message) => write!(f, "{message}"),
             CliError::Storage(e) => write!(f, "{e}"),
+            CliError::Server(message) => write!(f, "{message}"),
         }
     }
 }
@@ -77,8 +89,10 @@ fn main() -> ExitCode {
         Some("index") => cmd_index(&args[1..]),
         Some("hum") => cmd_hum(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
-            usage();
+            // Requested help is a result: print it to stdout.
+            println!("{}", usage_text());
             Ok(())
         }
         Some(other) => Err(CliError::Usage(format!("unknown command: {other}"))),
@@ -95,13 +109,27 @@ fn main() -> ExitCode {
     }
 }
 
+fn usage_text() -> &'static str {
+    "usage:\n  qbh generate <dir> [--songs N] [--seed S]\n  qbh info <dir>\n  \
+     qbh index <dir> <out.humidx>\n  \
+     qbh hum <dir> <name.mid> <out.wav> [--singer good|poor] [--seed S]\n  \
+     qbh query <dir|file.humidx> <hum.wav> [--top K]\n  \
+     qbh serve <file.humidx> [--addr A] [--workers N] [--queue-depth D] \
+[--default-deadline-ms MS]"
+}
+
 fn usage() {
-    eprintln!(
-        "usage:\n  qbh generate <dir> [--songs N] [--seed S]\n  qbh info <dir>\n  \
-         qbh index <dir> <out.humidx>\n  \
-         qbh hum <dir> <name.mid> <out.wav> [--singer good|poor] [--seed S]\n  \
-         qbh query <dir|file.humidx> <hum.wav> [--top K]"
-    );
+    eprintln!("{}", usage_text());
+}
+
+fn string_flag(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|v| Some(v.clone()))
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
 }
 
 fn flag_value(args: &[String], flag: &str) -> Result<Option<u64>, String> {
@@ -252,12 +280,15 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
         // corrupt or truncated snapshot is a typed error (exit code 3)
         // rather than a panic somewhere inside the build.
         let system = QbhSystem::try_load(&source)?;
-        println!("Loaded {} melodies from {}...", system.len(), source.display());
+        // Progress goes to stderr: stdout carries only the match list, so
+        // scripted consumers never see it polluted — even on a run that
+        // fails after this point.
+        eprintln!("Loaded {} melodies from {}...", system.len(), source.display());
         let names = (0..system.len()).map(|i| format!("melody #{i}")).collect();
         (system, names)
     } else {
         let corpus = load_corpus(&source)?;
-        println!("Indexing {} melodies from {}...", corpus.len(), source.display());
+        eprintln!("Indexing {} melodies from {}...", corpus.len(), source.display());
         build_system(&corpus)
     };
 
@@ -265,11 +296,11 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| format!("cannot read {}: {e}", wav_path.display()))?;
     let (samples, rate) =
         hum_audio::read_wav_mono(&bytes).map_err(|e| format!("{}: {e}", wav_path.display()))?;
-    println!("Query: {:.1} s of audio at {rate} Hz.", samples.len() as f64 / rate as f64);
+    eprintln!("Query: {:.1} s of audio at {rate} Hz.", samples.len() as f64 / rate as f64);
 
     let results = system.query_audio(&samples, rate, top);
     if results.matches.is_empty() {
-        println!("No voiced frames found — is the recording silent?");
+        eprintln!("No voiced frames found — is the recording silent?");
         return Ok(());
     }
     println!("\nTop matches:");
@@ -281,11 +312,63 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
             m.distance
         );
     }
-    println!(
+    eprintln!(
         "\n({} candidates from the index, {} exact DTW computations, {} page accesses.)",
         results.stats.index.candidates,
         results.stats.exact_computations,
         results.stats.index.node_accesses
     );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let path = PathBuf::from(args.first().ok_or("serve needs a .humidx snapshot")?);
+    let addr = string_flag(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7700".to_string());
+    let workers = flag_value(args, "--workers")?.unwrap_or(4).max(1) as usize;
+    let queue_depth = flag_value(args, "--queue-depth")?.unwrap_or(64).max(1) as usize;
+    let default_deadline =
+        flag_value(args, "--default-deadline-ms")?.map(std::time::Duration::from_millis);
+
+    // One shared registry records both server counters (connections, queue
+    // high water, rejections) and engine counters (queries, DP cells).
+    let metrics = MetricsSink::enabled();
+    let system = QbhSystem::try_load_with(&path, &metrics)?;
+    eprintln!("Loaded {} melodies from {}.", system.len(), path.display());
+
+    let config = ServerConfig {
+        workers,
+        queue_depth,
+        default_deadline,
+        metrics: metrics.clone(),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(system, addr.as_str(), config)
+        .map_err(|e| CliError::Server(format!("cannot listen on {addr}: {e}")))?;
+    // The one stdout line, so scripts can read the bound address (the
+    // port is ephemeral when --addr ends in :0).
+    println!("listening on {}", server.local_addr());
+    eprintln!(
+        "{workers} workers, queue depth {queue_depth}, default deadline {}",
+        match default_deadline {
+            Some(d) => format!("{} ms", d.as_millis()),
+            None => "none".to_string(),
+        }
+    );
+
+    server.wait_shutdown_requested();
+    eprintln!("shutdown requested; draining in-flight requests...");
+    server.shutdown();
+    if let Some(registry) = metrics.registry() {
+        let snapshot = registry.snapshot();
+        eprintln!(
+            "served {} requests over {} connections ({} rejected overloaded, \
+             {} deadline-exceeded, {} protocol errors)",
+            snapshot.counter(Metric::ServerRequestsAccepted),
+            snapshot.counter(Metric::ServerConnections),
+            snapshot.counter(Metric::ServerRequestsRejectedOverload),
+            snapshot.counter(Metric::ServerDeadlineExceeded),
+            snapshot.counter(Metric::ServerProtocolErrors),
+        );
+    }
     Ok(())
 }

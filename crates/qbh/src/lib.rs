@@ -39,6 +39,7 @@
 pub mod corpus;
 pub mod eval;
 pub mod fault;
+pub mod serve;
 pub mod songsearch;
 pub mod storage;
 pub mod system;

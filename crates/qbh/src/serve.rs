@@ -1,0 +1,70 @@
+//! Serving adapter: [`QbhSystem`] as a [`hum_server::QbhService`].
+//!
+//! This is the other half of the server's dependency inversion: `hum-server`
+//! defines the small [`QbhService`] surface it can serve, and this module
+//! implements it for the assembled system — so `qbh serve` is just
+//! `Server::start(system, addr, config)`.
+//!
+//! The adapter adds nothing of its own: queries go through
+//! [`QbhSystem::try_query_request_with`] (the same path in-process callers
+//! use, with the worker's reusable scratch), so served results are
+//! bit-identical to local ones; mutations go through
+//! [`QbhSystem::try_insert_melody`] / [`QbhSystem::try_remove`].
+
+use hum_core::engine::{
+    EngineError, QueryBudget, QueryRequest, QueryScratch,
+};
+use hum_server::{QbhService, ServiceMatch, ServiceOutcome, ServiceQuery};
+
+use crate::system::QbhSystem;
+
+impl QbhService for QbhSystem {
+    fn query(
+        &self,
+        query: &ServiceQuery,
+        pitch_series: &[f64],
+        band: Option<usize>,
+        budget: QueryBudget,
+        trace: bool,
+        scratch: &mut QueryScratch,
+    ) -> Result<ServiceOutcome, EngineError> {
+        let request = match *query {
+            ServiceQuery::Knn { k } => QueryRequest::knn(k),
+            ServiceQuery::Range { radius } => QueryRequest::range(radius),
+        };
+        let request = request
+            .with_band(band.unwrap_or_else(|| self.band()))
+            .with_trace(trace)
+            .with_budget(budget);
+        let (results, trace) = self.try_query_request_with(pitch_series, request, scratch)?;
+        let matches = results
+            .matches
+            .into_iter()
+            .map(|m| ServiceMatch {
+                id: m.id,
+                song: m.song,
+                phrase: m.phrase,
+                distance: m.distance,
+            })
+            .collect();
+        Ok(ServiceOutcome { matches, stats: results.stats, trace })
+    }
+
+    fn insert(
+        &mut self,
+        id: u64,
+        song: usize,
+        phrase: usize,
+        pitch_series: &[f64],
+    ) -> Result<(), EngineError> {
+        self.try_insert_melody(id, song, phrase, pitch_series)
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        self.try_remove(id)
+    }
+
+    fn len(&self) -> usize {
+        QbhSystem::len(self)
+    }
+}

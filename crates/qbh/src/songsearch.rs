@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 
 use hum_core::batch::BatchOptions;
 use hum_core::dtw::band_for_warping_width;
-use hum_core::engine::EngineStats;
+use hum_core::engine::{EngineError, EngineStats};
 use hum_core::normal::NormalForm;
 use hum_core::obs::MetricsSink;
 use hum_core::subsequence::{SubsequenceConfig, SubsequenceIndex};
@@ -169,6 +169,34 @@ impl SongSearch {
         Ok(Self::build(&Songbook { songs }, config))
     }
 
+    /// Live insert: renders a song (its phrases concatenated in order) to
+    /// one time series and indexes its sliding windows under `song_idx`.
+    /// On error nothing changes.
+    ///
+    /// # Errors
+    /// [`EngineError::DuplicateId`] when `song_idx` is already indexed,
+    /// [`EngineError::EmptyQuery`] for a song with no renderable samples,
+    /// and [`EngineError::NonFiniteSample`] for NaN/infinite samples.
+    pub fn try_insert_song(&mut self, song_idx: usize, song: &Song) -> Result<(), EngineError> {
+        let mut series = Vec::new();
+        for phrase in &song.phrases {
+            series.extend(phrase.to_time_series(self.config.samples_per_beat));
+        }
+        self.index.try_insert_source(song_idx as u64, &series)?;
+        self.songs += 1;
+        Ok(())
+    }
+
+    /// Live removal: drops every window of `song_idx`. Returns `true` if
+    /// the song was indexed.
+    pub fn try_remove_song(&mut self, song_idx: usize) -> bool {
+        if !self.index.remove_source(song_idx as u64) {
+            return false;
+        }
+        self.songs -= 1;
+        true
+    }
+
     /// Number of indexed songs.
     pub fn song_count(&self) -> usize {
         self.songs
@@ -293,6 +321,42 @@ mod tests {
             let got = search.query_batch(&hums, 3, &BatchOptions::new(threads, 2));
             assert_eq!(got, expected, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn live_song_insert_and_removal_round_trip() {
+        let full = book();
+        let config = SongSearchConfig::default();
+        // Build over the first 7 songs, then live-insert the 8th.
+        let partial = Songbook { songs: full.songs[..7].to_vec() };
+        let mut search = SongSearch::build(&partial, &config);
+        assert_eq!(search.song_count(), 7);
+
+        search.try_insert_song(7, &full.songs[7]).unwrap();
+        assert_eq!(search.song_count(), 8);
+        assert_eq!(
+            search.try_insert_song(7, &full.songs[7]).unwrap_err(),
+            EngineError::DuplicateId(7)
+        );
+
+        // Query with an exact interior window of the inserted song: it must
+        // match its own window at (near-)zero distance.
+        let mut series = Vec::new();
+        for phrase in &full.songs[7].phrases {
+            series.extend(phrase.to_time_series(config.samples_per_beat));
+        }
+        let window = &series[64..64 + config.window];
+        let top = &search.query(window, 1).matches[0];
+        assert_eq!(top.song, 7, "live-inserted song must be findable");
+        assert!(top.distance < 1e-9);
+
+        assert!(search.try_remove_song(7));
+        assert!(!search.try_remove_song(7));
+        assert_eq!(search.song_count(), 7);
+        assert!(
+            search.query(window, 8).matches.iter().all(|m| m.song != 7),
+            "removed song must not appear in results"
+        );
     }
 
     #[test]

@@ -5,11 +5,14 @@
 //! ingestion through the pitch tracker (§3.1), and provenance-aware results
 //! (which song, which phrase).
 
+use std::collections::HashMap;
+
 use hum_audio::{track_pitch, PitchTrackerConfig};
 use hum_core::batch::BatchOptions;
 use hum_core::dtw::band_for_warping_width;
 use hum_core::engine::{
-    BatchQuery, DtwIndexEngine, EngineConfig, EngineError, EngineStats, QueryRequest,
+    check_finite, BatchQuery, DtwIndexEngine, EngineConfig, EngineError, EngineStats,
+    QueryRequest, QueryScratch,
 };
 use hum_core::normal::NormalForm;
 use hum_core::obs::{MetricsSink, QueryTrace};
@@ -116,7 +119,9 @@ pub struct QbhSystem {
     engine: QbhEngine,
     normal: NormalForm,
     band: usize,
-    provenance: Vec<(usize, usize)>,
+    // Keyed by melody id (not a Vec indexed by id): live inserts may use
+    // arbitrary ids, and removals leave holes.
+    provenance: HashMap<u64, (usize, usize)>,
 }
 
 impl QbhSystem {
@@ -165,10 +170,10 @@ impl QbhSystem {
         };
 
         let mut engine = DtwIndexEngine::new(transform, index, EngineConfig::default());
-        let mut provenance = Vec::with_capacity(db.len());
+        let mut provenance = HashMap::with_capacity(db.len());
         for (entry, nf) in db.entries().iter().zip(normals) {
             engine.insert(entry.id(), nf);
-            provenance.push((entry.song(), entry.phrase()));
+            provenance.insert(entry.id(), (entry.song(), entry.phrase()));
         }
         QbhSystem {
             engine,
@@ -266,6 +271,62 @@ impl QbhSystem {
         Ok((self.annotate(outcome.result), outcome.trace))
     }
 
+    /// [`QbhSystem::try_query_request`] computing in caller-provided
+    /// scratch — the server's worker pool reuses one scratch per worker.
+    /// Results and counters are identical to the fresh-scratch form.
+    ///
+    /// # Errors
+    /// Same as [`QbhSystem::try_query_request`].
+    pub fn try_query_request_with(
+        &self,
+        pitch_series: &[f64],
+        request: QueryRequest,
+        scratch: &mut QueryScratch,
+    ) -> Result<(QbhResults, Option<QueryTrace>), EngineError> {
+        if pitch_series.is_empty() {
+            return Err(EngineError::EmptyQuery);
+        }
+        let request = request.with_series(self.normal.apply(pitch_series));
+        let outcome = self.engine.try_query_with(&request, scratch)?;
+        Ok((self.annotate(outcome.result), outcome.trace))
+    }
+
+    /// Live insert: renders a raw (hummed-scale) pitch series to normal
+    /// form, indexes it under `id`, and records its provenance. The melody
+    /// is queryable as soon as this returns; on error nothing changes.
+    ///
+    /// # Errors
+    /// [`EngineError::EmptyQuery`] on an empty series,
+    /// [`EngineError::NonFiniteSample`] on NaN/infinite samples (checked on
+    /// the *raw* series, before resampling can smear the poison), and
+    /// [`EngineError::DuplicateId`] when `id` is already indexed.
+    pub fn try_insert_melody(
+        &mut self,
+        id: u64,
+        song: usize,
+        phrase: usize,
+        pitch_series: &[f64],
+    ) -> Result<(), EngineError> {
+        if pitch_series.is_empty() {
+            return Err(EngineError::EmptyQuery);
+        }
+        check_finite(pitch_series, "inserted pitch series")?;
+        self.engine.try_insert(id, self.normal.apply(pitch_series))?;
+        self.provenance.insert(id, (song, phrase));
+        Ok(())
+    }
+
+    /// Live removal: drops the melody stored under `id` from the engine,
+    /// the index, and the provenance table. Returns `true` if it was
+    /// present.
+    pub fn try_remove(&mut self, id: u64) -> bool {
+        if !self.engine.remove(id) {
+            return false;
+        }
+        self.provenance.remove(&id);
+        true
+    }
+
     /// Panicking form of [`QbhSystem::try_query_request`].
     ///
     /// # Panics
@@ -347,7 +408,12 @@ impl QbhSystem {
             .matches
             .into_iter()
             .map(|(id, distance)| {
-                let (song, phrase) = self.provenance[id as usize];
+                // Every indexed id has provenance (insert paths record it in
+                // lockstep); a miss would be an internal bug, so surface it
+                // loudly in debug builds and degrade to (0, 0) in release.
+                let provenance = self.provenance.get(&id).copied();
+                debug_assert!(provenance.is_some(), "id {id} has no provenance");
+                let (song, phrase) = provenance.unwrap_or((0, 0));
                 QbhMatch { id, song, phrase, distance }
             })
             .collect();
@@ -515,6 +581,68 @@ mod tests {
             system.try_query_request(&[], QueryRequest::knn(3)).unwrap_err(),
             EngineError::EmptyQuery
         );
+    }
+
+    #[test]
+    fn live_insert_is_immediately_queryable_and_removal_unfindable() {
+        let db = small_db();
+        let mut system = QbhSystem::build(&db, &QbhConfig::default());
+        let before = system.len();
+
+        // A distinctive melody far from the songbook's register.
+        let series: Vec<f64> = (0..64).map(|i| 90.0 + 5.0 * (i as f64 * 0.7).sin()).collect();
+        system.try_insert_melody(7_000, 99, 3, &series).unwrap();
+        assert_eq!(system.len(), before + 1);
+
+        let results = system.query_series(&series, 1);
+        assert_eq!(results.matches[0].id, 7_000);
+        assert_eq!((results.matches[0].song, results.matches[0].phrase), (99, 3));
+
+        assert!(system.try_remove(7_000));
+        assert!(!system.try_remove(7_000), "second removal finds nothing");
+        assert_eq!(system.len(), before);
+        assert!(system.query_series(&series, 1).matches[0].id != 7_000);
+    }
+
+    #[test]
+    fn live_insert_rejects_duplicate_ids_and_bad_samples() {
+        let db = small_db();
+        let mut system = QbhSystem::build(&db, &QbhConfig::default());
+        let series: Vec<f64> = (0..32).map(|i| 60.0 + i as f64 * 0.1).collect();
+
+        // Id 12 came from the database build.
+        assert_eq!(
+            system.try_insert_melody(12, 0, 0, &series).unwrap_err(),
+            EngineError::DuplicateId(12)
+        );
+        assert_eq!(
+            system.try_insert_melody(8_000, 0, 0, &[]).unwrap_err(),
+            EngineError::EmptyQuery
+        );
+        let mut poisoned = series.clone();
+        poisoned[7] = f64::NAN;
+        let before = system.len();
+        match system.try_insert_melody(8_000, 0, 0, &poisoned) {
+            Err(EngineError::NonFiniteSample { index, .. }) => assert_eq!(index, 7),
+            other => panic!("expected NonFiniteSample, got {other:?}"),
+        }
+        assert_eq!(system.len(), before, "failed insert must not change the system");
+        assert!(!system.try_remove(8_000));
+    }
+
+    #[test]
+    fn scratch_reusing_query_matches_the_fresh_scratch_form() {
+        let db = small_db();
+        let system = QbhSystem::build(&db, &QbhConfig::default());
+        let mut scratch = QueryScratch::new();
+        for id in [3u64, 17, 29] {
+            let series = db.entry(id).unwrap().melody().to_time_series(4);
+            let request = QueryRequest::knn(5).with_band(system.band()).with_trace(true);
+            let fresh = system.try_query_request(&series, request.clone()).unwrap();
+            let reused =
+                system.try_query_request_with(&series, request, &mut scratch).unwrap();
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]

@@ -111,6 +111,79 @@ fn hum_of_unknown_melody_fails_cleanly() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn help_is_a_result_and_goes_to_stdout() {
+    let out = qbh(&["--help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("usage:"));
+    assert!(stdout(&out).contains("qbh serve"));
+    assert!(out.stderr.is_empty(), "help must not print to stderr");
+}
+
+#[test]
+fn failed_query_leaves_stdout_empty_for_scripted_consumers() {
+    let dir = temp_dir("stdout-clean");
+    let dir_s = dir.to_str().unwrap();
+    assert!(qbh(&["generate", dir_s, "--songs", "1"]).status.success());
+
+    // The corpus loads and progress is reported (stderr) before the missing
+    // WAV is discovered — stdout must still be empty on the failing run.
+    let out = qbh(&["query", dir_s, "/definitely/not/a/hum.wav"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(out.stdout.is_empty(), "stdout polluted: {}", stdout(&out));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("Indexing"), "progress should be on stderr: {err}");
+    assert!(err.contains("cannot read"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_prints_the_bound_address_and_shuts_down_cleanly_over_the_wire() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let dir = temp_dir("serve");
+    let dir_s = dir.to_str().unwrap();
+    assert!(qbh(&["generate", dir_s, "--songs", "2", "--seed", "7"]).status.success());
+    let idx = dir.join("corpus.humidx");
+    assert!(qbh(&["index", dir_s, idx.to_str().unwrap()]).status.success());
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_qbh"))
+        .args(["serve", idx.to_str().unwrap(), "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+
+    // The single stdout line announces the bound (ephemeral) address.
+    let mut child_stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    child_stdout.read_line(&mut line).expect("address line");
+    let addr = line.strip_prefix("listening on ").expect("address line").trim().to_string();
+
+    let mut client = hum_server::Client::connect(addr.as_str()).expect("connect");
+    assert_eq!(client.ping().expect("ping"), 40, "2 songs x 20 phrases");
+    let pitch: Vec<f64> = (0..32).map(|i| 60.0 + (i as f64 * 0.4).sin()).collect();
+    let reply = client.knn(&pitch, 3, &Default::default()).expect("knn over the wire");
+    assert_eq!(reply.matches.len(), 3);
+    client.shutdown().expect("shutdown accepted");
+
+    // Graceful exit: status 0, and nothing but the address on stdout.
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "{status:?}");
+    let mut rest = String::new();
+    child_stdout.read_to_string(&mut rest).expect("drain stdout");
+    assert!(rest.is_empty(), "stdout must stay clean after the address: {rest}");
+    let mut err = String::new();
+    child.stderr.take().unwrap().read_to_string(&mut err).expect("drain stderr");
+    assert!(err.contains("draining in-flight requests"), "{err}");
+    // Only queue-admitted work ops count; ping and shutdown are answered
+    // inline on the connection thread.
+    assert!(err.contains("served 1 requests"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn count_mid_files(dir: &Path) -> usize {
     std::fs::read_dir(dir)
         .unwrap()

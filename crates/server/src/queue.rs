@@ -1,0 +1,189 @@
+//! The bounded admission queue.
+//!
+//! Admission control is the server's backpressure mechanism: a request
+//! either gets a queue slot immediately or is rejected immediately with a
+//! typed `Overloaded` response — [`BoundedQueue::try_push`] never blocks
+//! and never drops silently. Workers block on [`BoundedQueue::pop`];
+//! [`BoundedQueue::close`] starts the drain: pushes are refused from that
+//! point, pops keep returning queued items until the queue is empty, then
+//! return `None` so workers exit. Every item accepted before the close is
+//! therefore handed to exactly one worker — the guarantee graceful
+//! shutdown is built on.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a [`BoundedQueue::try_push`] was refused; gives the item back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity (overload — reject with backpressure).
+    Full(T),
+    /// The queue is closed (shutting down — no new work).
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    high_water: usize,
+}
+
+/// A Mutex+Condvar bounded MPMC queue (std has no bounded channel).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` (≥ 1) items at a time.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+                high_water: 0,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking push. `Ok(depth)` is the queue depth including the new
+    /// item (callers feed it to the high-water metric); on `Err` the item
+    /// comes back so the caller can answer the client instead of dropping.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        inner.high_water = inner.high_water.max(depth);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking pop: the next item, or `None` once the queue is closed
+    /// *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = match self.not_empty.wait(inner) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Closes the queue: subsequent pushes fail with
+    /// [`PushError::Closed`]; queued items still drain through
+    /// [`BoundedQueue::pop`].
+    pub fn close(&self) {
+        let mut inner = match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        match self.inner.lock() {
+            Ok(guard) => guard.items.len(),
+            Err(poisoned) => poisoned.into_inner().items.len(),
+        }
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        match self.inner.lock() {
+            Ok(guard) => guard.high_water,
+            Err(poisoned) => poisoned.into_inner().high_water,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_returns_the_item() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        match q.try_push(3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.high_water(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3).unwrap(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        match q.try_push("c") {
+            Err(PushError::Closed(item)) => assert_eq!(item, "c"),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "stays closed");
+    }
+
+    #[test]
+    fn blocked_poppers_wake_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).unwrap();
+        q.close();
+        let mut got: Vec<Option<u32>> =
+            workers.into_iter().map(|w| w.join().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, [None, None, Some(7)]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+    }
+}

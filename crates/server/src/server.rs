@@ -1,0 +1,550 @@
+//! The threaded TCP server: listener, connection handlers, worker pool.
+//!
+//! # Threading model
+//!
+//! ```text
+//! listener thread ──accept──► connection thread (one per client)
+//!                                  │  read frame, parse, admit
+//!                                  ▼
+//!                         BoundedQueue<Job>  ── try_push, reject when full
+//!                                  │
+//!                                  ▼
+//!                     worker pool (fixed, owns QueryScratch each)
+//!                                  │  execute against RwLock<service>
+//!                                  ▼
+//!                         mpsc reply ──► connection thread writes frame
+//! ```
+//!
+//! Queries take the service read lock and run concurrently across workers;
+//! live mutations take the write lock. Each connection handles one request
+//! at a time (the protocol is strictly request/response), so per-request
+//! state never outlives its frame.
+//!
+//! # Deadlines
+//!
+//! A request's `deadline_ms` (or the server default) becomes a
+//! [`QueryBudget`] stamped at *admission* — queue wait counts against the
+//! deadline, which is the honest accounting under overload. Workers check
+//! the budget before starting; the engine checks it between candidates.
+//! Either way the client gets a typed `deadline_exceeded` response carrying
+//! the partial work counters.
+//!
+//! # Graceful shutdown
+//!
+//! Triggered by [`Server::shutdown`] or a `shutdown` request. The sequence:
+//! stop admitting (new work answered `shutting_down`), close the listener,
+//! close the queue (workers drain every admitted job — each one still gets
+//! its reply), join workers, join connection threads, hand the service
+//! back. No accepted request is ever dropped without a response.
+
+use std::io::{self, Write};
+use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hum_core::engine::{EngineError, EngineStats, QueryBudget, QueryScratch};
+use hum_core::obs::{Metric, MetricsSink, Timer};
+use serde::Serialize;
+use serde_json::Value;
+
+use crate::protocol::{
+    self, error_response, ok_response, ErrorKind, FrameRead, Request,
+};
+use crate::queue::{BoundedQueue, PushError};
+use crate::service::{QbhService, ServiceQuery};
+
+/// How many consecutive read timeouts a connection tolerates *mid-frame*
+/// before declaring the frame truncated (a stalled sender cannot pin its
+/// connection thread past `poll_interval * MID_FRAME_POLL_BUDGET`).
+const MID_FRAME_POLL_BUDGET: usize = 200;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing admitted requests.
+    pub workers: usize,
+    /// Admission queue capacity; pushes beyond it are rejected with a
+    /// typed `overloaded` response.
+    pub queue_depth: usize,
+    /// Deadline applied to queries that do not carry their own
+    /// `deadline_ms` (`None` = unlimited).
+    pub default_deadline: Option<Duration>,
+    /// Maximum accepted frame payload size.
+    pub max_frame_bytes: usize,
+    /// How often blocking points (accept, idle reads) wake to check the
+    /// shutdown flag; also bounds shutdown latency.
+    pub poll_interval: Duration,
+    /// Where server and engine counters go. Share one enabled sink between
+    /// this config and the served system to get a unified registry.
+    pub metrics: MetricsSink,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            default_deadline: None,
+            max_frame_bytes: protocol::MAX_FRAME_BYTES,
+            poll_interval: Duration::from_millis(25),
+            metrics: MetricsSink::Disabled,
+        }
+    }
+}
+
+/// Work admitted to the queue.
+enum JobOp {
+    Query { query: ServiceQuery, pitch: Vec<f64>, band: Option<usize>, trace: bool },
+    Insert { id: u64, song: usize, phrase: usize, pitch: Vec<f64> },
+    Remove { id: u64 },
+}
+
+struct Job {
+    op: JobOp,
+    budget: QueryBudget,
+    /// Queue-wait timer start ([`None`] when metrics are disabled).
+    enqueued: Option<Instant>,
+    reply: mpsc::Sender<Value>,
+}
+
+struct Shared<S> {
+    service: RwLock<S>,
+    queue: BoundedQueue<Job>,
+    shutting_down: AtomicBool,
+    shutdown_flag: Mutex<bool>,
+    shutdown_signal: Condvar,
+    metrics: MetricsSink,
+    default_deadline: Option<Duration>,
+    max_frame_bytes: usize,
+    poll_interval: Duration,
+}
+
+impl<S> Shared<S> {
+    fn request_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        let mut flag = match self.shutdown_flag.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *flag = true;
+        drop(flag);
+        self.shutdown_signal.notify_all();
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    fn read_service(&self) -> std::sync::RwLockReadGuard<'_, S> {
+        match self.service.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn write_service(&self) -> std::sync::RwLockWriteGuard<'_, S> {
+        match self.service.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A running server; dropping it without calling [`Server::shutdown`]
+/// leaves the background threads detached (the process can still exit).
+pub struct Server<S: QbhService> {
+    shared: Arc<Shared<S>>,
+    local_addr: SocketAddr,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl<S: QbhService> Server<S> {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// listener and worker pool.
+    ///
+    /// # Errors
+    /// Any socket error from bind/configure.
+    pub fn start<A: ToSocketAddrs>(
+        service: S,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<Server<S>> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            service: RwLock::new(service),
+            queue: BoundedQueue::new(config.queue_depth),
+            shutting_down: AtomicBool::new(false),
+            shutdown_flag: Mutex::new(false),
+            shutdown_signal: Condvar::new(),
+            metrics: config.metrics,
+            default_deadline: config.default_deadline,
+            max_frame_bytes: config.max_frame_bytes,
+            poll_interval: config.poll_interval,
+        });
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let listener_handle = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || listener_loop(&listener, &shared, &conns))
+        };
+
+        Ok(Server {
+            shared,
+            local_addr,
+            listener: Some(listener_handle),
+            workers,
+            conns,
+        })
+    }
+
+    /// The bound address (reports the real port after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's metrics sink.
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.shared.metrics
+    }
+
+    /// Blocks until shutdown is requested — by [`Server::shutdown`] or by
+    /// a client's `shutdown` request. The CLI parks its main thread here.
+    pub fn wait_shutdown_requested(&self) {
+        let mut flag = match self.shared.shutdown_flag.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        while !*flag {
+            flag = match self.shared.shutdown_signal.wait(flag) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Graceful shutdown: stop admitting, drain every admitted job (each
+    /// still gets its reply), join all threads, and hand the service back.
+    ///
+    /// Returns `None` only if a background thread leaked its `Shared`
+    /// reference, which would be a server bug.
+    pub fn shutdown(mut self) -> Option<S> {
+        self.shared.request_shutdown();
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        // Listener is gone: no new connections, and existing connections
+        // answer `shutting_down` to new work. Close the queue so workers
+        // drain what was admitted and exit.
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut conns = match self.conns.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            conns.drain(..).collect()
+        };
+        for conn in handles {
+            let _ = conn.join();
+        }
+        let shared = Arc::try_unwrap(self.shared).ok()?;
+        Some(match shared.service.into_inner() {
+            Ok(service) => service,
+            Err(poisoned) => poisoned.into_inner(),
+        })
+    }
+}
+
+fn listener_loop<S: QbhService>(
+    listener: &TcpListener,
+    shared: &Arc<Shared<S>>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.is_shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.metrics.add(Metric::ServerConnections, 1);
+                let shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || connection_loop(stream, &shared));
+                let mut conns = match conns.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                conns.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.poll_interval);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Accept failures are transient (e.g. fd pressure); back off
+                // rather than spin, and keep serving existing connections.
+                std::thread::sleep(shared.poll_interval);
+            }
+        }
+    }
+}
+
+fn connection_loop<S: QbhService>(mut stream: TcpStream, shared: &Arc<Shared<S>>) {
+    // Blocking reads with a timeout double as the shutdown poll point.
+    if stream.set_read_timeout(Some(shared.poll_interval)).is_err() {
+        return;
+    }
+    loop {
+        match protocol::read_frame(&mut stream, shared.max_frame_bytes, MID_FRAME_POLL_BUDGET) {
+            Ok(FrameRead::Frame(payload)) => {
+                shared.metrics.add(Metric::ServerBytesIn, payload.len() as u64 + 4);
+                let response = handle_frame(shared, &payload);
+                if write_response(&mut stream, shared, &response).is_err() {
+                    return;
+                }
+            }
+            Ok(FrameRead::Idle) => {
+                if shared.is_shutting_down() {
+                    let _ = stream.shutdown(SocketShutdown::Both);
+                    return;
+                }
+            }
+            Ok(FrameRead::Eof) => return,
+            Ok(FrameRead::Truncated) => {
+                shared.metrics.add(Metric::ServerProtocolErrors, 1);
+                let response =
+                    error_response(ErrorKind::Protocol, "truncated frame", None);
+                let _ = write_response(&mut stream, shared, &response);
+                return;
+            }
+            Ok(FrameRead::Oversized(len)) => {
+                shared.metrics.add(Metric::ServerProtocolErrors, 1);
+                let message = format!(
+                    "frame length {len} exceeds maximum {}",
+                    shared.max_frame_bytes
+                );
+                let response = error_response(ErrorKind::Protocol, &message, None);
+                let _ = write_response(&mut stream, shared, &response);
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_response<S: QbhService>(
+    stream: &mut TcpStream,
+    shared: &Shared<S>,
+    response: &Value,
+) -> io::Result<()> {
+    let payload = serde_json::to_string(response).map_err(io::Error::other)?;
+    let written =
+        protocol::write_frame(stream, payload.as_bytes(), shared.max_frame_bytes)?;
+    stream.flush()?;
+    shared.metrics.add(Metric::ServerBytesOut, written);
+    Ok(())
+}
+
+/// Decodes and answers one frame. Never panics: every failure mode maps to
+/// a typed error response.
+fn handle_frame<S: QbhService>(shared: &Arc<Shared<S>>, payload: &[u8]) -> Value {
+    let text = match std::str::from_utf8(payload) {
+        Ok(text) => text,
+        Err(_) => {
+            shared.metrics.add(Metric::ServerProtocolErrors, 1);
+            return error_response(ErrorKind::Protocol, "payload is not UTF-8", None);
+        }
+    };
+    let value = match serde_json::from_str(text) {
+        Ok(value) => value,
+        Err(e) => {
+            shared.metrics.add(Metric::ServerProtocolErrors, 1);
+            return error_response(ErrorKind::Protocol, &format!("invalid JSON: {e}"), None);
+        }
+    };
+    let request = match protocol::parse_request(&value) {
+        Ok(request) => request,
+        Err(message) => {
+            shared.metrics.add(Metric::ServerProtocolErrors, 1);
+            return error_response(ErrorKind::BadRequest, &message, None);
+        }
+    };
+
+    let (op, deadline_ms) = match request {
+        Request::Ping => {
+            let len = shared.read_service().len();
+            return ok_response(vec![("len", Value::Number(len as f64))]);
+        }
+        Request::Stats => {
+            let metrics = match shared.metrics.registry() {
+                Some(registry) => registry.snapshot().to_value(),
+                None => Value::Null,
+            };
+            return ok_response(vec![("metrics", metrics)]);
+        }
+        Request::Shutdown => {
+            shared.request_shutdown();
+            return ok_response(vec![]);
+        }
+        Request::Knn { pitch, k, band, deadline_ms, trace } => (
+            JobOp::Query { query: ServiceQuery::Knn { k }, pitch, band, trace },
+            deadline_ms,
+        ),
+        Request::Range { pitch, radius, band, deadline_ms, trace } => (
+            JobOp::Query { query: ServiceQuery::Range { radius }, pitch, band, trace },
+            deadline_ms,
+        ),
+        Request::Insert { id, song, phrase, pitch } => {
+            (JobOp::Insert { id, song, phrase, pitch }, None)
+        }
+        Request::Remove { id } => (JobOp::Remove { id }, None),
+    };
+
+    if shared.is_shutting_down() {
+        return error_response(
+            ErrorKind::ShuttingDown,
+            "server is shutting down; no new work accepted",
+            None,
+        );
+    }
+
+    // The deadline clock starts at admission: queue wait spends budget.
+    let timeout = match op {
+        JobOp::Query { .. } => {
+            deadline_ms.map(Duration::from_millis).or(shared.default_deadline)
+        }
+        // Mutations are never abandoned half-applied.
+        _ => None,
+    };
+    let budget = timeout.map_or(QueryBudget::unlimited(), QueryBudget::within);
+
+    let started = shared.metrics.start_timer();
+    let (reply, inbox) = mpsc::channel();
+    let job = Job { op, budget, enqueued: started, reply };
+    match shared.queue.try_push(job) {
+        Ok(depth) => {
+            shared.metrics.add(Metric::ServerRequestsAccepted, 1);
+            shared.metrics.record_max(Metric::ServerQueueHighWater, depth as u64);
+            match inbox.recv() {
+                Ok(response) => {
+                    shared.metrics.observe_since(Timer::ServerRequest, started);
+                    response
+                }
+                // Unreachable by construction (workers always reply), but a
+                // dead worker must not strand the client without an answer.
+                Err(_) => error_response(
+                    ErrorKind::Internal,
+                    "worker dropped the request without replying",
+                    None,
+                ),
+            }
+        }
+        Err(PushError::Full(_)) => {
+            shared.metrics.add(Metric::ServerRequestsRejectedOverload, 1);
+            error_response(
+                ErrorKind::Overloaded,
+                "admission queue is full; retry later",
+                None,
+            )
+        }
+        Err(PushError::Closed(_)) => error_response(
+            ErrorKind::ShuttingDown,
+            "server is shutting down; no new work accepted",
+            None,
+        ),
+    }
+}
+
+fn worker_loop<S: QbhService>(shared: &Arc<Shared<S>>) {
+    let mut scratch = QueryScratch::new();
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.observe_since(Timer::ServerQueueWait, job.enqueued);
+        let response = execute(shared, job.op, job.budget, &mut scratch);
+        // A client that hung up mid-request is the only way this send
+        // fails; the work is already done either way.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn execute<S: QbhService>(
+    shared: &Shared<S>,
+    op: JobOp,
+    budget: QueryBudget,
+    scratch: &mut QueryScratch,
+) -> Value {
+    match op {
+        JobOp::Query { query, pitch, band, trace } => {
+            if budget.expired() {
+                // Spent its whole deadline in the queue: same typed answer
+                // as a mid-run abort, with all-zero work counters.
+                shared.metrics.add(Metric::ServerDeadlineExceeded, 1);
+                return error_response(
+                    ErrorKind::DeadlineExceeded,
+                    "deadline expired before execution began",
+                    Some(&EngineStats::default()),
+                );
+            }
+            let outcome = {
+                let service = shared.read_service();
+                service.query(&query, &pitch, band, budget, trace, scratch)
+            };
+            match outcome {
+                Ok(outcome) => {
+                    let matches = Value::Array(
+                        outcome.matches.iter().map(protocol::match_to_value).collect(),
+                    );
+                    let mut fields = vec![
+                        ("matches", matches),
+                        ("stats", protocol::stats_to_value(&outcome.stats)),
+                    ];
+                    if let Some(trace) = &outcome.trace {
+                        fields.push(("trace", trace.to_value()));
+                    }
+                    ok_response(fields)
+                }
+                Err(EngineError::DeadlineExceeded { stats }) => {
+                    shared.metrics.add(Metric::ServerDeadlineExceeded, 1);
+                    let message = EngineError::DeadlineExceeded { stats }.to_string();
+                    error_response(ErrorKind::DeadlineExceeded, &message, Some(&stats))
+                }
+                Err(e) => error_response(ErrorKind::BadRequest, &e.to_string(), None),
+            }
+        }
+        JobOp::Insert { id, song, phrase, pitch } => {
+            let result = shared.write_service().insert(id, song, phrase, &pitch);
+            match result {
+                Ok(()) => {
+                    let len = shared.read_service().len();
+                    ok_response(vec![("len", Value::Number(len as f64))])
+                }
+                Err(e) => error_response(ErrorKind::BadRequest, &e.to_string(), None),
+            }
+        }
+        JobOp::Remove { id } => {
+            let mut service = shared.write_service();
+            let removed = service.remove(id);
+            let len = service.len();
+            drop(service);
+            ok_response(vec![
+                ("removed", Value::Bool(removed)),
+                ("len", Value::Number(len as f64)),
+            ])
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! The service boundary between the transport and the query system.
+//!
+//! `hum-server` deliberately does not depend on `hum-qbh` (the `qbh` binary
+//! lives there and links the server, so the dependency must point the other
+//! way). Instead the transport is generic over [`QbhService`] — the small
+//! surface a query-by-humming system must expose to be served: budgeted
+//! queries against an immutable snapshot (`&self`, so a worker pool can run
+//! them concurrently behind a read lock) and live mutation (`&mut self`).
+//! `hum-qbh` implements the trait for `QbhSystem`.
+
+use hum_core::engine::{EngineError, EngineStats, QueryBudget, QueryScratch};
+use hum_core::obs::QueryTrace;
+
+/// What a served query asks for (the wire-level subset of
+/// [`hum_core::engine::RequestKind`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceQuery {
+    /// k-nearest-neighbors query.
+    Knn {
+        /// Neighbors requested.
+        k: usize,
+    },
+    /// ε-range query.
+    Range {
+        /// Query radius (plain DTW distance).
+        radius: f64,
+    },
+}
+
+/// One hit, with its provenance resolved by the service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceMatch {
+    /// Stored melody id.
+    pub id: u64,
+    /// Song the melody belongs to.
+    pub song: usize,
+    /// Phrase number within the song.
+    pub phrase: usize,
+    /// Exact banded DTW distance.
+    pub distance: f64,
+}
+
+/// A completed service query: matches, work counters, optional trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceOutcome {
+    /// Hits, best first.
+    pub matches: Vec<ServiceMatch>,
+    /// Engine work counters for this query.
+    pub stats: EngineStats,
+    /// The cascade trace, present iff the request asked for one.
+    pub trace: Option<QueryTrace>,
+}
+
+/// What the server needs from a query system to serve it.
+///
+/// `Send + Sync + 'static` because the server shares the service across its
+/// worker pool behind an `RwLock`: queries take the read lock (and run
+/// concurrently), mutations take the write lock.
+pub trait QbhService: Send + Sync + 'static {
+    /// Runs one query over a raw (hummed) pitch series. `band` of `None`
+    /// means the service's default warping band. The `budget` must
+    /// propagate into the engine so an expired deadline surfaces as
+    /// [`EngineError::DeadlineExceeded`] with partial stats.
+    fn query(
+        &self,
+        query: &ServiceQuery,
+        pitch_series: &[f64],
+        band: Option<usize>,
+        budget: QueryBudget,
+        trace: bool,
+        scratch: &mut QueryScratch,
+    ) -> Result<ServiceOutcome, EngineError>;
+
+    /// Inserts a melody (raw pitch series) under `id` with its provenance.
+    fn insert(
+        &mut self,
+        id: u64,
+        song: usize,
+        phrase: usize,
+        pitch_series: &[f64],
+    ) -> Result<(), EngineError>;
+
+    /// Removes the melody stored under `id`; `true` if it was present.
+    fn remove(&mut self, id: u64) -> bool;
+
+    /// Number of stored melodies.
+    fn len(&self) -> usize;
+
+    /// `true` when nothing is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -7,10 +7,11 @@
 # wrappers that delegate to `try_`-prefixed fallible APIs; anything else
 # should return a typed `EngineError` instead.
 #
-# The `hum-qbh` crate gets a stricter scan: its storage layer promises that
-# untrusted snapshot bytes can never panic, so `.unwrap()` / `.expect(` /
-# `unreachable!(` sites there (outside tests and comments) are held to the
-# same allowlist discipline as `panic!(` is elsewhere.
+# The `hum-qbh` and `hum-server` crates get a stricter scan: the storage
+# layer promises that untrusted snapshot bytes can never panic and the
+# server promises the same for untrusted wire bytes, so `.unwrap()` /
+# `.expect(` / `unreachable!(` sites there (outside tests and comments) are
+# held to the same allowlist discipline as `panic!(` is elsewhere.
 #
 # Run with `--update` after a deliberate change to a documented panic.
 set -euo pipefail
@@ -22,7 +23,7 @@ scan() {
   find crates -path '*/src/*' -name '*.rs' -print0 | sort -z |
     while IFS= read -r -d '' f; do
       strict=0
-      case "$f" in crates/qbh/src/*) strict=1 ;; esac
+      case "$f" in crates/qbh/src/*|crates/server/src/*) strict=1 ;; esac
       awk -v file="$f" -v strict="$strict" '
         /^#\[cfg\(test\)\]/ { exit }  # test module starts: stop scanning
         {

@@ -1,21 +1,43 @@
 //! Offline stand-in for `serde_json`.
 //!
-//! Re-exports the vendored `serde`'s [`Value`] tree and provides the three
-//! entry points the workspace uses: the [`json!`] macro over a serializable
-//! expression, [`to_value`], and [`to_string_pretty`].
+//! Re-exports the vendored `serde`'s [`Value`] tree and provides the entry
+//! points the workspace uses: the [`json!`] macro over a serializable
+//! expression, [`to_value`], [`to_string`] / [`to_string_pretty`], and a
+//! [`from_str`] parser back into a [`Value`] tree (used by the wire
+//! protocol in `hum-server`).
+//!
+//! Number fidelity: numbers are stored as `f64`. The writers emit either a
+//! plain integer (for whole values below 10^15) or Rust's `{}` formatting,
+//! which is the shortest string that round-trips the `f64` exactly; the
+//! parser goes through `str::parse::<f64>()`, which is correctly rounded.
+//! A finite `f64` therefore survives a write→parse round trip bit for bit —
+//! the property the serving layer's determinism tests rely on.
 
 pub use serde::Value;
 
 use std::fmt::Write as _;
 
-/// Serialization error (the vendored pipeline is infallible; this exists so
-/// call sites can keep serde_json's `Result`-shaped API).
+/// Serialization or parse error. Serialization through the vendored
+/// pipeline is infallible; parse errors carry a message with the byte
+/// offset where parsing failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Error;
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn parse(offset: usize, message: &str) -> Self {
+        Error { message: format!("json parse error at byte {offset}: {message}") }
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("json serialization error")
+        if self.message.is_empty() {
+            f.write_str("json serialization error")
+        } else {
+            f.write_str(&self.message)
+        }
     }
 }
 
@@ -31,6 +53,273 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), 0);
     Ok(out)
+}
+
+/// Compact single-line JSON (no spaces or newlines) — the wire format.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Maximum nesting depth [`from_str`] accepts, so untrusted input cannot
+/// overflow the stack with `[[[[…]]]]`.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
+/// Parses a JSON document into a [`Value`] tree.
+///
+/// Accepts exactly one top-level value (trailing whitespace allowed).
+/// Numbers become `f64` (see the module docs for the round-trip contract);
+/// objects keep their key order and permit duplicate keys (last one is
+/// still reachable by scanning — lookups in this workspace take the first).
+///
+/// # Errors
+/// A typed [`Error`] with the byte offset for any malformed input: garbage
+/// tokens, unterminated strings/containers, invalid escapes, non-UTF8
+/// escape sequences, numbers that do not parse, trailing data, or nesting
+/// beyond [`MAX_PARSE_DEPTH`].
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse(p.pos, "trailing data after value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(self.pos, &format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(self.pos, &format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(Error::parse(self.pos, "nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(Error::parse(self.pos, "unexpected end of input")),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(other) => {
+                Err(Error::parse(self.pos, &format!("unexpected byte 0x{other:02x}")))
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the longest plain run in one shot (the common case).
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is a &str, but a run may end mid-UTF8 only at
+                // '"', '\\', or a control byte — all ASCII — so the run is
+                // always valid UTF-8.
+                match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                    Ok(s) => out.push_str(s),
+                    Err(_) => return Err(Error::parse(start, "invalid utf-8 in string")),
+                }
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(_) => return Err(Error::parse(self.pos, "control byte in string")),
+                None => return Err(Error::parse(self.pos, "unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, Error> {
+        let at = self.pos;
+        let b = self.peek().ok_or_else(|| Error::parse(at, "unterminated escape"))?;
+        self.pos += 1;
+        Ok(match b {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{0008}',
+            b'f' => '\u{000c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: require the low half.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')?;
+                        let lo = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err(Error::parse(at, "invalid low surrogate"));
+                        }
+                        let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                        char::from_u32(c)
+                            .ok_or_else(|| Error::parse(at, "invalid surrogate pair"))?
+                    } else {
+                        return Err(Error::parse(at, "unpaired surrogate"));
+                    }
+                } else {
+                    char::from_u32(hi).ok_or_else(|| Error::parse(at, "invalid \\u escape"))?
+                }
+            }
+            other => {
+                return Err(Error::parse(at, &format!("invalid escape '\\{}'", other as char)))
+            }
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let at = self.pos;
+        let end = at.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let slice = end.map(|e| &self.bytes[at..e]);
+        let hex = slice
+            .and_then(|s| std::str::from_utf8(s).ok())
+            .and_then(|s| u32::from_str_radix(s, 16).ok());
+        match hex {
+            Some(v) => {
+                self.pos += 4;
+                Ok(v)
+            }
+            None => Err(Error::parse(at, "expected 4 hex digits")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse(start, "invalid number"))?;
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Value::Number(n)),
+            Ok(_) => Err(Error::parse(start, "number out of range")),
+            Err(_) => Err(Error::parse(start, "invalid number")),
+        }
+    }
 }
 
 /// Builds a [`Value`] from a serializable expression.
@@ -86,6 +375,39 @@ fn write_value(out: &mut String, v: &Value, indent: usize) {
                 out.push('\n');
             }
             push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_compact(out, val);
+            }
             out.push('}');
         }
     }
@@ -148,5 +470,109 @@ mod tests {
         assert_eq!(json!(null), Value::Null);
         let escaped = to_string_pretty(&json!("a\"b")).unwrap();
         assert_eq!(escaped, "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn compact_writer_emits_one_line() {
+        let v = Value::Object(vec![
+            ("op".to_string(), Value::String("knn".to_string())),
+            ("pitch".to_string(), Value::Array(vec![Value::Number(1.0), Value::Number(-2.5)])),
+            ("trace".to_string(), Value::Bool(false)),
+            ("band".to_string(), Value::Null),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            "{\"op\":\"knn\",\"pitch\":[1,-2.5],\"trace\":false,\"band\":null}"
+        );
+    }
+
+    #[test]
+    fn parses_every_value_kind() {
+        let v = from_str(
+            " {\"a\": [1, -2.5, 1e3, null, true, false], \"b\": {\"c\": \"x\\ny\"}} ",
+        )
+        .unwrap();
+        let Value::Object(fields) = &v else { panic!("object") };
+        assert_eq!(fields[0].0, "a");
+        assert_eq!(
+            fields[0].1,
+            Value::Array(vec![
+                Value::Number(1.0),
+                Value::Number(-2.5),
+                Value::Number(1000.0),
+                Value::Null,
+                Value::Bool(true),
+                Value::Bool(false),
+            ])
+        );
+        assert_eq!(
+            fields[1].1,
+            Value::Object(vec![("c".to_string(), Value::String("x\ny".to_string()))])
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        for s in ["", "plain", "a\"b\\c/d", "tab\there\nnewline", "unicode \u{1F600} é", "\u{0007}"]
+        {
+            let written = to_string(&Value::String(s.to_string())).unwrap();
+            assert_eq!(from_str(&written).unwrap(), Value::String(s.to_string()), "{written}");
+        }
+        // Explicit \u escapes, including a surrogate pair.
+        assert_eq!(
+            from_str("\"\\u0041\\ud83d\\ude00\"").unwrap(),
+            Value::String("A\u{1F600}".to_string())
+        );
+    }
+
+    #[test]
+    fn f64_values_round_trip_bit_for_bit() {
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut values = vec![0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -1e-300];
+        for _ in 0..200 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            values.push(f64::from_bits(state >> 12 | 0x3FF0000000000000)); // [1, 2)
+            values.push((state as f64 / 1e3).fract() * 1e6 - 5e5);
+        }
+        for v in values {
+            let written = to_string(&Value::Number(v)).unwrap();
+            match from_str(&written).unwrap() {
+                Value::Number(parsed) => {
+                    assert_eq!(parsed.to_bits(), v.to_bits(), "{v} -> {written} -> {parsed}")
+                }
+                other => panic!("expected number, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        for bad in [
+            "", "{", "}", "[1,", "[1 2]", "{\"a\"}", "{\"a\":}", "{a:1}", "tru", "nul",
+            "\"unterminated", "\"bad \\q escape\"", "\"\\u12\"", "\"\\ud800 lone\"",
+            "1 2", "1..2", "--1", "1e", "+1", "nan", "inf", "1e999",
+            "[1] trailing", "\u{0}",
+        ] {
+            assert!(from_str(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_PARSE_DEPTH), "]".repeat(MAX_PARSE_DEPTH));
+        assert!(from_str(&deep_ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(600), "]".repeat(600));
+        let err = from_str(&too_deep).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_keys_and_key_order_are_preserved() {
+        let v = from_str("{\"z\":1,\"a\":2,\"z\":3}").unwrap();
+        let Value::Object(fields) = v else { panic!("object") };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a", "z"]);
     }
 }
