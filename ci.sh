@@ -31,10 +31,35 @@ HUM_THREADS=8 cargo test -q -p hum-qbh --test server_integration
 HUM_THREADS=1 cargo test -q -p hum-qbh --test server_fuzz
 HUM_THREADS=8 cargo test -q -p hum-qbh --test server_fuzz
 
+# Kernel layer: the `simd` feature (and the KernelMode it selects) may
+# change speed but never bits. The property suite runs under both feature
+# states, then the engine digest — answers and counters over a fixed
+# workload on every backend, including the f32-prefilter on/off sections —
+# is diffed byte-for-byte across simd off/on × HUM_THREADS 1/8.
+cargo test -q -p hum-core --test kernel
+cargo test -q -p hum-core --features simd --test kernel
+DIGEST_DIR=$(mktemp -d)
+trap 'rm -rf "$DIGEST_DIR"' EXIT
+HUM_THREADS=1 cargo run -q --release -p hum-core --example engine_digest \
+    > "$DIGEST_DIR/scalar_t1.txt"
+HUM_THREADS=8 cargo run -q --release -p hum-core --example engine_digest \
+    > "$DIGEST_DIR/scalar_t8.txt"
+HUM_THREADS=1 cargo run -q --release -p hum-core --features simd --example engine_digest \
+    > "$DIGEST_DIR/simd_t1.txt"
+HUM_THREADS=8 cargo run -q --release -p hum-core --features simd --example engine_digest \
+    > "$DIGEST_DIR/simd_t8.txt"
+cmp "$DIGEST_DIR/scalar_t1.txt" "$DIGEST_DIR/scalar_t8.txt"
+cmp "$DIGEST_DIR/scalar_t1.txt" "$DIGEST_DIR/simd_t1.txt"
+cmp "$DIGEST_DIR/scalar_t1.txt" "$DIGEST_DIR/simd_t8.txt"
+echo "engine_digest bit-identical across simd x threads"
+
 # Every panic!() in library code must be a documented wrapper around a
 # try_ API (tools/panic_allowlist.txt); hum-qbh and hum-server are
 # additionally scanned for .unwrap()/.expect() since they parse untrusted
-# bytes (snapshots and wire frames respectively).
+# bytes (snapshots and wire frames respectively). The kernel layer is held
+# to the same standard (it additionally contains the only unsafe in the
+# workspace, each block SAFETY-annotated).
 ./tools/check_panics.sh
 
 cargo clippy --all-targets -- -D warnings
+cargo clippy -p hum-core --all-targets --features simd -- -D warnings

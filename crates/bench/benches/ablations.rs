@@ -39,6 +39,7 @@ fn bench_envelope_refinement(c: &mut Criterion) {
                 envelope_refinement: refine,
                 lb_improved_refinement: false,
                 early_abandon: false,
+                ..EngineConfig::default()
             },
         );
         for (i, s) in database.iter().enumerate() {

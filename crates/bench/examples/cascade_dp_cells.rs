@@ -42,6 +42,7 @@ fn main() {
             envelope_refinement: false,
             lb_improved_refinement: false,
             early_abandon: false,
+            ..EngineConfig::default()
         }),
         ("full cascade", EngineConfig::default()),
     ] {

@@ -4,11 +4,12 @@
 //! repro [EXPERIMENT ...] [--quick] [--out DIR]
 //!
 //! EXPERIMENT: table2 | table3 | fig6 | fig7 | fig8 | fig9 | fig10 | extras
-//!             | throughput | obs | serve | all
+//!             | throughput | obs | serve | kernels | all
 //!             (default: all; `extras` runs the DESIGN.md ablations,
 //!             `throughput` the batched-query scaling sweep, `obs` the
 //!             traced cascade-trajectory run of the Figure-9 workload,
-//!             `serve` the TCP-serving latency/throughput sweep)
+//!             `serve` the TCP-serving latency/throughput sweep, `kernels`
+//!             the kernel-layer microbenchmarks with bit-identity checks)
 //! --quick     small workloads (seconds instead of minutes)
 //! --out DIR   where to write .txt/.csv/.json results (default: results)
 //! ```
@@ -17,13 +18,13 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use hum_bench::experiments::{
-    extras, fig10, fig6, fig7, fig8, fig9, obs, serve, table2, table3, throughput,
+    extras, fig10, fig6, fig7, fig8, fig9, kernels, obs, serve, table2, table3, throughput,
 };
 use hum_bench::report::persist;
 
-const EXPERIMENTS: [&str; 11] = [
+const EXPERIMENTS: [&str; 12] = [
     "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "extras", "throughput", "obs",
-    "serve",
+    "serve", "kernels",
 ];
 
 fn main() {
@@ -147,6 +148,15 @@ fn main() {
                 println!("{text}");
                 persist(&out_dir, name, &text, &table, &serde_json::json!(output));
                 obs::check(&output)
+            }
+            "kernels" => {
+                let params =
+                    if quick { kernels::Params::quick() } else { kernels::Params::paper() };
+                let output = kernels::run(&params);
+                let (text, table) = kernels::render(&output);
+                println!("{text}");
+                persist(&out_dir, name, &text, &table, &serde_json::json!(output));
+                kernels::check(&output)
             }
             "serve" => {
                 let params = if quick { serve::Params::quick() } else { serve::Params::paper() };

@@ -212,6 +212,7 @@ pub fn run(params: &Params) -> Output {
                     envelope_refinement: refine,
                     lb_improved_refinement: false,
                     early_abandon: false,
+                    ..EngineConfig::default()
                 },
             );
             for (i, s) in database.iter().enumerate() {
@@ -281,11 +282,13 @@ pub fn run(params: &Params) -> Output {
             envelope_refinement: false,
             lb_improved_refinement: false,
             early_abandon: false,
+            ..EngineConfig::default()
         }),
         ("envelope only", EngineConfig {
             envelope_refinement: true,
             lb_improved_refinement: false,
             early_abandon: false,
+            ..EngineConfig::default()
         }),
         ("full cascade", EngineConfig::default()),
     ];

@@ -21,9 +21,13 @@
 //! from the library's own observability layer, and [`serve`] drives the TCP
 //! query server with a closed-loop multi-connection load generator,
 //! reporting p50/p95/p99 latency and throughput versus worker-pool size.
+//! [`kernels`] microbenchmarks the kernel layer (envelope LB, `LB_Improved`,
+//! banded DTW, f32 prefilter) against naive sequential references, with
+//! bit-identity and conservativeness enforced by its shape check.
 
 pub mod extras;
 pub mod fig10;
+pub mod kernels;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

@@ -1,7 +1,15 @@
 //! Prints a bit-exact digest of engine answers and counters over a fixed
 //! pseudo-random workload, for before/after comparison of engine changes.
+//!
+//! `ci.sh` runs this with the `simd` feature off and on, under
+//! `HUM_THREADS=1` and `8`, and diffs the four outputs byte-for-byte: the
+//! kernel layer (and the f32 prefilter, exercised by the mode-2 vs mode-3
+//! sections) may change speed but never bits. GridFile's internal
+//! counters depend on `HashMap` iteration order, so its lines print
+//! matches and match-bits only.
 
-use hum_core::engine::{DtwIndexEngine, EngineConfig};
+use hum_core::batch::BatchOptions;
+use hum_core::engine::{BatchQuery, DtwIndexEngine, EngineConfig};
 use hum_core::transform::paa::NewPaa;
 use hum_index::{GridFile, ItemId, LinearScan, RStarTree, SpatialIndex};
 
@@ -21,74 +29,114 @@ fn lcg_series(n: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
         .collect()
 }
 
-fn digest<I: SpatialIndex>(name: &str, make: impl Fn() -> I, mode: usize) {
+fn match_bits(matches: &[(ItemId, f64)]) -> u64 {
+    matches
+        .iter()
+        .fold(0u64, |h, (id, d)| h.wrapping_mul(31).wrapping_add(id.wrapping_add(d.to_bits())))
+}
+
+fn config_for(mode: usize) -> EngineConfig {
+    match mode {
+        0 => EngineConfig {
+            envelope_refinement: false,
+            lb_improved_refinement: false,
+            early_abandon: false,
+            ..EngineConfig::default()
+        },
+        1 => EngineConfig {
+            envelope_refinement: true,
+            lb_improved_refinement: false,
+            early_abandon: false,
+            ..EngineConfig::default()
+        },
+        3 => EngineConfig { prefilter: false, ..EngineConfig::default() },
+        _ => EngineConfig::default(),
+    }
+}
+
+fn digest<I: SpatialIndex>(name: &str, make: impl Fn() -> I, mode: usize, stable_counters: bool) {
     let refine = mode;
     let series = lcg_series(400, 64, 11);
     let queries = lcg_series(12, 64, 777);
-    let mut engine = DtwIndexEngine::new(
-        NewPaa::new(64, 8),
-        make(),
-        match mode {
-            0 => EngineConfig {
-                envelope_refinement: false,
-                lb_improved_refinement: false,
-                early_abandon: false,
-            },
-            1 => EngineConfig {
-                envelope_refinement: true,
-                lb_improved_refinement: false,
-                early_abandon: false,
-            },
-            _ => EngineConfig::default(),
-        },
-    );
+    let mut engine = DtwIndexEngine::new(NewPaa::new(64, 8), make(), config_for(mode));
     for (i, s) in series.iter().enumerate() {
         engine.insert(i as ItemId, s.clone());
     }
     for (qi, q) in queries.iter().enumerate() {
         for (band, radius) in [(0usize, 1.2), (3, 2.0), (6, 3.5)] {
             let r = engine.range_query(q, band, radius);
-            let mbits: u64 = r
-                .matches
-                .iter()
-                .fold(0u64, |h, (id, d)| h.wrapping_mul(31).wrapping_add(id.wrapping_add(d.to_bits())));
-            println!(
-                "{name} refine={refine} q{qi} range b{band} r{radius}: m={} bits={mbits:x} cand={} pages={} pts={}",
-                r.matches.len(), r.stats.index.candidates, r.stats.index.node_accesses, r.stats.index.points_examined
-            );
+            let mbits = match_bits(&r.matches);
+            if stable_counters {
+                println!(
+                    "{name} refine={refine} q{qi} range b{band} r{radius}: m={} bits={mbits:x} cand={} pages={} pts={}",
+                    r.matches.len(), r.stats.index.candidates, r.stats.index.node_accesses, r.stats.index.points_examined
+                );
+            } else {
+                println!(
+                    "{name} refine={refine} q{qi} range b{band} r{radius}: m={} bits={mbits:x}",
+                    r.matches.len()
+                );
+            }
             let s = engine.scan_range(q, band, radius);
-            let sbits: u64 = s
-                .matches
-                .iter()
-                .fold(0u64, |h, (id, d)| h.wrapping_mul(31).wrapping_add(id.wrapping_add(d.to_bits())));
+            let sbits = match_bits(&s.matches);
             println!("{name} refine={refine} q{qi} scanrange b{band}: m={} bits={sbits:x}", s.matches.len());
         }
         for (band, k) in [(0usize, 1), (3, 5), (6, 17)] {
             let r = engine.knn(q, band, k);
-            let mbits: u64 = r
-                .matches
-                .iter()
-                .fold(0u64, |h, (id, d)| h.wrapping_mul(31).wrapping_add(id.wrapping_add(d.to_bits())));
-            println!(
-                "{name} refine={refine} q{qi} knn b{band} k{k}: m={} bits={mbits:x} cand={} pages={} pts={}",
-                r.matches.len(), r.stats.index.candidates, r.stats.index.node_accesses, r.stats.index.points_examined
-            );
+            let mbits = match_bits(&r.matches);
+            if stable_counters {
+                println!(
+                    "{name} refine={refine} q{qi} knn b{band} k{k}: m={} bits={mbits:x} cand={} pages={} pts={}",
+                    r.matches.len(), r.stats.index.candidates, r.stats.index.node_accesses, r.stats.index.points_examined
+                );
+            } else {
+                println!(
+                    "{name} refine={refine} q{qi} knn b{band} k{k}: m={} bits={mbits:x}",
+                    r.matches.len()
+                );
+            }
             let s = engine.scan_knn(q, band, k);
-            let sbits: u64 = s
-                .matches
-                .iter()
-                .fold(0u64, |h, (id, d)| h.wrapping_mul(31).wrapping_add(id.wrapping_add(d.to_bits())));
+            let sbits = match_bits(&s.matches);
             println!("{name} refine={refine} q{qi} scanknn b{band} k{k}: m={} bits={sbits:x}", s.matches.len());
         }
     }
 }
 
+/// Batched execution digest under `BatchOptions::default()`, which honors
+/// `HUM_THREADS` — so the ci.sh thread-count sweep exercises the parallel
+/// fan-out path, whose results must be thread-count-invariant.
+fn batch_digest<I: SpatialIndex + Sync>(name: &str, make: impl Fn() -> I) {
+    let series = lcg_series(400, 64, 11);
+    let queries = lcg_series(12, 64, 777);
+    let mut engine = DtwIndexEngine::new(NewPaa::new(64, 8), make(), EngineConfig::default());
+    for (i, s) in series.iter().enumerate() {
+        engine.insert(i as ItemId, s.clone());
+    }
+    let mut batch = Vec::new();
+    for q in &queries {
+        batch.push(BatchQuery::Range { query: q.clone(), band: 3, radius: 2.0 });
+        batch.push(BatchQuery::Knn { query: q.clone(), band: 6, k: 9 });
+    }
+    let out = engine.query_batch(&batch, &BatchOptions::default());
+    let bits = out
+        .results
+        .iter()
+        .fold(0u64, |h, r| h.wrapping_mul(37).wrapping_add(match_bits(&r.matches)));
+    let m: usize = out.results.iter().map(|r| r.matches.len()).sum();
+    println!("{name} batch: m={m} bits={bits:x}");
+}
+
 fn main() {
     // mode 0: no cascade; 1: envelope filter only (the pre-cascade default);
-    // 2: the full cascade (current default config).
-    for mode in [1, 0, 2] {
-        digest("rstar", || RStarTree::with_page_size(8, 1024), mode);
-        digest("grid", || GridFile::with_params(8, 4, 32, 1024), mode);
-        digest("linear", || LinearScan::with_page_size(8, 1024), mode);
+    // 2: the full cascade (current default config, f32 prefilter on);
+    // 3: the full cascade with the f32 prefilter off — answers AND counters
+    // must digest identically to mode 2 apart from the refine= label.
+    for mode in [1, 0, 2, 3] {
+        digest("rstar", || RStarTree::with_page_size(8, 1024), mode, true);
+        digest("grid", || GridFile::with_params(8, 4, 32, 1024), mode, false);
+        digest("linear", || LinearScan::with_page_size(8, 1024), mode, true);
     }
+    batch_digest("rstar", || RStarTree::with_page_size(8, 1024));
+    batch_digest("grid", || GridFile::with_params(8, 4, 32, 1024));
+    batch_digest("linear", || LinearScan::with_page_size(8, 1024));
 }

@@ -8,6 +8,9 @@
 //! what the rest of the workspace calls "the DTW distance"; the common
 //! length is established by [`crate::normal`].
 
+use crate::kernel::soa::AlignedF64;
+use crate::kernel::KernelMode;
+
 /// Converts the paper's *warping width* `δ = (2k+1)/n` into the band
 /// half-width `k` for series of length `n` (§4.2).
 ///
@@ -35,10 +38,17 @@ pub fn band_for_warping_width(delta: f64, n: usize) -> usize {
 /// doubles as the profiler for the cascade: [`DtwWorkspace::cells`] counts
 /// every DP cell evaluated through it, which is the "verification work" the
 /// cascade exists to reduce.
+///
+/// Rows live in cache-line-aligned, sentinel-padded buffers (slot `s` at
+/// raw index `s + 1`, permanent `+∞` at both ends) in the layout
+/// [`crate::kernel::dtw_row`] expects, alongside the two elementwise
+/// scratch rows of its vectorizable phase.
 #[derive(Debug, Clone, Default)]
 pub struct DtwWorkspace {
-    prev: Vec<f64>,
-    curr: Vec<f64>,
+    prev: AlignedF64,
+    curr: AlignedF64,
+    dd: AlignedF64,
+    pm: AlignedF64,
     cells: u64,
 }
 
@@ -104,7 +114,6 @@ pub fn ldtw_distance_sq_bounded(x: &[f64], y: &[f64], k: usize, threshold_sq: f6
 ///
 /// # Panics
 /// Panics if the series lengths differ or are zero.
-#[allow(clippy::needless_range_loop)] // explicit i/j indices mirror the DP recurrence
 pub fn ldtw_distance_sq_bounded_with(
     ws: &mut DtwWorkspace,
     x: &[f64],
@@ -112,57 +121,75 @@ pub fn ldtw_distance_sq_bounded_with(
     k: usize,
     threshold_sq: f64,
 ) -> f64 {
+    ldtw_distance_sq_bounded_with_mode(ws, x, y, k, threshold_sq, KernelMode::default())
+}
+
+/// [`ldtw_distance_sq_bounded_with`] with an explicit [`KernelMode`] for
+/// the row kernel. Every mode computes identical bits (see
+/// [`crate::kernel::dtw_row`]).
+///
+/// # Panics
+/// Panics if the series lengths differ or are zero.
+#[allow(clippy::needless_range_loop)] // explicit i index drives the band geometry
+pub fn ldtw_distance_sq_bounded_with_mode(
+    ws: &mut DtwWorkspace,
+    x: &[f64],
+    y: &[f64],
+    k: usize,
+    threshold_sq: f64,
+    mode: KernelMode,
+) -> f64 {
     let n = x.len();
     assert_eq!(n, y.len(), "LDTW requires equal lengths (apply the UTW normal form first)");
     assert!(n > 0, "LDTW of empty series");
     let k = k.min(n - 1);
 
-    // Banded DP over rows; each row stores the window [i-k, i+k].
+    // Banded DP over rows; each row stores the window [i-k, i+k] in the
+    // sentinel-padded layout of `kernel::dtw_row` (slot s at raw s + 1).
     let width = 2 * k + 1;
     let inf = f64::INFINITY;
-    ws.prev.clear();
-    ws.prev.resize(width, inf);
-    ws.curr.clear();
-    ws.curr.resize(width, inf);
+    ws.prev.reset(width + 2, inf);
+    ws.curr.reset(width + 2, inf);
+    ws.dd.reset(width, inf);
+    ws.pm.reset(width, inf);
 
     // Row 0: j in [0, k]. Prefix sums are non-decreasing, so the row minimum
     // is the first cell, (0, 0).
     {
+        let prev = ws.prev.as_mut_slice();
         let mut acc = 0.0;
         for j in 0..=k.min(n - 1) {
             let d = x[0] - y[j];
             acc += d * d;
-            ws.prev[j + k] = acc; // offset: column j maps to slot j - (i - k) = j - i + k
+            prev[j + k + 1] = acc; // column j maps to slot j - i + k, raw slot + 1
         }
         ws.cells += (k.min(n - 1) + 1) as u64;
-        if ws.prev[k] > threshold_sq {
+        if prev[k + 1] > threshold_sq {
             return inf;
         }
     }
 
     for i in 1..n {
-        ws.curr.iter_mut().for_each(|v| *v = inf);
         let j_lo = i.saturating_sub(k);
         let j_hi = (i + k).min(n - 1);
-        let mut row_min = inf;
-        for j in j_lo..=j_hi {
-            let slot = j + k - i;
-            let d = x[i] - y[j];
-            let cost = d * d;
-            // Predecessors in the previous row are (i-1, j) -> slot+1 and
-            // (i-1, j-1) -> slot; in the current row, (i, j-1) -> slot-1.
-            let mut best = inf;
-            if slot + 1 < width {
-                best = best.min(ws.prev[slot + 1]);
-            }
-            best = best.min(ws.prev[slot]);
-            if slot > 0 {
-                best = best.min(ws.curr[slot - 1]);
-            }
-            let cell = cost + best;
-            ws.curr[slot] = cell;
-            row_min = row_min.min(cell);
-        }
+        let slot_lo = j_lo + k - i;
+        let slot_hi = j_hi + k - i;
+        let curr = ws.curr.as_mut_slice();
+        // Clear the one stale cell on each side of this row's span (band
+        // spans move at most one slot per row, so this replaces the full
+        // O(width) row reset; see kernel::dtw_row's layout notes).
+        curr[slot_lo] = inf;
+        curr[slot_hi + 2] = inf;
+        let row_min = crate::kernel::dtw_row::band_row(
+            mode,
+            ws.prev.as_slice(),
+            curr,
+            ws.dd.as_mut_slice(),
+            ws.pm.as_mut_slice(),
+            x[i],
+            &y[j_lo..=j_hi],
+            slot_lo,
+        );
         ws.cells += (j_hi - j_lo + 1) as u64;
         if row_min > threshold_sq {
             return inf;
@@ -170,7 +197,7 @@ pub fn ldtw_distance_sq_bounded_with(
         std::mem::swap(&mut ws.prev, &mut ws.curr);
     }
     // Cell (n-1, n-1) sits at slot k.
-    ws.prev[k]
+    ws.prev.as_slice()[k + 1]
 }
 
 /// Root of [`ldtw_distance_sq`].

@@ -55,8 +55,10 @@ use std::time::{Duration, Instant};
 use hum_index::{ItemId, Query, QueryStats, SpatialIndex};
 
 use crate::batch::{parallel_map_chunked, BatchOptions};
-use crate::dtw::{ldtw_distance_sq_bounded_with, DtwWorkspace};
-use crate::envelope::{lb_improved_tail_sq, Envelope, LbScratch};
+use crate::dtw::{ldtw_distance_sq_bounded_with_mode, DtwWorkspace};
+use crate::envelope::{lb_improved_tail_sq_mode, Envelope, LbScratch};
+use crate::kernel::prefilter::{prefilter_exceeds, PrefilterEnvelope, SeriesMirror};
+use crate::kernel::KernelMode;
 use crate::obs::{debug_assert_trace_consistent, Metric, MetricsSink, QueryKind, QueryTrace, Timer};
 use crate::transform::EnvelopeTransform;
 
@@ -73,6 +75,20 @@ pub struct EngineConfig {
     /// Abandon exact DTW verification as soon as a DP row proves the
     /// distance exceeds the query radius (or the current k-NN best-so-far).
     pub early_abandon: bool,
+    /// Run the conservative `f32` prefilter
+    /// ([`crate::kernel::prefilter`]) ahead of the `f64` envelope bound.
+    /// Pruning decisions, matches and counters are bit-identical either
+    /// way (a prefilter prune is provably also an envelope prune, booked
+    /// under the same statistic); the flag only controls whether the
+    /// engine builds `f32` mirrors at insert time and consults them.
+    /// Ignored while both refinement stages are disabled (the prefilter
+    /// fronts the envelope stage, so without one it could change which
+    /// stage a candidate dies in).
+    pub prefilter: bool,
+    /// Which [`KernelMode`] the verification kernels run in. Bit-identical
+    /// results in every mode; defaults to the unrolled forms when the
+    /// crate is built with the `simd` feature.
+    pub kernel: KernelMode,
 }
 
 impl Default for EngineConfig {
@@ -81,6 +97,8 @@ impl Default for EngineConfig {
             envelope_refinement: true,
             lb_improved_refinement: true,
             early_abandon: true,
+            prefilter: true,
+            kernel: KernelMode::default(),
         }
     }
 }
@@ -405,14 +423,16 @@ impl QueryRequest {
     }
 }
 
-/// Reusable per-query scratch: the DTW workspace plus the `LB_Improved`
-/// scratch. One per worker thread amortizes the row allocations across an
-/// entire batch; the engine reports `dp_cells` as a per-query delta, so
-/// reuse never changes any counter.
+/// Reusable per-query scratch: the DTW workspace, the `LB_Improved`
+/// scratch, and the staged `f32` prefilter envelope. One per worker thread
+/// amortizes the row allocations across an entire batch; the engine
+/// reports `dp_cells` as a per-query delta, so reuse never changes any
+/// counter.
 #[derive(Debug, Clone, Default)]
 pub struct QueryScratch {
     ws: DtwWorkspace,
     lb: LbScratch,
+    pf: PrefilterEnvelope,
 }
 
 impl QueryScratch {
@@ -422,12 +442,20 @@ impl QueryScratch {
     }
 }
 
+/// A stored series plus (when the engine's prefilter is enabled) its
+/// directed-rounded `f32` mirror, built once at insert time.
+#[derive(Debug, Clone)]
+struct StoredSeries {
+    samples: Vec<f64>,
+    mirror: Option<SeriesMirror>,
+}
+
 /// A DTW similarity-search engine over a spatial index backend.
 #[derive(Debug, Clone)]
 pub struct DtwIndexEngine<T, I> {
     transform: T,
     index: I,
-    series: HashMap<ItemId, Vec<f64>>,
+    series: HashMap<ItemId, StoredSeries>,
     config: EngineConfig,
     metrics: MetricsSink,
 }
@@ -501,7 +529,7 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
 
     /// Looks up a stored series.
     pub fn get(&self, id: ItemId) -> Option<&[f64]> {
-        self.series.get(&id).map(Vec::as_slice)
+        self.series.get(&id).map(|s| s.samples.as_slice())
     }
 
     /// Inserts a normal-form series under `id` (replacing nothing: ids must
@@ -519,7 +547,8 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
             return Err(EngineError::DuplicateId(id));
         }
         let features = self.transform.project(&series);
-        self.series.insert(id, series);
+        let mirror = self.config.prefilter.then(|| SeriesMirror::build(&series));
+        self.series.insert(id, StoredSeries { samples: series, mirror });
         self.index.insert(id, features);
         self.metrics.add(Metric::Inserts, 1);
         Ok(())
@@ -667,19 +696,34 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         query: &[f64],
         envelope: &Envelope,
         band: usize,
-        series: &[f64],
+        stored: &StoredSeries,
         threshold_sq: f64,
         precomputed_lb_sq: Option<f64>,
+        pf: Option<&PrefilterEnvelope>,
         stats: &mut EngineStats,
         ws: &mut DtwWorkspace,
         scratch: &mut LbScratch,
     ) -> Option<f64> {
+        let mode = self.config.kernel;
+        let series = stored.samples.as_slice();
         let use_env = self.config.envelope_refinement || self.config.lb_improved_refinement;
         let mut lb_sq = 0.0;
         if use_env {
             lb_sq = match precomputed_lb_sq {
                 Some(lb) => lb,
-                None => envelope.distance_sq_bounded(series, threshold_sq),
+                None => {
+                    // Conservative f32 prefilter: its bound never exceeds
+                    // the f64 envelope bound below, so a prune here is a
+                    // prune the envelope stage was about to make — booked
+                    // under the same counter, skipping the f64 pass.
+                    if let (Some(pf), Some(mirror)) = (pf, stored.mirror.as_ref()) {
+                        if prefilter_exceeds(mode, pf, mirror, threshold_sq) {
+                            stats.lb_pruned += 1;
+                            return None;
+                        }
+                    }
+                    envelope.distance_sq_bounded_mode(series, threshold_sq, mode)
+                }
             };
             if lb_sq > threshold_sq {
                 stats.lb_pruned += 1;
@@ -687,8 +731,15 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
             }
         }
         if self.config.lb_improved_refinement {
-            let tail =
-                lb_improved_tail_sq(query, envelope, series, band, threshold_sq - lb_sq, scratch);
+            let tail = lb_improved_tail_sq_mode(
+                query,
+                envelope,
+                series,
+                band,
+                threshold_sq - lb_sq,
+                scratch,
+                mode,
+            );
             if lb_sq + tail > threshold_sq {
                 stats.lb_improved_pruned += 1;
                 return None;
@@ -696,12 +747,20 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         }
         stats.exact_computations += 1;
         let dtw_threshold = if self.config.early_abandon { threshold_sq } else { f64::INFINITY };
-        let d_sq = ldtw_distance_sq_bounded_with(ws, query, series, band, dtw_threshold);
+        let d_sq = ldtw_distance_sq_bounded_with_mode(ws, query, series, band, dtw_threshold, mode);
         if d_sq.is_infinite() {
             stats.early_abandoned += 1;
             return None;
         }
         Some(d_sq)
+    }
+
+    /// Whether this query should stage and consult the `f32` prefilter: it
+    /// fronts the `f64` envelope stage, so it runs only when that stage
+    /// does (keeping counters identical with the prefilter off).
+    fn prefilter_active(&self) -> bool {
+        self.config.prefilter
+            && (self.config.envelope_refinement || self.config.lb_improved_refinement)
     }
 
     /// ε-range query: all series whose band-`k` DTW distance to `query` is
@@ -747,16 +806,20 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
             self.index.range_query(&Query::Rect(feature_box), radius);
 
         let mut stats = EngineStats { index: index_stats, ..EngineStats::default() };
-        let QueryScratch { ws, lb } = scratch;
+        let QueryScratch { ws, lb, pf } = scratch;
+        if self.prefilter_active() {
+            pf.stage(&envelope);
+        }
+        let pf: Option<&PrefilterEnvelope> = self.prefilter_active().then_some(&*pf);
         let mut matches = Vec::new();
         for id in candidates {
             if budget.expired() {
                 stats.dp_cells = ws.cells() - cells_before;
                 return Err(stats);
             }
-            let series = &self.series[&id];
+            let stored = &self.series[&id];
             if let Some(d_sq) = self.cascade_verify(
-                query, &envelope, band, series, radius_sq, None, &mut stats, ws, lb,
+                query, &envelope, band, stored, radius_sq, None, pf, &mut stats, ws, lb,
             ) {
                 if d_sq <= radius_sq {
                     matches.push((id, d_sq.sqrt()));
@@ -809,7 +872,11 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         let envelope = Envelope::compute(query, band);
         let feature_box = self.transform.project_envelope(&envelope);
         let shape = Query::Rect(feature_box);
-        let QueryScratch { ws, lb: scratch } = scratch;
+        let QueryScratch { ws, lb: scratch, pf } = scratch;
+        if self.prefilter_active() {
+            pf.stage(&envelope);
+        }
+        let pf: Option<&PrefilterEnvelope> = self.prefilter_active().then_some(&*pf);
 
         // Step 1: k candidates by ascending feature lower bound.
         let (probes, probe_stats) = self.index.knn(&shape, k);
@@ -825,8 +892,14 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
                 return Err(stats);
             }
             stats.exact_computations += 1;
-            let d_sq =
-                ldtw_distance_sq_bounded_with(ws, query, &self.series[id], band, f64::INFINITY);
+            let d_sq = ldtw_distance_sq_bounded_with_mode(
+                ws,
+                query,
+                &self.series[id].samples,
+                band,
+                f64::INFINITY,
+                self.config.kernel,
+            );
             radius_sq = radius_sq.max(d_sq);
             exact.insert(*id, d_sq);
         }
@@ -854,7 +927,22 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
                 continue; // probe: exact distance already known
             }
             if use_env {
-                let lb_sq = envelope.distance_sq_bounded(&self.series[&id], radius_sq);
+                let stored = &self.series[&id];
+                // Prefilter prunes here are exactly the candidates whose
+                // f64 envelope bound would come back above the radius
+                // (hence infinite from the bounded kernel): same counter,
+                // same surviving `pending` set, with or without it.
+                if let (Some(pf), Some(mirror)) = (pf, stored.mirror.as_ref()) {
+                    if prefilter_exceeds(self.config.kernel, pf, mirror, radius_sq) {
+                        stats.lb_pruned += 1;
+                        continue;
+                    }
+                }
+                let lb_sq = envelope.distance_sq_bounded_mode(
+                    &stored.samples,
+                    radius_sq,
+                    self.config.kernel,
+                );
                 if lb_sq > radius_sq {
                     stats.lb_pruned += 1;
                     continue;
@@ -885,14 +973,15 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
                 stats.lb_pruned += 1;
                 continue;
             }
-            let series = &self.series[&id];
+            let stored = &self.series[&id];
             let verified = self.cascade_verify(
                 query,
                 &envelope,
                 band,
-                series,
+                stored,
                 threshold_sq,
                 use_env.then_some(lb_sq),
+                pf,
                 &mut stats,
                 ws,
                 scratch,
@@ -948,16 +1037,20 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         let radius_sq = radius * radius;
         let envelope = Envelope::compute(query, band);
         let mut stats = EngineStats::default();
-        let QueryScratch { ws, lb } = scratch;
+        let QueryScratch { ws, lb, pf } = scratch;
+        if self.prefilter_active() {
+            pf.stage(&envelope);
+        }
+        let pf: Option<&PrefilterEnvelope> = self.prefilter_active().then_some(&*pf);
         let mut matches = Vec::new();
         for id in self.sorted_ids() {
             if budget.expired() {
                 stats.dp_cells = ws.cells() - cells_before;
                 return Err(stats);
             }
-            let series = &self.series[&id];
+            let stored = &self.series[&id];
             if let Some(d_sq) = self.cascade_verify(
-                query, &envelope, band, series, radius_sq, None, &mut stats, ws, lb,
+                query, &envelope, band, stored, radius_sq, None, pf, &mut stats, ws, lb,
             ) {
                 if d_sq <= radius_sq {
                     matches.push((id, d_sq.sqrt()));
@@ -1010,8 +1103,14 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
                 f64::INFINITY
             };
             stats.exact_computations += 1;
-            let d_sq =
-                ldtw_distance_sq_bounded_with(ws, query, &self.series[&id], band, threshold_sq);
+            let d_sq = ldtw_distance_sq_bounded_with_mode(
+                ws,
+                query,
+                &self.series[&id].samples,
+                band,
+                threshold_sq,
+                self.config.kernel,
+            );
             if d_sq.is_infinite() {
                 stats.early_abandoned += 1;
                 continue;

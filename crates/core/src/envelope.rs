@@ -6,6 +6,8 @@
 //! the band-`k` DTW distance between `x` and `y` — the foundation of every
 //! index transform in [`crate::transform`].
 
+use crate::kernel::KernelMode;
+
 /// The `k`-envelope of a time series: pointwise window minima and maxima.
 ///
 /// ```
@@ -84,22 +86,23 @@ impl Envelope {
     /// `min_{z ∈ e} D²(x, z)`, which accumulates only the excursions of `x`
     /// outside the band. This is the LB lower bound of Lemma 2.
     ///
+    /// Computed by the blocked accumulation kernel ([`crate::kernel::lb`]):
+    /// four lane partial sums combined pairwise, the same bits in every
+    /// [`KernelMode`].
+    ///
     /// # Panics
     /// Panics if `x.len() != self.len()`.
     pub fn distance_sq(&self, x: &[f64]) -> f64 {
+        self.distance_sq_mode(x, KernelMode::default())
+    }
+
+    /// [`Envelope::distance_sq`] with an explicit [`KernelMode`].
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.len()`.
+    pub fn distance_sq_mode(&self, x: &[f64], mode: KernelMode) -> f64 {
         assert_eq!(x.len(), self.len(), "length mismatch");
-        let mut acc = 0.0;
-        for (v, (l, u)) in x.iter().zip(self.lower.iter().zip(&self.upper)) {
-            let d = if v < l {
-                l - v
-            } else if v > u {
-                v - u
-            } else {
-                0.0
-            };
-            acc += d * d;
-        }
-        acc
+        crate::kernel::lb::env_lb_sq(mode, &self.lower, &self.upper, x)
     }
 
     /// Root of [`Envelope::distance_sq`].
@@ -108,30 +111,26 @@ impl Envelope {
     }
 
     /// Early-abandoning variant of [`Envelope::distance_sq`]: identical
-    /// accumulation order, but returns `f64::INFINITY` as soon as the running
-    /// sum exceeds `threshold_sq`. The result is `> threshold_sq` exactly
-    /// when the full distance is, and equals it whenever it is
-    /// `≤ threshold_sq`.
+    /// accumulation, but returns `f64::INFINITY` once the running sum
+    /// exceeds `threshold_sq` (checked at lane-block granularity — squared
+    /// excursions are non-negative, so the block check abandons exactly
+    /// when the full sum exceeds the threshold). The result is
+    /// `> threshold_sq` exactly when the full distance is, and equals it
+    /// whenever it is `≤ threshold_sq`.
     ///
     /// # Panics
     /// Panics if `x.len() != self.len()`.
     pub fn distance_sq_bounded(&self, x: &[f64], threshold_sq: f64) -> f64 {
+        self.distance_sq_bounded_mode(x, threshold_sq, KernelMode::default())
+    }
+
+    /// [`Envelope::distance_sq_bounded`] with an explicit [`KernelMode`].
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.len()`.
+    pub fn distance_sq_bounded_mode(&self, x: &[f64], threshold_sq: f64, mode: KernelMode) -> f64 {
         assert_eq!(x.len(), self.len(), "length mismatch");
-        let mut acc = 0.0;
-        for (v, (l, u)) in x.iter().zip(self.lower.iter().zip(&self.upper)) {
-            let d = if v < l {
-                l - v
-            } else if v > u {
-                v - u
-            } else {
-                0.0
-            };
-            acc += d * d;
-            if acc > threshold_sq {
-                return f64::INFINITY;
-            }
-        }
-        acc
+        crate::kernel::lb::env_lb_sq_bounded(mode, &self.lower, &self.upper, x, threshold_sq)
     }
 
     /// Writes the pointwise projection (clamp) of `x` onto this envelope into
@@ -206,9 +205,27 @@ pub fn lb_improved_tail_sq(
     budget_sq: f64,
     scratch: &mut LbScratch,
 ) -> f64 {
+    lb_improved_tail_sq_mode(query, query_env, candidate, k, budget_sq, scratch, KernelMode::default())
+}
+
+/// [`lb_improved_tail_sq`] with an explicit [`KernelMode`] for the
+/// second-pass accumulation.
+///
+/// # Panics
+/// Panics on length mismatches between `query`, `query_env` and `candidate`.
+#[allow(clippy::too_many_arguments)]
+pub fn lb_improved_tail_sq_mode(
+    query: &[f64],
+    query_env: &Envelope,
+    candidate: &[f64],
+    k: usize,
+    budget_sq: f64,
+    scratch: &mut LbScratch,
+    mode: KernelMode,
+) -> f64 {
     query_env.clamp_into(candidate, &mut scratch.projection);
     scratch.env.recompute(&scratch.projection, k);
-    scratch.env.distance_sq_bounded(query, budget_sq)
+    scratch.env.distance_sq_bounded_mode(query, budget_sq, mode)
 }
 
 /// Lemire's two-pass `LB_Improved` (squared): `LB_Keogh²(candidate, query)`

@@ -1,0 +1,45 @@
+//! SIMD-friendly, cache-conscious kernels for the verification cascade.
+//!
+//! This layer owns the flat data layouts ([`soa`]) and the three hot inner
+//! loops of candidate verification — the envelope-LB accumulation
+//! ([`lb`]), which also powers the LB_Improved second pass, the banded-DTW
+//! row recurrence ([`dtw_row`]) — plus the conservative `f32` prefilter
+//! ([`prefilter`]) that runs before any `f64` work.
+//!
+//! ## The one rule: modes change speed, never bits
+//!
+//! Every kernel takes a [`KernelMode`] and implements it twice: a portable
+//! scalar form and an explicitly unrolled form written so the optimizer
+//! can map independent lanes onto vector registers (no intrinsics — plain
+//! stable Rust). The floating-point *recipe* — lane counts, accumulation
+//! order, combine tree — is fixed per kernel and shared by both forms, so
+//! the two are bit-identical by construction. The `simd` cargo feature
+//! only flips [`KernelMode::default`]; `ci.sh` proves the whole engine
+//! digest is byte-identical with the feature on and off.
+
+pub mod dtw_row;
+pub mod lb;
+pub mod prefilter;
+pub mod soa;
+
+/// Which implementation shape the kernels run. Both produce identical
+/// bits; `Unrolled` is laid out for the autovectorizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelMode {
+    /// Portable scalar loops.
+    Scalar,
+    /// Explicit 4/8-lane unrolling (still stable Rust, no intrinsics).
+    Unrolled,
+}
+
+impl Default for KernelMode {
+    /// `Unrolled` when the crate is built with the `simd` feature,
+    /// `Scalar` otherwise.
+    fn default() -> Self {
+        if cfg!(feature = "simd") {
+            KernelMode::Unrolled
+        } else {
+            KernelMode::Scalar
+        }
+    }
+}

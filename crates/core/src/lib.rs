@@ -37,6 +37,12 @@
 //!   the §3.2 alternative to whole-sequence matching.
 //! * [`l1`] — the same framework under the L1 metric, the "other distance
 //!   metrics" extension §4 mentions.
+//! * [`kernel`] — the SIMD-friendly inner loops under [`dtw`], [`envelope`]
+//!   and the engine's verification cascade: aligned structure-of-arrays
+//!   buffers, blocked lower-bound accumulation, an unrolled banded-DTW row
+//!   recurrence, and a conservative `f32` prefilter. The `simd` cargo
+//!   feature selects the unrolled forms by default; results are
+//!   bit-identical either way.
 //!
 //! # Quick example
 //!
@@ -66,6 +72,7 @@ pub mod batch;
 pub mod dtw;
 pub mod engine;
 pub mod envelope;
+pub mod kernel;
 pub mod l1;
 pub mod normal;
 pub mod obs;

@@ -77,6 +77,7 @@ proptest! {
             envelope_refinement: false,
             lb_improved_refinement: false,
             early_abandon: false,
+            ..EngineConfig::default()
         };
         let reference = answers(
             || LinearScan::with_page_size(4, 1024),

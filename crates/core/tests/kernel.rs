@@ -1,0 +1,301 @@
+//! Property tests for the kernel layer's two load-bearing contracts:
+//!
+//! 1. **Conservativeness** — the `f32` prefilter never exceeds the exact
+//!    `f64` envelope bound, so a prefilter prune is always an envelope
+//!    prune (zero false negatives), and the engine's answers *and
+//!    counters* are bit-identical with the prefilter on or off.
+//! 2. **Mode invariance** — `KernelMode::Scalar` and
+//!    `KernelMode::Unrolled` return identical bits from every kernel, and
+//!    the kernel-layer DTW matches a reference transcription of the
+//!    classic branchy row loop bit for bit.
+
+use hum_core::dtw::{ldtw_distance_sq_bounded_with_mode, DtwWorkspace};
+use hum_core::engine::{DtwIndexEngine, EngineConfig, QueryScratch};
+use hum_core::envelope::Envelope;
+use hum_core::kernel::lb::env_lb_sq_bounded;
+use hum_core::kernel::prefilter::{
+    conservative_lb_sq, f32_down, f32_up, prefilter_exceeds, PrefilterEnvelope, SeriesMirror,
+};
+use hum_core::kernel::KernelMode;
+use hum_core::transform::paa::NewPaa;
+use hum_index::{LinearScan, RStarTree};
+use proptest::prelude::*;
+
+const LEN: usize = 32;
+const MODES: [KernelMode; 2] = [KernelMode::Scalar, KernelMode::Unrolled];
+
+fn series() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-20.0f64..20.0, LEN..=LEN)
+}
+
+/// Series drawn from a wide dynamic range, to stress the directed
+/// rounding far from 1.0.
+fn wild_series() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            -20.0f64..20.0,
+            -1e-6f64..1e-6,
+            -1e12f64..1e12,
+            Just(0.0f64),
+        ],
+        LEN..=LEN,
+    )
+}
+
+/// Reference transcription of the pre-kernel-layer banded DTW row loop
+/// (branchy three-way min, full O(width) row reset), kept here as the
+/// bit-identity oracle for the restructured kernel.
+#[allow(clippy::needless_range_loop)] // explicit i/j indices mirror the DP recurrence
+fn ldtw_reference(x: &[f64], y: &[f64], k: usize, threshold_sq: f64) -> f64 {
+    let n = x.len();
+    let k = k.min(n - 1);
+    let width = 2 * k + 1;
+    let inf = f64::INFINITY;
+    let mut prev = vec![inf; width];
+    let mut curr = vec![inf; width];
+    let mut acc = 0.0;
+    for j in 0..=k.min(n - 1) {
+        let d = x[0] - y[j];
+        acc += d * d;
+        prev[j + k] = acc;
+    }
+    if prev[k] > threshold_sq {
+        return inf;
+    }
+    for i in 1..n {
+        curr.iter_mut().for_each(|v| *v = inf);
+        let j_lo = i.saturating_sub(k);
+        let j_hi = (i + k).min(n - 1);
+        let mut row_min = inf;
+        for j in j_lo..=j_hi {
+            let slot = j + k - i;
+            let d = x[i] - y[j];
+            let cost = d * d;
+            let mut best = inf;
+            if slot + 1 < width {
+                best = best.min(prev[slot + 1]);
+            }
+            best = best.min(prev[slot]);
+            if slot > 0 {
+                best = best.min(curr[slot - 1]);
+            }
+            let cell = cost + best;
+            curr[slot] = cell;
+            row_min = row_min.min(cell);
+        }
+        if row_min > threshold_sq {
+            return inf;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[k]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn directed_rounding_brackets_every_value(v in prop_oneof![
+        -1e300f64..1e300,
+        -20.0f64..20.0,
+        -1e-30f64..1e-30,
+        Just(0.0f64),
+        Just(-0.0f64),
+    ]) {
+        prop_assert!((f32_down(v) as f64) <= v, "down({v}) = {}", f32_down(v));
+        prop_assert!((f32_up(v) as f64) >= v, "up({v}) = {}", f32_up(v));
+        prop_assert!(f32_down(v) != f32::INFINITY);
+        prop_assert!(f32_up(v) != f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mirror_and_staged_envelope_bracket(y in wild_series(), x in wild_series(), k in 0usize..10) {
+        let mirror = SeriesMirror::build(&x);
+        for (i, &v) in x.iter().enumerate() {
+            prop_assert!((mirror.down()[i] as f64) <= v);
+            prop_assert!((mirror.up()[i] as f64) >= v);
+        }
+        let env = Envelope::compute(&y, k);
+        let mut staged = PrefilterEnvelope::new();
+        staged.stage(&env);
+        prop_assert_eq!(staged.len(), env.len());
+    }
+
+    /// The linchpin: the deflated f32 sum never exceeds the f64 kernel's
+    /// envelope bound, for either mode.
+    #[test]
+    fn conservative_bound_below_f64_bound(y in wild_series(), x in wild_series(), k in 0usize..10) {
+        let env = Envelope::compute(&y, k);
+        let mut staged = PrefilterEnvelope::new();
+        staged.stage(&env);
+        let mirror = SeriesMirror::build(&x);
+        for mode in MODES {
+            let lo = conservative_lb_sq(mode, &staged, &mirror);
+            let exact = env.distance_sq_mode(&x, mode);
+            prop_assert!(
+                !lo.is_finite() || lo <= exact,
+                "mode {mode:?}: conservative {lo} > exact {exact}"
+            );
+        }
+    }
+
+    /// A prefilter prune implies the exact f64 chain prunes at the same
+    /// threshold (the bounded kernel reports the excess as +inf).
+    #[test]
+    fn prefilter_prune_implies_f64_prune(
+        y in series(),
+        x in series(),
+        k in 0usize..10,
+        radius in 0.0f64..50.0,
+    ) {
+        let threshold_sq = radius * radius;
+        let env = Envelope::compute(&y, k);
+        let mut staged = PrefilterEnvelope::new();
+        staged.stage(&env);
+        let mirror = SeriesMirror::build(&x);
+        for mode in MODES {
+            if prefilter_exceeds(mode, &staged, &mirror, threshold_sq) {
+                let exact = env.distance_sq_bounded_mode(&x, threshold_sq, mode);
+                prop_assert!(
+                    exact.is_infinite(),
+                    "prefilter pruned but exact bound {exact} ≤ {threshold_sq}"
+                );
+            }
+        }
+    }
+
+    /// Scalar and unrolled modes return identical bits from all three
+    /// kernels, bounded or not.
+    #[test]
+    fn modes_are_bit_identical(
+        y in series(),
+        x in series(),
+        k in 0usize..10,
+        thr in prop_oneof![0.0f64..400.0, Just(f64::INFINITY)],
+    ) {
+        let env = Envelope::compute(&y, k);
+        let a = env_lb_sq_bounded(KernelMode::Scalar, env.lower(), env.upper(), &x, thr);
+        let b = env_lb_sq_bounded(KernelMode::Unrolled, env.lower(), env.upper(), &x, thr);
+        prop_assert_eq!(a.to_bits(), b.to_bits(), "env lb: {} vs {}", a, b);
+
+        let mut ws = DtwWorkspace::new();
+        let da = ldtw_distance_sq_bounded_with_mode(&mut ws, &x, &y, k, thr, KernelMode::Scalar);
+        let db = ldtw_distance_sq_bounded_with_mode(&mut ws, &x, &y, k, thr, KernelMode::Unrolled);
+        prop_assert_eq!(da.to_bits(), db.to_bits(), "dtw: {} vs {}", da, db);
+
+        let mut staged = PrefilterEnvelope::new();
+        staged.stage(&env);
+        let mirror = SeriesMirror::build(&x);
+        let pa = conservative_lb_sq(KernelMode::Scalar, &staged, &mirror);
+        let pb = conservative_lb_sq(KernelMode::Unrolled, &staged, &mirror);
+        prop_assert_eq!(pa.to_bits(), pb.to_bits(), "prefilter: {} vs {}", pa, pb);
+    }
+
+    /// The restructured DTW kernel is bit-identical to the classic branchy
+    /// loop — distance and abandon behavior both.
+    #[test]
+    fn dtw_kernel_matches_classic_loop(
+        x in series(),
+        y in series(),
+        k in 0usize..=LEN,
+        thr in prop_oneof![0.0f64..400.0, Just(f64::INFINITY)],
+    ) {
+        let reference = ldtw_reference(&x, &y, k, thr);
+        let mut ws = DtwWorkspace::new();
+        for mode in MODES {
+            let got = ldtw_distance_sq_bounded_with_mode(&mut ws, &x, &y, k, thr, mode);
+            prop_assert_eq!(got.to_bits(), reference.to_bits(), "mode {:?}: {} vs {}", mode, got, reference);
+        }
+    }
+
+    /// Engine-level: answers AND counters are bit-identical with the
+    /// prefilter on and off, and across kernel modes, on indexed and scan
+    /// paths alike.
+    #[test]
+    fn engine_invariant_to_prefilter_and_mode(
+        seed in any::<u64>(),
+        band in 0usize..6,
+        k in 1usize..6,
+        radius in 0.5f64..6.0,
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let database: Vec<Vec<f64>> = (0..60)
+            .map(|_| {
+                let mut acc = 0.0;
+                (0..LEN).map(|_| { acc += next(); acc }).collect()
+            })
+            .collect();
+        let query: Vec<f64> = {
+            let mut acc = 0.0;
+            (0..LEN).map(|_| { acc += next(); acc }).collect()
+        };
+
+        let configs = [
+            EngineConfig::default(),
+            EngineConfig { prefilter: false, ..EngineConfig::default() },
+            EngineConfig { kernel: KernelMode::Scalar, ..EngineConfig::default() },
+            EngineConfig { kernel: KernelMode::Unrolled, ..EngineConfig::default() },
+            EngineConfig {
+                kernel: KernelMode::Unrolled,
+                prefilter: false,
+                ..EngineConfig::default()
+            },
+        ];
+        let mut reference = None;
+        for config in configs {
+            let mut engine =
+                DtwIndexEngine::new(NewPaa::new(LEN, 4), RStarTree::new(4), config);
+            let mut linear = DtwIndexEngine::new(
+                NewPaa::new(LEN, 4),
+                LinearScan::with_page_size(4, 1024),
+                config,
+            );
+            for (i, s) in database.iter().enumerate() {
+                engine.insert(i as u64, s.clone());
+                linear.insert(i as u64, s.clone());
+            }
+            let mut scratch = QueryScratch::new();
+            let outputs = (
+                engine.range_query_with(&query, band, radius, &mut scratch),
+                engine.knn_with(&query, band, k, &mut scratch),
+                engine.scan_range(&query, band, radius),
+                linear.range_query(&query, band, radius),
+                linear.knn(&query, band, k),
+            );
+            match &reference {
+                None => reference = Some(outputs),
+                Some(want) => prop_assert_eq!(want, &outputs, "config {:?}", config),
+            }
+        }
+    }
+}
+
+#[test]
+fn scratch_reuse_across_mixed_queries_is_invisible() {
+    // One scratch reused across queries of different bands/lengths of
+    // staging must not leak state between queries.
+    let database: Vec<Vec<f64>> = (0..40)
+        .map(|s| (0..LEN).map(|t| ((t * (s + 2)) as f64 * 0.13).sin() * 3.0).collect())
+        .collect();
+    let query: Vec<f64> = (0..LEN).map(|t| (t as f64 * 0.21).cos() * 2.0).collect();
+    let mut engine =
+        DtwIndexEngine::new(NewPaa::new(LEN, 4), RStarTree::new(4), EngineConfig::default());
+    for (i, s) in database.iter().enumerate() {
+        engine.insert(i as u64, s.clone());
+    }
+    let mut scratch = QueryScratch::new();
+    let mut first = Vec::new();
+    for (band, radius) in [(0usize, 2.0), (5, 8.0), (2, 4.0), (7, 1.0)] {
+        first.push(engine.range_query_with(&query, band, radius, &mut scratch));
+    }
+    // Same queries, fresh scratch each: must agree exactly.
+    for ((band, radius), want) in [(0usize, 2.0), (5, 8.0), (2, 4.0), (7, 1.0)].iter().zip(&first)
+    {
+        let got = engine.range_query_with(&query, *band, *radius, &mut QueryScratch::new());
+        assert_eq!(&got, want);
+    }
+}

@@ -11,7 +11,10 @@
 # layer promises that untrusted snapshot bytes can never panic and the
 # server promises the same for untrusted wire bytes, so `.unwrap()` /
 # `.expect(` / `unreachable!(` sites there (outside tests and comments) are
-# held to the same allowlist discipline as `panic!(` is elsewhere.
+# held to the same allowlist discipline as `panic!(` is elsewhere. The
+# kernel layer (crates/core/src/kernel/) gets the same strict treatment:
+# it holds the workspace's only `unsafe`, so any hidden unwrap there is a
+# debugging hazard out of proportion to its size.
 #
 # Run with `--update` after a deliberate change to a documented panic.
 set -euo pipefail
@@ -23,7 +26,9 @@ scan() {
   find crates -path '*/src/*' -name '*.rs' -print0 | sort -z |
     while IFS= read -r -d '' f; do
       strict=0
-      case "$f" in crates/qbh/src/*|crates/server/src/*) strict=1 ;; esac
+      case "$f" in
+        crates/qbh/src/*|crates/server/src/*|crates/core/src/kernel/*) strict=1 ;;
+      esac
       awk -v file="$f" -v strict="$strict" '
         /^#\[cfg\(test\)\]/ { exit }  # test module starts: stop scanning
         {
