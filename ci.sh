@@ -31,6 +31,15 @@ HUM_THREADS=8 cargo test -q -p hum-qbh --test server_integration
 HUM_THREADS=1 cargo test -q -p hum-qbh --test server_fuzz
 HUM_THREADS=8 cargo test -q -p hum-qbh --test server_fuzz
 
+# Sharding: matches must be bit-identical to the monolithic engine at
+# every shard count — in process, through the batch API, over the wire,
+# and after a snapshot round trip with a shard-count override — at both
+# extremes of the scatter fanout default (HUM_THREADS caps it).
+HUM_THREADS=1 cargo test -q -p hum-core --test shard
+HUM_THREADS=8 cargo test -q -p hum-core --test shard
+HUM_THREADS=1 cargo test -q -p hum-qbh --test sharding
+HUM_THREADS=8 cargo test -q -p hum-qbh --test sharding
+
 # Kernel layer: the `simd` feature (and the KernelMode it selects) may
 # change speed but never bits. The property suite runs under both feature
 # states, then the engine digest — answers and counters over a fixed

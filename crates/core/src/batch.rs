@@ -61,12 +61,19 @@ impl BatchOptions {
 impl Default for BatchOptions {
     /// Threads from `HUM_THREADS` when set (and parseable), otherwise the
     /// machine's available parallelism; chunk size 8.
+    ///
+    /// The environment is consulted exactly once per process: a `HUM_THREADS`
+    /// change after the first default-options construction cannot split one
+    /// batch (or one process) across two fan-out configurations.
     fn default() -> Self {
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&t| t > 0)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+        static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let threads = *THREADS.get_or_init(|| {
+            std::env::var(THREADS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&t| t > 0)
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+        });
         BatchOptions { threads, chunk_size: 8 }
     }
 }

@@ -577,8 +577,9 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
 
     /// Rejects malformed query input; every query path calls this before
     /// touching the index, so failed queries observe nothing and count
-    /// nothing.
-    fn validate_query(&self, query: &[f64], band: usize) -> Result<(), EngineError> {
+    /// nothing. `pub(crate)` so the sharded engine can validate once before
+    /// fanning a request out.
+    pub(crate) fn validate_query(&self, query: &[f64], band: usize) -> Result<(), EngineError> {
         if query.is_empty() {
             return Err(EngineError::EmptyQuery);
         }
@@ -639,11 +640,12 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
 
     /// Dispatches a *validated* request, records it into the metrics sink,
     /// and builds the trace if asked. Shared by the single-query and batch
-    /// paths. A deadline abort surfaces as
+    /// paths, and by the sharded engine's per-shard fan-out (hence
+    /// `pub(crate)`). A deadline abort surfaces as
     /// [`EngineError::DeadlineExceeded`] with the partial counters and is
     /// *not* recorded as a completed query in the metrics sink (the serving
     /// layer counts aborts separately).
-    fn run_request(
+    pub(crate) fn run_request(
         &self,
         request: &QueryRequest,
         scratch: &mut QueryScratch,
@@ -857,6 +859,12 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
     /// The indexed k-NN path. Input already validated. `Err` carries the
     /// partial counters when the budget's deadline passes between
     /// candidates.
+    ///
+    /// Runs as two phases — probe, then close — so the sharded engine can
+    /// interleave a cross-shard radius barrier between them. With the local
+    /// probes as both heap seed and skip set, the two phases compose to
+    /// exactly the pre-split single-pass code: matches and every counter are
+    /// bit-identical.
     fn run_knn(
         &self,
         query: &[f64],
@@ -868,24 +876,61 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         if k == 0 || self.series.is_empty() {
             return Ok(QueryResult::default());
         }
+        // Steps 1-2: probes by ascending feature lower bound, with exact
+        // distances; the provisional radius is their maximum.
+        let (probes, mut stats) = self.knn_probe_phase(query, band, k, budget, scratch)?;
+        let radius_sq = probes.iter().fold(0.0f64, |acc, &(_, d_sq)| acc.max(d_sq));
+        let known: std::collections::HashSet<ItemId> =
+            probes.iter().map(|&(id, _)| id).collect();
+        // Steps 3-4: closing range query at the provisional radius, verified
+        // best-first under the shrinking top-k threshold.
+        let (survivors, close_stats) =
+            match self.knn_close_phase(query, band, k, radius_sq, &probes, &known, budget, scratch)
+            {
+                Ok(done) => done,
+                Err(partial) => {
+                    stats.absorb(&partial);
+                    return Err(stats);
+                }
+            };
+        stats.absorb(&close_stats);
+        // Survivors hold the top-k of everything verified (seeds included);
+        // folding the probe pool back in and deduping by id is a no-op for
+        // the top-k but lets the sharded caller use the same assembly.
+        let matches = assemble_knn_matches(vec![probes, survivors], k);
+        stats.matches = matches.len() as u64;
+        Ok(QueryResult { matches, stats })
+    }
+
+    /// Phase 1 of the optimal multi-step k-NN scheme: probe the index for
+    /// the `k` nearest feature lower bounds and compute their exact squared
+    /// distances (cached so the close phase never recomputes a probe).
+    ///
+    /// Returns `(probes, stats)` where `probes` are `(id, exact squared
+    /// distance)` pairs in index probe order. `pub(crate)` so the sharded
+    /// engine can scatter this phase across shards, take the global k-th
+    /// probe distance as the closing radius, and only then run the close
+    /// phase. `Err` carries the partial counters on deadline expiry.
+    pub(crate) fn knn_probe_phase(
+        &self,
+        query: &[f64],
+        band: usize,
+        k: usize,
+        budget: QueryBudget,
+        scratch: &mut QueryScratch,
+    ) -> Result<(Vec<(ItemId, f64)>, EngineStats), EngineStats> {
+        if k == 0 || self.series.is_empty() {
+            return Ok((Vec::new(), EngineStats::default()));
+        }
         let cells_before = scratch.ws.cells();
         let envelope = Envelope::compute(query, band);
         let feature_box = self.transform.project_envelope(&envelope);
         let shape = Query::Rect(feature_box);
-        let QueryScratch { ws, lb: scratch, pf } = scratch;
-        if self.prefilter_active() {
-            pf.stage(&envelope);
-        }
-        let pf: Option<&PrefilterEnvelope> = self.prefilter_active().then_some(&*pf);
+        let ws = &mut scratch.ws;
 
-        // Step 1: k candidates by ascending feature lower bound.
         let (probes, probe_stats) = self.index.knn(&shape, k);
         let mut stats = EngineStats { index: probe_stats, ..EngineStats::default() };
-
-        // Step 2: provisional radius from their exact distances, which are
-        // cached so step 3 never recomputes a probe.
-        let mut exact: HashMap<ItemId, f64> = HashMap::with_capacity(probes.len());
-        let mut radius_sq = 0.0f64;
+        let mut exact: Vec<(ItemId, f64)> = Vec::with_capacity(probes.len());
         for (id, _) in &probes {
             if budget.expired() {
                 stats.dp_cells = ws.cells() - cells_before;
@@ -900,21 +945,59 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
                 f64::INFINITY,
                 self.config.kernel,
             );
-            radius_sq = radius_sq.max(d_sq);
-            exact.insert(*id, d_sq);
+            exact.push((*id, d_sq));
         }
-        let radius = radius_sq.sqrt();
+        stats.dp_cells = ws.cells() - cells_before;
+        Ok((exact, stats))
+    }
 
-        // Step 3: closing range query at the provisional radius. Any true
-        // top-k member has exact distance ≤ radius, hence lower bound ≤
-        // radius, hence appears here.
+    /// Phase 2 of the optimal multi-step k-NN scheme: a closing range query
+    /// at `radius_sq`, its candidates verified best-first under a shrinking
+    /// top-k threshold.
+    ///
+    /// The best-so-far max-heap starts from `seed` — `(id, exact squared
+    /// distance)` pairs that need not be stored in *this* engine (the
+    /// sharded caller seeds every shard with the global best probes, so
+    /// later shards prune against earlier results). Ids in `known` already
+    /// have exact distances (this engine's own probes) and are skipped.
+    /// Returns the final heap contents ascending by `(d², id)` plus this
+    /// phase's counters; `Err` carries the partial counters on deadline
+    /// expiry.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn knn_close_phase(
+        &self,
+        query: &[f64],
+        band: usize,
+        k: usize,
+        radius_sq: f64,
+        seed: &[(ItemId, f64)],
+        known: &std::collections::HashSet<ItemId>,
+        budget: QueryBudget,
+        scratch: &mut QueryScratch,
+    ) -> Result<(Vec<(ItemId, f64)>, EngineStats), EngineStats> {
+        if k == 0 || self.series.is_empty() {
+            return Ok((Vec::new(), EngineStats::default()));
+        }
+        let cells_before = scratch.ws.cells();
+        let envelope = Envelope::compute(query, band);
+        let feature_box = self.transform.project_envelope(&envelope);
+        let shape = Query::Rect(feature_box);
+        let QueryScratch { ws, lb: scratch, pf } = scratch;
+        if self.prefilter_active() {
+            pf.stage(&envelope);
+        }
+        let pf: Option<&PrefilterEnvelope> = self.prefilter_active().then_some(&*pf);
+
+        // The closing range query. Any true top-k member has exact distance
+        // ≤ radius, hence lower bound ≤ radius, hence appears here.
+        let radius = radius_sq.sqrt();
         let (candidates, range_stats) = self.index.range_query(&shape, radius);
-        stats.index.absorb(&range_stats);
+        let mut stats = EngineStats { index: range_stats, ..EngineStats::default() };
 
         // Best-so-far is a max-heap seeded with the probes (worst of the
         // current top-k on top); its top is the shrinking radius.
         let mut heap: BinaryHeap<Cand> =
-            probes.iter().map(|(id, _)| Cand { d_sq: exact[id], id: *id }).collect();
+            seed.iter().map(|&(id, d_sq)| Cand { d_sq, id }).collect();
 
         // Envelope-bound pass over the remaining candidates at the outer
         // radius, so the expensive stages can visit them in ascending
@@ -923,7 +1006,7 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         let use_env = self.config.envelope_refinement || self.config.lb_improved_refinement;
         let mut pending: Vec<(f64, ItemId)> = Vec::new();
         for id in candidates {
-            if exact.contains_key(&id) {
+            if known.contains(&id) {
                 continue; // probe: exact distance already known
             }
             if use_env {
@@ -962,11 +1045,11 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
                 return Err(stats);
             }
             // The threshold an entrant must beat: the current k-th best when
-            // the heap is full, the provisional radius while it is not.
+            // the heap is full, the outer radius while it is not.
             let full = heap.len() >= k;
-            // While the heap is under-full (only possible if the index's knn
-            // returned fewer than `min(k, len)` probes) every survivor is
-            // kept, so verification must run to completion.
+            // While the heap is under-full (only possible if the probes
+            // numbered fewer than `min(k, len)`) every survivor is kept, so
+            // verification must run to completion.
             let threshold_sq =
                 if full { heap.peek().expect("non-empty heap").d_sq } else { f64::INFINITY };
             if full && lb_sq > threshold_sq {
@@ -997,14 +1080,10 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
                 }
             }
         }
-
-        let mut matches: Vec<(ItemId, f64)> =
-            heap.into_sorted_vec().into_iter().map(|c| (c.id, c.d_sq.sqrt())).collect();
-        sort_by_distance(&mut matches);
-        matches.truncate(k);
-        stats.matches = matches.len() as u64;
+        let survivors: Vec<(ItemId, f64)> =
+            heap.into_sorted_vec().into_iter().map(|c| (c.id, c.d_sq)).collect();
         stats.dp_cells = ws.cells() - cells_before;
-        Ok(QueryResult { matches, stats })
+        Ok((survivors, stats))
     }
 
     /// Brute-force ε-range query (no index): the slow baseline the paper's
@@ -1090,7 +1169,12 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
         let cells_before = scratch.ws.cells();
         let ws = &mut scratch.ws;
         let mut stats = EngineStats::default();
-        let mut heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
+        // Preallocation is clamped to the corpus size: `k` can come straight
+        // off the wire, and the heap never holds more than one entry per
+        // stored series anyway (`k = 10^15` must not reserve terabytes, and
+        // `k = u64::MAX as usize` must not overflow `k + 1`).
+        let mut heap: BinaryHeap<Cand> =
+            BinaryHeap::with_capacity(k.min(self.series.len()) + 1);
         for id in self.sorted_ids() {
             if budget.expired() {
                 stats.dp_cells = ws.cells() - cells_before;
@@ -1316,6 +1400,26 @@ fn sort_by_distance(matches: &mut [(ItemId, f64)]) {
     matches.sort_by(|a, b| {
         a.1.partial_cmp(&b.1).expect("finite distances").then_with(|| a.0.cmp(&b.0))
     });
+}
+
+/// Final k-NN assembly shared by the single-engine path and the sharded
+/// gather: pools of `(id, exact squared distance)` candidates — probe sets
+/// and close-phase survivors — are merged, deduplicated by id (duplicates
+/// always carry the same exact distance), ordered by `(d², id)` (the same
+/// total order every heap and sort in the k-NN path uses; `(d, id)` orders
+/// identically since `sqrt` is monotone), and cut to the `k` best, with one
+/// square root per reported match.
+pub(crate) fn assemble_knn_matches(
+    pools: Vec<Vec<(ItemId, f64)>>,
+    k: usize,
+) -> Vec<(ItemId, f64)> {
+    let mut pool: Vec<(ItemId, f64)> = pools.into_iter().flatten().collect();
+    pool.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1).expect("finite distances").then_with(|| a.0.cmp(&b.0))
+    });
+    pool.dedup_by_key(|&mut (id, _)| id);
+    pool.truncate(k);
+    pool.into_iter().map(|(id, d_sq)| (id, d_sq.sqrt())).collect()
 }
 
 #[cfg(test)]

@@ -29,6 +29,10 @@
 //!   across threads with bit-identical, thread-count-invariant results.
 //! * [`batch`] — the deterministic chunked fan-out underneath batched
 //!   execution (fixed-size chunks, chunk-order merge, per-worker scratch).
+//! * [`shard`] — scatter-gather serving over a hash-partitioned corpus:
+//!   [`shard::ShardedEngine`] fans each query across independent engine
+//!   shards (k-NN via a deterministic two-phase radius schedule) and merges
+//!   hits in fixed shard order, bit-identical to the monolithic engine.
 //! * [`obs`] — observability: a registry of named monotonic counters and
 //!   duration histograms, opt-in per-query cascade traces
 //!   ([`obs::QueryTrace`]), and text/JSON exporters. Counters are
@@ -76,6 +80,7 @@ pub mod kernel;
 pub mod l1;
 pub mod normal;
 pub mod obs;
+pub mod shard;
 pub mod subsequence;
 pub mod tightness;
 pub mod transform;

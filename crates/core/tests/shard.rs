@@ -1,0 +1,237 @@
+//! Sharded-vs-monolithic invariance: a [`ShardedEngine`] over any shard
+//! count must return *bit-identical* matches to one [`DtwIndexEngine`]
+//! holding the whole corpus, for range and k-NN, indexed and scan, at every
+//! fan-out width — and its stats/traces must be pure functions of
+//! `(query, corpus, shard count)`, never of the thread count.
+
+use hum_core::batch::BatchOptions;
+use hum_core::engine::{
+    BatchQuery, DtwIndexEngine, EngineConfig, EngineError, QueryBudget, QueryRequest,
+};
+use hum_core::shard::{shard_for, ShardedEngine};
+use hum_core::transform::paa::NewPaa;
+use hum_index::{ItemId, RStarTree};
+
+const LEN: usize = 64;
+const DIMS: usize = 8;
+const BAND: usize = 4;
+
+fn lcg_series(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    let mut next = move || {
+        state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    (0..n)
+        .map(|_| {
+            let mut acc = 0.0;
+            let mut s: Vec<f64> = (0..LEN)
+                .map(|_| {
+                    acc += next();
+                    acc
+                })
+                .collect();
+            hum_linalg::vec_ops::center(&mut s);
+            s
+        })
+        .collect()
+}
+
+fn monolithic(series: &[Vec<f64>]) -> DtwIndexEngine<NewPaa, RStarTree> {
+    let mut engine = DtwIndexEngine::new(
+        NewPaa::new(LEN, DIMS),
+        RStarTree::with_page_size(DIMS, 1024),
+        EngineConfig::default(),
+    );
+    for (i, s) in series.iter().enumerate() {
+        engine.insert(i as ItemId, s.clone());
+    }
+    engine
+}
+
+fn sharded(series: &[Vec<f64>], shards: usize, fanout: usize) -> ShardedEngine<NewPaa, RStarTree> {
+    let mut engine = ShardedEngine::build(shards, |_| {
+        DtwIndexEngine::new(
+            NewPaa::new(LEN, DIMS),
+            RStarTree::with_page_size(DIMS, 1024),
+            EngineConfig::default(),
+        )
+    })
+    .with_fanout(fanout);
+    for (i, s) in series.iter().enumerate() {
+        engine.insert(i as ItemId, s.clone());
+    }
+    engine
+}
+
+fn requests(series: &[Vec<f64>]) -> Vec<QueryRequest> {
+    let mut out = Vec::new();
+    for (qi, radius, k) in [(3usize, 2.0, 5usize), (17, 4.0, 1), (41, 3.0, 12), (59, 0.5, 120)] {
+        let q = series[qi].clone();
+        out.push(QueryRequest::range(radius).with_series(q.clone()).with_band(BAND));
+        out.push(QueryRequest::knn(k).with_series(q.clone()).with_band(BAND));
+        out.push(
+            QueryRequest::range(radius).with_series(q.clone()).with_band(BAND).with_scan(true),
+        );
+        out.push(QueryRequest::knn(k).with_series(q).with_band(BAND).with_scan(true));
+    }
+    out
+}
+
+#[test]
+fn sharded_matches_are_bit_identical_to_monolithic() {
+    let series = lcg_series(120, 7);
+    let mono = monolithic(&series);
+    for shards in [1usize, 2, 3, 8] {
+        for fanout in [1usize, 4] {
+            let sharded = sharded(&series, shards, fanout);
+            for request in requests(&series) {
+                let expected = mono.query(&request.clone().with_trace(true));
+                let got = sharded.query(&request.clone().with_trace(true));
+                assert_eq!(
+                    expected.result.matches, got.result.matches,
+                    "matches diverged at shards={shards} fanout={fanout} for {request:?}"
+                );
+                // Shard count 1 is the monolithic engine, full stop: stats
+                // and trace included.
+                if shards == 1 {
+                    assert_eq!(expected, got, "shards=1 must be fully identical");
+                }
+                assert_eq!(
+                    got.result.stats.matches,
+                    got.result.matches.len() as u64,
+                    "stats.matches must count the merged result"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_stats_and_traces_are_fanout_invariant() {
+    let series = lcg_series(100, 11);
+    for shards in [2usize, 8] {
+        let narrow = sharded(&series, shards, 1);
+        let wide = sharded(&series, shards, 4);
+        for request in requests(&series) {
+            let traced = request.clone().with_trace(true);
+            assert_eq!(
+                narrow.query(&traced),
+                wide.query(&traced),
+                "outcome varied with fanout at shards={shards} for {request:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_batch_equals_sequential_queries_at_every_thread_count() {
+    let series = lcg_series(80, 13);
+    let engine = sharded(&series, 4, 2);
+    let requests = requests(&series);
+    let expected: Vec<_> = requests.iter().map(|r| engine.try_query(r).unwrap()).collect();
+    for threads in [1usize, 8] {
+        let options = BatchOptions::new(threads, 2);
+        let outcome = engine.try_query_batch(&requests, &options).expect("valid batch");
+        assert_eq!(outcome.outcomes, expected, "batch diverged at threads={threads}");
+    }
+}
+
+#[test]
+fn sharded_batch_query_api_matches_monolithic() {
+    let series = lcg_series(60, 17);
+    let mono = monolithic(&series);
+    let engine = sharded(&series, 3, 2);
+    let batch: Vec<BatchQuery> = vec![
+        BatchQuery::Range { query: series[5].clone(), band: BAND, radius: 2.5 },
+        BatchQuery::Knn { query: series[9].clone(), band: BAND, k: 7 },
+    ];
+    let options = BatchOptions::new(2, 1);
+    let mono_result = mono.query_batch(&batch, &options);
+    let sharded_result = engine.query_batch(&batch, &options);
+    for (m, s) in mono_result.results.iter().zip(&sharded_result.results) {
+        assert_eq!(m.matches, s.matches);
+    }
+}
+
+#[test]
+fn inserts_route_by_hash_and_removals_round_trip() {
+    let series = lcg_series(50, 19);
+    let mut engine = sharded(&series, 4, 1);
+    assert_eq!(engine.len(), 50);
+    for (i, s) in series.iter().enumerate() {
+        let id = i as ItemId;
+        assert_eq!(engine.shard_of(id), shard_for(id, 4));
+        assert_eq!(engine.get(id), Some(s.as_slice()));
+    }
+    // Duplicate ids are rejected globally (same id → same shard).
+    assert!(matches!(
+        engine.try_insert(7, series[7].clone()),
+        Err(EngineError::DuplicateId(7))
+    ));
+    assert!(engine.remove(7));
+    assert!(!engine.remove(7));
+    assert_eq!(engine.len(), 49);
+    assert_eq!(engine.get(7), None);
+    // Re-insert lands back on the same shard and is queryable again.
+    engine.insert(7, series[7].clone());
+    let result = engine.knn(&series[7], BAND, 1);
+    assert_eq!(result.matches[0].0, 7);
+}
+
+#[test]
+fn sharded_validation_mirrors_monolithic() {
+    let series = lcg_series(20, 23);
+    let engine = sharded(&series, 2, 1);
+    let empty = QueryRequest::knn(3);
+    assert!(matches!(engine.try_query(&empty), Err(EngineError::EmptyQuery)));
+    let short = QueryRequest::knn(3).with_series(vec![1.0, 2.0]);
+    assert!(matches!(
+        engine.try_query(&short),
+        Err(EngineError::LengthMismatch { .. })
+    ));
+    let wide = QueryRequest::knn(3).with_series(series[0].clone()).with_band(LEN);
+    assert!(matches!(engine.try_query(&wide), Err(EngineError::BandTooWide { .. })));
+}
+
+#[test]
+fn expired_budget_reports_partial_counters_with_zero_matches() {
+    let series = lcg_series(120, 29);
+    let engine = sharded(&series, 4, 2);
+    let expired = QueryBudget::with_deadline(std::time::Instant::now());
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    for request in [
+        QueryRequest::range(3.0).with_series(series[0].clone()).with_band(BAND),
+        QueryRequest::knn(5).with_series(series[0].clone()).with_band(BAND),
+    ] {
+        match engine.try_query(&request.with_budget(expired)) {
+            Err(EngineError::DeadlineExceeded { stats }) => {
+                assert_eq!(stats.matches, 0, "partial runs must never report matches");
+            }
+            other => panic!("expected deadline abort, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn edge_shard_counts_behave() {
+    let series = lcg_series(10, 31);
+    // More shards than items: some shards stay empty and must contribute
+    // nothing (not even to k-NN probe unions).
+    let engine = sharded(&series, 8, 2);
+    let mono = monolithic(&series);
+    let q = &series[3];
+    assert_eq!(engine.knn(q, BAND, 20).matches, mono.knn(q, BAND, 20).matches);
+    assert_eq!(engine.range_query(q, BAND, 5.0).matches, mono.range_query(q, BAND, 5.0).matches);
+    // k = 0 and an empty corpus are still no-ops.
+    assert!(engine.knn(q, BAND, 0).matches.is_empty());
+    let empty = ShardedEngine::build(3, |_| {
+        DtwIndexEngine::new(
+            NewPaa::new(LEN, DIMS),
+            RStarTree::with_page_size(DIMS, 1024),
+            EngineConfig::default(),
+        )
+    });
+    assert!(empty.knn(q, BAND, 5).matches.is_empty());
+    assert!(empty.range_query(q, BAND, 5.0).matches.is_empty());
+}

@@ -670,7 +670,9 @@ impl SpatialIndex for RStarTree {
 
     fn knn(&self, query: &Query, k: usize) -> (Vec<(ItemId, f64)>, QueryStats) {
         let mut iter = self.nearest_iter(query);
-        let mut out = Vec::with_capacity(k);
+        // Clamp speculative preallocation: `k` may be attacker-controlled
+        // (it arrives over the wire), and at most `len` hits exist anyway.
+        let mut out = Vec::with_capacity(k.min(self.len));
         while out.len() < k {
             match iter.next() {
                 Some(hit) => out.push(hit),

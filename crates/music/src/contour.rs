@@ -290,7 +290,9 @@ impl ContourIndex {
     /// plus a count of how many full DPs were avoided.
     pub fn top_k(&self, hummed_series: &[f64], k: usize) -> (Vec<(u64, usize)>, usize) {
         let query = series_contour(hummed_series, &self.segmenter, self.alphabet);
-        let mut best: Vec<(u64, usize)> = Vec::with_capacity(k + 1);
+        // Clamped preallocation: never reserve more than one slot per entry
+        // (and never overflow `k + 1`) however large the requested `k` is.
+        let mut best: Vec<(u64, usize)> = Vec::with_capacity(k.min(self.entries.len()) + 1);
         let mut skipped = 0usize;
         // Current k-th distance (the pruning threshold).
         let threshold = |best: &Vec<(u64, usize)>| {

@@ -9,7 +9,8 @@
 //! qbh query    <dir|file.humidx> <hum.wav> [--top K]
 //!                                             find a hummed melody in the corpus
 //! qbh serve    <file.humidx> [--addr A] [--workers N] [--queue-depth D]
-//!              [--default-deadline-ms MS]     serve the index over TCP
+//!              [--default-deadline-ms MS] [--shards N]
+//!              [--allow-remote-shutdown]      serve the index over TCP
 //! ```
 //!
 //! Results go to stdout; progress and diagnostics go to stderr, so scripted
@@ -115,7 +116,7 @@ fn usage_text() -> &'static str {
      qbh hum <dir> <name.mid> <out.wav> [--singer good|poor] [--seed S]\n  \
      qbh query <dir|file.humidx> <hum.wav> [--top K]\n  \
      qbh serve <file.humidx> [--addr A] [--workers N] [--queue-depth D] \
-[--default-deadline-ms MS]"
+[--default-deadline-ms MS] [--shards N] [--allow-remote-shutdown]"
 }
 
 fn usage() {
@@ -328,17 +329,28 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let queue_depth = flag_value(args, "--queue-depth")?.unwrap_or(64).max(1) as usize;
     let default_deadline =
         flag_value(args, "--default-deadline-ms")?.map(std::time::Duration::from_millis);
+    let shards = flag_value(args, "--shards")?.map(|n| n.max(1) as usize);
+    let allow_remote_shutdown = args.iter().any(|a| a == "--allow-remote-shutdown");
 
     // One shared registry records both server counters (connections, queue
     // high water, rejections) and engine counters (queries, DP cells).
     let metrics = MetricsSink::enabled();
-    let system = QbhSystem::try_load_with(&path, &metrics)?;
-    eprintln!("Loaded {} melodies from {}.", system.len(), path.display());
+    // `--shards` overrides the persisted shard count: the snapshot format
+    // pins shard assignment, but serving topology is an operator decision.
+    let system = QbhSystem::try_load_with_shards(&path, &metrics, shards)?;
+    eprintln!(
+        "Loaded {} melodies from {} ({} shard{}).",
+        system.len(),
+        path.display(),
+        system.shard_count(),
+        if system.shard_count() == 1 { "" } else { "s" }
+    );
 
     let config = ServerConfig {
         workers,
         queue_depth,
         default_deadline,
+        allow_remote_shutdown,
         metrics: metrics.clone(),
         ..ServerConfig::default()
     };

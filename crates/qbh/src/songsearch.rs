@@ -18,7 +18,8 @@ use hum_core::dtw::band_for_warping_width;
 use hum_core::engine::{EngineError, EngineStats};
 use hum_core::normal::NormalForm;
 use hum_core::obs::MetricsSink;
-use hum_core::subsequence::{SubsequenceConfig, SubsequenceIndex};
+use hum_core::shard::shard_for;
+use hum_core::subsequence::{SubsequenceConfig, SubsequenceIndex, SubsequenceResult};
 use hum_core::transform::paa::NewPaa;
 use hum_index::RStarTree;
 use hum_music::{Melody, Song, Songbook};
@@ -40,6 +41,13 @@ pub struct SongSearchConfig {
     pub feature_dims: usize,
     /// Default warping width for queries.
     pub warping_width: f64,
+    /// Number of song shards for scatter-gather serving (1 = monolithic).
+    /// Songs route by [`shard_for`]`(song_idx, shards)`; each song's windows
+    /// live wholly in its home shard, so the per-shard best-per-song
+    /// distances are exact and the merged top-`k` is bit-identical to the
+    /// monolithic index (stats vary with the shard count, as in
+    /// [`hum_core::shard`]).
+    pub shards: usize,
 }
 
 impl Default for SongSearchConfig {
@@ -51,6 +59,7 @@ impl Default for SongSearchConfig {
             normal_length: 128,
             feature_dims: 8,
             warping_width: 0.1,
+            shards: 1,
         }
     }
 }
@@ -77,9 +86,10 @@ pub struct SongSearchResults {
     pub stats: EngineStats,
 }
 
-/// Subsequence search over whole songs.
+/// Subsequence search over whole songs, hash-partitioned across independent
+/// [`SubsequenceIndex`] shards (one shard by default).
 pub struct SongSearch {
-    index: SubsequenceIndex<NewPaa, RStarTree>,
+    shards: Vec<SubsequenceIndex<NewPaa, RStarTree>>,
     config: SongSearchConfig,
     band: usize,
     songs: usize,
@@ -92,29 +102,39 @@ impl SongSearch {
     /// Panics on an empty songbook or degenerate configuration.
     pub fn build(book: &Songbook, config: &SongSearchConfig) -> Self {
         assert!(!book.songs.is_empty(), "empty songbook");
-        let sub_config = SubsequenceConfig {
-            window: config.window,
-            hop: config.hop,
-            normal: NormalForm::with_length(config.normal_length),
-        };
-        let mut index = SubsequenceIndex::new(
-            NewPaa::new(config.normal_length, config.feature_dims),
-            RStarTree::new(config.feature_dims),
-            sub_config,
-        );
+        let shard_count = config.shards.max(1);
+        let mut shards: Vec<SubsequenceIndex<NewPaa, RStarTree>> = (0..shard_count)
+            .map(|_| {
+                SubsequenceIndex::new(
+                    NewPaa::new(config.normal_length, config.feature_dims),
+                    RStarTree::new(config.feature_dims),
+                    SubsequenceConfig {
+                        window: config.window,
+                        hop: config.hop,
+                        normal: NormalForm::with_length(config.normal_length),
+                    },
+                )
+            })
+            .collect();
         for (song_idx, song) in book.songs.iter().enumerate() {
             let mut series = Vec::new();
             for phrase in &song.phrases {
                 series.extend(phrase.to_time_series(config.samples_per_beat));
             }
-            index.insert_source(song_idx as u64, &series);
+            shards[shard_for(song_idx as u64, shard_count)]
+                .insert_source(song_idx as u64, &series);
         }
         SongSearch {
-            index,
+            shards,
             config: *config,
             band: band_for_warping_width(config.warping_width, config.normal_length),
             songs: book.songs.len(),
         }
+    }
+
+    /// The shard that does / would hold `song_idx`'s windows.
+    fn home(&self, song_idx: usize) -> usize {
+        shard_for(song_idx as u64, self.shards.len())
     }
 
     /// Loads a persisted melody snapshot (either `HUMIDX` version) and
@@ -182,15 +202,19 @@ impl SongSearch {
         for phrase in &song.phrases {
             series.extend(phrase.to_time_series(self.config.samples_per_beat));
         }
-        self.index.try_insert_source(song_idx as u64, &series)?;
+        // A song index always hashes to the same shard, so the per-shard
+        // duplicate check is a global one.
+        let home = self.home(song_idx);
+        self.shards[home].try_insert_source(song_idx as u64, &series)?;
         self.songs += 1;
         Ok(())
     }
 
-    /// Live removal: drops every window of `song_idx`. Returns `true` if
-    /// the song was indexed.
+    /// Live removal: drops every window of `song_idx` from its home shard.
+    /// Returns `true` if the song was indexed.
     pub fn try_remove_song(&mut self, song_idx: usize) -> bool {
-        if !self.index.remove_source(song_idx as u64) {
+        let home = self.home(song_idx);
+        if !self.shards[home].remove_source(song_idx as u64) {
             return false;
         }
         self.songs -= 1;
@@ -202,30 +226,66 @@ impl SongSearch {
         self.songs
     }
 
-    /// Number of indexed windows (the cost the paper warns about).
+    /// Number of song shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of indexed windows across all shards (the cost the paper
+    /// warns about).
     pub fn window_count(&self) -> usize {
-        self.index.window_count()
+        self.shards.iter().map(SubsequenceIndex::window_count).sum()
     }
 
     /// Finds the `k` most likely songs for a hummed pitch series, with the
-    /// best-matching position inside each.
+    /// best-matching position inside each. Every shard reports its own
+    /// top-`k` songs (each song's windows live wholly in one shard, so the
+    /// per-song best window and distance are exact); the `k` best of the
+    /// union are exactly the monolithic top-`k`.
     pub fn query(&self, pitch_series: &[f64], k: usize) -> SongSearchResults {
-        self.annotate(self.index.knn(pitch_series, self.band, k, true))
+        if self.shards.len() == 1 {
+            return self.annotate(self.shards[0].knn(pitch_series, self.band, k, true));
+        }
+        let runs: Vec<SubsequenceResult> = self
+            .shards
+            .iter()
+            .map(|shard| shard.knn(pitch_series, self.band, k, true))
+            .collect();
+        self.annotate(merge_song_results(runs, k))
     }
 
     /// Batched [`SongSearch::query`]: one result per hummed series, in
     /// submission order, fanned out across [`BatchOptions::threads`] worker
-    /// threads. Bit-identical to sequential queries for every thread count.
+    /// threads. Bit-identical to sequential queries for every thread count
+    /// (each shard's batch is deterministic, and the per-query merge across
+    /// shards is order-fixed).
     pub fn query_batch(
         &self,
         pitch_series: &[Vec<f64>],
         k: usize,
         options: &BatchOptions,
     ) -> Vec<SongSearchResults> {
-        self.index
-            .knn_batch(pitch_series, self.band, k, true, options)
-            .into_iter()
-            .map(|r| self.annotate(r))
+        if self.shards.len() == 1 {
+            return self.shards[0]
+                .knn_batch(pitch_series, self.band, k, true, options)
+                .into_iter()
+                .map(|r| self.annotate(r))
+                .collect();
+        }
+        let mut per_shard: Vec<std::vec::IntoIter<SubsequenceResult>> = self
+            .shards
+            .iter()
+            .map(|shard| shard.knn_batch(pitch_series, self.band, k, true, options).into_iter())
+            .collect();
+        // Transpose: `knn_batch` yields one result per query per shard, so
+        // taking the next result from every shard's iterator reassembles
+        // one query's per-shard runs.
+        (0..pitch_series.len())
+            .map(|_| {
+                let runs: Vec<SubsequenceResult> =
+                    per_shard.iter_mut().filter_map(Iterator::next).collect();
+                self.annotate(merge_song_results(runs, k))
+            })
             .collect()
     }
 
@@ -242,6 +302,25 @@ impl SongSearch {
             .collect();
         SongSearchResults { matches, stats: result.stats }
     }
+}
+
+/// Gathers per-shard song k-NN results: counters absorb in fixed shard
+/// order; matches sort by `(distance, source)` — the same total order the
+/// per-shard lists use, and song indices are unique across shards — then
+/// truncate to the global top-`k`.
+fn merge_song_results(runs: Vec<SubsequenceResult>, k: usize) -> SubsequenceResult {
+    let mut stats = EngineStats::default();
+    let mut matches = Vec::new();
+    for run in runs {
+        stats.absorb(&run.stats);
+        matches.extend(run.matches);
+    }
+    matches.sort_by(|a, b| {
+        a.distance.total_cmp(&b.distance).then_with(|| a.source.cmp(&b.source))
+    });
+    matches.truncate(k);
+    stats.matches = matches.len() as u64;
+    SubsequenceResult { matches, stats }
 }
 
 #[cfg(test)]
@@ -357,6 +436,40 @@ mod tests {
             search.query(window, 8).matches.iter().all(|m| m.song != 7),
             "removed song must not appear in results"
         );
+    }
+
+    #[test]
+    fn sharded_song_search_matches_monolithic() {
+        let book = book();
+        let mono = SongSearch::build(&book, &SongSearchConfig::default());
+        let hums: Vec<Vec<f64>> = (0..4)
+            .map(|i| {
+                let phrase = &book.songs[(i * 2) % book.songs.len()].phrases[i % 6];
+                HummingSimulator::new(SingerProfile::good(), 300 + i as u64)
+                    .sing_series(phrase, 0.01)
+            })
+            .collect();
+        for shards in [2usize, 3, 8] {
+            let config = SongSearchConfig { shards, ..SongSearchConfig::default() };
+            let search = SongSearch::build(&book, &config);
+            assert_eq!(search.shard_count(), shards);
+            assert_eq!(search.window_count(), mono.window_count());
+            for hum in &hums {
+                assert_eq!(
+                    search.query(hum, 3).matches,
+                    mono.query(hum, 3).matches,
+                    "shards={shards}"
+                );
+            }
+            // The batched form merges per query, identically to sequential
+            // queries, at every thread count.
+            let expected: Vec<SongSearchResults> =
+                hums.iter().map(|h| search.query(h, 3)).collect();
+            for threads in [1, 4] {
+                let got = search.query_batch(&hums, 3, &BatchOptions::new(threads, 2));
+                assert_eq!(got, expected, "shards={shards} threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!   entry count, entries. No checksums; [`save`] no longer produces it but
 //!   [`read_database`] still accepts it, and [`write_database_v1`] keeps the
 //!   writer around for compatibility tests.
-//! * **`HUMIDX02`** (current): the same logical content, framed for
+//! * **`HUMIDX02`** (previous): the same logical content, framed for
 //!   durability —
 //!
 //!   ```text
@@ -30,7 +30,31 @@
 //!   in error messages, and the footer checksums the entire file so *any*
 //!   single-bit corruption — including inside the section CRCs themselves —
 //!   fails loudly instead of round-tripping different data. Trailing bytes
-//!   after the footer are rejected.
+//!   after the footer are rejected. [`write_database_v2`] keeps the writer
+//!   for compatibility tests; the reader still accepts the format (as one
+//!   shard).
+//! * **`HUMIDX03`** (current): the v2 framing with the corpus partitioned
+//!   into per-shard sections, so a sharded server can persist and reload the
+//!   exact partition it serves from —
+//!
+//!   ```text
+//!   [ magic "HUMIDX03"                        8 bytes ]
+//!   [ config section body (v2 body + shards) 30 bytes ]
+//!   [ CRC32(config body)                      4 bytes ]
+//!   per shard 0..shards, in shard order:
+//!   [ shard section: count u64, entries…       varies ]
+//!   [ CRC32(shard section body)               4 bytes ]
+//!   [ CRC32(every preceding byte)             4 bytes ]  ← whole-file footer
+//!   ```
+//!
+//!   v3 entries carry an explicit `u64` melody id before the v1/v2 entry
+//!   body (ids are positional in v1/v2, but a shard holds a non-contiguous
+//!   id subset). The reader verifies every id against
+//!   [`hum_core::shard::shard_for`]`(id, shards)` — membership in the wrong
+//!   section is corruption, not a re-partition — and requires the union of
+//!   ids to be exactly `0..count` so the rebuilt database assigns the same
+//!   positional ids the file was written with. v1/v2 files load with
+//!   `shards = 1`.
 //!
 //! # Durability
 //!
@@ -54,6 +78,7 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 use hum_core::obs::{Metric, MetricsSink};
+use hum_core::shard::shard_for;
 use hum_music::{Melody, Note};
 
 use crate::corpus::{MelodyDatabase, MelodyEntry};
@@ -62,11 +87,22 @@ use crate::system::{Backend, QbhConfig, TransformKind};
 /// Legacy file magic (8 bytes): name plus format version 1.
 const MAGIC_V1: &[u8; 8] = b"HUMIDX01";
 
-/// Current file magic (8 bytes): name plus format version 2.
+/// Previous file magic (8 bytes): name plus format version 2.
 const MAGIC_V2: &[u8; 8] = b"HUMIDX02";
 
-/// Serialized size of the fixed config section body (v2).
+/// Current file magic (8 bytes): name plus format version 3 (sharded).
+const MAGIC_V3: &[u8; 8] = b"HUMIDX03";
+
+/// Serialized size of the fixed config section body (v1/v2).
 const CONFIG_BODY_LEN: usize = 26;
+
+/// Serialized size of the fixed config section body (v3): the v2 body plus
+/// the `u32` shard count.
+const CONFIG_BODY_LEN_V3: usize = CONFIG_BODY_LEN + 4;
+
+/// Hard cap on the shard count a file may claim (far above any sensible
+/// serving fan-out; bounds per-shard bookkeeping on untrusted files).
+const MAX_SHARDS: usize = 4096;
 
 /// Hard cap on the melody count a file may claim.
 const MAX_MELODIES: u64 = 100_000_000;
@@ -334,6 +370,12 @@ fn validate_config(config: &QbhConfig) -> Result<(), String> {
     if config.page_bytes > 1 << 30 {
         return Err(format!("implausible page size {}", config.page_bytes));
     }
+    if config.shards == 0 {
+        return Err("zero shard count".into());
+    }
+    if config.shards > MAX_SHARDS {
+        return Err(format!("implausible shard count {}", config.shards));
+    }
     if config.feature_dims > config.normal_length {
         return Err(format!(
             "feature dims {} exceed normal length {}",
@@ -383,7 +425,8 @@ fn validate_note(pitch: u8, beats: f64) -> Result<(), String> {
 // Writers.
 
 /// Serializes a database and its indexing configuration in the current
-/// (`HUMIDX02`) format, returning the number of bytes written.
+/// (`HUMIDX03`) format: one section per shard, entries routed by
+/// [`shard_for`]`(id, config.shards)`. Returns the number of bytes written.
 ///
 /// # Errors
 /// [`StorageError::Unrepresentable`] when a field would overflow its on-disk
@@ -395,6 +438,67 @@ pub fn write_database<W: Write>(
     config: &QbhConfig,
 ) -> Result<u64, StorageError> {
     validate_config(config).map_err(StorageError::Unrepresentable)?;
+    if db.len() as u64 > MAX_MELODIES {
+        return Err(StorageError::Unrepresentable(format!(
+            "melody count {} exceeds the format cap {MAX_MELODIES}",
+            db.len()
+        )));
+    }
+    let mut seen = HashSet::with_capacity(db.len().min(PREALLOC_CAP));
+    for entry in db.entries() {
+        if !seen.insert((entry.song(), entry.phrase())) {
+            return Err(StorageError::Unrepresentable(format!(
+                "duplicate provenance (song {}, phrase {})",
+                entry.song(),
+                entry.phrase()
+            )));
+        }
+    }
+    // Partition by id hash; database order is ascending id, so every bucket
+    // comes out id-sorted too.
+    let mut buckets: Vec<Vec<&MelodyEntry>> = vec![Vec::new(); config.shards];
+    for entry in db.entries() {
+        buckets[shard_for(entry.id(), config.shards)].push(entry);
+    }
+
+    let mut dst = SnapshotWriter::new(out);
+    dst.put(MAGIC_V3)?;
+    dst.begin_section();
+    write_config(&mut dst, config)?;
+    dst.put(&as_u32(config.shards, "shard count")?.to_le_bytes())?;
+    dst.finish_section()?;
+    for bucket in &buckets {
+        dst.begin_section();
+        dst.put(&(bucket.len() as u64).to_le_bytes())?;
+        for entry in bucket {
+            dst.put(&entry.id().to_le_bytes())?;
+            write_entry(&mut dst, entry)?;
+        }
+        dst.finish_section()?;
+    }
+    dst.finish_file()?;
+    Ok(dst.bytes)
+}
+
+/// Serializes in the previous `HUMIDX02` format (single entries section, no
+/// per-id routing), returning the number of bytes written. Kept for
+/// compatibility tests; [`save`] always writes `HUMIDX03`.
+///
+/// # Errors
+/// As [`write_database`], plus [`StorageError::Unrepresentable`] when
+/// `config.shards > 1` — the v2 format cannot record a partition.
+pub fn write_database_v2<W: Write>(
+    out: &mut W,
+    db: &MelodyDatabase,
+    config: &QbhConfig,
+) -> Result<u64, StorageError> {
+    validate_config(config).map_err(StorageError::Unrepresentable)?;
+    if config.shards > 1 {
+        return Err(StorageError::Unrepresentable(format!(
+            "HUMIDX02 cannot represent a corpus sharded {} ways",
+            config.shards
+        )));
+    }
     let mut dst = SnapshotWriter::new(out);
     dst.put(MAGIC_V2)?;
 
@@ -428,16 +532,23 @@ pub fn write_database<W: Write>(
 
 /// Serializes in the legacy `HUMIDX01` format (no checksums, no duplicate-
 /// provenance rejection), returning the number of bytes written. Kept for
-/// compatibility tests; [`save`] always writes `HUMIDX02`.
+/// compatibility tests; [`save`] always writes `HUMIDX03`.
 ///
 /// # Errors
-/// Same overflow and note-validity errors as [`write_database`].
+/// Same overflow and note-validity errors as [`write_database`], plus
+/// [`StorageError::Unrepresentable`] when `config.shards > 1`.
 pub fn write_database_v1<W: Write>(
     out: &mut W,
     db: &MelodyDatabase,
     config: &QbhConfig,
 ) -> Result<u64, StorageError> {
     validate_config(config).map_err(StorageError::Unrepresentable)?;
+    if config.shards > 1 {
+        return Err(StorageError::Unrepresentable(format!(
+            "HUMIDX01 cannot represent a corpus sharded {} ways",
+            config.shards
+        )));
+    }
     let mut dst = SnapshotWriter::new(out);
     dst.put(MAGIC_V1)?;
     write_config(&mut dst, config)?;
@@ -503,8 +614,9 @@ fn write_entry<W: Write>(
 // ---------------------------------------------------------------------------
 // Readers.
 
-/// Deserializes a database and configuration, accepting both `HUMIDX01`
-/// (legacy, unchecksummed) and `HUMIDX02` (checksummed) files.
+/// Deserializes a database and configuration, accepting `HUMIDX01` (legacy,
+/// unchecksummed), `HUMIDX02` (checksummed, loads as one shard), and
+/// `HUMIDX03` (checksummed, per-shard sections) files.
 pub fn read_database<R: Read>(input: &mut R) -> Result<(MelodyDatabase, QbhConfig), StorageError> {
     read_database_counted(input).map(|(db, config, _)| (db, config))
 }
@@ -520,6 +632,8 @@ fn read_database_counted<R: Read>(
         read_v1(&mut src)
     } else if &magic == MAGIC_V2 {
         read_v2(&mut src)
+    } else if &magic == MAGIC_V3 {
+        read_v3(&mut src)
     } else {
         Err(StorageError::BadMagic)
     }
@@ -562,7 +676,61 @@ fn read_v2<R: Read>(
     Ok((MelodyDatabase::from_provenanced(phrases), config, src.bytes))
 }
 
-/// Parses and validates the 26-byte config body.
+fn read_v3<R: Read>(
+    src: &mut SnapshotReader<'_, R>,
+) -> Result<(MelodyDatabase, QbhConfig, u64), StorageError> {
+    src.begin_section();
+    let mut body = [0u8; CONFIG_BODY_LEN_V3];
+    src.take(&mut body)?;
+    src.verify_section("config")?;
+    let config = parse_config_v3(&body)?;
+
+    let mut entries: Vec<(u64, usize, usize, Melody)> = Vec::new();
+    let mut seen_prov: HashSet<(usize, usize)> = HashSet::new();
+    let mut seen_ids: HashSet<u64> = HashSet::new();
+    let mut total: u64 = 0;
+    for shard in 0..config.shards {
+        src.begin_section();
+        let count = src.u64()?;
+        total = total.saturating_add(count);
+        if total > MAX_MELODIES {
+            return Err(StorageError::Corrupt(format!("implausible melody count {total}")));
+        }
+        for _ in 0..count {
+            let id = src.u64()?;
+            if shard_for(id, config.shards) != shard {
+                return Err(StorageError::Corrupt(format!(
+                    "melody id {id} does not belong in shard {shard} of {}",
+                    config.shards
+                )));
+            }
+            if !seen_ids.insert(id) {
+                return Err(StorageError::Corrupt(format!("duplicate melody id {id}")));
+            }
+            let (song, phrase, melody) = read_entry_body(src, &mut seen_prov, false)?;
+            entries.push((id, song, phrase, melody));
+        }
+        src.verify_section("shard")?;
+    }
+    src.verify_footer()?;
+
+    // Rebuilding goes through `MelodyDatabase::from_provenanced`, which
+    // assigns *positional* ids — so the persisted ids must be exactly
+    // 0..count once sorted, or the rebuilt corpus would silently re-id
+    // (and therefore re-shard) every melody.
+    entries.sort_by_key(|&(id, ..)| id);
+    for (position, &(id, ..)) in entries.iter().enumerate() {
+        if id != position as u64 {
+            return Err(StorageError::Corrupt(format!(
+                "melody ids are not dense: expected {position}, found {id}"
+            )));
+        }
+    }
+    let phrases = entries.into_iter().map(|(_, song, phrase, melody)| (song, phrase, melody));
+    Ok((MelodyDatabase::from_provenanced(phrases.collect()), config, src.bytes))
+}
+
+/// Parses and validates the 26-byte v1/v2 config body (always one shard).
 fn parse_config(body: &[u8; CONFIG_BODY_LEN]) -> Result<QbhConfig, StorageError> {
     let le_u32 = |at: usize| u32::from_le_bytes([body[at], body[at + 1], body[at + 2], body[at + 3]]);
     let mut ww = [0u8; 8];
@@ -575,7 +743,20 @@ fn parse_config(body: &[u8; CONFIG_BODY_LEN]) -> Result<QbhConfig, StorageError>
         transform: transform_from_tag(body[20])?,
         backend: backend_from_tag(body[21])?,
         page_bytes: le_u32(22) as usize,
+        shards: 1,
     };
+    validate_config(&config).map_err(StorageError::Corrupt)?;
+    Ok(config)
+}
+
+/// Parses and validates the 30-byte v3 config body (v2 body + shard count).
+fn parse_config_v3(body: &[u8; CONFIG_BODY_LEN_V3]) -> Result<QbhConfig, StorageError> {
+    let mut base = [0u8; CONFIG_BODY_LEN];
+    base.copy_from_slice(&body[..CONFIG_BODY_LEN]);
+    let mut config = parse_config(&base)?;
+    let mut shards = [0u8; 4];
+    shards.copy_from_slice(&body[CONFIG_BODY_LEN..]);
+    config.shards = u32::from_le_bytes(shards) as usize;
     validate_config(&config).map_err(StorageError::Corrupt)?;
     Ok(config)
 }
@@ -592,47 +773,57 @@ fn read_entries<R: Read>(
     let mut phrases = Vec::with_capacity(clamped);
     let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(clamped);
     for _ in 0..count {
-        let song = src.u32()? as usize;
-        let phrase = src.u32()? as usize;
-        let notes = src.u32()?;
-        if notes == 0 {
-            return Err(StorageError::Corrupt(format!(
-                "empty melody (song {song}, phrase {phrase})"
-            )));
-        }
-        if notes > MAX_NOTES {
-            return Err(StorageError::Corrupt(format!("implausible note count {notes}")));
-        }
-        let legacy_zero = allow_legacy_zero_duplicates && song == 0 && phrase == 0;
-        if !seen.insert((song, phrase)) && !legacy_zero {
-            return Err(StorageError::Corrupt(format!(
-                "duplicate provenance (song {song}, phrase {phrase})"
-            )));
-        }
-        let mut melody = Melody::default();
-        let mut total_beats = 0.0;
-        for _ in 0..notes {
-            let mut pitch = [0u8; 1];
-            src.take(&mut pitch)?;
-            let beats = src.f64()?;
-            validate_note(pitch[0], beats).map_err(StorageError::Corrupt)?;
-            total_beats += beats;
-            if total_beats > MAX_MELODY_BEATS {
-                return Err(StorageError::Corrupt(format!(
-                    "melody exceeds {MAX_MELODY_BEATS} total beats"
-                )));
-            }
-            melody.push(Note::new(pitch[0], beats));
-        }
-        phrases.push((song, phrase, melody));
+        phrases.push(read_entry_body(src, &mut seen, allow_legacy_zero_duplicates)?);
     }
     Ok(phrases)
+}
+
+/// Parses one entry body (song, phrase, notes) — the layout shared by every
+/// format version — enforcing the per-entry invariants.
+fn read_entry_body<R: Read>(
+    src: &mut SnapshotReader<'_, R>,
+    seen: &mut HashSet<(usize, usize)>,
+    allow_legacy_zero_duplicates: bool,
+) -> Result<(usize, usize, Melody), StorageError> {
+    let song = src.u32()? as usize;
+    let phrase = src.u32()? as usize;
+    let notes = src.u32()?;
+    if notes == 0 {
+        return Err(StorageError::Corrupt(format!(
+            "empty melody (song {song}, phrase {phrase})"
+        )));
+    }
+    if notes > MAX_NOTES {
+        return Err(StorageError::Corrupt(format!("implausible note count {notes}")));
+    }
+    let legacy_zero = allow_legacy_zero_duplicates && song == 0 && phrase == 0;
+    if !seen.insert((song, phrase)) && !legacy_zero {
+        return Err(StorageError::Corrupt(format!(
+            "duplicate provenance (song {song}, phrase {phrase})"
+        )));
+    }
+    let mut melody = Melody::default();
+    let mut total_beats = 0.0;
+    for _ in 0..notes {
+        let mut pitch = [0u8; 1];
+        src.take(&mut pitch)?;
+        let beats = src.f64()?;
+        validate_note(pitch[0], beats).map_err(StorageError::Corrupt)?;
+        total_beats += beats;
+        if total_beats > MAX_MELODY_BEATS {
+            return Err(StorageError::Corrupt(format!(
+                "melody exceeds {MAX_MELODY_BEATS} total beats"
+            )));
+        }
+        melody.push(Note::new(pitch[0], beats));
+    }
+    Ok((song, phrase, melody))
 }
 
 // ---------------------------------------------------------------------------
 // File-level save/load.
 
-/// Saves to a file path atomically in the current (`HUMIDX02`) format,
+/// Saves to a file path atomically in the current (`HUMIDX03`) format,
 /// returning the number of bytes written.
 ///
 /// The snapshot is written to a sibling temp file, flushed and fsynced,
@@ -822,6 +1013,95 @@ mod tests {
         write_database_v1(&mut bytes, &db, &config).unwrap();
         let back = read_database(&mut bytes.as_slice()).unwrap();
         assert_same(&db, &config, &back);
+        assert_eq!(back.1.shards, 1, "legacy files load as one shard");
+    }
+
+    #[test]
+    fn v2_roundtrip_still_supported() {
+        let (db, config) = sample();
+        let mut bytes = Vec::new();
+        write_database_v2(&mut bytes, &db, &config).unwrap();
+        let back = read_database(&mut bytes.as_slice()).unwrap();
+        assert_same(&db, &config, &back);
+        assert_eq!(back.1.shards, 1, "v2 files load as one shard");
+    }
+
+    #[test]
+    fn sharded_roundtrip_preserves_partition_and_ids() {
+        let (db, config) = sample();
+        for shards in [2usize, 5] {
+            let config = QbhConfig { shards, ..config };
+            let mut bytes = Vec::new();
+            write_database(&mut bytes, &db, &config).unwrap();
+            let back = read_database(&mut bytes.as_slice()).unwrap();
+            assert_same(&db, &config, &back);
+            assert_eq!(back.1.shards, shards);
+        }
+    }
+
+    #[test]
+    fn legacy_writers_cannot_claim_a_partition() {
+        let (db, config) = sample();
+        let config = QbhConfig { shards: 2, ..config };
+        for result in [
+            write_database_v1(&mut Vec::new(), &db, &config),
+            write_database_v2(&mut Vec::new(), &db, &config),
+        ] {
+            assert!(matches!(result, Err(StorageError::Unrepresentable(_))));
+        }
+    }
+
+    #[test]
+    fn misplaced_and_nondense_ids_rejected() {
+        let (db, config) = sample();
+        let config = QbhConfig { shards: 2, ..config };
+        // Hand-craft a v3 file whose shard-0 section holds an id hashing to
+        // shard 1 — every checksum is valid, so only the membership check
+        // can catch it.
+        // One entry with `id`, placed in `placed` (whether or not that is
+        // its home shard); all checksums valid.
+        let craft = |id: u64, placed: usize| -> Vec<u8> {
+            let mut bytes = Vec::new();
+            let mut dst = SnapshotWriter::new(&mut bytes);
+            dst.put(MAGIC_V3).unwrap();
+            dst.begin_section();
+            write_config(&mut dst, &config).unwrap();
+            dst.put(&2u32.to_le_bytes()).unwrap();
+            dst.finish_section().unwrap();
+            for shard in 0..2 {
+                dst.begin_section();
+                if shard == placed {
+                    dst.put(&1u64.to_le_bytes()).unwrap();
+                    dst.put(&id.to_le_bytes()).unwrap();
+                    write_entry(&mut dst, &db.entries()[0]).unwrap();
+                } else {
+                    dst.put(&0u64.to_le_bytes()).unwrap();
+                }
+                dst.finish_section().unwrap();
+            }
+            dst.finish_file().unwrap();
+            bytes
+        };
+        let foreign_id = (1u64..).find(|&id| shard_for(id, 2) != shard_for(0, 2)).unwrap();
+        // Misplaced: an id stored outside its home shard.
+        let misplaced = craft(foreign_id, shard_for(0, 2));
+        match read_database(&mut misplaced.as_slice()) {
+            Err(StorageError::Corrupt(msg)) => {
+                assert!(msg.contains("does not belong"), "{msg}")
+            }
+            other => panic!("expected membership corruption, got {other:?}"),
+        }
+        // Non-dense: the same id in its real home shard passes membership
+        // but must fail the density check (the only id is not 0).
+        let nondense = craft(foreign_id, shard_for(foreign_id, 2));
+        match read_database(&mut nondense.as_slice()) {
+            Err(StorageError::Corrupt(msg)) => assert!(msg.contains("dense"), "{msg}"),
+            other => panic!("expected density corruption, got {other:?}"),
+        }
+        // Sanity: id 0 in its home shard parses.
+        let dense = craft(0, shard_for(0, 2));
+        let (back, _) = read_database(&mut dense.as_slice()).unwrap();
+        assert_eq!(back.len(), 1);
     }
 
     #[test]
@@ -896,8 +1176,8 @@ mod tests {
         let (db, config) = sample();
         let mut bytes = Vec::new();
         write_database(&mut bytes, &db, &config).unwrap();
-        // The transform/backend tags live at offsets 28/29 (inside the
-        // config section body at [8, 34)). A bare patch trips the section
+        // The transform/backend tags live at offsets 28/29 (inside the v3
+        // config section body at [8, 38)). A bare patch trips the section
         // checksum; with the section CRC recomputed, the typed tag error
         // surfaces instead (the config section is parsed before the
         // footer is reached).
@@ -908,8 +1188,8 @@ mod tests {
                 read_database(&mut bad.as_slice()),
                 Err(StorageError::Checksum("config"))
             ));
-            let crc = crc32(&bad[8..34]).to_le_bytes();
-            bad[34..38].copy_from_slice(&crc);
+            let crc = crc32(&bad[8..38]).to_le_bytes();
+            bad[38..42].copy_from_slice(&crc);
             assert!(matches!(
                 read_database(&mut bad.as_slice()),
                 Err(StorageError::Corrupt(_))
@@ -940,11 +1220,12 @@ mod tests {
         lying[34..42].copy_from_slice(&99_999_999u64.to_le_bytes());
         let err = read_database(&mut lying.as_slice()).unwrap_err();
         assert!(matches!(err, StorageError::Io(_)), "{err}");
-        // And a count over the cap is rejected before any entry is read.
+        // And a count over the cap is rejected before any entry is read
+        // (v3: the first shard section's count sits at offset 42).
         let mut bytes2 = Vec::new();
         write_database(&mut bytes2, &db, &config).unwrap();
-        let mut absurd = bytes2[..46].to_vec();
-        absurd[38..46].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut absurd = bytes2[..50].to_vec();
+        absurd[42..50].copy_from_slice(&u64::MAX.to_le_bytes());
         let err = read_database(&mut absurd.as_slice()).unwrap_err();
         assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
     }

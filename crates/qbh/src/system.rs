@@ -16,6 +16,7 @@ use hum_core::engine::{
 };
 use hum_core::normal::NormalForm;
 use hum_core::obs::{MetricsSink, QueryTrace};
+use hum_core::shard::ShardedEngine;
 use hum_core::transform::dft::Dft;
 use hum_core::transform::dwt::Dwt;
 use hum_core::transform::paa::{KeoghPaa, NewPaa};
@@ -70,6 +71,10 @@ pub struct QbhConfig {
     pub backend: Backend,
     /// Page size in bytes for the backend.
     pub page_bytes: usize,
+    /// Number of corpus shards for scatter-gather serving (1 = monolithic).
+    /// Matches are bit-identical at every shard count; see
+    /// [`hum_core::shard`] for the determinism contract.
+    pub shards: usize,
 }
 
 impl Default for QbhConfig {
@@ -82,6 +87,7 @@ impl Default for QbhConfig {
             transform: TransformKind::NewPaa,
             backend: Backend::RStar,
             page_bytes: 4096,
+            shards: 1,
         }
     }
 }
@@ -108,11 +114,13 @@ pub struct QbhResults {
     pub stats: EngineStats,
 }
 
-/// The engine type the system assembles: trait objects for the configured
-/// transform and backend, `Send + Sync` so batched queries can fan out
-/// across threads.
+/// The engine type the system assembles: a sharded scatter-gather engine
+/// over trait objects for the configured transform and backend, `Send +
+/// Sync` so batched queries can fan out across threads. With
+/// [`QbhConfig::shards`]` == 1` (the default) the single shard *is* the
+/// monolithic engine.
 pub type QbhEngine =
-    DtwIndexEngine<Box<dyn EnvelopeTransform + Send + Sync>, Box<dyn SpatialIndex + Send + Sync>>;
+    ShardedEngine<Box<dyn EnvelopeTransform + Send + Sync>, Box<dyn SpatialIndex + Send + Sync>>;
 
 /// A built query-by-humming system.
 pub struct QbhSystem {
@@ -140,36 +148,59 @@ impl QbhSystem {
             .map(|e| normal.apply(&e.melody().to_time_series(config.samples_per_beat)))
             .collect();
 
-        let transform: Box<dyn EnvelopeTransform + Send + Sync> = match config.transform {
-            TransformKind::NewPaa => {
-                Box::new(NewPaa::new(config.normal_length, config.feature_dims))
-            }
-            TransformKind::KeoghPaa => {
-                Box::new(KeoghPaa::new(config.normal_length, config.feature_dims))
-            }
-            TransformKind::Dft => Box::new(Dft::new(config.normal_length, config.feature_dims)),
-            TransformKind::Dwt => Box::new(Dwt::new(config.normal_length, config.feature_dims)),
-            TransformKind::Svd => {
-                let sample: Vec<Vec<f64>> = normals.iter().take(500).cloned().collect();
-                Box::new(SvdTransform::fit(&sample, config.feature_dims))
+        // SVD is data-adaptive: fit it *once* on the same global sample every
+        // shard count sees, then clone the fitted basis into each shard.
+        // Feature vectors are therefore shard-count-invariant, which the
+        // bit-identical-results contract depends on.
+        // SVD is data-adaptive: fit it *once* on the same global sample every
+        // shard count sees, then clone the fitted basis into each shard.
+        // Feature vectors are therefore shard-count-invariant, which the
+        // bit-identical-results contract depends on.
+        let mut svd: Option<SvdTransform> = None;
+        let mut make_transform = || -> Box<dyn EnvelopeTransform + Send + Sync> {
+            match config.transform {
+                TransformKind::NewPaa => {
+                    Box::new(NewPaa::new(config.normal_length, config.feature_dims))
+                }
+                TransformKind::KeoghPaa => {
+                    Box::new(KeoghPaa::new(config.normal_length, config.feature_dims))
+                }
+                TransformKind::Dft => {
+                    Box::new(Dft::new(config.normal_length, config.feature_dims))
+                }
+                TransformKind::Dwt => {
+                    Box::new(Dwt::new(config.normal_length, config.feature_dims))
+                }
+                TransformKind::Svd => {
+                    let fitted = svd.get_or_insert_with(|| {
+                        let sample: Vec<Vec<f64>> =
+                            normals.iter().take(500).cloned().collect();
+                        SvdTransform::fit(&sample, config.feature_dims)
+                    });
+                    Box::new(fitted.clone())
+                }
             }
         };
-        let index: Box<dyn SpatialIndex + Send + Sync> = match config.backend {
-            Backend::RStar => {
-                Box::new(RStarTree::with_page_size(config.feature_dims, config.page_bytes))
-            }
-            Backend::Grid => Box::new(GridFile::with_params(
-                config.feature_dims,
-                8,
-                1024,
-                config.page_bytes,
-            )),
-            Backend::Linear => {
-                Box::new(LinearScan::with_page_size(config.feature_dims, config.page_bytes))
+        let make_index = || -> Box<dyn SpatialIndex + Send + Sync> {
+            match config.backend {
+                Backend::RStar => {
+                    Box::new(RStarTree::with_page_size(config.feature_dims, config.page_bytes))
+                }
+                Backend::Grid => Box::new(GridFile::with_params(
+                    config.feature_dims,
+                    8,
+                    1024,
+                    config.page_bytes,
+                )),
+                Backend::Linear => {
+                    Box::new(LinearScan::with_page_size(config.feature_dims, config.page_bytes))
+                }
             }
         };
 
-        let mut engine = DtwIndexEngine::new(transform, index, EngineConfig::default());
+        let mut engine = QbhEngine::build(config.shards.max(1), |_| {
+            DtwIndexEngine::new(make_transform(), make_index(), EngineConfig::default())
+        });
         let mut provenance = HashMap::with_capacity(db.len());
         for (entry, nf) in db.entries().iter().zip(normals) {
             engine.insert(entry.id(), nf);
@@ -203,11 +234,31 @@ impl QbhSystem {
         path: &std::path::Path,
         metrics: &MetricsSink,
     ) -> Result<Self, StorageError> {
-        let (db, config) = crate::storage::load_with(path, metrics)?;
+        Self::try_load_with_shards(path, metrics, None)
+    }
+
+    /// [`QbhSystem::try_load_with`] with an optional shard-count override
+    /// (the serving layer's `--shards` knob). `Some(n)` re-shards the loaded
+    /// corpus into `n` shards regardless of what the snapshot was persisted
+    /// with; `None` keeps the snapshot's own shard count (always 1 for
+    /// `HUMIDX01`/`HUMIDX02` files). Query results are bit-identical either
+    /// way.
+    ///
+    /// # Errors
+    /// Same as [`QbhSystem::try_load_with`].
+    pub fn try_load_with_shards(
+        path: &std::path::Path,
+        metrics: &MetricsSink,
+        shards: Option<usize>,
+    ) -> Result<Self, StorageError> {
+        let (db, mut config) = crate::storage::load_with(path, metrics)?;
         if db.is_empty() {
             return Err(StorageError::Corrupt(
                 "snapshot holds no melodies; cannot build a query system".into(),
             ));
+        }
+        if let Some(n) = shards {
+            config.shards = n.max(1);
         }
         let mut system = Self::build(&db, &config);
         system.set_metrics(metrics.clone());
@@ -227,6 +278,11 @@ impl QbhSystem {
     /// The DTW band implied by the configured warping width.
     pub fn band(&self) -> usize {
         self.band
+    }
+
+    /// Number of corpus shards the engine scatters queries across.
+    pub fn shard_count(&self) -> usize {
+        self.engine.shard_count()
     }
 
     /// The underlying engine, for experiments that need raw control.
@@ -493,6 +549,35 @@ mod tests {
                     // Exact DTW refinement makes the final ranking
                     // transform- and backend-independent.
                     Some(r) => assert_eq!(&ids, r, "{transform:?}/{backend:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_system_matches_monolithic() {
+        let db = small_db();
+        // SVD included deliberately: it is data-adaptive, and the fit-once-
+        // clone-per-shard build is what keeps its features shard-invariant.
+        for transform in [TransformKind::NewPaa, TransformKind::Svd] {
+            let mono =
+                QbhSystem::build(&db, &QbhConfig { transform, ..QbhConfig::default() });
+            for shards in [2usize, 4, 7] {
+                let config = QbhConfig { transform, shards, ..QbhConfig::default() };
+                let system = QbhSystem::build(&db, &config);
+                assert_eq!(system.shard_count(), shards);
+                for id in [3u64, 17, 29] {
+                    let series = db.entry(id).unwrap().melody().to_time_series(4);
+                    assert_eq!(
+                        system.query_series(&series, 5).matches,
+                        mono.query_series(&series, 5).matches,
+                        "{transform:?} shards={shards} id={id}"
+                    );
+                    assert_eq!(
+                        system.range_query(&series, system.band(), 2.0).matches,
+                        mono.range_query(&series, mono.band(), 2.0).matches,
+                        "{transform:?} shards={shards} id={id}"
+                    );
                 }
             }
         }

@@ -149,7 +149,17 @@ fn serve_prints_the_bound_address_and_shuts_down_cleanly_over_the_wire() {
     assert!(qbh(&["index", dir_s, idx.to_str().unwrap()]).status.success());
 
     let mut child = Command::new(env!("CARGO_BIN_EXE_qbh"))
-        .args(["serve", idx.to_str().unwrap(), "--addr", "127.0.0.1:0", "--workers", "2"])
+        .args([
+            "serve",
+            idx.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--shards",
+            "2",
+            "--allow-remote-shutdown",
+        ])
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::piped())
         .spawn()
@@ -181,6 +191,44 @@ fn serve_prints_the_bound_address_and_shuts_down_cleanly_over_the_wire() {
     // inline on the connection thread.
     assert!(err.contains("served 1 requests"), "{err}");
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_rejects_wire_shutdown_unless_explicitly_allowed() {
+    use std::io::{BufRead, BufReader};
+
+    let dir = temp_dir("serve-no-shutdown");
+    let dir_s = dir.to_str().unwrap();
+    assert!(qbh(&["generate", dir_s, "--songs", "1", "--seed", "3"]).status.success());
+    let idx = dir.join("corpus.humidx");
+    assert!(qbh(&["index", dir_s, idx.to_str().unwrap()]).status.success());
+
+    // No --allow-remote-shutdown: the wire shutdown op must be refused and
+    // the server must keep serving afterwards.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_qbh"))
+        .args(["serve", idx.to_str().unwrap(), "--addr", "127.0.0.1:0", "--workers", "1"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("serve starts");
+
+    let mut child_stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    child_stdout.read_line(&mut line).expect("address line");
+    let addr = line.strip_prefix("listening on ").expect("address line").trim().to_string();
+
+    let mut client = hum_server::Client::connect(addr.as_str()).expect("connect");
+    match client.shutdown() {
+        Err(hum_server::ClientError::BadRequest(message)) => {
+            assert!(message.contains("disabled"), "{message}");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    assert_eq!(client.ping().expect("still serving"), 20, "1 song x 20 phrases");
+
+    child.kill().expect("stop server");
+    let _ = child.wait();
     let _ = std::fs::remove_dir_all(&dir);
 }
 

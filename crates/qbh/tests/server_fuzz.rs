@@ -125,6 +125,63 @@ fn garbage_json_and_wrong_shapes_get_typed_errors_on_a_live_connection() {
 }
 
 #[test]
+fn resource_exhaustion_shapes_are_rejected_at_the_wire_boundary() {
+    let (server, len) = start_server();
+    let mut client = connect(server.local_addr());
+
+    // `k` sizes result heaps and index walks downstream, so absurd values
+    // must die at the parse boundary as typed errors — never reach the
+    // engine, never allocate proportionally, never panic.
+    match client.send_raw_frame(br#"{"op":"knn","pitch":[60.0],"k":1000000000000000}"#) {
+        Err(ClientError::BadRequest(message)) => {
+            assert!(message.contains("ceiling"), "{message}")
+        }
+        other => panic!("k=10^15: want bad_request naming the ceiling, got {other:?}"),
+    }
+    // u64::MAX is not exactly representable as f64, so the number layer
+    // itself refuses it before the ceiling check can even run.
+    match client.send_raw_frame(br#"{"op":"knn","pitch":[60.0],"k":18446744073709551615}"#) {
+        Err(ClientError::BadRequest(message)) => {
+            assert!(message.contains("'k'"), "{message}")
+        }
+        other => panic!("k=u64::MAX: want bad_request naming k, got {other:?}"),
+    }
+    // A negative radius is meaningless; typed rejection, not an engine trip.
+    match client.send_raw_frame(br#"{"op":"range","pitch":[60.0],"radius":-1.0}"#) {
+        Err(ClientError::BadRequest(message)) => {
+            assert!(message.contains("radius"), "{message}")
+        }
+        other => panic!("radius=-1: want bad_request naming radius, got {other:?}"),
+    }
+    // A radius literal overflowing f64 never reaches request parsing: the
+    // finite-only JSON layer rejects it as a protocol error.
+    match client.send_raw_frame(br#"{"op":"range","pitch":[60.0],"radius":1e309}"#) {
+        Err(ClientError::Protocol(message)) => {
+            assert!(message.contains("invalid JSON"), "{message}")
+        }
+        other => panic!("radius=1e309: want protocol error, got {other:?}"),
+    }
+    // Remote shutdown is opt-in; the default config refuses the op and the
+    // connection (and server) keep working.
+    match client.send_raw_frame(br#"{"op":"shutdown"}"#) {
+        Err(ClientError::BadRequest(message)) => {
+            assert!(message.contains("disabled"), "{message}")
+        }
+        other => panic!("wire shutdown: want bad_request, got {other:?}"),
+    }
+
+    // The ceiling itself is serveable: a maximal-k request is clamped to
+    // the corpus size internally and answers normally.
+    let reply = client
+        .knn(&[60.0, 62.5, 64.0], hum_server::MAX_WIRE_K as usize, &Default::default())
+        .expect("k at the ceiling is legal");
+    assert_eq!(reply.matches.len() as u64, len, "clamped to the whole corpus");
+
+    assert_eq!(client.ping().expect("connection survives all of it"), len);
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn lying_and_oversized_length_prefixes_are_rejected_without_allocation() {
     let (server, len) = start_server();
     let addr = server.local_addr();

@@ -322,14 +322,15 @@ fn config_strategy() -> impl Strategy<Value = QbhConfig> {
             1usize..6,
             0.0f64..0.3,
         ),
-        (0u8..5, 0u8..3),
+        (0u8..5, 0u8..3, 1usize..5),
     )
-        .prop_map(|((normal_length, feature_dims, samples_per_beat, warping_width), (t, b))| {
+        .prop_map(|((normal_length, feature_dims, samples_per_beat, warping_width), (t, b, shards))| {
             QbhConfig {
                 normal_length,
                 feature_dims,
                 samples_per_beat,
                 warping_width,
+                shards,
                 transform: match t {
                     0 => TransformKind::NewPaa,
                     1 => TransformKind::KeoghPaa,
@@ -357,15 +358,18 @@ proptest! {
     ) {
         for v1 in [false, true] {
             let mut bytes = Vec::new();
+            // The legacy format cannot record a partition: round-trip it at
+            // one shard and expect exactly that back.
+            let expected = if v1 { QbhConfig { shards: 1, ..config } } else { config };
             if v1 {
-                write_database_v1(&mut bytes, &db, &config).expect("serialize v1");
+                write_database_v1(&mut bytes, &db, &expected).expect("serialize v1");
             } else {
-                write_database(&mut bytes, &db, &config).expect("serialize v2");
+                write_database(&mut bytes, &db, &expected).expect("serialize v3");
             }
             let (loaded, loaded_config) =
                 read_database(&mut bytes.as_slice()).expect("round-trip read");
             prop_assert!(databases_equal(&loaded, &db), "v1={v1}: entries diverged");
-            prop_assert_eq!(loaded_config, config);
+            prop_assert_eq!(loaded_config, expected);
         }
     }
 

@@ -34,7 +34,7 @@ pub mod server;
 pub mod service;
 
 pub use client::{Client, ClientError, QueryOptions, QueryReply};
-pub use protocol::{ErrorKind, Request, Response, MAX_FRAME_BYTES};
+pub use protocol::{ErrorKind, Request, Response, MAX_FRAME_BYTES, MAX_WIRE_K};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Server, ServerConfig};
 pub use service::{QbhService, ServiceMatch, ServiceOutcome, ServiceQuery};

@@ -43,6 +43,14 @@ pub const MAX_FRAME_BYTES: usize = 1 << 20;
 /// this the buffer grows only as bytes actually arrive.
 pub const PREALLOC_CAP: usize = 64 * 1024;
 
+/// Protocol ceiling on `k` in a `knn` request. The engine clamps its own
+/// preallocations to the corpus size, but a ceiling at the parse boundary
+/// turns an absurd `k` (a typo'd `10^15`, a fuzzer's `u64::MAX`) into a
+/// typed `bad_request` before it can drive a maximal index walk. One
+/// million neighbors is far beyond any legitimate query-by-humming result
+/// page and comfortably above the largest corpus the serve benchmarks use.
+pub const MAX_WIRE_K: u64 = 1 << 20;
+
 /// Outcome of reading one frame.
 #[derive(Debug)]
 pub enum FrameRead {
@@ -332,20 +340,38 @@ pub fn parse_request(value: &Value) -> Result<Request, String> {
         return Err("missing string field 'op'".to_string());
     };
     match op.as_str() {
-        "knn" => Ok(Request::Knn {
-            pitch: get_pitch(value, "pitch")?,
-            k: get_u64(value, "k")? as usize,
-            band: opt_u64(value, "band")?.map(|b| b as usize),
-            deadline_ms: opt_u64(value, "deadline_ms")?,
-            trace: get_bool_or(value, "trace", false)?,
-        }),
-        "range" => Ok(Request::Range {
-            pitch: get_pitch(value, "pitch")?,
-            radius: get_f64(value, "radius")?,
-            band: opt_u64(value, "band")?.map(|b| b as usize),
-            deadline_ms: opt_u64(value, "deadline_ms")?,
-            trace: get_bool_or(value, "trace", false)?,
-        }),
+        "knn" => {
+            let k = get_u64(value, "k")?;
+            // Resource-exhaustion guard: `k` sizes heaps and index walks
+            // downstream, so anything above the documented ceiling is
+            // rejected here as a typed error, not forwarded to the engine.
+            if k > MAX_WIRE_K {
+                return Err(format!("field 'k' ({k}) exceeds the protocol ceiling {MAX_WIRE_K}"));
+            }
+            Ok(Request::Knn {
+                pitch: get_pitch(value, "pitch")?,
+                k: k as usize,
+                band: opt_u64(value, "band")?.map(|b| b as usize),
+                deadline_ms: opt_u64(value, "deadline_ms")?,
+                trace: get_bool_or(value, "trace", false)?,
+            })
+        }
+        "range" => {
+            let radius = get_f64(value, "radius")?;
+            // A negative radius can match nothing and a non-finite one is
+            // meaningless (the JSON parser already rejects out-of-range
+            // literals; this also covers values built programmatically).
+            if !radius.is_finite() || radius < 0.0 {
+                return Err(format!("field 'radius' ({radius}) must be finite and non-negative"));
+            }
+            Ok(Request::Range {
+                pitch: get_pitch(value, "pitch")?,
+                radius,
+                band: opt_u64(value, "band")?.map(|b| b as usize),
+                deadline_ms: opt_u64(value, "deadline_ms")?,
+                trace: get_bool_or(value, "trace", false)?,
+            })
+        }
         "insert" => Ok(Request::Insert {
             id: get_u64(value, "id")?,
             song: get_u64(value, "song")? as usize,
@@ -665,6 +691,12 @@ mod tests {
             ("{\"op\":\"knn\",\"pitch\":[1,null],\"k\":3}", "pitch[1]"),
             ("{\"op\":\"knn\",\"pitch\":[1],\"k\":-1}", "k"),
             ("{\"op\":\"knn\",\"pitch\":[1],\"k\":1.5}", "k"),
+            // Wire-boundary resource-exhaustion guards: an absurd `k` hits
+            // the protocol ceiling, u64::MAX is not even an exact integer,
+            // and a negative radius is rejected before reaching the engine.
+            ("{\"op\":\"knn\",\"pitch\":[1],\"k\":1000000000000000}", "ceiling"),
+            ("{\"op\":\"knn\",\"pitch\":[1],\"k\":18446744073709551615}", "k"),
+            ("{\"op\":\"range\",\"pitch\":[1],\"radius\":-1.0}", "radius"),
             ("{\"op\":\"range\",\"pitch\":[1]}", "radius"),
             ("{\"op\":\"insert\",\"id\":1,\"song\":0,\"phrase\":0}", "pitch"),
             ("{\"op\":\"remove\"}", "id"),
@@ -673,6 +705,23 @@ mod tests {
             let err = parse_request(&value).unwrap_err();
             assert!(err.contains(needle), "{payload}: {err}");
         }
+    }
+
+    #[test]
+    fn wire_k_ceiling_and_radius_bounds() {
+        let ok = format!("{{\"op\":\"knn\",\"pitch\":[1],\"k\":{MAX_WIRE_K}}}");
+        assert!(parse_request(&serde_json::from_str(&ok).unwrap()).is_ok());
+        let over = format!("{{\"op\":\"knn\",\"pitch\":[1],\"k\":{}}}", MAX_WIRE_K + 1);
+        let err = parse_request(&serde_json::from_str(&over).unwrap()).unwrap_err();
+        assert!(err.contains("ceiling"), "{err}");
+        // A radius literal overflowing f64 never reaches parse_request: the
+        // JSON layer rejects it (the server answers `protocol`).
+        assert!(
+            serde_json::from_str("{\"op\":\"range\",\"pitch\":[1],\"radius\":1e309}")
+                .is_err()
+        );
+        let zero = serde_json::from_str("{\"op\":\"range\",\"pitch\":[1],\"radius\":0}").unwrap();
+        assert!(parse_request(&zero).is_ok());
     }
 
     #[test]

@@ -31,7 +31,10 @@
 //!
 //! # Graceful shutdown
 //!
-//! Triggered by [`Server::shutdown`] or a `shutdown` request. The sequence:
+//! Triggered by [`Server::shutdown`] or — when
+//! [`ServerConfig::allow_remote_shutdown`] is enabled — a wire `shutdown`
+//! request (disabled by default: the protocol is unauthenticated). The
+//! sequence:
 //! stop admitting (new work answered `shutting_down`), close the listener,
 //! close the queue (workers drain every admitted job — each one still gets
 //! its reply), join workers, join connection threads, hand the service
@@ -79,6 +82,12 @@ pub struct ServerConfig {
     /// Where server and engine counters go. Share one enabled sink between
     /// this config and the served system to get a unified registry.
     pub metrics: MetricsSink,
+    /// Whether the wire `shutdown` op is honored. Off by default: the
+    /// protocol is unauthenticated, so any client that can connect could
+    /// otherwise kill the server with one frame. When disabled, `shutdown`
+    /// requests are answered with a typed `bad_request`; in-process
+    /// shutdown ([`Server::shutdown`]) always works.
+    pub allow_remote_shutdown: bool,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +99,7 @@ impl Default for ServerConfig {
             max_frame_bytes: protocol::MAX_FRAME_BYTES,
             poll_interval: Duration::from_millis(25),
             metrics: MetricsSink::Disabled,
+            allow_remote_shutdown: false,
         }
     }
 }
@@ -119,6 +129,7 @@ struct Shared<S> {
     default_deadline: Option<Duration>,
     max_frame_bytes: usize,
     poll_interval: Duration,
+    allow_remote_shutdown: bool,
 }
 
 impl<S> Shared<S> {
@@ -187,6 +198,7 @@ impl<S: QbhService> Server<S> {
             default_deadline: config.default_deadline,
             max_frame_bytes: config.max_frame_bytes,
             poll_interval: config.poll_interval,
+            allow_remote_shutdown: config.allow_remote_shutdown,
         });
 
         let workers = (0..config.workers.max(1))
@@ -399,6 +411,17 @@ fn handle_frame<S: QbhService>(shared: &Arc<Shared<S>>, payload: &[u8]) -> Value
             return ok_response(vec![("metrics", metrics)]);
         }
         Request::Shutdown => {
+            // Gated: the protocol is unauthenticated, so remote shutdown is
+            // opt-in (`ServerConfig::allow_remote_shutdown`); otherwise any
+            // client that can connect could kill the server with one frame.
+            if !shared.allow_remote_shutdown {
+                shared.metrics.add(Metric::ServerProtocolErrors, 1);
+                return error_response(
+                    ErrorKind::BadRequest,
+                    "remote shutdown is disabled on this server",
+                    None,
+                );
+            }
             shared.request_shutdown();
             return ok_response(vec![]);
         }

@@ -212,8 +212,8 @@ fn deadline_spent_in_queue_is_a_typed_deadline_error() {
 #[test]
 fn shutdown_request_over_the_wire_wakes_the_waiter() {
     let (service, _gate, _started) = GateService::new();
-    let server =
-        Server::start(service, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let config = ServerConfig { allow_remote_shutdown: true, ..ServerConfig::default() };
+    let server = Server::start(service, "127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr();
 
     let mut client = Client::connect(addr).unwrap();
@@ -221,6 +221,26 @@ fn shutdown_request_over_the_wire_wakes_the_waiter() {
     client.shutdown().unwrap();
     // Returns promptly only if the wire request flipped the signal.
     server.wait_shutdown_requested();
+    server.shutdown().expect("service handed back");
+}
+
+#[test]
+fn wire_shutdown_is_rejected_unless_enabled() {
+    let (service, _gate, _started) = GateService::new();
+    let server =
+        Server::start(service, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    let err = client.shutdown().unwrap_err();
+    match err {
+        ClientError::BadRequest(message) => {
+            assert!(message.contains("disabled"), "unexpected message: {message}");
+        }
+        other => panic!("expected typed bad_request, got {other:?}"),
+    }
+    // The server must keep serving after the rejected shutdown attempt.
+    assert_eq!(client.ping().unwrap(), 3);
     server.shutdown().expect("service handed back");
 }
 
