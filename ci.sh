@@ -31,6 +31,16 @@ HUM_THREADS=8 cargo test -q -p hum-qbh --test server_integration
 HUM_THREADS=1 cargo test -q -p hum-qbh --test server_fuzz
 HUM_THREADS=8 cargo test -q -p hum-qbh --test server_fuzz
 
+# Streaming sessions: refining a session must be bit-identical to a
+# one-shot query over the same prefix — in process (every shard count x
+# kernel mode) and over the wire — and the lifecycle matrix (eviction,
+# byte caps, deadlines, post-close ops, sessionful fuzz) must answer
+# with typed errors, at both extremes of the thread override.
+HUM_THREADS=1 cargo test -q -p hum-core --test session
+HUM_THREADS=8 cargo test -q -p hum-core --test session
+HUM_THREADS=1 cargo test -q -p hum-qbh --test session_server
+HUM_THREADS=8 cargo test -q -p hum-qbh --test session_server
+
 # Sharding: matches must be bit-identical to the monolithic engine at
 # every shard count — in process, through the batch API, over the wire,
 # and after a snapshot round trip with a shard-count override — at both
@@ -69,6 +79,10 @@ echo "engine_digest bit-identical across simd x threads"
 # to the same standard (it additionally contains the only unsafe in the
 # workspace, each block SAFETY-annotated).
 ./tools/check_panics.sh
+
+# The deprecated panicking entry points must gain no new first-party
+# callers (tools/deprecated_allowlist.txt pins the frozen set).
+./tools/check_deprecated.sh
 
 cargo clippy --all-targets -- -D warnings
 cargo clippy -p hum-core --all-targets --features simd -- -D warnings

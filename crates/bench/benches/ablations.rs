@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hum_audio::{track_pitch, track_pitch_hps, HumNote, HumSynthesizer, PitchTrackerConfig, SynthConfig};
 use hum_core::dtw::band_for_warping_width;
-use hum_core::engine::{DtwIndexEngine, EngineConfig};
+use hum_core::engine::{DtwIndexEngine, EngineConfig, QueryRequest};
 use hum_core::envelope::Envelope;
 use hum_core::transform::paa::NewPaa;
 use hum_datasets::{generate, DatasetFamily};
@@ -46,7 +46,11 @@ fn bench_envelope_refinement(c: &mut Criterion) {
             engine.insert(i as u64, s.clone());
         }
         group.bench_function(name, |b| {
-            b.iter(|| black_box(engine.range_query(&query, band, radius)))
+            b.iter(|| {
+                let request =
+                    QueryRequest::range(radius).with_series(query.clone()).with_band(band);
+                black_box(engine.query(&request))
+            })
         });
     }
     group.finish();

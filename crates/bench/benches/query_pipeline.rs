@@ -6,6 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hum_core::dtw::band_for_warping_width;
+use hum_core::engine::QueryRequest;
 use hum_core::normal::NormalForm;
 use hum_music::{SingerProfile, SongbookConfig};
 use hum_qbh::corpus::MelodyDatabase;
@@ -47,14 +48,18 @@ fn bench_range_by_width(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("new_paa", delta), &delta, |b, _| {
             b.iter(|| {
                 for q in &queries {
-                    black_box(new_paa.engine().range_query(q, band, radius));
+                    black_box(new_paa.engine().query(
+                        &QueryRequest::range(radius).with_series(q.clone()).with_band(band),
+                    ));
                 }
             })
         });
         group.bench_with_input(BenchmarkId::new("keogh_paa", delta), &delta, |b, _| {
             b.iter(|| {
                 for q in &queries {
-                    black_box(keogh_paa.engine().range_query(q, band, radius));
+                    black_box(keogh_paa.engine().query(
+                        &QueryRequest::range(radius).with_series(q.clone()).with_band(band),
+                    ));
                 }
             })
         });
@@ -80,7 +85,11 @@ fn bench_knn(c: &mut Criterion) {
     group.bench_function("indexed", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(new_paa.engine().knn(q, band, 10));
+                black_box(
+                    new_paa
+                        .engine()
+                        .query(&QueryRequest::knn(10).with_series(q.clone()).with_band(band)),
+                );
             }
         })
     });

@@ -5,7 +5,7 @@
 
 use hum_bench::report::cascade_table;
 use hum_core::dtw::band_for_warping_width;
-use hum_core::engine::{DtwIndexEngine, EngineConfig, EngineStats};
+use hum_core::engine::{DtwIndexEngine, EngineConfig, EngineStats, QueryRequest};
 use hum_core::normal::NormalForm;
 use hum_core::transform::paa::NewPaa;
 use hum_index::RStarTree;
@@ -56,7 +56,8 @@ fn main() {
         }
         let mut total = EngineStats::default();
         for q in &query_set {
-            total.absorb(&engine.range_query(q, band, radius).stats);
+            let request = QueryRequest::range(radius).with_series(q.clone()).with_band(band);
+            total.absorb(&engine.query(&request).result.stats);
         }
         rows.push((name.to_string(), total));
     }

@@ -4,12 +4,13 @@
 //! repro [EXPERIMENT ...] [--quick] [--out DIR]
 //!
 //! EXPERIMENT: table2 | table3 | fig6 | fig7 | fig8 | fig9 | fig10 | extras
-//!             | throughput | obs | serve | kernels | all
+//!             | throughput | obs | serve | kernels | stream | all
 //!             (default: all; `extras` runs the DESIGN.md ablations,
 //!             `throughput` the batched-query scaling sweep, `obs` the
 //!             traced cascade-trajectory run of the Figure-9 workload,
 //!             `serve` the TCP-serving latency/throughput sweep, `kernels`
-//!             the kernel-layer microbenchmarks with bit-identity checks)
+//!             the kernel-layer microbenchmarks with bit-identity checks,
+//!             `stream` the sessionful refinement latency/churn sweep)
 //! --quick     small workloads (seconds instead of minutes)
 //! --out DIR   where to write .txt/.csv/.json results (default: results)
 //! ```
@@ -18,13 +19,14 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use hum_bench::experiments::{
-    extras, fig10, fig6, fig7, fig8, fig9, kernels, obs, serve, table2, table3, throughput,
+    extras, fig10, fig6, fig7, fig8, fig9, kernels, obs, serve, stream, table2, table3,
+    throughput,
 };
 use hum_bench::report::persist;
 
-const EXPERIMENTS: [&str; 12] = [
+const EXPERIMENTS: [&str; 13] = [
     "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "extras", "throughput", "obs",
-    "serve", "kernels",
+    "serve", "kernels", "stream",
 ];
 
 fn main() {
@@ -165,6 +167,15 @@ fn main() {
                 println!("{text}");
                 persist(&out_dir, name, &text, &table, &serde_json::json!(output));
                 serve::check(&output)
+            }
+            "stream" => {
+                let params =
+                    if quick { stream::Params::quick() } else { stream::Params::paper() };
+                let output = stream::run(&params);
+                let (text, table) = stream::render(&output);
+                println!("{text}");
+                persist(&out_dir, name, &text, &table, &serde_json::json!(output));
+                stream::check(&output)
             }
             _ => unreachable!("validated above"),
         };

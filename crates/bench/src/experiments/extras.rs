@@ -19,7 +19,7 @@ use std::time::Instant;
 use serde::Serialize;
 
 use hum_core::dtw::band_for_warping_width;
-use hum_core::engine::{DtwIndexEngine, EngineConfig, EngineStats};
+use hum_core::engine::{DtwIndexEngine, EngineConfig, EngineStats, QueryRequest};
 use hum_core::normal::NormalForm;
 use hum_core::transform::dft::Dft;
 use hum_core::transform::dwt::Dwt;
@@ -187,7 +187,8 @@ pub fn run(params: &Params) -> Output {
         }
         let (mut cand, mut pages) = (0u64, 0u64);
         for q in &queries {
-            let r = engine.range_query(q, band, radius);
+            let request = QueryRequest::range(radius).with_series(q.clone()).with_band(band);
+            let r = engine.query(&request).result;
             cand += r.stats.index.candidates;
             pages += r.stats.index.node_accesses;
         }
@@ -220,7 +221,11 @@ pub fn run(params: &Params) -> Output {
             }
             let total: u64 = queries
                 .iter()
-                .map(|q| engine.range_query(q, band, radius).stats.exact_computations)
+                .map(|q| {
+                    let request =
+                        QueryRequest::range(radius).with_series(q.clone()).with_band(band);
+                    engine.query(&request).result.stats.exact_computations
+                })
                 .sum();
             total as f64 / queries.len().max(1) as f64
         })
@@ -267,7 +272,11 @@ pub fn run(params: &Params) -> Output {
         }
         let total: u64 = queries
             .iter()
-            .map(|q| engine.range_query(q, band, radius).stats.index.candidates)
+            .map(|q| {
+                let request =
+                    QueryRequest::range(radius).with_series(q.clone()).with_band(band);
+                engine.query(&request).result.stats.index.candidates
+            })
             .sum();
         transforms.push(TransformRow {
             transform: name,
@@ -304,7 +313,8 @@ pub fn run(params: &Params) -> Output {
         }
         let mut total = EngineStats::default();
         for q in &queries {
-            total.absorb(&engine.range_query(q, band, radius).stats);
+            let request = QueryRequest::range(radius).with_series(q.clone()).with_band(band);
+            total.absorb(&engine.query(&request).result.stats);
         }
         cascade.push(CascadeRow {
             config: name.to_string(),

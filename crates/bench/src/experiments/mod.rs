@@ -21,6 +21,9 @@
 //! from the library's own observability layer, and [`serve`] drives the TCP
 //! query server with a closed-loop multi-connection load generator,
 //! reporting p50/p95/p99 latency and throughput versus worker-pool size.
+//! [`stream`] streams hums into server-side sessions chunk by chunk,
+//! reporting refinement latency and top-k churn versus hum length with a
+//! per-prefix bit-identity check against in-process one-shot queries.
 //! [`kernels`] microbenchmarks the kernel layer (envelope LB, `LB_Improved`,
 //! banded DTW, f32 prefilter) against naive sequential references, with
 //! bit-identity and conservativeness enforced by its shape check.
@@ -34,6 +37,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod obs;
 pub mod serve;
+pub mod stream;
 pub mod sweep;
 pub mod table2;
 pub mod table3;

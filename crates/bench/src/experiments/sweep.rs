@@ -9,7 +9,7 @@
 use serde::Serialize;
 
 use hum_core::dtw::band_for_warping_width;
-use hum_core::engine::{DtwIndexEngine, EngineConfig};
+use hum_core::engine::{DtwIndexEngine, EngineConfig, QueryRequest};
 use hum_core::transform::paa::{KeoghPaa, NewPaa};
 use hum_core::transform::EnvelopeTransform;
 use hum_index::{RStarTree, SpatialIndex};
@@ -109,7 +109,9 @@ fn sweep_one<T: EnvelopeTransform, I: SpatialIndex>(
             let mut pages = 0u64;
             let mut matches = 0u64;
             for q in queries {
-                let result = engine.range_query(q, band, radius);
+                let request =
+                    QueryRequest::range(radius).with_series(q.clone()).with_band(band);
+                let result = engine.query(&request).result;
                 candidates += result.stats.index.candidates;
                 pages += result.stats.index.node_accesses;
                 matches += result.stats.matches;

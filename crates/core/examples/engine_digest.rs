@@ -9,7 +9,7 @@
 //! matches and match-bits only.
 
 use hum_core::batch::BatchOptions;
-use hum_core::engine::{BatchQuery, DtwIndexEngine, EngineConfig};
+use hum_core::engine::{DtwIndexEngine, EngineConfig, QueryRequest};
 use hum_core::transform::paa::NewPaa;
 use hum_index::{GridFile, ItemId, LinearScan, RStarTree, SpatialIndex};
 
@@ -64,7 +64,9 @@ fn digest<I: SpatialIndex>(name: &str, make: impl Fn() -> I, mode: usize, stable
     }
     for (qi, q) in queries.iter().enumerate() {
         for (band, radius) in [(0usize, 1.2), (3, 2.0), (6, 3.5)] {
-            let r = engine.range_query(q, band, radius);
+            let r = engine
+                .query(&QueryRequest::range(radius).with_series(q.clone()).with_band(band))
+                .result;
             let mbits = match_bits(&r.matches);
             if stable_counters {
                 println!(
@@ -82,7 +84,9 @@ fn digest<I: SpatialIndex>(name: &str, make: impl Fn() -> I, mode: usize, stable
             println!("{name} refine={refine} q{qi} scanrange b{band}: m={} bits={sbits:x}", s.matches.len());
         }
         for (band, k) in [(0usize, 1), (3, 5), (6, 17)] {
-            let r = engine.knn(q, band, k);
+            let r = engine
+                .query(&QueryRequest::knn(k).with_series(q.clone()).with_band(band))
+                .result;
             let mbits = match_bits(&r.matches);
             if stable_counters {
                 println!(
@@ -114,15 +118,17 @@ fn batch_digest<I: SpatialIndex + Sync>(name: &str, make: impl Fn() -> I) {
     }
     let mut batch = Vec::new();
     for q in &queries {
-        batch.push(BatchQuery::Range { query: q.clone(), band: 3, radius: 2.0 });
-        batch.push(BatchQuery::Knn { query: q.clone(), band: 6, k: 9 });
+        batch.push(QueryRequest::range(2.0).with_series(q.clone()).with_band(3));
+        batch.push(QueryRequest::knn(9).with_series(q.clone()).with_band(6));
     }
-    let out = engine.query_batch(&batch, &BatchOptions::default());
+    let out = engine
+        .try_query_batch(&batch, &BatchOptions::default())
+        .expect("digest workload is well-formed");
     let bits = out
-        .results
+        .outcomes
         .iter()
-        .fold(0u64, |h, r| h.wrapping_mul(37).wrapping_add(match_bits(&r.matches)));
-    let m: usize = out.results.iter().map(|r| r.matches.len()).sum();
+        .fold(0u64, |h, o| h.wrapping_mul(37).wrapping_add(match_bits(&o.result.matches)));
+    let m: usize = out.outcomes.iter().map(|o| o.result.matches.len()).sum();
     println!("{name} batch: m={m} bits={bits:x}");
 }
 

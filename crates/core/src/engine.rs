@@ -771,13 +771,22 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
     /// # Panics
     /// Panics if `query.len()` differs from the normal-form length or the
     /// query contains NaN/infinite samples.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a QueryRequest::range and use try_query (typed errors) or query"
+    )]
     pub fn range_query(&self, query: &[f64], band: usize, radius: f64) -> QueryResult {
+        #[allow(deprecated)]
         self.range_query_with(query, band, radius, &mut QueryScratch::new())
     }
 
     /// [`DtwIndexEngine::range_query`] computing in caller-provided scratch.
     /// Results and counters are identical to a fresh-scratch call — reuse
     /// only avoids the per-query row allocations.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a QueryRequest::range and use try_query_with (typed errors) or query_with"
+    )]
     pub fn range_query_with(
         &self,
         query: &[f64],
@@ -839,12 +848,21 @@ impl<T: EnvelopeTransform, I: SpatialIndex> DtwIndexEngine<T, I> {
     /// # Panics
     /// Panics if `query.len()` differs from the normal-form length or the
     /// query contains NaN/infinite samples.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a QueryRequest::knn and use try_query (typed errors) or query"
+    )]
     pub fn knn(&self, query: &[f64], band: usize, k: usize) -> QueryResult {
+        #[allow(deprecated)]
         self.knn_with(query, band, k, &mut QueryScratch::new())
     }
 
     /// [`DtwIndexEngine::knn`] computing in caller-provided scratch. Results
     /// and counters are identical to a fresh-scratch call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a QueryRequest::knn and use try_query_with (typed errors) or query_with"
+    )]
     pub fn knn_with(
         &self,
         query: &[f64],
@@ -1291,8 +1309,8 @@ impl<T: EnvelopeTransform + Sync, I: SpatialIndex + Sync> DtwIndexEngine<T, I> {
     /// deterministic chunk order.
     ///
     /// Every per-query result — matches *and* counters — is bit-identical
-    /// to the corresponding [`DtwIndexEngine::range_query`] /
-    /// [`DtwIndexEngine::knn`] call, for every thread count: each query runs
+    /// to the corresponding single-request [`DtwIndexEngine::try_query`]
+    /// call, for every thread count: each query runs
     /// the unmodified sequential code path against the immutable index, each
     /// worker owns a private [`QueryScratch`] (so PR 1's allocation-free
     /// kernel carries over), and the merge order is a function of the batch
@@ -1301,6 +1319,10 @@ impl<T: EnvelopeTransform + Sync, I: SpatialIndex + Sync> DtwIndexEngine<T, I> {
     ///
     /// # Panics
     /// Panics if any query has the wrong length or non-finite samples.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build QueryRequests and use try_query_batch (typed errors, traces, budgets)"
+    )]
     pub fn query_batch(&self, batch: &[BatchQuery], options: &BatchOptions) -> BatchResult {
         let requests: Vec<QueryRequest> = batch.iter().map(BatchQuery::to_request).collect();
         let outcome =
@@ -1464,13 +1486,31 @@ mod tests {
         engine
     }
 
+    fn range_of<T: EnvelopeTransform, I: SpatialIndex>(
+        engine: &DtwIndexEngine<T, I>,
+        query: &[f64],
+        band: usize,
+        radius: f64,
+    ) -> QueryResult {
+        engine.query(&QueryRequest::range(radius).with_series(query).with_band(band)).result
+    }
+
+    fn knn_of<T: EnvelopeTransform, I: SpatialIndex>(
+        engine: &DtwIndexEngine<T, I>,
+        query: &[f64],
+        band: usize,
+        k: usize,
+    ) -> QueryResult {
+        engine.query(&QueryRequest::knn(k).with_series(query).with_band(band)).result
+    }
+
     #[test]
     fn range_query_equals_brute_force() {
         let series = lcg_series(120, 64, 5);
         let engine = build_engine(&series);
         let query = &series[17];
         for (band, radius) in [(0usize, 1.0), (3, 2.0), (6, 4.0)] {
-            let fast = engine.range_query(query, band, radius);
+            let fast = range_of(&engine, query, band, radius);
             let slow = engine.scan_range(query, band, radius);
             assert_eq!(fast.matches, slow.matches, "band={band} r={radius}");
         }
@@ -1499,7 +1539,7 @@ mod tests {
                     engine.insert(i as ItemId, s.clone());
                 }
                 let mut got: Vec<ItemId> =
-                    engine.range_query(&query, band, radius).matches.iter().map(|m| m.0).collect();
+                    range_of(&engine, &query, band, radius).matches.iter().map(|m| m.0).collect();
                 got.sort_unstable();
                 assert_eq!(got, expected);
             }};
@@ -1515,7 +1555,7 @@ mod tests {
         let engine = build_engine(&series);
         let query = lcg_series(1, 64, 777).remove(0);
         for band in [0usize, 2, 5] {
-            let fast = engine.knn(&query, band, 10);
+            let fast = knn_of(&engine, &query, band, 10);
             let slow = engine.scan_knn(&query, band, 10);
             assert_eq!(fast.matches.len(), 10);
             for (f, s) in fast.matches.iter().zip(&slow.matches) {
@@ -1528,7 +1568,7 @@ mod tests {
     fn self_query_returns_self_first() {
         let series = lcg_series(60, 64, 3);
         let engine = build_engine(&series);
-        let result = engine.knn(&series[42], 2, 1);
+        let result = knn_of(&engine, &series[42], 2, 1);
         assert_eq!(result.matches[0].0, 42);
         assert!(result.matches[0].1 < 1e-12);
     }
@@ -1538,7 +1578,7 @@ mod tests {
         let series = lcg_series(600, 64, 31);
         let engine = build_engine(&series);
         let query = &series[0];
-        let result = engine.range_query(query, 2, 0.5);
+        let result = range_of(&engine, query, 2, 0.5);
         assert!(
             result.stats.index.points_examined < 600,
             "examined {}",
@@ -1569,8 +1609,8 @@ mod tests {
             new_engine.insert(i as ItemId, s.clone());
             keogh_engine.insert(i as ItemId, s.clone());
         }
-        let new_result = new_engine.range_query(&query, band, radius);
-        let keogh_result = keogh_engine.range_query(&query, band, radius);
+        let new_result = range_of(&new_engine, &query, band, radius);
+        let keogh_result = range_of(&keogh_engine, &query, band, radius);
         assert_eq!(new_result.matches, keogh_result.matches, "same exact answer");
         assert!(
             new_result.stats.index.candidates <= keogh_result.stats.index.candidates,
@@ -1598,8 +1638,8 @@ mod tests {
             with.insert(i as ItemId, s.clone());
             without.insert(i as ItemId, s.clone());
         }
-        let a = with.range_query(&query, 3, 2.5);
-        let b = without.range_query(&query, 3, 2.5);
+        let a = range_of(&with, &query, 3, 2.5);
+        let b = range_of(&without, &query, 3, 2.5);
         assert_eq!(a.matches, b.matches);
         assert!(a.stats.exact_computations <= b.stats.exact_computations);
     }
@@ -1612,9 +1652,9 @@ mod tests {
             RStarTree::new(4),
             EngineConfig::default(),
         );
-        assert!(engine.knn(&series[0], 2, 3).matches.is_empty());
+        assert!(knn_of(&engine, &series[0], 2, 3).matches.is_empty());
         engine.insert(0, series[0].clone());
-        assert!(engine.knn(&series[0], 2, 0).matches.is_empty());
+        assert!(knn_of(&engine, &series[0], 2, 0).matches.is_empty());
     }
 
     #[test]
@@ -1644,7 +1684,7 @@ mod tests {
                     .collect();
                 expected.sort_unstable();
                 let mut got: Vec<ItemId> =
-                    engine.range_query(&query, band, radius).matches.iter().map(|m| m.0).collect();
+                    range_of(&engine, &query, band, radius).matches.iter().map(|m| m.0).collect();
                 got.sort_unstable();
                 assert_eq!(got, expected);
             }};
@@ -1666,7 +1706,7 @@ mod tests {
         assert!(engine.remove(5));
         engine.insert(5, series[1].clone());
         assert_eq!(engine.len(), 1);
-        let top = engine.knn(&series[1], 2, 1);
+        let top = knn_of(&engine, &series[1], 2, 1);
         assert_eq!(top.matches[0].0, 5);
         assert!(top.matches[0].1 < 1e-12);
     }
@@ -1709,7 +1749,7 @@ mod tests {
         engine.insert(0, series[0].clone());
         let mut query = series[1].clone();
         query[3] = f64::NAN;
-        let _ = engine.range_query(&query, 2, 1.0);
+        let _ = range_of(&engine, &query, 2, 1.0);
     }
 
     #[test]
@@ -1724,7 +1764,7 @@ mod tests {
         engine.insert(0, series[0].clone());
         let mut query = series[1].clone();
         query[30] = f64::NEG_INFINITY;
-        let _ = engine.knn(&query, 2, 1);
+        let _ = knn_of(&engine, &query, 2, 1);
     }
 
     #[test]
@@ -1734,15 +1774,16 @@ mod tests {
         let queries = lcg_series(6, 64, 4711);
         let mut scratch = QueryScratch::new();
         for q in &queries {
-            let fresh_range = engine.range_query(q, 3, 2.0);
-            let reused_range = engine.range_query_with(q, 3, 2.0, &mut scratch);
-            assert_eq!(fresh_range, reused_range);
-            let fresh_knn = engine.knn(q, 3, 5);
-            let reused_knn = engine.knn_with(q, 3, 5, &mut scratch);
-            assert_eq!(fresh_knn, reused_knn);
+            let range = QueryRequest::range(2.0).with_series(q.clone()).with_band(3);
+            assert_eq!(engine.query(&range), engine.query_with(&range, &mut scratch));
+            let knn = QueryRequest::knn(5).with_series(q.clone()).with_band(3);
+            assert_eq!(engine.query(&knn), engine.query_with(&knn, &mut scratch));
         }
     }
 
+    // The deprecated BatchQuery delegate must keep matching single queries
+    // until it is removed.
+    #[allow(deprecated)]
     #[test]
     fn query_batch_matches_single_queries_for_every_thread_count() {
         let series = lcg_series(90, 64, 77);
@@ -1877,6 +1918,9 @@ mod tests {
         assert!(messages[2].contains("duplicate id 7"));
     }
 
+    // The deprecated positional delegates must stay bit-identical to the
+    // request API until they are removed.
+    #[allow(deprecated)]
     #[test]
     fn request_api_reproduces_legacy_entry_points() {
         let series = lcg_series(100, 64, 50);

@@ -47,11 +47,15 @@
 //!   recurrence, and a conservative `f32` prefilter. The `simd` cargo
 //!   feature selects the unrolled forms by default; results are
 //!   bit-identical either way.
+//! * [`session`] — incremental query sessions (query-as-you-hum):
+//!   [`session::QuerySession`] buffers raw frames, maintains a compensated
+//!   running mean and an extend-on-append envelope, and `refine()`s through
+//!   the same cascade — bit-identical to a one-shot query over the prefix.
 //!
 //! # Quick example
 //!
 //! ```
-//! use hum_core::engine::{DtwIndexEngine, EngineConfig};
+//! use hum_core::engine::{DtwIndexEngine, EngineConfig, QueryRequest};
 //! use hum_core::transform::paa::NewPaa;
 //! use hum_index::RStarTree;
 //!
@@ -68,8 +72,9 @@
 //! }
 //!
 //! // Range query under DTW with Sakoe-Chiba half-width 2: no false negatives.
-//! let result = engine.range_query(&db[3], 2, 0.5);
-//! assert!(result.matches.iter().any(|(id, _)| *id == 3));
+//! let request = QueryRequest::range(0.5).with_series(db[3].clone()).with_band(2);
+//! let outcome = engine.try_query(&request).unwrap();
+//! assert!(outcome.result.matches.iter().any(|(id, _)| *id == 3));
 //! ```
 
 pub mod batch;
@@ -80,6 +85,7 @@ pub mod kernel;
 pub mod l1;
 pub mod normal;
 pub mod obs;
+pub mod session;
 pub mod shard;
 pub mod subsequence;
 pub mod tightness;
@@ -88,4 +94,5 @@ pub mod upsample;
 
 pub use dtw::{band_for_warping_width, dtw_distance, ldtw_distance};
 pub use envelope::Envelope;
+pub use session::QuerySession;
 pub use transform::EnvelopeTransform;

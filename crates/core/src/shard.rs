@@ -307,6 +307,10 @@ impl<T: EnvelopeTransform + Sync, I: SpatialIndex + Sync> ShardedEngine<T, I> {
     /// # Panics
     /// Panics if the query is malformed (wrong length, non-finite samples,
     /// band too wide).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a QueryRequest::range and use try_query (typed errors) or query"
+    )]
     pub fn range_query(&self, query: &[f64], band: usize, radius: f64) -> QueryResult {
         let request = QueryRequest::range(radius).with_series(query).with_band(band);
         self.query(&request).result
@@ -319,6 +323,10 @@ impl<T: EnvelopeTransform + Sync, I: SpatialIndex + Sync> ShardedEngine<T, I> {
     /// # Panics
     /// Panics if the query is malformed (wrong length, non-finite samples,
     /// band too wide).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a QueryRequest::knn and use try_query (typed errors) or query"
+    )]
     pub fn knn(&self, query: &[f64], band: usize, k: usize) -> QueryResult {
         let request = QueryRequest::knn(k).with_series(query).with_band(band);
         self.query(&request).result
@@ -400,6 +408,10 @@ impl<T: EnvelopeTransform + Sync, I: SpatialIndex + Sync> ShardedEngine<T, I> {
     ///
     /// # Panics
     /// Panics if any query has the wrong length or non-finite samples.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build QueryRequests and use try_query_batch (typed errors, traces, budgets)"
+    )]
     pub fn query_batch(&self, batch: &[BatchQuery], options: &BatchOptions) -> BatchResult {
         let requests: Vec<QueryRequest> = batch.iter().map(BatchQuery::to_request).collect();
         let outcome = self.try_query_batch(&requests, options).unwrap_or_else(|e| panic!("{e}"));

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use hum_index::{ItemId, SpatialIndex};
 
 use crate::batch::{parallel_map_chunked, BatchOptions};
-use crate::engine::{DtwIndexEngine, EngineConfig, EngineError, EngineStats};
+use crate::engine::{DtwIndexEngine, EngineConfig, EngineError, EngineStats, QueryRequest};
 use crate::normal::NormalForm;
 use crate::transform::EnvelopeTransform;
 
@@ -176,8 +176,8 @@ impl<T: EnvelopeTransform, I: SpatialIndex> SubsequenceIndex<T, I> {
     /// at most `radius`.
     pub fn range_query(&self, query: &[f64], band: usize, radius: f64) -> SubsequenceResult {
         let normal_query = self.config.normal.apply(query);
-        let result = self.engine.range_query(&normal_query, band, radius);
-        self.annotate(result)
+        let request = QueryRequest::range(radius).with_series(normal_query).with_band(band);
+        self.annotate(self.engine.query(&request).result)
     }
 
     /// The `k` nearest windows. With `dedupe_sources`, only the best window
@@ -194,14 +194,16 @@ impl<T: EnvelopeTransform, I: SpatialIndex> SubsequenceIndex<T, I> {
         // it once, outside the over-fetch loop.
         let normal_query = self.config.normal.apply(query);
         if !dedupe_sources {
-            let result = self.engine.knn(&normal_query, band, k);
-            return self.annotate(result);
+            let request = QueryRequest::knn(k).with_series(normal_query).with_band(band);
+            return self.annotate(self.engine.query(&request).result);
         }
         // Over-fetch, keep the best hit per source, refill until k sources
         // or the index is exhausted.
         let mut fetch = k.max(1) * 4;
         loop {
-            let result = self.engine.knn(&normal_query, band, fetch);
+            let request =
+                QueryRequest::knn(fetch).with_series(normal_query.clone()).with_band(band);
+            let result = self.engine.query(&request).result;
             let fetched = result.matches.len();
             let mut annotated = self.annotate(result);
             let mut best: HashMap<ItemId, SubsequenceMatch> = HashMap::new();

@@ -1,8 +1,9 @@
 //! Determinism contract of the batched query layer: for any thread count
-//! and chunk size, `query_batch` must reproduce the sequential single-query
-//! loop bit for bit — both the matches and every [`EngineStats`] counter —
-//! and a batch's answers must be a per-query function, so permuting the
-//! batch permutes the results and leaves the merged counters untouched.
+//! and chunk size, `try_query_batch` must reproduce the sequential
+//! single-query loop bit for bit — both the matches and every
+//! [`EngineStats`] counter — and a batch's answers must be a per-query
+//! function, so permuting the batch permutes the results and leaves the
+//! merged counters untouched.
 //!
 //! Run under `HUM_THREADS=1` and `HUM_THREADS=8` in CI; the env override
 //! only feeds `BatchOptions::default()`, so the explicit sweeps here cover
@@ -10,7 +11,9 @@
 //! environment selected.
 
 use hum_core::batch::BatchOptions;
-use hum_core::engine::{BatchQuery, DtwIndexEngine, EngineConfig, EngineStats, QueryResult};
+use hum_core::engine::{
+    DtwIndexEngine, EngineConfig, EngineStats, QueryRequest, QueryResult,
+};
 use hum_core::transform::paa::NewPaa;
 use hum_index::{GridFile, LinearScan, RStarTree, SpatialIndex};
 use proptest::prelude::*;
@@ -49,35 +52,43 @@ fn build<I: SpatialIndex>(index: I, database: &[Vec<f64>]) -> DtwIndexEngine<New
 }
 
 /// A mixed range/k-NN batch from seeded queries.
-fn mixed_batch(queries: &[Vec<f64>]) -> Vec<BatchQuery> {
+fn mixed_batch(queries: &[Vec<f64>]) -> Vec<QueryRequest> {
     queries
         .iter()
         .enumerate()
         .map(|(i, q)| {
             if i % 2 == 0 {
-                BatchQuery::Knn { query: q.clone(), band: 3, k: 5 }
+                QueryRequest::knn(5).with_series(q.clone()).with_band(3)
             } else {
-                BatchQuery::Range { query: q.clone(), band: 2, radius: 2.0 }
+                QueryRequest::range(2.0).with_series(q.clone()).with_band(2)
             }
         })
         .collect()
 }
 
+fn run_batch<T, I>(
+    engine: &DtwIndexEngine<T, I>,
+    batch: &[QueryRequest],
+    options: &BatchOptions,
+) -> (Vec<QueryResult>, EngineStats)
+where
+    T: hum_core::transform::EnvelopeTransform + Sync,
+    I: SpatialIndex + Sync,
+{
+    let out = engine.try_query_batch(batch, options).expect("well-formed batch");
+    (out.outcomes.into_iter().map(|o| o.result).collect(), out.stats)
+}
+
 fn sequential_answers<T, I>(
     engine: &DtwIndexEngine<T, I>,
-    batch: &[BatchQuery],
+    batch: &[QueryRequest],
 ) -> (Vec<QueryResult>, EngineStats)
 where
     T: hum_core::transform::EnvelopeTransform,
     I: SpatialIndex,
 {
-    let results: Vec<QueryResult> = batch
-        .iter()
-        .map(|q| match q {
-            BatchQuery::Range { query, band, radius } => engine.range_query(query, *band, *radius),
-            BatchQuery::Knn { query, band, k } => engine.knn(query, *band, *k),
-        })
-        .collect();
+    let results: Vec<QueryResult> =
+        batch.iter().map(|request| engine.query(request).result).collect();
     let mut stats = EngineStats::default();
     for r in &results {
         stats.absorb(&r.stats);
@@ -91,19 +102,19 @@ fn assert_backend_deterministic<I: SpatialIndex + Sync>(
     name: &str,
     index: I,
     database: &[Vec<f64>],
-    batch: &[BatchQuery],
+    batch: &[QueryRequest],
 ) {
     let engine = build(index, database);
     let (expected_results, expected_stats) = sequential_answers(&engine, batch);
     for threads in [1, 2, 8] {
         for chunk in [1, 3, 64] {
-            let out = engine.query_batch(batch, &BatchOptions::new(threads, chunk));
+            let (results, stats) = run_batch(&engine, batch, &BatchOptions::new(threads, chunk));
             assert_eq!(
-                out.results, expected_results,
+                results, expected_results,
                 "{name}: threads={threads} chunk={chunk} changed the answers"
             );
             assert_eq!(
-                out.stats, expected_stats,
+                stats, expected_stats,
                 "{name}: threads={threads} chunk={chunk} changed the counters"
             );
         }
@@ -126,10 +137,9 @@ fn default_options_honor_environment() {
     let database = lcg_series(40, 5);
     let engine = build(RStarTree::new(4), &database);
     let batch = mixed_batch(&lcg_series(6, 99));
-    let via_default = engine.query_batch(&batch, &BatchOptions::default());
-    let via_one = engine.query_batch(&batch, &BatchOptions::new(1, 8));
-    assert_eq!(via_default.results, via_one.results);
-    assert_eq!(via_default.stats, via_one.stats);
+    let via_default = run_batch(&engine, &batch, &BatchOptions::default());
+    let via_one = run_batch(&engine, &batch, &BatchOptions::new(1, 8));
+    assert_eq!(via_default, via_one);
 }
 
 proptest! {
@@ -150,15 +160,15 @@ proptest! {
         let batch = mixed_batch(&lcg_series(8, seed ^ 0xdead_beef));
         let options = BatchOptions::new(threads, chunk);
 
-        let base = engine.query_batch(&batch, &options);
+        let (base_results, base_stats) = run_batch(&engine, &batch, &options);
 
         let mut rotated = batch.clone();
         rotated.rotate_left(rotation);
-        let got = engine.query_batch(&rotated, &options);
+        let (got_results, got_stats) = run_batch(&engine, &rotated, &options);
 
-        let mut expected = base.results.clone();
+        let mut expected = base_results.clone();
         expected.rotate_left(rotation);
-        prop_assert_eq!(got.results, expected);
-        prop_assert_eq!(got.stats, base.stats);
+        prop_assert_eq!(got_results, expected);
+        prop_assert_eq!(got_stats, base_stats);
     }
 }

@@ -4,7 +4,7 @@
 //! invisible in the answers — same ids, bit-identical distances — on every
 //! index backend.
 
-use hum_core::engine::{DtwIndexEngine, EngineConfig};
+use hum_core::engine::{DtwIndexEngine, EngineConfig, QueryRequest};
 use hum_core::transform::paa::NewPaa;
 use hum_index::{GridFile, LinearScan, RStarTree, SpatialIndex};
 use proptest::prelude::*;
@@ -53,11 +53,13 @@ fn answers<I: SpatialIndex>(
     let bits = |matches: &[(u64, f64)]| {
         matches.iter().map(|&(id, d)| (id, d.to_bits())).collect::<Vec<_>>()
     };
+    let range = QueryRequest::range(radius).with_series(query).with_band(band);
+    let knn = QueryRequest::knn(k).with_series(query).with_band(band);
     vec![
-        bits(&engine.range_query(query, band, radius).matches),
-        bits(&engine.knn(query, band, k).matches),
-        bits(&engine.scan_range(query, band, radius).matches),
-        bits(&engine.scan_knn(query, band, k).matches),
+        bits(&engine.query(&range).result.matches),
+        bits(&engine.query(&knn).result.matches),
+        bits(&engine.query(&range.clone().with_scan(true)).result.matches),
+        bits(&engine.query(&knn.clone().with_scan(true)).result.matches),
     ]
 }
 

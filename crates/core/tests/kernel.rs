@@ -10,7 +10,7 @@
 //!    classic branchy row loop bit for bit.
 
 use hum_core::dtw::{ldtw_distance_sq_bounded_with_mode, DtwWorkspace};
-use hum_core::engine::{DtwIndexEngine, EngineConfig, QueryScratch};
+use hum_core::engine::{DtwIndexEngine, EngineConfig, QueryRequest, QueryScratch};
 use hum_core::envelope::Envelope;
 use hum_core::kernel::lb::env_lb_sq_bounded;
 use hum_core::kernel::prefilter::{
@@ -259,12 +259,14 @@ proptest! {
                 linear.insert(i as u64, s.clone());
             }
             let mut scratch = QueryScratch::new();
+            let range = QueryRequest::range(radius).with_series(query.clone()).with_band(band);
+            let knn = QueryRequest::knn(k).with_series(query.clone()).with_band(band);
             let outputs = (
-                engine.range_query_with(&query, band, radius, &mut scratch),
-                engine.knn_with(&query, band, k, &mut scratch),
+                engine.query_with(&range, &mut scratch).result,
+                engine.query_with(&knn, &mut scratch).result,
                 engine.scan_range(&query, band, radius),
-                linear.range_query(&query, band, radius),
-                linear.knn(&query, band, k),
+                linear.query(&range).result,
+                linear.query(&knn).result,
             );
             match &reference {
                 None => reference = Some(outputs),
@@ -290,12 +292,14 @@ fn scratch_reuse_across_mixed_queries_is_invisible() {
     let mut scratch = QueryScratch::new();
     let mut first = Vec::new();
     for (band, radius) in [(0usize, 2.0), (5, 8.0), (2, 4.0), (7, 1.0)] {
-        first.push(engine.range_query_with(&query, band, radius, &mut scratch));
+        let request = QueryRequest::range(radius).with_series(query.clone()).with_band(band);
+        first.push(engine.query_with(&request, &mut scratch).result);
     }
     // Same queries, fresh scratch each: must agree exactly.
     for ((band, radius), want) in [(0usize, 2.0), (5, 8.0), (2, 4.0), (7, 1.0)].iter().zip(&first)
     {
-        let got = engine.range_query_with(&query, *band, *radius, &mut QueryScratch::new());
+        let request = QueryRequest::range(*radius).with_series(query.clone()).with_band(*band);
+        let got = engine.query_with(&request, &mut QueryScratch::new()).result;
         assert_eq!(&got, want);
     }
 }

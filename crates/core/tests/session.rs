@@ -1,0 +1,270 @@
+//! The linchpin invariant of streaming sessions: `refine()` after any
+//! sequence of appends is **bit-identical** — matches, counters, and trace
+//! — to a one-shot query over the same prefix, at every shard count and
+//! [`KernelMode`], for range and k-NN alike. Plus the compensated-mean and
+//! incremental-envelope properties that keep the session's internal state
+//! honest over long streams.
+
+use std::time::Duration;
+
+use hum_core::engine::{
+    DtwIndexEngine, EngineConfig, EngineError, QueryBudget, QueryRequest, QueryScratch,
+};
+use hum_core::kernel::KernelMode;
+use hum_core::normal::NormalForm;
+use hum_core::session::{kahan_sum, IncrementalEnvelope, KahanSum, QuerySession};
+use hum_core::shard::ShardedEngine;
+use hum_core::transform::paa::NewPaa;
+use hum_core::Envelope;
+use hum_index::{ItemId, RStarTree};
+use proptest::prelude::*;
+
+const LEN: usize = 64;
+const DIMS: usize = 8;
+const BAND: usize = 4;
+
+/// Deterministic raw "hums": random-walk pitch contours of varying length,
+/// the shape the session ingests before normalization.
+fn raw_hums(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    let mut next = move || {
+        state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    (0..n)
+        .map(|i| {
+            let len = 48 + (i * 13) % 90;
+            let mut pitch = 60.0;
+            (0..len)
+                .map(|_| {
+                    pitch += next() * 2.0;
+                    pitch
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn sharded(
+    corpus: &[Vec<f64>],
+    normal: &NormalForm,
+    shards: usize,
+    kernel: KernelMode,
+) -> ShardedEngine<NewPaa, RStarTree> {
+    let config = EngineConfig { kernel, ..EngineConfig::default() };
+    let mut engine = ShardedEngine::build(shards, |_| {
+        DtwIndexEngine::new(NewPaa::new(LEN, DIMS), RStarTree::with_page_size(DIMS, 1024), config)
+    });
+    for (i, hum) in corpus.iter().enumerate() {
+        engine.try_insert(i as ItemId, normal.apply(hum)).expect("insert normal form");
+    }
+    engine
+}
+
+/// The one-shot path a non-streaming caller takes: normalize the whole
+/// prefix, build a request, query.
+fn one_shot(
+    engine: &ShardedEngine<NewPaa, RStarTree>,
+    normal: &NormalForm,
+    template: &QueryRequest,
+    prefix: &[f64],
+) -> Result<hum_core::engine::QueryOutcome, EngineError> {
+    let request =
+        template.clone().with_series(normal.apply(prefix)).with_budget(QueryBudget::unlimited());
+    engine.try_query(&request)
+}
+
+/// The linchpin: stream a hum in uneven chunks; after every append the
+/// session's refinement equals the one-shot answer over the same prefix —
+/// whole [`QueryOutcome`]s compared (matches AND counters AND trace), over
+/// shards {1, 4} × KernelMode {Scalar, Unrolled} × {k-NN, range}.
+#[test]
+fn refine_is_bit_identical_to_one_shot_over_every_prefix() {
+    let corpus = raw_hums(40, 7);
+    let query_hum = raw_hums(41, 99).pop().expect("one hum");
+    let normal = NormalForm::with_length(LEN);
+    let templates = [
+        QueryRequest::knn(5).with_band(BAND).with_trace(true),
+        QueryRequest::range(2.5).with_band(BAND).with_trace(true),
+    ];
+    for shards in [1usize, 4] {
+        for kernel in [KernelMode::Scalar, KernelMode::Unrolled] {
+            let engine = sharded(&corpus, &normal, shards, kernel);
+            for template in &templates {
+                let mut session = QuerySession::new(template.clone(), normal);
+                let mut scratch = QueryScratch::new();
+                let mut consumed = 0usize;
+                // Uneven chunk sizes exercise append batching; every
+                // checkpoint must agree with the one-shot prefix query.
+                for chunk in [3usize, 1, 7, 11, 2, 19, 30].iter().cycle() {
+                    if consumed >= query_hum.len() {
+                        break;
+                    }
+                    let end = (consumed + chunk).min(query_hum.len());
+                    session.append(&query_hum[consumed..end]).expect("finite frames");
+                    consumed = end;
+                    let refined = session
+                        .refine(&engine, QueryBudget::unlimited(), &mut scratch)
+                        .expect("refine");
+                    let reference = one_shot(&engine, &normal, template, &query_hum[..consumed])
+                        .expect("one-shot");
+                    assert_eq!(
+                        refined, reference,
+                        "refine != one-shot at prefix {consumed} (shards={shards}, {kernel:?})"
+                    );
+                }
+                assert_eq!(consumed, query_hum.len());
+            }
+        }
+    }
+}
+
+/// Refining an empty session is a typed error, not a panic or an empty
+/// answer; the session stays usable afterwards.
+#[test]
+fn refine_on_empty_session_is_a_typed_error() {
+    let corpus = raw_hums(10, 3);
+    let normal = NormalForm::with_length(LEN);
+    let engine = sharded(&corpus, &normal, 2, KernelMode::default());
+    let mut session = QuerySession::new(QueryRequest::knn(3).with_band(BAND), normal);
+    let mut scratch = QueryScratch::new();
+    assert_eq!(
+        session.refine(&engine, QueryBudget::unlimited(), &mut scratch).unwrap_err(),
+        EngineError::EmptyQuery
+    );
+    session.append(&corpus[0]).expect("finite frames");
+    assert!(session.refine(&engine, QueryBudget::unlimited(), &mut scratch).is_ok());
+}
+
+/// An already-expired budget aborts the refinement with the partial work
+/// counters — the session itself is untouched and refines fine afterwards.
+#[test]
+fn expired_budget_mid_refine_returns_partial_stats() {
+    let corpus = raw_hums(30, 5);
+    let normal = NormalForm::with_length(LEN);
+    let engine = sharded(&corpus, &normal, 1, KernelMode::default());
+    let mut session = QuerySession::new(QueryRequest::knn(4).with_band(BAND), normal);
+    let mut scratch = QueryScratch::new();
+    session.append(&corpus[7]).expect("finite frames");
+    match session.refine(&engine, QueryBudget::within(Duration::ZERO), &mut scratch) {
+        Err(EngineError::DeadlineExceeded { stats }) => {
+            // Partial counters report work-so-far; matches are never
+            // partially reported.
+            assert_eq!(stats.matches, 0);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let ok = session.refine(&engine, QueryBudget::unlimited(), &mut scratch).expect("refine");
+    assert_eq!(ok.result.matches.len(), 4);
+}
+
+/// Monolithic refinement equals sharded refinement (the session adds no
+/// engine-shape dependence of its own).
+#[test]
+fn monolithic_and_sharded_refinement_agree() {
+    let corpus = raw_hums(25, 11);
+    let normal = NormalForm::with_length(LEN);
+    let config = EngineConfig::default();
+    let mut mono =
+        DtwIndexEngine::new(NewPaa::new(LEN, DIMS), RStarTree::with_page_size(DIMS, 1024), config);
+    for (i, hum) in corpus.iter().enumerate() {
+        mono.try_insert(i as ItemId, normal.apply(hum)).expect("insert");
+    }
+    let engine = sharded(&corpus, &normal, 4, KernelMode::default());
+    let mut session = QuerySession::new(QueryRequest::knn(6).with_band(BAND), normal);
+    let mut scratch = QueryScratch::new();
+    session.append(&corpus[12]).expect("finite frames");
+    let via_mono =
+        session.refine_monolithic(&mono, QueryBudget::unlimited(), &mut scratch).expect("mono");
+    let via_shards =
+        session.refine(&engine, QueryBudget::unlimited(), &mut scratch).expect("sharded");
+    assert_eq!(via_mono.result.matches, via_shards.result.matches);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Satellite bugfix invariant: the session's incremental compensated
+    /// mean matches a full compensated recompute **to the last ulp** after
+    /// 10^4 appends in arbitrary chunkings, on adversarial magnitudes.
+    #[test]
+    fn incremental_kahan_mean_matches_batch_recompute_over_1e4_appends(
+        seed in any::<u64>(),
+        scale_exp in -6i32..7,
+    ) {
+        let scale = 10f64.powi(scale_exp);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let frames: Vec<f64> = (0..10_000).map(|i| {
+            // Mix magnitudes so naive summation actually drifts.
+            let wobble = if i % 97 == 0 { 1e6 } else { 1.0 };
+            next() * scale * wobble + 60.0
+        }).collect();
+
+        let mut acc = KahanSum::new();
+        let mut session = QuerySession::new(
+            QueryRequest::knn(1).with_band(BAND),
+            NormalForm::with_length(LEN),
+        );
+        let mut consumed = 0usize;
+        let mut chunk = 1usize;
+        while consumed < frames.len() {
+            let end = (consumed + chunk).min(frames.len());
+            for &v in &frames[consumed..end] {
+                acc.add(v);
+            }
+            session.append(&frames[consumed..end]).expect("finite frames");
+            consumed = end;
+            chunk = chunk % 37 + 1;
+            // Every checkpoint, not just the end: the incremental mean is
+            // bitwise the batch compensated recompute over the prefix.
+            let batch = kahan_sum(&frames[..consumed]) / consumed as f64;
+            prop_assert_eq!(session.running_mean().to_bits(), batch.to_bits());
+        }
+        prop_assert_eq!(acc.value().to_bits(), kahan_sum(&frames).to_bits());
+    }
+
+    /// The extend-on-append envelope is bitwise the full recompute on
+    /// every prefix, for arbitrary data and window widths — including the
+    /// deque's latest-wins tie rule (signed zeros pinned in unit tests).
+    #[test]
+    fn incremental_envelope_matches_full_recompute(
+        xs in proptest::collection::vec(-50.0f64..50.0, 1..160),
+        k in 0usize..12,
+    ) {
+        let mut inc = IncrementalEnvelope::new(k);
+        for (n, &v) in xs.iter().enumerate() {
+            inc.append(v);
+            let full = Envelope::compute(&xs[..=n], k);
+            prop_assert_eq!(inc.lower(), full.lower());
+            prop_assert_eq!(inc.upper(), full.upper());
+        }
+    }
+
+    /// The session's shift-normalized envelope equals the envelope of the
+    /// explicitly shifted series, bit for bit (min/max commute with the
+    /// shift), at every prefix.
+    #[test]
+    fn session_envelope_tracks_the_shifted_series(
+        xs in proptest::collection::vec(30.0f64..90.0, 1..120),
+        band in 0usize..8,
+    ) {
+        let mut session = QuerySession::new(
+            QueryRequest::knn(1).with_band(band),
+            NormalForm::with_length(16),
+        );
+        for (n, &v) in xs.iter().enumerate() {
+            session.append(&[v]).expect("finite frames");
+            let mu = session.running_mean();
+            let shifted: Vec<f64> = xs[..=n].iter().map(|x| x - mu).collect();
+            let expected = Envelope::compute(&shifted, band);
+            let got = session.envelope().expect("non-empty");
+            let bits = |s: &[f64]| s.iter().map(|v| v.to_bits()).collect::<Vec<u64>>();
+            prop_assert_eq!(bits(got.lower()), bits(expected.lower()));
+            prop_assert_eq!(bits(got.upper()), bits(expected.upper()));
+        }
+    }
+}

@@ -6,7 +6,7 @@
 
 use hum_core::batch::BatchOptions;
 use hum_core::engine::{
-    BatchQuery, DtwIndexEngine, EngineConfig, EngineError, QueryBudget, QueryRequest,
+    DtwIndexEngine, EngineConfig, EngineError, QueryBudget, QueryRequest,
 };
 use hum_core::shard::{shard_for, ShardedEngine};
 use hum_core::transform::paa::NewPaa;
@@ -142,15 +142,15 @@ fn sharded_batch_query_api_matches_monolithic() {
     let series = lcg_series(60, 17);
     let mono = monolithic(&series);
     let engine = sharded(&series, 3, 2);
-    let batch: Vec<BatchQuery> = vec![
-        BatchQuery::Range { query: series[5].clone(), band: BAND, radius: 2.5 },
-        BatchQuery::Knn { query: series[9].clone(), band: BAND, k: 7 },
+    let batch: Vec<QueryRequest> = vec![
+        QueryRequest::range(2.5).with_series(series[5].clone()).with_band(BAND),
+        QueryRequest::knn(7).with_series(series[9].clone()).with_band(BAND),
     ];
     let options = BatchOptions::new(2, 1);
-    let mono_result = mono.query_batch(&batch, &options);
-    let sharded_result = engine.query_batch(&batch, &options);
-    for (m, s) in mono_result.results.iter().zip(&sharded_result.results) {
-        assert_eq!(m.matches, s.matches);
+    let mono_result = mono.try_query_batch(&batch, &options).expect("well-formed batch");
+    let sharded_result = engine.try_query_batch(&batch, &options).expect("well-formed batch");
+    for (m, s) in mono_result.outcomes.iter().zip(&sharded_result.outcomes) {
+        assert_eq!(m.result.matches, s.result.matches);
     }
 }
 
@@ -175,7 +175,8 @@ fn inserts_route_by_hash_and_removals_round_trip() {
     assert_eq!(engine.get(7), None);
     // Re-insert lands back on the same shard and is queryable again.
     engine.insert(7, series[7].clone());
-    let result = engine.knn(&series[7], BAND, 1);
+    let request = QueryRequest::knn(1).with_series(series[7].clone()).with_band(BAND);
+    let result = engine.query(&request).result;
     assert_eq!(result.matches[0].0, 7);
 }
 
@@ -221,10 +222,13 @@ fn edge_shard_counts_behave() {
     let engine = sharded(&series, 8, 2);
     let mono = monolithic(&series);
     let q = &series[3];
-    assert_eq!(engine.knn(q, BAND, 20).matches, mono.knn(q, BAND, 20).matches);
-    assert_eq!(engine.range_query(q, BAND, 5.0).matches, mono.range_query(q, BAND, 5.0).matches);
+    let knn20 = QueryRequest::knn(20).with_series(q.clone()).with_band(BAND);
+    let range5 = QueryRequest::range(5.0).with_series(q.clone()).with_band(BAND);
+    assert_eq!(engine.query(&knn20).result.matches, mono.query(&knn20).result.matches);
+    assert_eq!(engine.query(&range5).result.matches, mono.query(&range5).result.matches);
     // k = 0 and an empty corpus are still no-ops.
-    assert!(engine.knn(q, BAND, 0).matches.is_empty());
+    let knn0 = QueryRequest::knn(0).with_series(q.clone()).with_band(BAND);
+    assert!(engine.query(&knn0).result.matches.is_empty());
     let empty = ShardedEngine::build(3, |_| {
         DtwIndexEngine::new(
             NewPaa::new(LEN, DIMS),
@@ -232,6 +236,7 @@ fn edge_shard_counts_behave() {
             EngineConfig::default(),
         )
     });
-    assert!(empty.knn(q, BAND, 5).matches.is_empty());
-    assert!(empty.range_query(q, BAND, 5.0).matches.is_empty());
+    let knn5 = QueryRequest::knn(5).with_series(q.clone()).with_band(BAND);
+    assert!(empty.query(&knn5).result.matches.is_empty());
+    assert!(empty.query(&range5).result.matches.is_empty());
 }

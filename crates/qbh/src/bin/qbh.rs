@@ -6,9 +6,14 @@
 //! qbh index    <dir> <out.humidx>             persist the corpus as one binary file
 //! qbh hum      <dir> <name.mid> <out.wav>     synthesize a hum of one melody
 //!              [--singer good|poor] [--seed S]
+//!              [--stream ADDR] [--top K] [--chunk-frames N]
+//!                                             and/or stream it to a running
+//!                                             server, printing the top-k as
+//!                                             it refines with each chunk
 //! qbh query    <dir|file.humidx> <hum.wav> [--top K]
 //!                                             find a hummed melody in the corpus
 //! qbh serve    <file.humidx> [--addr A] [--workers N] [--queue-depth D]
+//!              [--max-sessions N]
 //!              [--default-deadline-ms MS] [--shards N]
 //!              [--allow-remote-shutdown]      serve the index over TCP
 //! ```
@@ -113,10 +118,11 @@ fn main() -> ExitCode {
 fn usage_text() -> &'static str {
     "usage:\n  qbh generate <dir> [--songs N] [--seed S]\n  qbh info <dir>\n  \
      qbh index <dir> <out.humidx>\n  \
-     qbh hum <dir> <name.mid> <out.wav> [--singer good|poor] [--seed S]\n  \
+     qbh hum <dir> <name.mid> <out.wav> [--singer good|poor] [--seed S]\n          \
+[--stream ADDR] [--top K] [--chunk-frames N]\n  \
      qbh query <dir|file.humidx> <hum.wav> [--top K]\n  \
      qbh serve <file.humidx> [--addr A] [--workers N] [--queue-depth D] \
-[--default-deadline-ms MS] [--shards N] [--allow-remote-shutdown]"
+[--default-deadline-ms MS] [--shards N] [--max-sessions N] [--allow-remote-shutdown]"
 }
 
 fn usage() {
@@ -253,6 +259,70 @@ fn cmd_hum(args: &[String]) -> Result<(), CliError> {
         audio.len() as f64 / 8_000.0,
         out.display()
     );
+
+    if let Some(addr) = string_flag(args, "--stream")? {
+        let top = flag_value(args, "--top")?.unwrap_or(5) as usize;
+        let chunk = flag_value(args, "--chunk-frames")?.unwrap_or(16).max(1) as usize;
+        stream_hum(&audio, 8_000, &addr, top, chunk)?;
+    }
+    Ok(())
+}
+
+/// Query-as-you-hum against a running `qbh serve`: pitch-track the hum,
+/// open a streaming session, and refine after every appended chunk,
+/// printing the top-k as it sharpens.
+fn stream_hum(
+    audio: &[f64],
+    sample_rate: u32,
+    addr: &str,
+    top: usize,
+    chunk: usize,
+) -> Result<(), CliError> {
+    let tracker = hum_audio::PitchTrackerConfig {
+        sample_rate,
+        ..hum_audio::PitchTrackerConfig::default()
+    };
+    let frames = hum_audio::track_pitch(audio, &tracker).voiced_series();
+    if frames.is_empty() {
+        return Err(CliError::Server("no voiced frames to stream".to_string()));
+    }
+
+    let connect = |e| CliError::Server(format!("cannot stream to {addr}: {e}"));
+    let mut client = hum_server::Client::connect(addr).map_err(connect)?;
+    let hello = client
+        .hello(hum_server::PROTOCOL_VERSION)
+        .map_err(|e| CliError::Server(format!("handshake with {addr} failed: {e}")))?;
+    if hello.version < hum_server::PROTOCOL_VERSION {
+        return Err(CliError::Server(format!(
+            "{addr} speaks protocol v{} (< v{}); it has no streaming sessions",
+            hello.version,
+            hum_server::PROTOCOL_VERSION
+        )));
+    }
+
+    let wire = |e| CliError::Server(format!("streaming to {addr} failed: {e}"));
+    let session = client
+        .open_session(
+            hum_server::ServiceQuery::Knn { k: top },
+            &hum_server::QueryOptions::default(),
+        )
+        .map_err(wire)?;
+    eprintln!(
+        "Streaming {} voiced frames to {addr} (session {session}, chunks of {chunk})...",
+        frames.len()
+    );
+    for batch in frames.chunks(chunk) {
+        let total = client.append_frames(session, batch).map_err(wire)?;
+        let refined = client.refine(session, None).map_err(wire)?;
+        let line: Vec<String> = refined
+            .reply
+            .matches
+            .iter()
+            .map(|m| format!("#{} ({:.3})", m.id, m.distance))
+            .collect();
+        println!("[{total:>4} frames] top-{top}: {}", line.join("  "));
+    }
+    client.close_session(session).map_err(wire)?;
     Ok(())
 }
 
@@ -331,6 +401,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         flag_value(args, "--default-deadline-ms")?.map(std::time::Duration::from_millis);
     let shards = flag_value(args, "--shards")?.map(|n| n.max(1) as usize);
     let allow_remote_shutdown = args.iter().any(|a| a == "--allow-remote-shutdown");
+    let max_sessions = flag_value(args, "--max-sessions")?
+        .map(|n| n.max(1) as usize)
+        .unwrap_or(ServerConfig::default().max_sessions);
 
     // One shared registry records both server counters (connections, queue
     // high water, rejections) and engine counters (queries, DP cells).
@@ -351,6 +424,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         queue_depth,
         default_deadline,
         allow_remote_shutdown,
+        max_sessions,
         metrics: metrics.clone(),
         ..ServerConfig::default()
     };

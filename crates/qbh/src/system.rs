@@ -11,10 +11,11 @@ use hum_audio::{track_pitch, PitchTrackerConfig};
 use hum_core::batch::BatchOptions;
 use hum_core::dtw::band_for_warping_width;
 use hum_core::engine::{
-    check_finite, BatchQuery, DtwIndexEngine, EngineConfig, EngineError, EngineStats,
-    QueryRequest, QueryScratch,
+    check_finite, DtwIndexEngine, EngineConfig, EngineError, EngineStats, QueryRequest,
+    QueryScratch,
 };
 use hum_core::normal::NormalForm;
+use hum_core::session::QuerySession;
 use hum_core::obs::{MetricsSink, QueryTrace};
 use hum_core::shard::ShardedEngine;
 use hum_core::transform::dft::Dft;
@@ -302,12 +303,62 @@ impl QbhSystem {
         self.engine.metrics()
     }
 
+    /// Opens an incremental query session: the request template's kind,
+    /// band, trace, and scan settings apply to every refinement (any
+    /// series already on the template is ignored — frames stream in
+    /// through [`QuerySession::append`]). Use [`QbhSystem::band`] for the
+    /// configured warping width. The session owns the incremental
+    /// normal-form state; [`QbhSystem::try_refine_session`] answers the
+    /// query over everything appended so far, bit-identical to a one-shot
+    /// [`QbhSystem::try_query_request`] over the same prefix.
+    pub fn open_session(&self, template: QueryRequest) -> QuerySession {
+        QuerySession::new(template, self.normal)
+    }
+
+    /// Refines a session: answers its query over every frame appended so
+    /// far, annotated with provenance. The session's template budget
+    /// governs the deadline (attach one with
+    /// [`QueryRequest::with_budget`] before opening, or use the
+    /// scratch-reusing form).
+    ///
+    /// # Errors
+    /// [`EngineError::EmptyQuery`] before the first append, plus anything
+    /// the engine reports — [`EngineError::DeadlineExceeded`] carries the
+    /// partial counters when the budget expires mid-refinement.
+    pub fn try_refine_session(
+        &self,
+        session: &QuerySession,
+    ) -> Result<(QbhResults, Option<QueryTrace>), EngineError> {
+        let mut scratch = QueryScratch::new();
+        self.try_refine_session_with(session, &mut scratch)
+    }
+
+    /// [`QbhSystem::try_refine_session`] computing in caller-provided
+    /// scratch — the serving path reuses one scratch per worker. Results
+    /// and counters are identical to the fresh-scratch form.
+    ///
+    /// # Errors
+    /// Same as [`QbhSystem::try_refine_session`].
+    pub fn try_refine_session_with(
+        &self,
+        session: &QuerySession,
+        scratch: &mut QueryScratch,
+    ) -> Result<(QbhResults, Option<QueryTrace>), EngineError> {
+        let budget = session.template().budget();
+        let outcome = session.refine(&self.engine, budget, scratch)?;
+        Ok((self.annotate(outcome.result), outcome.trace))
+    }
+
     /// Executes a [`QueryRequest`] on a hummed pitch series: the series is
     /// normalized and attached to the request (any series already on the
     /// request is replaced), so callers only choose kind, band, trace, and
     /// scan fallback. Use [`QbhSystem::band`] for the configured warping
     /// width. Returns annotated results plus the cascade trace when the
     /// request asked for one.
+    ///
+    /// Implemented as a degenerate session — open, append everything,
+    /// refine once — so the one-shot and streaming surfaces cannot drift:
+    /// there is exactly one path from raw frames to the engine.
     ///
     /// # Errors
     /// [`EngineError::EmptyQuery`] on an empty pitch series, plus anything
@@ -317,14 +368,8 @@ impl QbhSystem {
         pitch_series: &[f64],
         request: QueryRequest,
     ) -> Result<(QbhResults, Option<QueryTrace>), EngineError> {
-        if pitch_series.is_empty() {
-            // Report before `NormalForm::apply`, which cannot resample an
-            // empty series.
-            return Err(EngineError::EmptyQuery);
-        }
-        let request = request.with_series(self.normal.apply(pitch_series));
-        let outcome = self.engine.try_query(&request)?;
-        Ok((self.annotate(outcome.result), outcome.trace))
+        let mut scratch = QueryScratch::new();
+        self.try_query_request_with(pitch_series, request, &mut scratch)
     }
 
     /// [`QbhSystem::try_query_request`] computing in caller-provided
@@ -339,12 +384,11 @@ impl QbhSystem {
         request: QueryRequest,
         scratch: &mut QueryScratch,
     ) -> Result<(QbhResults, Option<QueryTrace>), EngineError> {
-        if pitch_series.is_empty() {
-            return Err(EngineError::EmptyQuery);
-        }
-        let request = request.with_series(self.normal.apply(pitch_series));
-        let outcome = self.engine.try_query_with(&request, scratch)?;
-        Ok((self.annotate(outcome.result), outcome.trace))
+        let mut session = self.open_session(request);
+        // An empty series leaves the session empty; refinement reports
+        // `EmptyQuery` before `NormalForm::apply` could see it.
+        session.append(pitch_series)?;
+        self.try_refine_session_with(&session, scratch)
     }
 
     /// Live insert: renders a raw (hummed-scale) pitch series to normal
@@ -407,16 +451,16 @@ impl QbhSystem {
     /// Panics on an empty pitch series.
     pub fn query_series_banded(&self, pitch_series: &[f64], band: usize, k: usize) -> QbhResults {
         let query = self.normal.apply(pitch_series);
-        let result = self.engine.knn(&query, band, k);
-        self.annotate(result)
+        let request = QueryRequest::knn(k).with_series(query).with_band(band);
+        self.annotate(self.engine.query(&request).result)
     }
 
     /// ε-range query on the normal-form DTW distance (used by the candidate
     /// and page-access experiments).
     pub fn range_query(&self, pitch_series: &[f64], band: usize, radius: f64) -> QbhResults {
         let query = self.normal.apply(pitch_series);
-        let result = self.engine.range_query(&query, band, radius);
-        self.annotate(result)
+        let request = QueryRequest::range(radius).with_series(query).with_band(band);
+        self.annotate(self.engine.query(&request).result)
     }
 
     /// Batched [`QbhSystem::query_series`]: top-`k` matches for each of `n`
@@ -430,19 +474,18 @@ impl QbhSystem {
         k: usize,
         options: &BatchOptions,
     ) -> Vec<QbhResults> {
-        let batch: Vec<BatchQuery> = pitch_series
+        let batch: Vec<QueryRequest> = pitch_series
             .iter()
-            .map(|series| BatchQuery::Knn {
-                query: self.normal.apply(series),
-                band: self.band,
-                k,
+            .map(|series| {
+                QueryRequest::knn(k).with_series(self.normal.apply(series)).with_band(self.band)
             })
             .collect();
         self.engine
-            .query_batch(&batch, options)
-            .results
+            .try_query_batch(&batch, options)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .outcomes
             .into_iter()
-            .map(|r| self.annotate(r))
+            .map(|o| self.annotate(o.result))
             .collect()
     }
 
@@ -713,6 +756,34 @@ mod tests {
         }
         assert_eq!(system.len(), before, "failed insert must not change the system");
         assert!(!system.try_remove(8_000));
+    }
+
+    #[test]
+    fn streaming_session_matches_one_shot_at_every_checkpoint() {
+        let db = small_db();
+        let system = QbhSystem::build(&db, &QbhConfig { shards: 3, ..QbhConfig::default() });
+        let mut singer = HummingSimulator::new(SingerProfile::good(), 77);
+        let hum = singer.sing_series(db.entry(19).unwrap().melody(), 0.01);
+
+        let template = QueryRequest::knn(5).with_band(system.band()).with_trace(true);
+        let mut session = system.open_session(template.clone());
+        assert_eq!(
+            system.try_refine_session(&session).unwrap_err(),
+            EngineError::EmptyQuery
+        );
+        let mut scratch = QueryScratch::new();
+        for chunk in hum.chunks(13) {
+            session.append(chunk).unwrap();
+            let streamed =
+                system.try_refine_session_with(&session, &mut scratch).unwrap();
+            let one_shot = system
+                .try_query_request(session.frames(), template.clone())
+                .unwrap();
+            assert_eq!(streamed, one_shot, "prefix of {} frames", session.len());
+        }
+        // The fully-streamed hum answers exactly like the legacy surface.
+        let (results, _) = system.try_query_request(&hum, template).unwrap();
+        assert_eq!(results, system.query_series_banded(&hum, system.band(), 5));
     }
 
     #[test]

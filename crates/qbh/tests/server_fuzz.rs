@@ -89,7 +89,7 @@ fn garbage_json_and_wrong_shapes_get_typed_errors_on_a_live_connection() {
         (b"", "protocol"),
         (b"{\"op\":\"knn\"", "protocol"),
         (b"\xff\xfe\x00garbage", "protocol"),
-        (b"{\"op\":\"warp\"}", "bad_request"),
+        (b"{\"op\":\"warp\"}", "unsupported"),
         (b"{\"op\":\"knn\",\"pitch\":\"sixty\",\"k\":3}", "bad_request"),
         (b"{\"op\":\"knn\",\"pitch\":[60.0],\"k\":-2}", "bad_request"),
         (b"{\"op\":\"knn\",\"pitch\":[60.0,null],\"k\":1}", "bad_request"),
@@ -104,6 +104,9 @@ fn garbage_json_and_wrong_shapes_get_typed_errors_on_a_live_connection() {
             }
             Err(ClientError::BadRequest(_)) => {
                 assert_eq!(*expect, "bad_request", "payload {payload:?}")
+            }
+            Err(ClientError::Unsupported(_)) => {
+                assert_eq!(*expect, "unsupported", "payload {payload:?}")
             }
             other => panic!("payload {payload:?}: want a typed error, got {other:?}"),
         }
@@ -251,6 +254,115 @@ fn every_single_bit_flip_of_a_valid_frame_is_survivable() {
         .knn(&[60.0, 62.5, 64.0, 62.5], 1, &Default::default())
         .expect("good requests still work");
     assert_eq!(reply.matches.len(), 1);
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn sessionful_ops_out_of_order_duplicated_or_post_close_get_typed_errors() {
+    use hum_server::{QueryOptions, ServiceQuery};
+
+    let (server, len) = start_server();
+    let mut client = connect(server.local_addr());
+    let options = QueryOptions::default();
+    let frames = [60.0, 62.5, 64.0, 62.5];
+
+    // Out-of-order: session ops against ids never handed out. Typed
+    // BadRequest, connection survives.
+    let orphans: &[&[u8]] = &[
+        br#"{"op":"refine","session":424242}"#,
+        br#"{"op":"append_frames","session":424242,"frames":[60.0]}"#,
+        br#"{"op":"close_session","session":424242}"#,
+    ];
+    for payload in orphans {
+        match client.send_raw_frame(payload) {
+            Err(ClientError::BadRequest(message)) => {
+                assert!(message.contains("unknown"), "{message}")
+            }
+            other => panic!("orphan op {payload:?}: want BadRequest, got {other:?}"),
+        }
+        assert_eq!(client.ping().expect("connection survives"), len);
+    }
+
+    // A session op pinned to a version this server does not speak is
+    // Unsupported — the client should renegotiate, not retry.
+    match client.send_raw_frame(br#"{"op":"refine","session":1,"v":3}"#) {
+        Err(ClientError::Unsupported(message)) => assert!(message.contains("3"), "{message}"),
+        other => panic!("v:3 refine: want Unsupported, got {other:?}"),
+    }
+
+    // Duplicate appends are legal (the stream really can repeat values);
+    // duplicate closes are not.
+    let session = client.open_session(ServiceQuery::Knn { k: 1 }, &options).expect("open");
+    assert_eq!(client.append_frames(session, &frames).expect("append"), 4);
+    assert_eq!(client.append_frames(session, &frames).expect("append again"), 8);
+    assert_eq!(client.close_session(session).expect("close"), 8);
+    for (what, result) in [
+        ("double close", client.close_session(session).map(|_| ())),
+        ("post-close append", client.append_frames(session, &frames).map(|_| ())),
+        ("post-close refine", client.refine(session, None).map(|_| ())),
+    ] {
+        match result {
+            Err(ClientError::BadRequest(message)) => {
+                assert!(message.contains("closed"), "{what}: {message}")
+            }
+            other => panic!("{what}: want BadRequest, got {other:?}"),
+        }
+    }
+
+    // A protocol-level garbage frame mid-session must not damage the
+    // session: the buffered frames refine afterwards as if nothing
+    // happened, interleaved across two independent sessions.
+    let a = client.open_session(ServiceQuery::Knn { k: 1 }, &options).expect("open a");
+    let b = client.open_session(ServiceQuery::Knn { k: 1 }, &options).expect("open b");
+    client.append_frames(a, &frames).expect("append a");
+    match client.send_raw_frame(b"garbage between appends") {
+        Err(ClientError::Protocol(_)) => {}
+        other => panic!("garbage mid-session: want protocol error, got {other:?}"),
+    }
+    client.append_frames(b, &frames).expect("append b");
+    assert_eq!(client.refine(a, None).expect("refine a").frames, 4);
+    assert_eq!(client.refine(b, None).expect("refine b").frames, 4);
+    assert_eq!(client.close_session(b).expect("close b"), 4);
+    assert_eq!(client.close_session(a).expect("close a"), 4);
+
+    assert_eq!(client.ping().expect("connection survives all of it"), len);
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn every_single_bit_flip_of_session_frames_is_survivable() {
+    let (server, len) = start_server();
+    let addr = server.local_addr();
+
+    // Canonical session ops, including the pinned "v":2. Depending on the
+    // flip the server may open a real session (eventually tripping the
+    // session cap — a typed overloaded, also survivable), answer a typed
+    // error, or close on a mangled frame; never panic, hang, or stop.
+    let payloads: &[&[u8]] = &[
+        br#"{"op":"open_session","mode":"knn","k":1,"v":2}"#,
+        br#"{"op":"append_frames","session":1,"frames":[60.0,62.5],"v":2}"#,
+        br#"{"op":"refine","session":1,"v":2}"#,
+        br#"{"op":"close_session","session":1,"v":2}"#,
+    ];
+    for payload in payloads {
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(payload);
+        for index in 0..frame.len() {
+            for bit in 0..8u8 {
+                let mut corrupted = frame.clone();
+                flip_bit(&mut corrupted, index, bit);
+                slam_bytes(addr, &corrupted);
+            }
+        }
+        // Truncation sweep for the same frame: every cut point must end
+        // in a typed `truncated frame` answer or a clean close.
+        for end in 1..frame.len() {
+            slam_bytes(addr, &frame[..end]);
+        }
+    }
+
+    assert_still_serving(addr, len, "after session-frame corruption");
     server.shutdown().expect("clean shutdown");
 }
 

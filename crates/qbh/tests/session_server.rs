@@ -1,0 +1,438 @@
+//! Streaming-session serving tests: the v2 sessionful protocol end to end.
+//!
+//! The contract under test, per the streaming design:
+//! (a) a `refine` over a session's appended frames is **bit-identical**
+//!     to a one-shot `knn` over the same frames — at shard counts 1 and 4,
+//!     and at every prefix of the hum, because both paths feed the engine
+//!     through the same service call,
+//! (b) the lifecycle answers are typed: append/refine after close is a
+//!     `BadRequest` naming the closed session, idle-LRU eviction under the
+//!     session cap answers `SessionEvicted`, the per-session byte cap
+//!     answers `Overloaded` and leaves the session intact,
+//! (c) version negotiation via `hello` reports both sides' versions and
+//!     the op table; unknown ops and foreign versions are `Unsupported`,
+//! (d) deadlines abort a refine exactly like a one-shot query: typed
+//!     `DeadlineExceeded` carrying partial stats with zero matches.
+
+use std::time::Duration;
+
+use hum_core::engine::QueryRequest;
+use hum_music::{HummingSimulator, SingerProfile, SongbookConfig};
+use hum_qbh::corpus::MelodyDatabase;
+use hum_qbh::system::{QbhConfig, QbhMatch, QbhSystem};
+use hum_server::{
+    Client, ClientError, QueryOptions, Server, ServerConfig, ServiceMatch, ServiceQuery,
+    PROTOCOL_VERSION,
+};
+
+fn database() -> MelodyDatabase {
+    MelodyDatabase::from_songbook(&SongbookConfig {
+        songs: 20,
+        phrases_per_song: 8,
+        ..SongbookConfig::default()
+    })
+}
+
+fn hum(db: &MelodyDatabase, target: u64, seed: u64) -> Vec<f64> {
+    let mut singer = HummingSimulator::new(SingerProfile::good(), seed);
+    singer.sing_series(db.entry(target).unwrap().melody(), 0.01)
+}
+
+fn assert_matches_bit_identical(wire: &[ServiceMatch], local: &[QbhMatch], context: &str) {
+    assert_eq!(wire.len(), local.len(), "{context}: match counts differ");
+    for (w, l) in wire.iter().zip(local) {
+        assert_eq!((w.id, w.song, w.phrase), (l.id, l.song, l.phrase), "{context}");
+        assert_eq!(
+            w.distance.to_bits(),
+            l.distance.to_bits(),
+            "{context}: distance {} vs {} not bit-identical",
+            w.distance,
+            l.distance
+        );
+    }
+}
+
+fn connect(server: &Server<QbhSystem>) -> Client {
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    client
+}
+
+/// (a): streamed refinement == one-shot knn at every chunk boundary, and
+/// the equivalence holds per shard count so scatter-gather serving cannot
+/// drift from monolithic serving under streaming either.
+#[test]
+fn streamed_refinement_is_bit_identical_to_one_shot_at_shards_1_and_4() {
+    let db = database();
+    let frames = hum(&db, 7, 901);
+    let chunk = frames.len().div_ceil(5).max(1);
+
+    for shards in [1usize, 4] {
+        let system =
+            QbhSystem::build(&db, &QbhConfig { shards, ..QbhConfig::default() });
+        let band = system.band();
+
+        // In-process expectations for every prefix, computed before the
+        // server takes ownership of the system.
+        let prefixes: Vec<&[f64]> =
+            (chunk..=frames.len()).step_by(chunk).map(|end| &frames[..end]).collect();
+        let expected: Vec<Vec<QbhMatch>> = prefixes
+            .iter()
+            .map(|prefix| {
+                system
+                    .try_query_request(prefix, QueryRequest::knn(10).with_band(band))
+                    .expect("local query")
+                    .0
+                    .matches
+            })
+            .collect();
+
+        let server = Server::start(system, "127.0.0.1:0", ServerConfig::default())
+            .expect("bind");
+        let mut client = connect(&server);
+        let session = client
+            .open_session(ServiceQuery::Knn { k: 10 }, &QueryOptions::default())
+            .expect("open");
+
+        let mut sent = 0usize;
+        for (prefix, local) in prefixes.iter().zip(&expected) {
+            let total =
+                client.append_frames(session, &prefix[sent..]).expect("append");
+            sent = prefix.len();
+            assert_eq!(total as usize, sent, "server agrees on the frame count");
+
+            let refined = client.refine(session, None).expect("refine");
+            assert_eq!(refined.frames as usize, sent);
+            assert_matches_bit_identical(
+                &refined.reply.matches,
+                local,
+                &format!("shards={shards} prefix={sent}"),
+            );
+
+            // The streamed prefix must also match a one-shot knn over the
+            // exact same frames on the same connection — the wire-level
+            // statement that there is only one query path.
+            let one_shot =
+                client.knn(prefix, 10, &QueryOptions::default()).expect("one-shot");
+            assert_matches_bit_identical(
+                &one_shot.matches,
+                local,
+                &format!("shards={shards} one-shot prefix={sent}"),
+            );
+        }
+
+        assert_eq!(client.close_session(session).expect("close") as usize, sent);
+        drop(client);
+        server.shutdown().expect("system handed back");
+    }
+}
+
+/// (c): hello reports the negotiated version (min of both sides), the
+/// server's own version, and an op table that names the session ops.
+#[test]
+fn hello_negotiates_versions_and_advertises_session_ops() {
+    let db = database();
+    let system = QbhSystem::build(&db, &QbhConfig::default());
+    let server =
+        Server::start(system, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = connect(&server);
+
+    let hello = client.hello(PROTOCOL_VERSION).expect("hello");
+    assert_eq!(hello.version, PROTOCOL_VERSION, "same versions negotiate to themselves");
+    assert_eq!(hello.server_version, PROTOCOL_VERSION);
+    for op in ["hello", "knn", "open_session", "append_frames", "refine", "close_session"] {
+        assert!(hello.ops.iter().any(|o| o == op), "op table missing {op}: {:?}", hello.ops);
+    }
+
+    // A v1 client negotiates down; a far-future client negotiates to the
+    // server's ceiling — the server never claims a version it can't speak.
+    let old = client.hello(1).expect("v1 hello");
+    assert_eq!((old.version, old.server_version), (1, PROTOCOL_VERSION));
+    let future = client.hello(999).expect("future hello");
+    assert_eq!((future.version, future.server_version), (PROTOCOL_VERSION, PROTOCOL_VERSION));
+
+    server.shutdown().expect("system handed back");
+}
+
+/// (c): ops the server does not speak and versions it does not speak are
+/// `Unsupported` — a distinct kind from `BadRequest`, so clients can fall
+/// back instead of "fixing" a request that was never wrong.
+#[test]
+fn unknown_ops_and_foreign_versions_are_unsupported_over_the_wire() {
+    let db = database();
+    let system = QbhSystem::build(&db, &QbhConfig::default());
+    let server =
+        Server::start(system, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = connect(&server);
+
+    match client.send_raw_frame(br#"{"op":"transcribe"}"#) {
+        Err(ClientError::Unsupported(message)) => {
+            assert!(message.contains("transcribe"), "{message}")
+        }
+        other => panic!("unknown op: want Unsupported, got {other:?}"),
+    }
+    match client.send_raw_frame(br#"{"op":"ping","v":99}"#) {
+        Err(ClientError::Unsupported(message)) => {
+            assert!(message.contains("99"), "{message}")
+        }
+        other => panic!("v:99: want Unsupported, got {other:?}"),
+    }
+
+    // The connection survives both rejections.
+    assert_eq!(client.ping().expect("still serving"), db.len() as u64);
+    server.shutdown().expect("system handed back");
+}
+
+/// (b): the lifecycle matrix — refine-on-empty, append/refine/close after
+/// close, and plain unknown ids all get typed `BadRequest` answers that
+/// say what happened, on a connection that keeps serving.
+#[test]
+fn lifecycle_violations_are_typed_and_the_connection_survives() {
+    let db = database();
+    let frames = hum(&db, 3, 902);
+    let system = QbhSystem::build(&db, &QbhConfig::default());
+    let server =
+        Server::start(system, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = connect(&server);
+
+    let session = client
+        .open_session(ServiceQuery::Knn { k: 5 }, &QueryOptions::default())
+        .expect("open");
+
+    // Refining before any frames have arrived is an empty query.
+    match client.refine(session, None) {
+        Err(ClientError::BadRequest(message)) => {
+            assert!(message.contains("empty"), "{message}")
+        }
+        other => panic!("refine-on-empty: want BadRequest, got {other:?}"),
+    }
+
+    // The session is unharmed: frames land and refine works.
+    client.append_frames(session, &frames).expect("append after empty refine");
+    let refined = client.refine(session, None).expect("refine");
+    assert_eq!(refined.reply.matches.len(), 5);
+
+    // After close, every session op is a BadRequest naming the closure —
+    // not eviction, not an unknown id.
+    assert_eq!(client.close_session(session).expect("close"), frames.len() as u64);
+    for (what, result) in [
+        ("append", client.append_frames(session, &frames).map(|_| ())),
+        ("refine", client.refine(session, None).map(|_| ())),
+        ("close", client.close_session(session).map(|_| ())),
+    ] {
+        match result {
+            Err(ClientError::BadRequest(message)) => {
+                assert!(message.contains("closed"), "{what} after close: {message}")
+            }
+            other => panic!("{what} after close: want BadRequest, got {other:?}"),
+        }
+    }
+
+    // A session id never handed out is "unknown", not "closed".
+    match client.refine(session + 1000, None) {
+        Err(ClientError::BadRequest(message)) => {
+            assert!(message.contains("unknown"), "{message}")
+        }
+        other => panic!("unknown id: want BadRequest, got {other:?}"),
+    }
+
+    assert_eq!(client.ping().expect("still serving"), db.len() as u64);
+    server.shutdown().expect("system handed back");
+}
+
+/// (b): at the session cap an idle session is evicted LRU-first and later
+/// answers `SessionEvicted`. A zero idle timeout makes every session
+/// instantly evictable, so the policy is exercised without wall-clock
+/// sleeps.
+#[test]
+fn session_cap_evicts_the_lru_idle_session_with_a_typed_answer() {
+    let db = database();
+    let frames = hum(&db, 5, 903);
+    let system = QbhSystem::build(&db, &QbhConfig::default());
+    let config = ServerConfig {
+        max_sessions: 2,
+        session_idle_timeout: Duration::ZERO,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(system, "127.0.0.1:0", config).expect("bind");
+    let mut client = connect(&server);
+    let options = QueryOptions::default();
+
+    let first = client.open_session(ServiceQuery::Knn { k: 3 }, &options).expect("open 1");
+    let second = client.open_session(ServiceQuery::Knn { k: 3 }, &options).expect("open 2");
+    client.append_frames(second, &frames).expect("append 2");
+
+    // Opening a third evicts the least recently used session — `first`,
+    // because `second` was touched later by its append — which answers
+    // SessionEvicted (not "unknown") from then on.
+    let third = client.open_session(ServiceQuery::Knn { k: 3 }, &options).expect("open 3");
+    match client.append_frames(first, &frames) {
+        Err(ClientError::SessionEvicted(message)) => {
+            assert!(message.contains("evicted"), "{message}")
+        }
+        other => panic!("evicted session: want SessionEvicted, got {other:?}"),
+    }
+
+    // The survivors are untouched and fully usable.
+    client.append_frames(second, &frames).expect("survivor 2 still works");
+    client.append_frames(third, &frames).expect("survivor 3 still works");
+    assert_eq!(client.refine(third, None).expect("refine").reply.matches.len(), 3);
+
+    server.shutdown().expect("system handed back");
+}
+
+/// (b): at the session cap with nothing idled past the timeout, the open
+/// itself is refused with a typed `Overloaded` — existing sessions are
+/// never sacrificed for a newcomer.
+#[test]
+fn session_cap_with_busy_sessions_refuses_opens_as_overloaded() {
+    let db = database();
+    let frames = hum(&db, 9, 907);
+    let system = QbhSystem::build(&db, &QbhConfig::default());
+    let config = ServerConfig {
+        max_sessions: 2,
+        session_idle_timeout: Duration::from_secs(3600),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(system, "127.0.0.1:0", config).expect("bind");
+    let mut client = connect(&server);
+    let options = QueryOptions::default();
+
+    let first = client.open_session(ServiceQuery::Knn { k: 3 }, &options).expect("open 1");
+    let second = client.open_session(ServiceQuery::Knn { k: 3 }, &options).expect("open 2");
+    match client.open_session(ServiceQuery::Knn { k: 3 }, &options) {
+        Err(ClientError::Overloaded(message)) => {
+            assert!(message.contains("session cap"), "{message}")
+        }
+        other => panic!("cap with busy sessions: want Overloaded, got {other:?}"),
+    }
+
+    // Both live sessions kept working through the refusal, and closing
+    // one frees a slot for the next open.
+    client.append_frames(first, &frames).expect("survivor 1 still works");
+    client.append_frames(second, &frames).expect("survivor 2 still works");
+    client.close_session(first).expect("close");
+    let reopened = client.open_session(ServiceQuery::Knn { k: 3 }, &options).expect("open");
+    client.append_frames(reopened, &frames).expect("fresh session works");
+    assert_eq!(client.refine(reopened, None).expect("refine").reply.matches.len(), 3);
+
+    server.shutdown().expect("system handed back");
+}
+
+/// (b): an append that would blow the per-session byte cap is refused
+/// whole — typed `Overloaded`, nothing from the batch lands, and the
+/// session keeps accepting batches that fit.
+#[test]
+fn per_session_byte_cap_refuses_whole_batches_and_keeps_the_session() {
+    let db = database();
+    let system = QbhSystem::build(&db, &QbhConfig::default());
+    let config = ServerConfig {
+        // 32 frames of 8 bytes each.
+        max_session_bytes: 256,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(system, "127.0.0.1:0", config).expect("bind");
+    let mut client = connect(&server);
+
+    let session = client
+        .open_session(ServiceQuery::Knn { k: 2 }, &QueryOptions::default())
+        .expect("open");
+    let total = client.append_frames(session, &[60.0; 24]).expect("fits");
+    assert_eq!(total, 24);
+
+    match client.append_frames(session, &[61.0; 16]) {
+        Err(ClientError::Overloaded(message)) => {
+            assert!(message.contains("bytes"), "{message}")
+        }
+        other => panic!("byte cap: want Overloaded, got {other:?}"),
+    }
+
+    // Nothing from the refused batch landed, and a fitting batch still does.
+    let total = client.append_frames(session, &[62.0; 8]).expect("still fits");
+    assert_eq!(total, 32, "the refused batch left no partial frames behind");
+    assert_eq!(client.close_session(session).expect("close"), 32);
+
+    server.shutdown().expect("system handed back");
+}
+
+/// (d): a refine under an already-expired deadline aborts exactly like a
+/// one-shot query — typed `DeadlineExceeded` with partial stats and zero
+/// matches — and the session survives to refine successfully afterwards.
+#[test]
+fn deadline_mid_refine_returns_partial_stats_and_the_session_survives() {
+    let db = database();
+    let frames = hum(&db, 11, 904);
+    let system = QbhSystem::build(&db, &QbhConfig::default());
+    let server =
+        Server::start(system, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = connect(&server);
+
+    let session = client
+        .open_session(ServiceQuery::Knn { k: 5 }, &QueryOptions::default())
+        .expect("open");
+    client.append_frames(session, &frames).expect("append");
+
+    match client.refine(session, Some(0)) {
+        Err(ClientError::DeadlineExceeded { stats, .. }) => {
+            let stats = stats.expect("partial stats attached");
+            assert_eq!(stats.matches, 0, "an aborted refine reports no matches");
+        }
+        other => panic!("deadline 0: want DeadlineExceeded, got {other:?}"),
+    }
+
+    let refined = client.refine(session, None).expect("refine after abort");
+    assert_eq!(refined.reply.matches.len(), 5);
+    assert_eq!(refined.frames, frames.len() as u64);
+
+    server.shutdown().expect("system handed back");
+}
+
+/// (a)+(b): two sessions interleaved on one connection stay independent —
+/// each refines to exactly what a one-shot over its own frames returns,
+/// never its neighbor's.
+#[test]
+fn interleaved_sessions_on_one_connection_do_not_cross_contaminate() {
+    let db = database();
+    let hum_a = hum(&db, 2, 905);
+    let hum_b = hum(&db, 17, 906);
+    let system = QbhSystem::build(&db, &QbhConfig::default());
+    let band = system.band();
+    let expected_a = system
+        .try_query_request(&hum_a, QueryRequest::knn(4).with_band(band))
+        .expect("local a")
+        .0
+        .matches;
+    let expected_b = system
+        .try_query_request(&hum_b, QueryRequest::knn(4).with_band(band))
+        .expect("local b")
+        .0
+        .matches;
+
+    let server =
+        Server::start(system, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = connect(&server);
+    let options = QueryOptions::default();
+
+    let a = client.open_session(ServiceQuery::Knn { k: 4 }, &options).expect("open a");
+    let b = client.open_session(ServiceQuery::Knn { k: 4 }, &options).expect("open b");
+    assert_ne!(a, b, "session ids are distinct");
+
+    // Alternate append batches between the two sessions.
+    let half_a = hum_a.len() / 2;
+    let half_b = hum_b.len() / 2;
+    client.append_frames(a, &hum_a[..half_a]).expect("a first half");
+    client.append_frames(b, &hum_b[..half_b]).expect("b first half");
+    client.append_frames(a, &hum_a[half_a..]).expect("a second half");
+    client.append_frames(b, &hum_b[half_b..]).expect("b second half");
+
+    let refined_a = client.refine(a, None).expect("refine a");
+    let refined_b = client.refine(b, None).expect("refine b");
+    assert_eq!(refined_a.frames, hum_a.len() as u64);
+    assert_eq!(refined_b.frames, hum_b.len() as u64);
+    assert_matches_bit_identical(&refined_a.reply.matches, &expected_a, "session a");
+    assert_matches_bit_identical(&refined_b.reply.matches, &expected_b, "session b");
+
+    client.close_session(a).expect("close a");
+    client.close_session(b).expect("close b");
+    server.shutdown().expect("system handed back");
+}

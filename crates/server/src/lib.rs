@@ -5,14 +5,19 @@
 //! protocol, built from four pieces:
 //!
 //! - [`protocol`] — the wire format: 4-byte big-endian length prefix +
-//!   compact JSON, with allocation-safe reads and typed error codes.
+//!   compact JSON, with allocation-safe reads, typed error codes, and an
+//!   explicit protocol version ([`PROTOCOL_VERSION`]) negotiated via the
+//!   `hello` op.
 //! - [`queue`] — the bounded admission queue: overload is an immediate
 //!   typed `overloaded` rejection, never a silent drop or unbounded wait.
+//! - [`session`] — per-server state for streaming (v2) query sessions:
+//!   buffered frames under hard caps, idle-LRU eviction with typed
+//!   `session_evicted` answers, bounded tombstones.
 //! - [`server`] — listener, per-connection threads, and a fixed worker
 //!   pool with per-worker scratch; request deadlines propagate into the
 //!   engine as a cooperative [`hum_core::engine::QueryBudget`]; graceful
 //!   shutdown drains every admitted request before handing the served
-//!   system back.
+//!   system back. Session refinements run through the same pool.
 //! - [`client`] — a small blocking client, also used by the CLI, the
 //!   integration tests, and the `serve` benchmark's load generator.
 //!
@@ -32,9 +37,13 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod service;
+pub mod session;
 
-pub use client::{Client, ClientError, QueryOptions, QueryReply};
-pub use protocol::{ErrorKind, Request, Response, MAX_FRAME_BYTES, MAX_WIRE_K};
+pub use client::{Client, ClientError, HelloReply, QueryOptions, QueryReply, RefineReply};
+pub use protocol::{
+    ErrorKind, ParseError, Request, Response, MAX_FRAME_BYTES, MAX_WIRE_K, PROTOCOL_VERSION,
+};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Server, ServerConfig};
 pub use service::{QbhService, ServiceMatch, ServiceOutcome, ServiceQuery};
+pub use session::{SessionConfig, SessionError, SessionStore};

@@ -1,0 +1,374 @@
+//! Server-side session bookkeeping for the streaming (v2) protocol.
+//!
+//! A [`SessionStore`] owns every open session's buffered raw frames plus
+//! the query shape fixed at `open_session`. It is deliberately dumb about
+//! the engine: refinement snapshots the frames and runs through the same
+//! worker pool as one-shot queries, so the store only has to answer "what
+//! has this session accumulated so far" under a plain mutex.
+//!
+//! # Resource policy — never a silent drop
+//!
+//! Three hard caps keep a session-hoarding client from pinning server
+//! memory, and every one of them surfaces as a *typed* error:
+//!
+//! - **Session cap** ([`SessionConfig::max_sessions`]): opening past the
+//!   cap evicts the least-recently-used session *only if* it has idled
+//!   past [`SessionConfig::idle_timeout`]; otherwise the open is refused
+//!   with [`SessionError::Overloaded`]. An evicted session's id is
+//!   remembered in a bounded tombstone list so its owner's next request
+//!   gets [`SessionError::Evicted`] (wire code `session_evicted`), not a
+//!   confusing "unknown session".
+//! - **Byte cap** ([`SessionConfig::max_session_bytes`]): an append that
+//!   would push the session's buffered frames past the cap is refused
+//!   whole with [`SessionError::Overloaded`]; the session itself stays
+//!   open and intact.
+//! - **Tombstone bound**: the closed/evicted memory is a FIFO of at most
+//!   [`TOMBSTONE_CAP`] entries, so the store's footprint is bounded even
+//!   against an open/close churn attack. A tombstone that has been pushed
+//!   out degrades to the generic "unknown session" answer.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use crate::service::ServiceQuery;
+
+/// Most closed/evicted session ids remembered for precise error answers.
+pub const TOMBSTONE_CAP: usize = 1024;
+
+/// Caps and timeouts governing the session store.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Most sessions open at once.
+    pub max_sessions: usize,
+    /// Most buffered bytes per session (frames × 8).
+    pub max_session_bytes: usize,
+    /// How long a session must sit idle before the LRU eviction sweep may
+    /// reclaim it to admit a new `open_session`.
+    pub idle_timeout: Duration,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            max_sessions: 64,
+            max_session_bytes: 256 * 1024,
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Why a session operation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// No capacity (session cap with no evictable idle session, or a
+    /// per-session byte cap hit). Retry later or close something.
+    Overloaded(String),
+    /// The session was evicted by the idle-LRU policy; open a new one.
+    Evicted(String),
+    /// The id was never open, or was explicitly closed.
+    Unknown(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Overloaded(m) | SessionError::Evicted(m) | SessionError::Unknown(m) => {
+                f.write_str(m)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Everything a refine needs from a session, snapshotted at admission so
+/// the store's lock is never held while the engine runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// The query shape fixed at `open_session`.
+    pub query: ServiceQuery,
+    /// Warping-band override fixed at `open_session`.
+    pub band: Option<usize>,
+    /// Whether refine responses carry the cascade trace.
+    pub trace: bool,
+    /// Every frame appended so far, in order.
+    pub frames: Vec<f64>,
+}
+
+struct SessionState {
+    query: ServiceQuery,
+    band: Option<usize>,
+    trace: bool,
+    frames: Vec<f64>,
+    last_used: Instant,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tombstone {
+    Closed,
+    Evicted,
+}
+
+/// The per-server table of open streaming sessions.
+pub struct SessionStore {
+    config: SessionConfig,
+    next_id: u64,
+    sessions: HashMap<u64, SessionState>,
+    tombstones: VecDeque<(u64, Tombstone)>,
+}
+
+impl SessionStore {
+    /// An empty store under `config`.
+    pub fn new(config: SessionConfig) -> SessionStore {
+        SessionStore {
+            config,
+            next_id: 1,
+            sessions: HashMap::new(),
+            tombstones: VecDeque::new(),
+        }
+    }
+
+    /// Open sessions right now.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when no session is open.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    fn bury(&mut self, id: u64, reason: Tombstone) {
+        if self.tombstones.len() == TOMBSTONE_CAP {
+            self.tombstones.pop_front();
+        }
+        self.tombstones.push_back((id, reason));
+    }
+
+    /// The typed answer for an id that is not currently open.
+    fn missing(&self, id: u64) -> SessionError {
+        match self.tombstones.iter().rev().find(|(t, _)| *t == id) {
+            Some((_, Tombstone::Closed)) => {
+                SessionError::Unknown(format!("session {id} is closed"))
+            }
+            Some((_, Tombstone::Evicted)) => SessionError::Evicted(format!(
+                "session {id} was evicted after idling past the session cap; open a new session"
+            )),
+            None => SessionError::Unknown(format!("unknown session {id}")),
+        }
+    }
+
+    /// Opens a session, evicting the LRU *idle* session if at capacity.
+    ///
+    /// # Errors
+    /// [`SessionError::Overloaded`] when at capacity with nothing idle
+    /// enough to evict.
+    pub fn open(
+        &mut self,
+        query: ServiceQuery,
+        band: Option<usize>,
+        trace: bool,
+        now: Instant,
+    ) -> Result<u64, SessionError> {
+        if self.sessions.len() >= self.config.max_sessions.max(1) {
+            let lru = self
+                .sessions
+                .iter()
+                .min_by_key(|(id, s)| (s.last_used, **id))
+                .map(|(id, s)| (*id, s.last_used));
+            match lru {
+                Some((id, last_used))
+                    if now.saturating_duration_since(last_used) >= self.config.idle_timeout =>
+                {
+                    self.sessions.remove(&id);
+                    self.bury(id, Tombstone::Evicted);
+                }
+                _ => {
+                    return Err(SessionError::Overloaded(format!(
+                        "session cap ({}) reached and no session has idled past {:?}",
+                        self.config.max_sessions, self.config.idle_timeout
+                    )));
+                }
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sessions.insert(
+            id,
+            SessionState { query, band, trace, frames: Vec::new(), last_used: now },
+        );
+        Ok(id)
+    }
+
+    /// Appends frames; returns the session's new total frame count.
+    ///
+    /// # Errors
+    /// [`SessionError::Overloaded`] when the append would cross the byte
+    /// cap (the session stays intact), else the typed missing-id answer.
+    pub fn append(
+        &mut self,
+        id: u64,
+        frames: &[f64],
+        now: Instant,
+    ) -> Result<usize, SessionError> {
+        let Some(state) = self.sessions.get_mut(&id) else {
+            return Err(self.missing(id));
+        };
+        let bytes_after = (state.frames.len() + frames.len()) * std::mem::size_of::<f64>();
+        if bytes_after > self.config.max_session_bytes {
+            return Err(SessionError::Overloaded(format!(
+                "appending {} frames would hold {bytes_after} bytes, past the per-session cap {}",
+                frames.len(),
+                self.config.max_session_bytes
+            )));
+        }
+        state.frames.extend_from_slice(frames);
+        state.last_used = now;
+        Ok(state.frames.len())
+    }
+
+    /// Snapshots everything a refine needs and marks the session used.
+    ///
+    /// # Errors
+    /// The typed missing-id answer.
+    pub fn snapshot(&mut self, id: u64, now: Instant) -> Result<SessionSnapshot, SessionError> {
+        let Some(state) = self.sessions.get_mut(&id) else {
+            return Err(self.missing(id));
+        };
+        state.last_used = now;
+        Ok(SessionSnapshot {
+            query: state.query,
+            band: state.band,
+            trace: state.trace,
+            frames: state.frames.clone(),
+        })
+    }
+
+    /// Closes a session; returns how many frames it had buffered.
+    ///
+    /// # Errors
+    /// The typed missing-id answer.
+    pub fn close(&mut self, id: u64) -> Result<usize, SessionError> {
+        match self.sessions.remove(&id) {
+            Some(state) => {
+                self.bury(id, Tombstone::Closed);
+                Ok(state.frames.len())
+            }
+            None => Err(self.missing(id)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(max_sessions: usize, max_bytes: usize, idle: Duration) -> SessionStore {
+        SessionStore::new(SessionConfig {
+            max_sessions,
+            max_session_bytes: max_bytes,
+            idle_timeout: idle,
+        })
+    }
+
+    const KNN: ServiceQuery = ServiceQuery::Knn { k: 3 };
+
+    #[test]
+    fn lifecycle_open_append_snapshot_close() {
+        let mut s = store(4, 1024, Duration::from_secs(60));
+        let t0 = Instant::now();
+        let id = s.open(KNN, Some(5), true, t0).unwrap();
+        assert_eq!(s.append(id, &[60.0, 61.0], t0).unwrap(), 2);
+        assert_eq!(s.append(id, &[62.0], t0).unwrap(), 3);
+        let snap = s.snapshot(id, t0).unwrap();
+        assert_eq!(snap.frames, vec![60.0, 61.0, 62.0]);
+        assert_eq!(snap.band, Some(5));
+        assert!(snap.trace);
+        assert_eq!(s.close(id).unwrap(), 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn closed_and_unknown_and_evicted_ids_get_distinct_answers() {
+        let mut s = store(1, 1024, Duration::from_secs(0));
+        let t0 = Instant::now();
+        let a = s.open(KNN, None, false, t0).unwrap();
+        s.close(a).unwrap();
+        match s.append(a, &[1.0], t0) {
+            Err(SessionError::Unknown(m)) => assert!(m.contains("closed"), "{m}"),
+            other => panic!("expected closed answer, got {other:?}"),
+        }
+        match s.snapshot(777, t0) {
+            Err(SessionError::Unknown(m)) => assert!(m.contains("unknown"), "{m}"),
+            other => panic!("expected unknown answer, got {other:?}"),
+        }
+        // Zero idle timeout: the next open may evict immediately.
+        let b = s.open(KNN, None, false, t0).unwrap();
+        let _c = s.open(KNN, None, false, t0).unwrap();
+        match s.append(b, &[1.0], t0) {
+            Err(SessionError::Evicted(m)) => assert!(m.contains("evicted"), "{m}"),
+            other => panic!("expected evicted answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cap_with_busy_sessions_is_overloaded_not_eviction() {
+        let mut s = store(2, 1024, Duration::from_secs(60));
+        let t0 = Instant::now();
+        s.open(KNN, None, false, t0).unwrap();
+        s.open(KNN, None, false, t0).unwrap();
+        // Nothing has idled 60s, so the third open must be refused and
+        // both existing sessions must survive.
+        match s.open(KNN, None, false, t0) {
+            Err(SessionError::Overloaded(m)) => assert!(m.contains("cap"), "{m}"),
+            other => panic!("expected overloaded, got {other:?}"),
+        }
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn lru_idle_session_is_the_one_evicted() {
+        let mut s = store(2, 1024, Duration::from_millis(10));
+        let t0 = Instant::now();
+        let old = s.open(KNN, None, false, t0).unwrap();
+        let young = s.open(KNN, None, false, t0).unwrap();
+        let later = t0 + Duration::from_millis(50);
+        s.append(young, &[1.0], later).unwrap();
+        let id = s.open(KNN, None, false, later + Duration::from_millis(50)).unwrap();
+        assert!(matches!(s.append(old, &[1.0], later), Err(SessionError::Evicted(_))));
+        assert_eq!(s.append(young, &[2.0], later).unwrap(), 2);
+        assert_eq!(s.append(id, &[3.0], later).unwrap(), 1);
+    }
+
+    #[test]
+    fn byte_cap_refuses_the_whole_append_and_keeps_the_session() {
+        // Cap of 4 frames worth of bytes.
+        let mut s = store(2, 4 * std::mem::size_of::<f64>(), Duration::from_secs(60));
+        let t0 = Instant::now();
+        let id = s.open(KNN, None, false, t0).unwrap();
+        assert_eq!(s.append(id, &[1.0, 2.0, 3.0], t0).unwrap(), 3);
+        assert!(matches!(s.append(id, &[4.0, 5.0], t0), Err(SessionError::Overloaded(_))));
+        // Refused whole: nothing from the oversized batch landed.
+        assert_eq!(s.snapshot(id, t0).unwrap().frames, vec![1.0, 2.0, 3.0]);
+        // A batch that fits still lands afterwards.
+        assert_eq!(s.append(id, &[4.0], t0).unwrap(), 4);
+    }
+
+    #[test]
+    fn tombstones_are_bounded_fifo() {
+        let mut s = store(4, 1024, Duration::from_secs(60));
+        let t0 = Instant::now();
+        let first = s.open(KNN, None, false, t0).unwrap();
+        s.close(first).unwrap();
+        for _ in 0..TOMBSTONE_CAP {
+            let id = s.open(KNN, None, false, t0).unwrap();
+            s.close(id).unwrap();
+        }
+        // `first`'s tombstone has been pushed out: it degrades to the
+        // generic unknown answer instead of growing memory forever.
+        match s.append(first, &[1.0], t0) {
+            Err(SessionError::Unknown(m)) => assert!(m.contains("unknown"), "{m}"),
+            other => panic!("expected unknown, got {other:?}"),
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! refinement).
 
 use hum_core::dtw::ldtw_distance;
-use hum_core::engine::{DtwIndexEngine, EngineConfig};
+use hum_core::engine::{DtwIndexEngine, EngineConfig, QueryRequest};
 use hum_core::transform::dft::Dft;
 use hum_core::transform::dwt::Dwt;
 use hum_core::transform::paa::{KeoghPaa, NewPaa};
@@ -78,12 +78,10 @@ proptest! {
                 for (i, s) in database.iter().enumerate() {
                     engine.insert(i as u64, s.clone());
                 }
-                let mut got: Vec<u64> = engine
-                    .range_query(&query, band, radius)
-                    .matches
-                    .iter()
-                    .map(|m| m.0)
-                    .collect();
+                let request =
+                    QueryRequest::range(radius).with_series(query.clone()).with_band(band);
+                let mut got: Vec<u64> =
+                    engine.query(&request).result.matches.iter().map(|m| m.0).collect();
                 got.sort_unstable();
                 prop_assert_eq!(&got, &expected, "transform {} family {:?}", name, family);
             }
@@ -116,7 +114,8 @@ proptest! {
         for (i, s) in database.iter().enumerate() {
             engine.insert(i as u64, s.clone());
         }
-        let got = engine.knn(&query, band, k).matches;
+        let request = QueryRequest::knn(k).with_series(query.clone()).with_band(band);
+        let got = engine.query(&request).result.matches;
         prop_assert_eq!(got.len(), k.min(database.len()));
         for (g, b) in got.iter().zip(&brute) {
             prop_assert!((g.1 - b.1).abs() < 1e-9);

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Guards against new uses of the deprecated positional query entry points.
+#
+# The legacy `range_query{,_with}` / `knn{,_with}` / `query_batch` delegates
+# on `DtwIndexEngine` and `ShardedEngine` are `#[deprecated]` in favour of
+# `QueryRequest` + `try_query*` (typed errors, budgets, traces) — but other
+# types legitimately expose methods with the same names (the `SpatialIndex`
+# trait, `SubsequenceIndex`, `SongSearch`, `QbhSystem`, the wire `Client`),
+# so the compiler's deprecation lint alone cannot police a plain grep and a
+# plain grep alone cannot see types. This script takes the
+# check_panics.sh approach: every textual call site of those method names
+# across the workspace (tests, benches and examples included — doc comments
+# excluded) must appear verbatim in tools/deprecated_allowlist.txt. Adding
+# a call site — even on a non-deprecated type — means consciously updating
+# the allowlist in the same change, where review can check the receiver.
+#
+# Run with `--update` after a deliberate change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allowlist=tools/deprecated_allowlist.txt
+
+scan() {
+  find crates tests examples -name '*.rs' -print0 | sort -z |
+    while IFS= read -r -d '' f; do
+      awk -v file="$f" '
+        {
+          line = $0
+          gsub(/^[ \t]+|[ \t]+$/, "", line)
+          if (line ~ /^\/\//) next    # comments and doc examples
+          if (line ~ /\.range_query\(|\.range_query_with\(|\.knn\(|\.knn_with\(|\.query_batch\(/) {
+            print file ": " line
+          }
+        }
+      ' "$f"
+    done
+}
+
+if [[ "${1:-}" == "--update" ]]; then
+  scan > "$allowlist"
+  echo "check_deprecated: rewrote $allowlist ($(wc -l < "$allowlist") entries)"
+  exit 0
+fi
+
+if ! diff -u "$allowlist" <(scan); then
+  echo >&2
+  echo "check_deprecated: positional query call sites differ from $allowlist." >&2
+  echo "New code should build a QueryRequest and use try_query / try_query_batch." >&2
+  echo "If the call is on a non-deprecated type (spatial index, subsequence" >&2
+  echo "index, wire client) or deliberately exercises a deprecated delegate," >&2
+  echo "run: tools/check_deprecated.sh --update" >&2
+  exit 1
+fi
+echo "check_deprecated: all positional query call sites are allowlisted."

@@ -14,7 +14,9 @@
 # held to the same allowlist discipline as `panic!(` is elsewhere. The
 # kernel layer (crates/core/src/kernel/) gets the same strict treatment:
 # it holds the workspace's only `unsafe`, so any hidden unwrap there is a
-# debugging hazard out of proportion to its size.
+# debugging hazard out of proportion to its size. The streaming-session
+# module (crates/core/src/session.rs) is strict too: it buffers
+# caller-controlled frames, the same trust level as wire bytes.
 #
 # Run with `--update` after a deliberate change to a documented panic.
 set -euo pipefail
@@ -28,6 +30,7 @@ scan() {
       strict=0
       case "$f" in
         crates/qbh/src/*|crates/server/src/*|crates/core/src/kernel/*) strict=1 ;;
+        crates/core/src/session.rs) strict=1 ;;
       esac
       awk -v file="$f" -v strict="$strict" '
         /^#\[cfg\(test\)\]/ { exit }  # test module starts: stop scanning
