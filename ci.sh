@@ -18,9 +18,19 @@ HUM_THREADS=1 cargo test -q -p hum-integration-tests --test batch_determinism
 HUM_THREADS=8 cargo test -q -p hum-integration-tests --test batch_determinism
 
 # Storage durability: exhaustive fault-injection, truncation, and bit-flip
-# matrices over both snapshot formats. Every fault must surface as a typed
+# matrices over both snapshot formats, plus the compaction crash-state
+# enumeration for the segmented store. Every fault must surface as a typed
 # StorageError — never a panic, never silently wrong data.
 cargo test -q -p hum-qbh --test storage_faults
+
+# Segmented storage engine: the memtable-over-segments view must answer
+# bit-identically to the monolithic build at every segment layout x shard
+# count, reloads and compactions must change nothing, and removals must be
+# durable — at both extremes of the scatter fanout override.
+HUM_THREADS=1 cargo test -q -p hum-core --lib segment
+HUM_THREADS=8 cargo test -q -p hum-core --lib segment
+HUM_THREADS=1 cargo test -q -p hum-qbh --test store
+HUM_THREADS=8 cargo test -q -p hum-qbh --test store
 
 # Serving: transport-level tests against a mock service, then end-to-end
 # bit-identity/overload/deadline/drain tests and the wire-protocol fuzz

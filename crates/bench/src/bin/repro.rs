@@ -4,13 +4,14 @@
 //! repro [EXPERIMENT ...] [--quick] [--out DIR]
 //!
 //! EXPERIMENT: table2 | table3 | fig6 | fig7 | fig8 | fig9 | fig10 | extras
-//!             | throughput | obs | serve | kernels | stream | all
+//!             | throughput | obs | serve | kernels | stream | ingest | all
 //!             (default: all; `extras` runs the DESIGN.md ablations,
 //!             `throughput` the batched-query scaling sweep, `obs` the
 //!             traced cascade-trajectory run of the Figure-9 workload,
 //!             `serve` the TCP-serving latency/throughput sweep, `kernels`
 //!             the kernel-layer microbenchmarks with bit-identity checks,
-//!             `stream` the sessionful refinement latency/churn sweep)
+//!             `stream` the sessionful refinement latency/churn sweep,
+//!             `ingest` the segmented-store durable-ingest cost sweep)
 //! --quick     small workloads (seconds instead of minutes)
 //! --out DIR   where to write .txt/.csv/.json results (default: results)
 //! ```
@@ -19,14 +20,14 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use hum_bench::experiments::{
-    extras, fig10, fig6, fig7, fig8, fig9, kernels, obs, serve, stream, table2, table3,
+    extras, fig10, fig6, fig7, fig8, fig9, ingest, kernels, obs, serve, stream, table2, table3,
     throughput,
 };
 use hum_bench::report::persist;
 
-const EXPERIMENTS: [&str; 13] = [
+const EXPERIMENTS: [&str; 14] = [
     "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "extras", "throughput", "obs",
-    "serve", "kernels", "stream",
+    "serve", "kernels", "stream", "ingest",
 ];
 
 fn main() {
@@ -176,6 +177,15 @@ fn main() {
                 println!("{text}");
                 persist(&out_dir, name, &text, &table, &serde_json::json!(output));
                 stream::check(&output)
+            }
+            "ingest" => {
+                let params =
+                    if quick { ingest::Params::quick() } else { ingest::Params::paper() };
+                let output = ingest::run(&params);
+                let (text, table) = ingest::render(&output);
+                println!("{text}");
+                persist(&out_dir, name, &text, &table, &serde_json::json!(output));
+                ingest::check(&output)
             }
             _ => unreachable!("validated above"),
         };

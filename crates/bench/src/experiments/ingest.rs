@@ -1,0 +1,308 @@
+//! Sustained-ingest cost: durable bytes per insert and insert throughput
+//! for the segmented store, against the full-snapshot-rewrite baseline the
+//! store replaces.
+//!
+//! Before the storage engine, making insert `i` durable meant rewriting
+//! the whole snapshot — `O(i)` bytes per insert, `O(n²)` for a corpus.
+//! The store writes a bounded segment per memtable flush plus a small
+//! manifest, so the amortized durable cost per insert is proportional to
+//! the melody, not the corpus. This experiment measures both sides and
+//! reports the ratio, and verifies the ingested store still answers
+//! queries bit-identically to the monolithic in-memory build.
+//!
+//! The rewrite baseline is *estimated*, not replayed: snapshot size is
+//! linear in the entry count, so the per-insert rewrite cost is sampled at
+//! a few prefix sizes and trapezoid-integrated instead of serializing all
+//! `n` prefixes (which is the very `O(n²)` behavior being retired).
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use hum_music::{SingerProfile, SongbookConfig};
+use hum_qbh::corpus::MelodyDatabase;
+use hum_qbh::eval::generate_hums;
+use hum_qbh::storage::write_database;
+use hum_qbh::system::{QbhConfig, QbhSystem, StoreOptions};
+
+use crate::report::{fmt1, TextTable};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Corpus melodies to ingest.
+    pub melodies: usize,
+    /// Memtable capacities (melodies per flush) to sweep.
+    pub memtable_capacities: Vec<usize>,
+    /// Segment count that triggers compaction during ingest.
+    pub compact_at: usize,
+    /// Hummed queries for the bit-identity check.
+    pub queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Paper scale.
+    pub fn paper() -> Self {
+        Params {
+            melodies: 10_000,
+            memtable_capacities: vec![64, 256, 1024],
+            compact_at: 8,
+            queries: 10,
+            seed: 31,
+        }
+    }
+
+    /// Smoke-test scale.
+    pub fn quick() -> Self {
+        Params {
+            melodies: 600,
+            memtable_capacities: vec![32, 128],
+            queries: 4,
+            ..Params::paper()
+        }
+    }
+}
+
+/// One memtable-capacity measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestRow {
+    /// Memtable capacity (melodies per flush).
+    pub memtable: usize,
+    /// Wall-clock seconds for the whole ingest (inserts + flushes +
+    /// compactions + final flush).
+    pub secs: f64,
+    /// Inserts per second, durable included.
+    pub inserts_per_sec: f64,
+    /// Segment flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Live segments at the end.
+    pub segments: usize,
+    /// Total durable bytes written (segments + manifests).
+    pub bytes_written: u64,
+    /// Amortized durable bytes per insert.
+    pub bytes_per_insert: f64,
+    /// Full-rewrite baseline cost divided by this row's cost.
+    pub rewrite_ratio: f64,
+    /// Whether a reopened store answered the probe queries bit-identically
+    /// to the monolithic in-memory build.
+    pub identical: bool,
+}
+
+/// Experiment output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Output {
+    /// Corpus size.
+    pub melodies: usize,
+    /// Estimated total bytes a rewrite-per-insert ingest would write.
+    pub baseline_total_bytes: f64,
+    /// Estimated amortized bytes per insert under rewrite-per-insert.
+    pub baseline_bytes_per_insert: f64,
+    /// One row per memtable capacity.
+    pub rows: Vec<IngestRow>,
+}
+
+/// Byte-counting sink: measures serialized size without buffering it.
+struct CountingSink(u64);
+
+impl Write for CountingSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0 += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Serialized snapshot size of the first `prefix` melodies.
+fn snapshot_bytes(db: &MelodyDatabase, config: &QbhConfig, prefix: usize) -> f64 {
+    let entries: Vec<_> = db.entries()[..prefix]
+        .iter()
+        .map(|e| (e.song(), e.phrase(), e.melody().clone()))
+        .collect();
+    let prefix_db = MelodyDatabase::from_provenanced(entries);
+    let mut sink = CountingSink(0);
+    write_database(&mut sink, &prefix_db, config).expect("serialize prefix snapshot");
+    sink.0 as f64
+}
+
+/// Total bytes of a rewrite-per-insert ingest, by trapezoid integration
+/// over sampled prefix snapshot sizes (size is linear in the prefix).
+fn rewrite_baseline_bytes(db: &MelodyDatabase, config: &QbhConfig) -> f64 {
+    let n = db.len();
+    let samples = 8usize.min(n);
+    let points: Vec<(f64, f64)> = (1..=samples)
+        .map(|s| {
+            let prefix = (n * s).div_ceil(samples);
+            (prefix as f64, snapshot_bytes(db, config, prefix))
+        })
+        .collect();
+    let mut total = points[0].0 * points[0].1 / 2.0; // ramp-up from zero
+    for pair in points.windows(2) {
+        let ((x0, y0), (x1, y1)) = (pair[0], pair[1]);
+        total += (x1 - x0) * (y0 + y1) / 2.0;
+    }
+    total
+}
+
+/// Runs the experiment.
+pub fn run(params: &Params) -> Output {
+    let db = MelodyDatabase::from_songbook(&SongbookConfig {
+        songs: params.melodies.div_ceil(20),
+        phrases_per_song: 20,
+        ..SongbookConfig::default()
+    });
+    let config = QbhConfig::default();
+    let melodies = db.len().min(params.melodies);
+    let baseline_total_bytes = rewrite_baseline_bytes(&db, &config);
+    let baseline_bytes_per_insert = baseline_total_bytes / melodies as f64;
+
+    // Probe queries answered by the monolithic build: the ingested store
+    // must reproduce these bit for bit after a reload.
+    let monolithic = QbhSystem::build(&db, &config);
+    let hums: Vec<Vec<f64>> =
+        generate_hums(&db, SingerProfile::good(), params.queries, params.seed)
+            .into_iter()
+            .map(|h| h.series)
+            .collect();
+    let expected: Vec<_> = hums.iter().map(|h| monolithic.query_series(h, 10)).collect();
+
+    let mut rows = Vec::new();
+    for &memtable in &params.memtable_capacities {
+        let dir = ingest_dir(memtable);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create ingest dir");
+        let options =
+            StoreOptions { memtable_capacity: memtable, compact_at: params.compact_at };
+
+        let started = Instant::now();
+        let mut system =
+            QbhSystem::try_create_store(&dir, &config, options).expect("create store");
+        for entry in db.entries() {
+            let series = entry.melody().to_time_series(config.samples_per_beat);
+            system
+                .try_insert_melody(entry.id(), entry.song(), entry.phrase(), &series)
+                .expect("insert");
+            system.maintain().expect("maintain");
+        }
+        system.flush().expect("final flush");
+        let secs = started.elapsed().as_secs_f64();
+        let stats = system.store_stats().expect("store-backed");
+        drop(system);
+
+        let reopened = QbhSystem::try_open_store(&dir).expect("reopen ingested store");
+        let identical = reopened.len() == melodies
+            && hums
+                .iter()
+                .zip(&expected)
+                .all(|(h, want)| reopened.query_series(h, 10).matches == want.matches);
+
+        let bytes_per_insert = stats.bytes_written as f64 / melodies as f64;
+        rows.push(IngestRow {
+            memtable,
+            secs,
+            inserts_per_sec: melodies as f64 / secs.max(1e-9),
+            flushes: stats.flushes,
+            compactions: stats.compactions,
+            segments: stats.segments,
+            bytes_written: stats.bytes_written,
+            bytes_per_insert,
+            rewrite_ratio: baseline_bytes_per_insert / bytes_per_insert.max(1e-9),
+            identical,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    Output { melodies, baseline_total_bytes, baseline_bytes_per_insert, rows }
+}
+
+fn ingest_dir(memtable: usize) -> PathBuf {
+    std::env::temp_dir()
+        .join(format!("qbh-bench-ingest-{memtable}-{}", std::process::id()))
+}
+
+/// Renders the ingest table.
+pub fn render(output: &Output) -> (String, TextTable) {
+    let mut table = TextTable::new(vec![
+        "memtable",
+        "inserts/sec",
+        "flushes",
+        "compactions",
+        "segments",
+        "MB written",
+        "bytes/insert",
+        "vs rewrite",
+        "identical",
+    ]);
+    for row in &output.rows {
+        table.row(vec![
+            row.memtable.to_string(),
+            fmt1(row.inserts_per_sec),
+            row.flushes.to_string(),
+            row.compactions.to_string(),
+            row.segments.to_string(),
+            format!("{:.1}", row.bytes_written as f64 / 1e6),
+            fmt1(row.bytes_per_insert),
+            format!("{:.0}x", row.rewrite_ratio),
+            if row.identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let text = format!(
+        "Durable ingest cost ({} melodies; rewrite-per-insert baseline: {:.1} MB total, \
+         {:.0} bytes/insert amortized)\n\n{}",
+        output.melodies,
+        output.baseline_total_bytes / 1e6,
+        output.baseline_bytes_per_insert,
+        table.render()
+    );
+    (text, table)
+}
+
+/// Shape checks: the store must beat the rewrite baseline decisively at
+/// every memtable capacity, compaction must have bounded the segment
+/// count, and the ingested store must answer identically to the
+/// monolithic build.
+pub fn check(output: &Output) -> Vec<String> {
+    let mut failures = Vec::new();
+    for row in &output.rows {
+        if !row.identical {
+            failures.push(format!(
+                "memtable={}: reopened store deviates from the monolithic build",
+                row.memtable
+            ));
+        }
+        if row.rewrite_ratio < 2.0 {
+            failures.push(format!(
+                "memtable={}: only {:.1}x cheaper than rewrite-per-insert (expected >= 2x)",
+                row.memtable, row.rewrite_ratio
+            ));
+        }
+        if row.flushes < 2 {
+            failures.push(format!(
+                "memtable={}: {} flushes — the sweep never exercised segmented ingest",
+                row.memtable, row.flushes
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_beats_the_rewrite_baseline_and_stays_identical() {
+        let out = run(&Params::quick());
+        assert_eq!(out.rows.len(), 2);
+        let failures = check(&out);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+}

@@ -27,9 +27,13 @@
 //! [`kernels`] microbenchmarks the kernel layer (envelope LB, `LB_Improved`,
 //! banded DTW, f32 prefilter) against naive sequential references, with
 //! bit-identity and conservativeness enforced by its shape check.
+//! [`ingest`] measures durable bytes per insert and throughput for the
+//! segmented store against the full-snapshot-rewrite baseline, with a
+//! reload bit-identity check.
 
 pub mod extras;
 pub mod fig10;
+pub mod ingest;
 pub mod kernels;
 pub mod fig6;
 pub mod fig7;

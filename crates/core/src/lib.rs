@@ -33,6 +33,12 @@
 //!   [`shard::ShardedEngine`] fans each query across independent engine
 //!   shards (k-NN via a deterministic two-phase radius schedule) and merges
 //!   hits in fixed shard order, bit-identical to the monolithic engine.
+//! * [`segment`] — the segmented storage view for LSM-style stores: one
+//!   query fanned over a memtable plus immutable segments (each a
+//!   [`shard::ShardedEngine`] over its sub-corpus) and k-way-merged back,
+//!   bit-identical to a monolithic engine over the union corpus, with
+//!   conservative per-segment pruning (feature-space bounding boxes,
+//!   bloom-style id filters).
 //! * [`obs`] — observability: a registry of named monotonic counters and
 //!   duration histograms, opt-in per-query cascade traces
 //!   ([`obs::QueryTrace`]), and text/JSON exporters. Counters are
@@ -85,6 +91,7 @@ pub mod kernel;
 pub mod l1;
 pub mod normal;
 pub mod obs;
+pub mod segment;
 pub mod session;
 pub mod shard;
 pub mod subsequence;

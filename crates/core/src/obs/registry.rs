@@ -99,11 +99,17 @@ pub enum Metric {
     /// High-water mark of the admission queue depth (recorded with
     /// [`MetricsRegistry::record_max`], not an accumulating counter).
     ServerQueueHighWater,
+    /// Background maintenance ticks the server ran against its service
+    /// (memtable flushes / segment compactions happen inside these).
+    ServerMaintenanceTicks,
+    /// Maintenance ticks that failed; the service stays queryable, so
+    /// these accumulate instead of killing the server.
+    ServerMaintenanceErrors,
 }
 
 impl Metric {
     /// Every counter slot, in export order.
-    pub const ALL: [Metric; 31] = [
+    pub const ALL: [Metric; 33] = [
         Metric::RangeQueries,
         Metric::KnnQueries,
         Metric::ScanRangeQueries,
@@ -135,6 +141,8 @@ impl Metric {
         Metric::ServerBytesIn,
         Metric::ServerBytesOut,
         Metric::ServerQueueHighWater,
+        Metric::ServerMaintenanceTicks,
+        Metric::ServerMaintenanceErrors,
     ];
 
     /// The counter's exported name.
@@ -171,6 +179,8 @@ impl Metric {
             Metric::ServerBytesIn => "server.bytes_in",
             Metric::ServerBytesOut => "server.bytes_out",
             Metric::ServerQueueHighWater => "server.queue_high_water",
+            Metric::ServerMaintenanceTicks => "server.maintenance.ticks",
+            Metric::ServerMaintenanceErrors => "server.maintenance.errors",
         }
     }
 }

@@ -196,6 +196,12 @@ impl<T: EnvelopeTransform, I: SpatialIndex> ShardedEngine<T, I> {
         &self.shards
     }
 
+    /// The envelope transform the shards share (every shard is built from
+    /// the same configuration, so shard 0's transform speaks for all).
+    pub fn transform(&self) -> &T {
+        self.shards[0].transform()
+    }
+
     /// The shard that does / would store `id`.
     pub fn shard_of(&self, id: ItemId) -> usize {
         shard_for(id, self.shards.len())
@@ -423,8 +429,10 @@ impl<T: EnvelopeTransform + Sync, I: SpatialIndex + Sync> ShardedEngine<T, I> {
 
     /// Validates, scatters, and gathers one request. `fanout` bounds the
     /// threads this one query may use (the batch path passes 1 so the only
-    /// parallelism is across requests).
-    fn run_sharded(
+    /// parallelism is across requests). Crate-visible so the segmented
+    /// store view ([`crate::segment`]) can run each storage unit through
+    /// the exact same scatter-gather and merge unit results itself.
+    pub(crate) fn run_sharded(
         &self,
         request: &QueryRequest,
         scratch: &mut QueryScratch,
@@ -628,7 +636,7 @@ impl<T: EnvelopeTransform + Sync, I: SpatialIndex + Sync> ShardedEngine<T, I> {
 
 /// The trace/metrics kind for a request (same mapping as the monolithic
 /// dispatch).
-fn query_kind(request: &QueryRequest) -> QueryKind {
+pub(crate) fn query_kind(request: &QueryRequest) -> QueryKind {
     match (request.kind(), request.scan_enabled()) {
         (RequestKind::Range { .. }, false) => QueryKind::Range,
         (RequestKind::Knn { .. }, false) => QueryKind::Knn,
@@ -642,7 +650,7 @@ fn query_kind(request: &QueryRequest) -> QueryKind {
 /// by `(distance, id, shard)` — ids are unique across shards, so the shard
 /// component never decides between *different* items; it only fixes a total
 /// order for the heap.
-fn merge_sorted_matches(pools: Vec<Vec<(ItemId, f64)>>) -> Vec<(ItemId, f64)> {
+pub(crate) fn merge_sorted_matches(pools: Vec<Vec<(ItemId, f64)>>) -> Vec<(ItemId, f64)> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 

@@ -4,6 +4,10 @@
 //! qbh generate <dir> [--songs N] [--seed S]   write a melody corpus as .mid files
 //! qbh info     <dir>                          corpus statistics
 //! qbh index    <dir> <out.humidx>             persist the corpus as one binary file
+//!              [--store] [--memtable N] [--compact-at N]
+//!                                             or, with --store, ingest it
+//!                                             incrementally into a segmented
+//!                                             store directory at <out>
 //! qbh hum      <dir> <name.mid> <out.wav>     synthesize a hum of one melody
 //!              [--singer good|poor] [--seed S]
 //!              [--stream ADDR] [--top K] [--chunk-frames N]
@@ -12,10 +16,15 @@
 //!                                             it refines with each chunk
 //! qbh query    <dir|file.humidx> <hum.wav> [--top K]
 //!                                             find a hummed melody in the corpus
-//! qbh serve    <file.humidx> [--addr A] [--workers N] [--queue-depth D]
-//!              [--max-sessions N]
+//! qbh serve    <file.humidx|store-dir> [--addr A] [--workers N]
+//!              [--queue-depth D] [--max-sessions N]
 //!              [--default-deadline-ms MS] [--shards N]
-//!              [--allow-remote-shutdown]      serve the index over TCP
+//!              [--store] [--memtable N] [--compact-at N]
+//!              [--maintenance-ms MS]
+//!              [--allow-remote-shutdown]      serve the index over TCP;
+//!                                             with --store the path is a
+//!                                             segmented store directory and
+//!                                             inserts are durable
 //! ```
 //!
 //! Results go to stdout; progress and diagnostics go to stderr, so scripted
@@ -34,7 +43,7 @@ use hum_music::{HummingSimulator, Melody, SingerProfile, Songbook, SongbookConfi
 use hum_qbh::corpus::{melody_from_smf, melody_to_smf};
 use hum_server::{Server, ServerConfig};
 use hum_qbh::storage::StorageError;
-use hum_qbh::system::{QbhConfig, QbhSystem};
+use hum_qbh::system::{QbhConfig, QbhSystem, StoreOptions};
 
 /// CLI failure modes, each with its own exit code so scripts can tell a
 /// misused invocation (2) from a corrupt or unwritable snapshot (3) or a
@@ -117,12 +126,14 @@ fn main() -> ExitCode {
 
 fn usage_text() -> &'static str {
     "usage:\n  qbh generate <dir> [--songs N] [--seed S]\n  qbh info <dir>\n  \
-     qbh index <dir> <out.humidx>\n  \
+     qbh index <dir> <out.humidx> [--store] [--memtable N] [--compact-at N]\n  \
      qbh hum <dir> <name.mid> <out.wav> [--singer good|poor] [--seed S]\n          \
 [--stream ADDR] [--top K] [--chunk-frames N]\n  \
      qbh query <dir|file.humidx> <hum.wav> [--top K]\n  \
-     qbh serve <file.humidx> [--addr A] [--workers N] [--queue-depth D] \
-[--default-deadline-ms MS] [--shards N] [--max-sessions N] [--allow-remote-shutdown]"
+     qbh serve <file.humidx|store-dir> [--addr A] [--workers N] [--queue-depth D]\n          \
+[--default-deadline-ms MS] [--shards N] [--max-sessions N]\n          \
+[--store] [--memtable N] [--compact-at N] [--maintenance-ms MS]\n          \
+[--allow-remote-shutdown]"
 }
 
 fn usage() {
@@ -326,17 +337,68 @@ fn stream_hum(
     Ok(())
 }
 
+/// Parses the shared store tuning flags (`--memtable`, `--compact-at`).
+fn store_options(args: &[String]) -> Result<StoreOptions, CliError> {
+    let defaults = StoreOptions::default();
+    Ok(StoreOptions {
+        memtable_capacity: flag_value(args, "--memtable")?
+            .map(|n| n.max(1) as usize)
+            .unwrap_or(defaults.memtable_capacity),
+        compact_at: flag_value(args, "--compact-at")?
+            .map(|n| n.max(2) as usize)
+            .unwrap_or(defaults.compact_at),
+    })
+}
+
 fn cmd_index(args: &[String]) -> Result<(), CliError> {
     let dir = PathBuf::from(args.first().ok_or("index needs a directory")?);
-    let out = PathBuf::from(args.get(1).ok_or("index needs an output .humidx path")?);
+    let out = PathBuf::from(args.get(1).ok_or("index needs an output path")?);
     let corpus = load_corpus(&dir)?;
     let db = hum_qbh::corpus::MelodyDatabase::from_melodies(
         corpus.values().cloned().collect::<Vec<_>>(),
     );
+    if args.iter().any(|a| a == "--store") {
+        return index_into_store(&db, &out, store_options(args)?);
+    }
     // Atomic, checksummed save: either the complete snapshot lands at `out`
     // or a typed error is reported and any previous file stays intact.
     let bytes = hum_qbh::storage::save(&out, &db, &QbhConfig::default())?;
     println!("Persisted {} melodies to {} ({bytes} bytes).", db.len(), out.display());
+    println!("Note: melody names are not stored; query hits report database ids.");
+    Ok(())
+}
+
+/// Incremental ingest: every melody goes through the memtable, flushing a
+/// bounded segment whenever it fills, so durable cost per insert stays
+/// proportional to the memtable — not to the corpus.
+fn index_into_store(
+    db: &hum_qbh::corpus::MelodyDatabase,
+    out: &Path,
+    options: StoreOptions,
+) -> Result<(), CliError> {
+    std::fs::create_dir_all(out)
+        .map_err(|e| CliError::Usage(format!("cannot create {}: {e}", out.display())))?;
+    let config = QbhConfig::default();
+    let mut system = QbhSystem::try_create_store(out, &config, options)?;
+    for entry in db.entries() {
+        let series = entry.melody().to_time_series(config.samples_per_beat);
+        system
+            .try_insert_melody(entry.id(), entry.song(), entry.phrase(), &series)
+            .map_err(|e| CliError::Usage(format!("melody #{}: {e}", entry.id())))?;
+        system.maintain()?;
+    }
+    // Final flush so the tail of the corpus is durable too.
+    system.flush()?;
+    let stats = system.store_stats().unwrap_or_default();
+    println!(
+        "Ingested {} melodies into {} ({} segments, {} flushes, {} compactions, {} bytes).",
+        system.len(),
+        out.display(),
+        stats.segments,
+        stats.flushes,
+        stats.compactions,
+        stats.bytes_written
+    );
     println!("Note: melody names are not stored; query hits report database ids.");
     Ok(())
 }
@@ -393,7 +455,8 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
-    let path = PathBuf::from(args.first().ok_or("serve needs a .humidx snapshot")?);
+    let path =
+        PathBuf::from(args.first().ok_or("serve needs a .humidx snapshot or store directory")?);
     let addr = string_flag(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7700".to_string());
     let workers = flag_value(args, "--workers")?.unwrap_or(4).max(1) as usize;
     let queue_depth = flag_value(args, "--queue-depth")?.unwrap_or(64).max(1) as usize;
@@ -404,20 +467,48 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let max_sessions = flag_value(args, "--max-sessions")?
         .map(|n| n.max(1) as usize)
         .unwrap_or(ServerConfig::default().max_sessions);
+    let store_backed = args.iter().any(|a| a == "--store");
+    let maintenance_interval =
+        flag_value(args, "--maintenance-ms")?.map(std::time::Duration::from_millis);
 
     // One shared registry records both server counters (connections, queue
     // high water, rejections) and engine counters (queries, DP cells).
     let metrics = MetricsSink::enabled();
-    // `--shards` overrides the persisted shard count: the snapshot format
-    // pins shard assignment, but serving topology is an operator decision.
-    let system = QbhSystem::try_load_with_shards(&path, &metrics, shards)?;
-    eprintln!(
-        "Loaded {} melodies from {} ({} shard{}).",
-        system.len(),
-        path.display(),
-        system.shard_count(),
-        if system.shard_count() == 1 { "" } else { "s" }
-    );
+    let system = if store_backed {
+        if shards.is_some() {
+            // The manifest pins the shard count: every segment engine was
+            // sharded with it, and re-sharding would have to re-index every
+            // segment. Refuse rather than silently ignore.
+            return Err("--shards cannot be combined with --store".into());
+        }
+        let system = QbhSystem::try_open_store_with(&path, store_options(args)?, &metrics)?;
+        let stats = system.store_stats().unwrap_or_default();
+        eprintln!(
+            "Opened store {} ({} melodies, {} segments, {} tombstones, {} shard{}).",
+            path.display(),
+            system.len(),
+            stats.segments,
+            stats.tombstones,
+            system.shard_count(),
+            if system.shard_count() == 1 { "" } else { "s" }
+        );
+        system
+    } else {
+        if maintenance_interval.is_some() {
+            return Err("--maintenance-ms needs --store (snapshots have no background work)".into());
+        }
+        // `--shards` overrides the persisted shard count: the snapshot format
+        // pins shard assignment, but serving topology is an operator decision.
+        let system = QbhSystem::try_load_with_shards(&path, &metrics, shards)?;
+        eprintln!(
+            "Loaded {} melodies from {} ({} shard{}).",
+            system.len(),
+            path.display(),
+            system.shard_count(),
+            if system.shard_count() == 1 { "" } else { "s" }
+        );
+        system
+    };
 
     let config = ServerConfig {
         workers,
@@ -425,6 +516,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         default_deadline,
         allow_remote_shutdown,
         max_sessions,
+        maintenance_interval,
         metrics: metrics.clone(),
         ..ServerConfig::default()
     };

@@ -42,6 +42,7 @@ pub mod fault;
 pub mod serve;
 pub mod songsearch;
 pub mod storage;
+pub mod store;
 pub mod system;
 
 pub use corpus::{MelodyDatabase, MelodyEntry};

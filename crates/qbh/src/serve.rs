@@ -14,9 +14,16 @@
 use hum_core::engine::{
     EngineError, QueryBudget, QueryRequest, QueryScratch,
 };
-use hum_server::{QbhService, ServiceMatch, ServiceOutcome, ServiceQuery};
+use hum_server::{
+    MaintenanceReport, QbhService, ServiceError, ServiceMatch, ServiceOutcome, ServiceQuery,
+};
 
+use crate::storage::StorageError;
 use crate::system::QbhSystem;
+
+fn storage_error(e: StorageError) -> ServiceError {
+    ServiceError::Storage(e.to_string())
+}
 
 impl QbhService for QbhSystem {
     fn query(
@@ -56,12 +63,24 @@ impl QbhService for QbhSystem {
         song: usize,
         phrase: usize,
         pitch_series: &[f64],
-    ) -> Result<(), EngineError> {
-        self.try_insert_melody(id, song, phrase, pitch_series)
+    ) -> Result<(), ServiceError> {
+        self.try_insert_melody(id, song, phrase, pitch_series)?;
+        // Store-backed systems flush inline once the memtable fills, so
+        // ingest durability never depends on the maintenance timer alone.
+        // The melody is indexed either way; only its durability lags.
+        if self.needs_flush() {
+            self.flush().map_err(storage_error)?;
+        }
+        Ok(())
     }
 
-    fn remove(&mut self, id: u64) -> bool {
-        self.try_remove(id)
+    fn remove(&mut self, id: u64) -> Result<bool, ServiceError> {
+        self.try_remove(id).map_err(storage_error)
+    }
+
+    fn maintain(&mut self) -> Result<MaintenanceReport, ServiceError> {
+        let done = QbhSystem::maintain(self).map_err(storage_error)?;
+        Ok(MaintenanceReport { flushed: done.flushed, compacted: done.compacted })
     }
 
     fn len(&self) -> usize {

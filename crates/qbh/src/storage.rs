@@ -58,11 +58,14 @@
 //!
 //! # Durability
 //!
-//! [`save`] is atomic: it writes to a sibling temp file, flushes and
-//! `sync_all`s it, then `rename`s it into place. A crash at any point
-//! leaves either the previous complete snapshot or the new one — never a
-//! torn file (the orphaned temp file, if any, is ignored by loads and
-//! overwritten by the next save from the same process).
+//! [`save`] is atomic: it writes to a sibling temp file named with the pid
+//! *and* a process-wide sequence number (so concurrent saves — even to the
+//! same path — never share a temp file), flushes and `sync_all`s it, then
+//! `rename`s it into place. A crash at any point leaves either the
+//! previous complete snapshot or the new one — never a torn file; an
+//! orphaned temp from a crashed writer is ignored by loads and never
+//! adopted or overwritten by later saves (each save owns a fresh name and
+//! cleans up only its own temp on error).
 //!
 //! # Robustness
 //!
@@ -98,14 +101,14 @@ const CONFIG_BODY_LEN: usize = 26;
 
 /// Serialized size of the fixed config section body (v3): the v2 body plus
 /// the `u32` shard count.
-const CONFIG_BODY_LEN_V3: usize = CONFIG_BODY_LEN + 4;
+pub(crate) const CONFIG_BODY_LEN_V3: usize = CONFIG_BODY_LEN + 4;
 
 /// Hard cap on the shard count a file may claim (far above any sensible
 /// serving fan-out; bounds per-shard bookkeeping on untrusted files).
 const MAX_SHARDS: usize = 4096;
 
 /// Hard cap on the melody count a file may claim.
-const MAX_MELODIES: u64 = 100_000_000;
+pub(crate) const MAX_MELODIES: u64 = 100_000_000;
 
 /// Hard cap on the note count of a single melody.
 const MAX_NOTES: u32 = 1_000_000;
@@ -221,7 +224,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 
 /// Write adapter tracking the whole-file CRC, the current section CRC, and
 /// the byte count.
-struct SnapshotWriter<'a, W: Write> {
+pub(crate) struct SnapshotWriter<'a, W: Write> {
     inner: &'a mut W,
     bytes: u64,
     file_crc: Crc32,
@@ -229,12 +232,12 @@ struct SnapshotWriter<'a, W: Write> {
 }
 
 impl<'a, W: Write> SnapshotWriter<'a, W> {
-    fn new(inner: &'a mut W) -> Self {
+    pub(crate) fn new(inner: &'a mut W) -> Self {
         SnapshotWriter { inner, bytes: 0, file_crc: Crc32::new(), section_crc: Crc32::new() }
     }
 
     /// Writes bytes that belong to the current section.
-    fn put(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+    pub(crate) fn put(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
         self.inner.write_all(bytes)?;
         self.bytes += bytes.len() as u64;
         self.file_crc.update(bytes);
@@ -243,13 +246,13 @@ impl<'a, W: Write> SnapshotWriter<'a, W> {
     }
 
     /// Resets the section CRC for the next section.
-    fn begin_section(&mut self) {
+    pub(crate) fn begin_section(&mut self) {
         self.section_crc = Crc32::new();
     }
 
     /// Writes the current section's CRC32 (covered by the file CRC but not
     /// by any section CRC) and resets the section state.
-    fn finish_section(&mut self) -> Result<(), StorageError> {
+    pub(crate) fn finish_section(&mut self) -> Result<(), StorageError> {
         let sum = self.section_crc.finish().to_le_bytes();
         self.inner.write_all(&sum)?;
         self.bytes += sum.len() as u64;
@@ -259,16 +262,21 @@ impl<'a, W: Write> SnapshotWriter<'a, W> {
     }
 
     /// Writes the whole-file footer CRC32 (checksums everything before it).
-    fn finish_file(&mut self) -> Result<(), StorageError> {
+    pub(crate) fn finish_file(&mut self) -> Result<(), StorageError> {
         let sum = self.file_crc.finish().to_le_bytes();
         self.inner.write_all(&sum)?;
         self.bytes += sum.len() as u64;
         Ok(())
     }
+
+    /// Total bytes written so far (including section and footer CRCs).
+    pub(crate) fn bytes(&self) -> u64 {
+        self.bytes
+    }
 }
 
 /// Read adapter mirroring [`SnapshotWriter`].
-struct SnapshotReader<'a, R: Read> {
+pub(crate) struct SnapshotReader<'a, R: Read> {
     inner: &'a mut R,
     bytes: u64,
     file_crc: Crc32,
@@ -276,12 +284,12 @@ struct SnapshotReader<'a, R: Read> {
 }
 
 impl<'a, R: Read> SnapshotReader<'a, R> {
-    fn new(inner: &'a mut R) -> Self {
+    pub(crate) fn new(inner: &'a mut R) -> Self {
         SnapshotReader { inner, bytes: 0, file_crc: Crc32::new(), section_crc: Crc32::new() }
     }
 
     /// Reads bytes that belong to the current section.
-    fn take(&mut self, buf: &mut [u8]) -> Result<(), StorageError> {
+    pub(crate) fn take(&mut self, buf: &mut [u8]) -> Result<(), StorageError> {
         self.inner.read_exact(buf)?;
         self.bytes += buf.len() as u64;
         self.file_crc.update(buf);
@@ -289,13 +297,13 @@ impl<'a, R: Read> SnapshotReader<'a, R> {
         Ok(())
     }
 
-    fn begin_section(&mut self) {
+    pub(crate) fn begin_section(&mut self) {
         self.section_crc = Crc32::new();
     }
 
     /// Reads a stored section CRC32 and checks it against the bytes read
     /// since [`SnapshotReader::begin_section`].
-    fn verify_section(&mut self, section: &'static str) -> Result<(), StorageError> {
+    pub(crate) fn verify_section(&mut self, section: &'static str) -> Result<(), StorageError> {
         let expected = self.section_crc.finish();
         let mut buf = [0u8; 4];
         self.inner.read_exact(&mut buf)?;
@@ -310,7 +318,7 @@ impl<'a, R: Read> SnapshotReader<'a, R> {
 
     /// Reads the whole-file footer CRC32, checks it, and rejects trailing
     /// bytes after it.
-    fn verify_footer(&mut self) -> Result<(), StorageError> {
+    pub(crate) fn verify_footer(&mut self) -> Result<(), StorageError> {
         let expected = self.file_crc.finish();
         let mut buf = [0u8; 4];
         self.inner.read_exact(&mut buf)?;
@@ -326,19 +334,19 @@ impl<'a, R: Read> SnapshotReader<'a, R> {
         }
     }
 
-    fn u32(&mut self) -> Result<u32, StorageError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, StorageError> {
         let mut buf = [0u8; 4];
         self.take(&mut buf)?;
         Ok(u32::from_le_bytes(buf))
     }
 
-    fn u64(&mut self) -> Result<u64, StorageError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, StorageError> {
         let mut buf = [0u8; 8];
         self.take(&mut buf)?;
         Ok(u64::from_le_bytes(buf))
     }
 
-    fn f64(&mut self) -> Result<f64, StorageError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, StorageError> {
         let mut buf = [0u8; 8];
         self.take(&mut buf)?;
         Ok(f64::from_le_bytes(buf))
@@ -351,7 +359,7 @@ impl<'a, R: Read> SnapshotReader<'a, R> {
 /// Checks that a configuration is structurally sound *and* buildable — every
 /// constraint a [`crate::system::QbhSystem::build`] would otherwise assert on, so an
 /// untrusted file can never turn into a panic after a successful load.
-fn validate_config(config: &QbhConfig) -> Result<(), String> {
+pub(crate) fn validate_config(config: &QbhConfig) -> Result<(), String> {
     if config.normal_length == 0 || config.feature_dims == 0 || config.samples_per_beat == 0 {
         return Err("zero-sized configuration field".into());
     }
@@ -405,7 +413,7 @@ fn validate_config(config: &QbhConfig) -> Result<(), String> {
     Ok(())
 }
 
-fn as_u32(value: usize, what: &str) -> Result<u32, StorageError> {
+pub(crate) fn as_u32(value: usize, what: &str) -> Result<u32, StorageError> {
     u32::try_from(value)
         .map_err(|_| StorageError::Unrepresentable(format!("{what} {value} overflows u32")))
 }
@@ -560,7 +568,7 @@ pub fn write_database_v1<W: Write>(
 }
 
 /// Writes the 26-byte config body (identical field layout in v1 and v2).
-fn write_config<W: Write>(
+pub(crate) fn write_config<W: Write>(
     dst: &mut SnapshotWriter<'_, W>,
     config: &QbhConfig,
 ) -> Result<(), StorageError> {
@@ -750,7 +758,7 @@ fn parse_config(body: &[u8; CONFIG_BODY_LEN]) -> Result<QbhConfig, StorageError>
 }
 
 /// Parses and validates the 30-byte v3 config body (v2 body + shard count).
-fn parse_config_v3(body: &[u8; CONFIG_BODY_LEN_V3]) -> Result<QbhConfig, StorageError> {
+pub(crate) fn parse_config_v3(body: &[u8; CONFIG_BODY_LEN_V3]) -> Result<QbhConfig, StorageError> {
     let mut base = [0u8; CONFIG_BODY_LEN];
     base.copy_from_slice(&body[..CONFIG_BODY_LEN]);
     let mut config = parse_config(&base)?;
@@ -854,46 +862,68 @@ pub fn save_with(
 }
 
 fn save_atomic(path: &Path, db: &MelodyDatabase, config: &QbhConfig) -> Result<u64, StorageError> {
+    atomic_write(path, |out| write_database(out, db, config))
+}
+
+/// Process-wide sequence for temp-file names. The pid alone is *not*
+/// collision-free: two concurrent saves to the same path from one process
+/// (reachable through the server's live-mutation ops) would share a temp
+/// file, interleave writes, and could rename torn bytes into place.
+static TEMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A temp path next to `path` that no other save — in this process or any
+/// other live one — can be using: `<name>.tmp.<pid>.<seq>`.
+pub(crate) fn unique_temp_path(path: &Path) -> Result<std::path::PathBuf, StorageError> {
     let file_name = path.file_name().ok_or_else(|| {
         StorageError::Io(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("save path {} has no file name", path.display()),
         ))
     })?;
-    let tmp = path.with_file_name(format!(
-        "{}.tmp.{}",
+    let seq = TEMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    Ok(path.with_file_name(format!(
+        "{}.tmp.{}.{}",
         file_name.to_string_lossy(),
-        std::process::id()
-    ));
-    let result = write_snapshot(&tmp, path, db, config);
+        std::process::id(),
+        seq
+    )))
+}
+
+/// Durable atomic file replacement: `write` streams into a uniquely-named
+/// temp file next to `path`, which is flushed, fsynced, and renamed into
+/// place (the parent directory is synced best-effort). A crash at any
+/// point leaves either the old or the new complete file, never a torn one.
+/// On error only the temp file *this call created* is cleaned up — a
+/// concurrent save's temp has a different sequence number and is never
+/// touched.
+pub(crate) fn atomic_write(
+    path: &Path,
+    write: impl FnOnce(&mut io::BufWriter<std::fs::File>) -> Result<u64, StorageError>,
+) -> Result<u64, StorageError> {
+    let tmp = unique_temp_path(path)?;
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        let mut out = io::BufWriter::new(file);
+        let bytes = write(&mut out)?;
+        out.flush()?;
+        let file = out.into_inner().map_err(|e| StorageError::Io(e.into_error()))?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        // Make the rename itself durable where the platform allows syncing
+        // a directory handle; failure to do so is not an error we can act
+        // on.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(bytes)
+    })();
     if result.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
     result
-}
-
-fn write_snapshot(
-    tmp: &Path,
-    path: &Path,
-    db: &MelodyDatabase,
-    config: &QbhConfig,
-) -> Result<u64, StorageError> {
-    let file = std::fs::File::create(tmp)?;
-    let mut out = io::BufWriter::new(file);
-    let bytes = write_database(&mut out, db, config)?;
-    out.flush()?;
-    let file = out.into_inner().map_err(|e| StorageError::Io(e.into_error()))?;
-    file.sync_all()?;
-    drop(file);
-    std::fs::rename(tmp, path)?;
-    // Make the rename itself durable where the platform allows syncing a
-    // directory handle; failure to do so is not an error we can act on.
-    if let Some(dir) = path.parent() {
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(bytes)
 }
 
 /// Loads from a file path (either format version).

@@ -5,18 +5,20 @@
 //! ingestion through the pitch tracker (§3.1), and provenance-aware results
 //! (which song, which phrase).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
 
 use hum_audio::{track_pitch, PitchTrackerConfig};
 use hum_core::batch::BatchOptions;
 use hum_core::dtw::band_for_warping_width;
 use hum_core::engine::{
-    check_finite, DtwIndexEngine, EngineConfig, EngineError, EngineStats, QueryRequest,
-    QueryScratch,
+    check_finite, DtwIndexEngine, EngineConfig, EngineError, EngineStats, QueryOutcome,
+    QueryRequest, QueryScratch,
 };
 use hum_core::normal::NormalForm;
+use hum_core::obs::{Metric, MetricsSink, QueryTrace};
+use hum_core::segment::{query_segmented, query_segmented_batch, SegmentMeta, SegmentUnit};
 use hum_core::session::QuerySession;
-use hum_core::obs::{MetricsSink, QueryTrace};
 use hum_core::shard::ShardedEngine;
 use hum_core::transform::dft::Dft;
 use hum_core::transform::dwt::Dwt;
@@ -27,6 +29,7 @@ use hum_index::{GridFile, LinearScan, RStarTree, SpatialIndex};
 
 use crate::corpus::MelodyDatabase;
 use crate::storage::StorageError;
+use crate::store::{self, Manifest, SegmentEntry, SegmentRef};
 
 /// Which envelope transform the index uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,14 +126,166 @@ pub struct QbhResults {
 pub type QbhEngine =
     ShardedEngine<Box<dyn EnvelopeTransform + Send + Sync>, Box<dyn SpatialIndex + Send + Sync>>;
 
-/// A built query-by-humming system.
-pub struct QbhSystem {
+/// The storage-unit view the system fans queries over (see
+/// [`hum_core::segment`]).
+type QbhUnit<'a> =
+    SegmentUnit<'a, Box<dyn EnvelopeTransform + Send + Sync>, Box<dyn SpatialIndex + Send + Sync>>;
+
+/// One immutable on-disk segment, resident in memory: its own sharded
+/// engine over the segment's live (non-tombstoned) melodies, plus pruning
+/// metadata and the full id list from the segment file (tombstoned ids
+/// included, so manifest counts stay consistent on rewrite).
+struct StoreSegment {
+    id: u64,
     engine: QbhEngine,
+    meta: SegmentMeta,
+    ids: Vec<u64>,
+}
+
+impl StoreSegment {
+    /// The manifest entry for this segment: the *file's* melody count
+    /// (tombstoned entries included), not the live engine's.
+    fn to_ref(&self) -> SegmentRef {
+        SegmentRef { id: self.id, count: self.ids.len() as u64 }
+    }
+}
+
+/// Operational knobs for a store-backed system; not part of the on-disk
+/// format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Memtable melody count at which [`QbhSystem::needs_flush`] trips
+    /// (flushes are otherwise explicit; the memtable may exceed this
+    /// between maintenance ticks).
+    pub memtable_capacity: usize,
+    /// Segment count at which [`QbhSystem::needs_compaction`] trips.
+    pub compact_at: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions { memtable_capacity: 1024, compact_at: 4 }
+    }
+}
+
+/// Mutable bookkeeping for a store-backed system.
+struct StoreState {
+    dir: PathBuf,
+    options: StoreOptions,
+    /// Removed-but-still-on-disk melody ids; cleared by compaction.
+    tombstones: BTreeSet<u64>,
+    /// Next segment file id (strictly greater than every live segment).
+    next_segment_id: u64,
+    /// Ids currently resident only in the memtable (not yet durable).
+    memtable_ids: BTreeSet<u64>,
+    flushes: u64,
+    compactions: u64,
+    bytes_written: u64,
+}
+
+/// A snapshot of store-backed storage counters, for operators and the
+/// ingest benchmark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Immutable segments currently live.
+    pub segments: usize,
+    /// Melodies in the memtable (not yet durable).
+    pub memtable_len: usize,
+    /// Removed ids awaiting compaction.
+    pub tombstones: usize,
+    /// Flushes performed by this instance.
+    pub flushes: u64,
+    /// Compactions performed by this instance.
+    pub compactions: u64,
+    /// Bytes written to segment and manifest files by this instance.
+    pub bytes_written: u64,
+}
+
+/// What a [`QbhSystem::maintain`] call actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreMaintenance {
+    /// A memtable flush ran.
+    pub flushed: bool,
+    /// A compaction ran.
+    pub compacted: bool,
+}
+
+/// Builds the spatial index backend for one engine shard.
+fn make_index(config: &QbhConfig) -> Box<dyn SpatialIndex + Send + Sync> {
+    match config.backend {
+        Backend::RStar => {
+            Box::new(RStarTree::with_page_size(config.feature_dims, config.page_bytes))
+        }
+        Backend::Grid => {
+            Box::new(GridFile::with_params(config.feature_dims, 8, 1024, config.page_bytes))
+        }
+        Backend::Linear => {
+            Box::new(LinearScan::with_page_size(config.feature_dims, config.page_bytes))
+        }
+    }
+}
+
+/// The typed rejection for data-adaptive transforms in store mode.
+fn svd_store_error() -> StorageError {
+    StorageError::Unrepresentable(
+        "SVD features are fitted to a corpus snapshot and cannot back an \
+         incremental store; choose NewPaa, KeoghPaa, Dft, or Dwt"
+            .into(),
+    )
+}
+
+/// Builds an empty engine for one storage unit (memtable or segment) of a
+/// store-backed system. Every unit uses `config.shards`, so the single-unit
+/// case is byte-for-byte the monolithic engine.
+///
+/// # Errors
+/// [`StorageError::Unrepresentable`] for [`TransformKind::Svd`]: a
+/// data-adaptive basis cannot be fitted on an empty memtable, and refitting
+/// per segment would break the bit-identity contract.
+fn store_engine(config: &QbhConfig) -> Result<QbhEngine, StorageError> {
+    let mut shards = Vec::with_capacity(config.shards.max(1));
+    for _ in 0..config.shards.max(1) {
+        let transform: Box<dyn EnvelopeTransform + Send + Sync> = match config.transform {
+            TransformKind::NewPaa => {
+                Box::new(NewPaa::new(config.normal_length, config.feature_dims))
+            }
+            TransformKind::KeoghPaa => {
+                Box::new(KeoghPaa::new(config.normal_length, config.feature_dims))
+            }
+            TransformKind::Dft => Box::new(Dft::new(config.normal_length, config.feature_dims)),
+            TransformKind::Dwt => Box::new(Dwt::new(config.normal_length, config.feature_dims)),
+            TransformKind::Svd => return Err(svd_store_error()),
+        };
+        shards.push(DtwIndexEngine::new(transform, make_index(config), EngineConfig::default()));
+    }
+    Ok(QbhEngine::new(shards))
+}
+
+/// A built query-by-humming system.
+///
+/// Storage-wise the system is a one-level LSM tree: a mutable **memtable**
+/// engine absorbing live inserts, over zero or more immutable **segments**
+/// (each a [`StoreSegment`] with its own engine). Every query fans over all
+/// units through [`hum_core::segment::query_segmented`] and k-way-merges
+/// the per-unit hits, so matches are bit-identical to a monolithic engine
+/// over the union corpus at every segment count, shard count, and thread
+/// count. Systems built in memory ([`QbhSystem::build`]) have exactly one
+/// unit (the memtable) and behave as before; store-backed systems
+/// ([`QbhSystem::try_create_store`] / [`QbhSystem::try_open_store`]) add
+/// the durable segment lifecycle ([`QbhSystem::flush`],
+/// [`QbhSystem::compact`], [`QbhSystem::maintain`]).
+pub struct QbhSystem {
+    memtable: QbhEngine,
+    segments: Vec<StoreSegment>,
     normal: NormalForm,
     band: usize,
+    config: QbhConfig,
     // Keyed by melody id (not a Vec indexed by id): live inserts may use
     // arbitrary ids, and removals leave holes.
     provenance: HashMap<u64, (usize, usize)>,
+    /// Records queries (the engines record their own inserts/removals).
+    metrics: MetricsSink,
+    store: Option<StoreState>,
 }
 
 impl QbhSystem {
@@ -149,10 +304,6 @@ impl QbhSystem {
             .map(|e| normal.apply(&e.melody().to_time_series(config.samples_per_beat)))
             .collect();
 
-        // SVD is data-adaptive: fit it *once* on the same global sample every
-        // shard count sees, then clone the fitted basis into each shard.
-        // Feature vectors are therefore shard-count-invariant, which the
-        // bit-identical-results contract depends on.
         // SVD is data-adaptive: fit it *once* on the same global sample every
         // shard count sees, then clone the fitted basis into each shard.
         // Feature vectors are therefore shard-count-invariant, which the
@@ -182,25 +333,8 @@ impl QbhSystem {
                 }
             }
         };
-        let make_index = || -> Box<dyn SpatialIndex + Send + Sync> {
-            match config.backend {
-                Backend::RStar => {
-                    Box::new(RStarTree::with_page_size(config.feature_dims, config.page_bytes))
-                }
-                Backend::Grid => Box::new(GridFile::with_params(
-                    config.feature_dims,
-                    8,
-                    1024,
-                    config.page_bytes,
-                )),
-                Backend::Linear => {
-                    Box::new(LinearScan::with_page_size(config.feature_dims, config.page_bytes))
-                }
-            }
-        };
-
         let mut engine = QbhEngine::build(config.shards.max(1), |_| {
-            DtwIndexEngine::new(make_transform(), make_index(), EngineConfig::default())
+            DtwIndexEngine::new(make_transform(), make_index(config), EngineConfig::default())
         });
         let mut provenance = HashMap::with_capacity(db.len());
         for (entry, nf) in db.entries().iter().zip(normals) {
@@ -208,11 +342,115 @@ impl QbhSystem {
             provenance.insert(entry.id(), (entry.song(), entry.phrase()));
         }
         QbhSystem {
-            engine,
+            memtable: engine,
+            segments: Vec::new(),
             normal,
             band: band_for_warping_width(config.warping_width, config.normal_length),
+            config: *config,
             provenance,
+            metrics: MetricsSink::Disabled,
+            store: None,
         }
+    }
+
+    /// Creates a fresh store-backed system at `dir`: an empty memtable over
+    /// zero segments, with an empty `MANIFEST` written durably so a crash
+    /// right after creation reopens cleanly.
+    ///
+    /// # Errors
+    /// [`StorageError::Unrepresentable`] for [`TransformKind::Svd`] (see
+    /// [`QbhSystem::try_open_store`]), an `AlreadyExists` I/O error when
+    /// `dir` already holds a manifest, and any I/O failure.
+    pub fn try_create_store(
+        dir: &Path,
+        config: &QbhConfig,
+        options: StoreOptions,
+    ) -> Result<Self, StorageError> {
+        if config.transform == TransformKind::Svd {
+            return Err(svd_store_error());
+        }
+        store::init_store(dir, config)?;
+        Self::try_open_store_with(dir, options, &MetricsSink::Disabled)
+    }
+
+    /// Opens an existing store at `dir` with default [`StoreOptions`] and
+    /// metrics disabled.
+    ///
+    /// # Errors
+    /// See [`QbhSystem::try_open_store_with`].
+    pub fn try_open_store(dir: &Path) -> Result<Self, StorageError> {
+        Self::try_open_store_with(dir, StoreOptions::default(), &MetricsSink::Disabled)
+    }
+
+    /// Opens an existing store at `dir`: validates and loads the manifest
+    /// and every segment it names (see [`crate::store::open_store`] for the
+    /// corruption taxonomy), rebuilds one engine per segment — skipping
+    /// tombstoned melodies, so a removal never resurrects across a reload —
+    /// and starts an empty memtable.
+    ///
+    /// # Errors
+    /// Any [`StorageError`] from [`crate::store::open_store`], plus
+    /// [`StorageError::Unrepresentable`] if the manifest asks for the SVD
+    /// transform (stores are created through [`QbhSystem::try_create_store`],
+    /// which refuses it; a foreign manifest could still claim it).
+    pub fn try_open_store_with(
+        dir: &Path,
+        options: StoreOptions,
+        metrics: &MetricsSink,
+    ) -> Result<Self, StorageError> {
+        let loaded = store::open_store(dir)?;
+        let config = loaded.manifest.config;
+        let tombstones: BTreeSet<u64> = loaded.manifest.tombstones.iter().copied().collect();
+        let mut provenance = HashMap::new();
+        let mut segments = Vec::with_capacity(loaded.segments.len());
+        let mut next_segment_id = 0u64;
+        for (seg_ref, entries) in loaded.manifest.segments.iter().zip(&loaded.segments) {
+            let mut engine = store_engine(&config)?;
+            let mut meta = SegmentMeta::new(entries.len());
+            let mut ids = Vec::with_capacity(entries.len());
+            for entry in entries {
+                ids.push(entry.id);
+                if tombstones.contains(&entry.id) {
+                    continue;
+                }
+                engine.try_insert(entry.id, entry.series.clone()).map_err(|e| {
+                    StorageError::Corrupt(format!("segment {}: {e}", seg_ref.id))
+                })?;
+                provenance.insert(entry.id, (entry.song, entry.phrase));
+            }
+            {
+                let transform = engine.transform();
+                for entry in entries {
+                    if !tombstones.contains(&entry.id) {
+                        meta.add(entry.id, &transform.project(&entry.series));
+                    }
+                }
+            }
+            engine.set_metrics(metrics.clone());
+            next_segment_id = seg_ref.id + 1;
+            segments.push(StoreSegment { id: seg_ref.id, engine, meta, ids });
+        }
+        let mut memtable = store_engine(&config)?;
+        memtable.set_metrics(metrics.clone());
+        Ok(QbhSystem {
+            memtable,
+            segments,
+            normal: NormalForm::with_length(config.normal_length),
+            band: band_for_warping_width(config.warping_width, config.normal_length),
+            config,
+            provenance,
+            metrics: metrics.clone(),
+            store: Some(StoreState {
+                dir: dir.to_path_buf(),
+                options,
+                tombstones,
+                next_segment_id,
+                memtable_ids: BTreeSet::new(),
+                flushes: 0,
+                compactions: 0,
+                bytes_written: 0,
+            }),
+        })
     }
 
     /// Loads a persisted snapshot (either `HUMIDX` version) and builds the
@@ -266,14 +504,15 @@ impl QbhSystem {
         Ok(system)
     }
 
-    /// Number of indexed melodies.
+    /// Number of indexed melodies, across the memtable and every segment.
     pub fn len(&self) -> usize {
-        self.engine.len()
+        self.memtable.len() + self.segments.iter().map(|s| s.engine.len()).sum::<usize>()
     }
 
-    /// `true` if nothing is indexed (never after a successful build).
+    /// `true` if nothing is indexed (never after a successful build; an
+    /// empty store-backed system is legal).
     pub fn is_empty(&self) -> bool {
-        self.engine.is_empty()
+        self.len() == 0
     }
 
     /// The DTW band implied by the configured warping width.
@@ -281,26 +520,62 @@ impl QbhSystem {
         self.band
     }
 
-    /// Number of corpus shards the engine scatters queries across.
+    /// The configuration the system was built or opened with.
+    pub fn config(&self) -> &QbhConfig {
+        &self.config
+    }
+
+    /// Number of corpus shards each storage unit scatters queries across.
     pub fn shard_count(&self) -> usize {
-        self.engine.shard_count()
+        self.memtable.shard_count()
     }
 
-    /// The underlying engine, for experiments that need raw control.
+    /// The memtable engine, for experiments that need raw control. For an
+    /// in-memory build this is the whole corpus; for a store-backed system
+    /// it holds only melodies inserted since the last flush.
     pub fn engine(&self) -> &QbhEngine {
-        &self.engine
+        &self.memtable
     }
 
-    /// Points the engine at a metrics sink (see
-    /// [`DtwIndexEngine::set_metrics`]); pass [`MetricsSink::enabled`] to
-    /// start recording every query into a shared registry.
+    /// Points the system at a metrics sink; pass [`MetricsSink::enabled`]
+    /// to start recording every query into a shared registry. The sink is
+    /// installed on every storage unit's engine (they record inserts and
+    /// removals); queries are recorded exactly once by the segmented query
+    /// path, regardless of unit count.
     pub fn set_metrics(&mut self, sink: MetricsSink) {
-        self.engine.set_metrics(sink);
+        self.memtable.set_metrics(sink.clone());
+        for seg in &mut self.segments {
+            seg.engine.set_metrics(sink.clone());
+        }
+        self.metrics = sink;
     }
 
     /// The metrics sink in use (disabled by default).
     pub fn metrics(&self) -> &MetricsSink {
-        self.engine.metrics()
+        &self.metrics
+    }
+
+    /// The storage units queries fan over, in fixed order: segments oldest
+    /// to newest, then the memtable. The order is deterministic so merged
+    /// counters are reproducible (matches are order-independent).
+    fn units(&self) -> Vec<QbhUnit<'_>> {
+        let mut units = Vec::with_capacity(self.segments.len() + 1);
+        for seg in &self.segments {
+            units.push(SegmentUnit { engine: &seg.engine, meta: Some(&seg.meta) });
+        }
+        units.push(SegmentUnit { engine: &self.memtable, meta: None });
+        units
+    }
+
+    /// Every query surface funnels through here: one segmented fan-out
+    /// over all storage units. With a single unit (every in-memory build)
+    /// this is exactly the monolithic sharded query, traces included.
+    fn run_request(
+        &self,
+        request: &QueryRequest,
+        scratch: &mut QueryScratch,
+    ) -> Result<QueryOutcome, EngineError> {
+        query_segmented(&self.units(), request, scratch, &self.metrics)
     }
 
     /// Opens an incremental query session: the request template's kind,
@@ -345,7 +620,8 @@ impl QbhSystem {
         scratch: &mut QueryScratch,
     ) -> Result<(QbhResults, Option<QueryTrace>), EngineError> {
         let budget = session.template().budget();
-        let outcome = session.refine(&self.engine, budget, scratch)?;
+        let request = session.to_request(budget)?;
+        let outcome = self.run_request(&request, scratch)?;
         Ok((self.annotate(outcome.result), outcome.trace))
     }
 
@@ -392,14 +668,20 @@ impl QbhSystem {
     }
 
     /// Live insert: renders a raw (hummed-scale) pitch series to normal
-    /// form, indexes it under `id`, and records its provenance. The melody
-    /// is queryable as soon as this returns; on error nothing changes.
+    /// form, indexes it in the memtable under `id`, and records its
+    /// provenance. The melody is queryable as soon as this returns; on
+    /// error nothing changes. In store mode the melody becomes *durable*
+    /// at the next [`QbhSystem::flush`] (the memtable is volatile; there
+    /// is no write-ahead log).
     ///
     /// # Errors
     /// [`EngineError::EmptyQuery`] on an empty series,
     /// [`EngineError::NonFiniteSample`] on NaN/infinite samples (checked on
     /// the *raw* series, before resampling can smear the poison), and
-    /// [`EngineError::DuplicateId`] when `id` is already indexed.
+    /// [`EngineError::DuplicateId`] when `id` is already indexed in any
+    /// storage unit — or tombstoned: a removed id stays reserved until
+    /// compaction drops it from its segment file, since re-using it earlier
+    /// would make the on-disk segments overlap.
     pub fn try_insert_melody(
         &mut self,
         id: u64,
@@ -411,20 +693,73 @@ impl QbhSystem {
             return Err(EngineError::EmptyQuery);
         }
         check_finite(pitch_series, "inserted pitch series")?;
-        self.engine.try_insert(id, self.normal.apply(pitch_series))?;
+        // Global duplicate check: the memtable's own check only covers
+        // itself, not segment-resident or tombstoned ids.
+        if self.provenance.contains_key(&id)
+            || self.store.as_ref().is_some_and(|s| s.tombstones.contains(&id))
+        {
+            return Err(EngineError::DuplicateId(id));
+        }
+        self.memtable.try_insert(id, self.normal.apply(pitch_series))?;
         self.provenance.insert(id, (song, phrase));
+        if let Some(state) = self.store.as_mut() {
+            state.memtable_ids.insert(id);
+        }
         Ok(())
     }
 
-    /// Live removal: drops the melody stored under `id` from the engine,
-    /// the index, and the provenance table. Returns `true` if it was
-    /// present.
-    pub fn try_remove(&mut self, id: u64) -> bool {
-        if !self.engine.remove(id) {
-            return false;
+    /// Live removal: drops the melody stored under `id` from whichever
+    /// storage unit holds it. Returns `Ok(true)` if it was present.
+    ///
+    /// In store mode, removing a *segment-resident* melody writes a
+    /// tombstone into the manifest durably **before** the in-memory
+    /// removal, so a crash-and-reload can never resurrect it; the
+    /// tombstoned entry physically disappears at the next compaction.
+    /// Memtable-resident melodies were never durable, so their removal is
+    /// purely in-memory. For in-memory builds this degrades to the old
+    /// behavior (durability comes from the next full snapshot save) and
+    /// never returns an error.
+    ///
+    /// # Errors
+    /// Any I/O or encoding failure writing the updated manifest; the
+    /// system is unchanged (the melody stays queryable) on error.
+    pub fn try_remove(&mut self, id: u64) -> Result<bool, StorageError> {
+        let Some(state) = self.store.as_mut() else {
+            if !self.memtable.remove(id) {
+                return Ok(false);
+            }
+            self.provenance.remove(&id);
+            return Ok(true);
+        };
+        if state.memtable_ids.contains(&id) {
+            // Never flushed: nothing on disk references it.
+            state.memtable_ids.remove(&id);
+            self.memtable.remove(id);
+            self.provenance.remove(&id);
+            return Ok(true);
         }
+        // Segment-resident (pruning filters may false-positive; the engine
+        // lookup is authoritative).
+        let Some(seg_index) = self
+            .segments
+            .iter()
+            .position(|s| s.meta.may_contain_id(id) && s.engine.get(id).is_some())
+        else {
+            return Ok(false);
+        };
+        // Durable first: manifest with the new tombstone, then memory.
+        let mut tombstones = state.tombstones.clone();
+        tombstones.insert(id);
+        let manifest = Manifest {
+            config: self.config,
+            segments: self.segments.iter().map(StoreSegment::to_ref).collect(),
+            tombstones: tombstones.iter().copied().collect(),
+        };
+        state.bytes_written += store::save_manifest(&state.dir, &manifest)?;
+        state.tombstones = tombstones;
+        self.segments[seg_index].engine.remove(id);
         self.provenance.remove(&id);
-        true
+        Ok(true)
     }
 
     /// Panicking form of [`QbhSystem::try_query_request`].
@@ -452,7 +787,10 @@ impl QbhSystem {
     pub fn query_series_banded(&self, pitch_series: &[f64], band: usize, k: usize) -> QbhResults {
         let query = self.normal.apply(pitch_series);
         let request = QueryRequest::knn(k).with_series(query).with_band(band);
-        self.annotate(self.engine.query(&request).result)
+        let outcome = self
+            .run_request(&request, &mut QueryScratch::new())
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.annotate(outcome.result)
     }
 
     /// ε-range query on the normal-form DTW distance (used by the candidate
@@ -460,7 +798,10 @@ impl QbhSystem {
     pub fn range_query(&self, pitch_series: &[f64], band: usize, radius: f64) -> QbhResults {
         let query = self.normal.apply(pitch_series);
         let request = QueryRequest::range(radius).with_series(query).with_band(band);
-        self.annotate(self.engine.query(&request).result)
+        let outcome = self
+            .run_request(&request, &mut QueryScratch::new())
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.annotate(outcome.result)
     }
 
     /// Batched [`QbhSystem::query_series`]: top-`k` matches for each of `n`
@@ -480,8 +821,7 @@ impl QbhSystem {
                 QueryRequest::knn(k).with_series(self.normal.apply(series)).with_band(self.band)
             })
             .collect();
-        self.engine
-            .try_query_batch(&batch, options)
+        query_segmented_batch(&self.units(), &batch, options, &self.metrics)
             .unwrap_or_else(|e| panic!("{e}"))
             .outcomes
             .into_iter()
@@ -500,6 +840,225 @@ impl QbhSystem {
             return QbhResults::default();
         }
         self.query_series(&series, k)
+    }
+
+    /// `true` when the system is backed by an on-disk store.
+    pub fn is_store_backed(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Melodies currently resident only in the memtable.
+    pub fn memtable_len(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Live immutable segments (always 0 for in-memory builds).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Store counters, or `None` for an in-memory build.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|state| StoreStats {
+            segments: self.segments.len(),
+            memtable_len: state.memtable_ids.len(),
+            tombstones: state.tombstones.len(),
+            flushes: state.flushes,
+            compactions: state.compactions,
+            bytes_written: state.bytes_written,
+        })
+    }
+
+    /// `true` when the memtable has reached [`StoreOptions::memtable_capacity`]
+    /// and the next [`QbhSystem::maintain`] will flush it.
+    pub fn needs_flush(&self) -> bool {
+        self.store
+            .as_ref()
+            .is_some_and(|s| s.memtable_ids.len() >= s.options.memtable_capacity.max(1))
+    }
+
+    /// `true` when the segment count has reached [`StoreOptions::compact_at`],
+    /// or at least a quarter of the segment-resident melodies are
+    /// tombstoned, so the next [`QbhSystem::maintain`] will compact.
+    pub fn needs_compaction(&self) -> bool {
+        let Some(state) = self.store.as_ref() else {
+            return false;
+        };
+        if self.segments.len() >= state.options.compact_at.max(2) {
+            return true;
+        }
+        let on_disk: usize = self.segments.iter().map(|s| s.ids.len()).sum();
+        !state.tombstones.is_empty() && state.tombstones.len() * 4 >= on_disk
+    }
+
+    /// Flushes the memtable: writes its melodies as a new immutable
+    /// segment, commits the segment into the manifest, and re-opens an
+    /// empty memtable — the flushed engine *becomes* the segment's engine,
+    /// so nothing is re-indexed and queries are undisturbed. This is the
+    /// durability boundary for inserts: the flush writes only the new
+    /// melodies plus a small manifest, never the whole corpus. Returns
+    /// `Ok(false)` when the memtable was empty (nothing written).
+    ///
+    /// Crash safety: the segment file lands (atomic rename) before the
+    /// manifest that names it; a crash between the two leaves an orphan
+    /// segment file that [`QbhSystem::try_open_store_with`] ignores.
+    ///
+    /// # Errors
+    /// [`StorageError::Unrepresentable`] for an in-memory build, plus any
+    /// I/O or encoding failure — the memtable is left intact on error.
+    pub fn flush(&mut self) -> Result<bool, StorageError> {
+        let Some(state) = self.store.as_mut() else {
+            return Err(StorageError::Unrepresentable(
+                "flush requires a store-backed system (see QbhSystem::try_create_store)".into(),
+            ));
+        };
+        if state.memtable_ids.is_empty() {
+            return Ok(false);
+        }
+        let mut entries = Vec::with_capacity(state.memtable_ids.len());
+        for &id in &state.memtable_ids {
+            let series = self.memtable.get(id).map(<[f64]>::to_vec).ok_or_else(|| {
+                StorageError::Corrupt(format!("memtable id {id} tracked but not indexed"))
+            })?;
+            let (song, phrase) = self.provenance.get(&id).copied().unwrap_or((0, 0));
+            entries.push(SegmentEntry { id, song, phrase, series });
+        }
+        let segment_id = state.next_segment_id;
+        let mut written = store::save_segment(&state.dir, segment_id, &self.config, &entries)?;
+        let mut segment_refs: Vec<SegmentRef> =
+            self.segments.iter().map(StoreSegment::to_ref).collect();
+        segment_refs.push(SegmentRef { id: segment_id, count: entries.len() as u64 });
+        let manifest = Manifest {
+            config: self.config,
+            segments: segment_refs,
+            tombstones: state.tombstones.iter().copied().collect(),
+        };
+        written += store::save_manifest(&state.dir, &manifest)?;
+        // Durably committed: seal the memtable as the new segment.
+        let mut meta = SegmentMeta::new(entries.len());
+        {
+            let transform = self.memtable.transform();
+            for entry in &entries {
+                meta.add(entry.id, &transform.project(&entry.series));
+            }
+        }
+        let mut fresh = store_engine(&self.config)?;
+        fresh.set_metrics(self.metrics.clone());
+        let engine = std::mem::replace(&mut self.memtable, fresh);
+        self.segments.push(StoreSegment {
+            id: segment_id,
+            engine,
+            meta,
+            ids: entries.iter().map(|e| e.id).collect(),
+        });
+        state.next_segment_id += 1;
+        state.memtable_ids.clear();
+        state.flushes += 1;
+        state.bytes_written += written;
+        self.metrics.add(Metric::StorageSaves, 1);
+        self.metrics.add(Metric::StorageBytesWritten, written);
+        Ok(true)
+    }
+
+    /// Compacts every segment into (at most) one: gathers the live
+    /// melodies across all segments, writes them as a single new segment,
+    /// and commits a manifest with the tombstone list cleared — removals
+    /// become physical here. The memtable is untouched. Old segment files
+    /// are deleted best-effort after the swap (a leftover is an ignored
+    /// orphan). Returns `Ok(false)` when there was nothing to do (zero or
+    /// one segment and no tombstones).
+    ///
+    /// # Errors
+    /// [`StorageError::Unrepresentable`] for an in-memory build, plus any
+    /// I/O or encoding failure — the pre-compaction view stays live and
+    /// on-disk state stays openable on error.
+    pub fn compact(&mut self) -> Result<bool, StorageError> {
+        let Some(state) = self.store.as_mut() else {
+            return Err(StorageError::Unrepresentable(
+                "compact requires a store-backed system (see QbhSystem::try_create_store)".into(),
+            ));
+        };
+        if self.segments.len() <= 1 && state.tombstones.is_empty() {
+            return Ok(false);
+        }
+        // Live melodies in ascending id order (segments never overlap, but
+        // flush order does not imply id order across segments).
+        let mut entries: Vec<SegmentEntry> = Vec::new();
+        for seg in &self.segments {
+            for &id in &seg.ids {
+                if state.tombstones.contains(&id) {
+                    continue;
+                }
+                let series = seg.engine.get(id).map(<[f64]>::to_vec).ok_or_else(|| {
+                    StorageError::Corrupt(format!("segment {} lost melody {id}", seg.id))
+                })?;
+                let (song, phrase) = self.provenance.get(&id).copied().unwrap_or((0, 0));
+                entries.push(SegmentEntry { id, song, phrase, series });
+            }
+        }
+        entries.sort_by_key(|e| e.id);
+        let old_ids: Vec<u64> = self.segments.iter().map(|s| s.id).collect();
+        let mut written = 0u64;
+        let mut new_segments = Vec::new();
+        let mut segment_refs = Vec::new();
+        if !entries.is_empty() {
+            let segment_id = state.next_segment_id;
+            written += store::save_segment(&state.dir, segment_id, &self.config, &entries)?;
+            // Rebuild the merged engine with metrics detached: compaction
+            // re-indexing is not a user-visible insert.
+            let mut engine = store_engine(&self.config)?;
+            let mut meta = SegmentMeta::new(entries.len());
+            for entry in &entries {
+                engine.try_insert(entry.id, entry.series.clone()).map_err(|e| {
+                    StorageError::Corrupt(format!("rebuilding compacted segment: {e}"))
+                })?;
+            }
+            {
+                let transform = engine.transform();
+                for entry in &entries {
+                    meta.add(entry.id, &transform.project(&entry.series));
+                }
+            }
+            engine.set_metrics(self.metrics.clone());
+            segment_refs.push(SegmentRef { id: segment_id, count: entries.len() as u64 });
+            new_segments.push(StoreSegment {
+                id: segment_id,
+                engine,
+                meta,
+                ids: entries.iter().map(|e| e.id).collect(),
+            });
+            state.next_segment_id += 1;
+        }
+        let manifest =
+            Manifest { config: self.config, segments: segment_refs, tombstones: Vec::new() };
+        written += store::save_manifest(&state.dir, &manifest)?;
+        self.segments = new_segments;
+        state.tombstones.clear();
+        state.compactions += 1;
+        state.bytes_written += written;
+        self.metrics.add(Metric::StorageSaves, 1);
+        self.metrics.add(Metric::StorageBytesWritten, written);
+        // The manifest no longer names the old files; reclaim best-effort.
+        for id in old_ids {
+            let _ = std::fs::remove_file(store::segment_path(&state.dir, id));
+        }
+        Ok(true)
+    }
+
+    /// One maintenance tick: flush if [`QbhSystem::needs_flush`], then
+    /// compact if [`QbhSystem::needs_compaction`]. A no-op (and never an
+    /// error) for in-memory builds, so serving layers can call it
+    /// unconditionally.
+    ///
+    /// # Errors
+    /// As [`QbhSystem::flush`] and [`QbhSystem::compact`].
+    pub fn maintain(&mut self) -> Result<StoreMaintenance, StorageError> {
+        if self.store.is_none() {
+            return Ok(StoreMaintenance::default());
+        }
+        let flushed = if self.needs_flush() { self.flush()? } else { false };
+        let compacted = if self.needs_compaction() { self.compact()? } else { false };
+        Ok(StoreMaintenance { flushed, compacted })
     }
 
     fn annotate(&self, result: hum_core::engine::QueryResult) -> QbhResults {
@@ -726,8 +1285,8 @@ mod tests {
         assert_eq!(results.matches[0].id, 7_000);
         assert_eq!((results.matches[0].song, results.matches[0].phrase), (99, 3));
 
-        assert!(system.try_remove(7_000));
-        assert!(!system.try_remove(7_000), "second removal finds nothing");
+        assert!(system.try_remove(7_000).unwrap());
+        assert!(!system.try_remove(7_000).unwrap(), "second removal finds nothing");
         assert_eq!(system.len(), before);
         assert!(system.query_series(&series, 1).matches[0].id != 7_000);
     }
@@ -755,7 +1314,7 @@ mod tests {
             other => panic!("expected NonFiniteSample, got {other:?}"),
         }
         assert_eq!(system.len(), before, "failed insert must not change the system");
-        assert!(!system.try_remove(8_000));
+        assert!(!system.try_remove(8_000).unwrap());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! length, every single-bit corruption.
 
 use std::io;
+use std::path::{Path, PathBuf};
 
 use hum_music::{HummingSimulator, Melody, Note, SingerProfile, SongbookConfig};
 use hum_qbh::corpus::MelodyDatabase;
@@ -16,7 +17,8 @@ use hum_qbh::songsearch::{SongSearch, SongSearchConfig};
 use hum_qbh::storage::{
     self, entries_equal, read_database, write_database, write_database_v1, StorageError,
 };
-use hum_qbh::system::{Backend, QbhConfig, QbhSystem, TransformKind};
+use hum_qbh::store::{self as segstore, Manifest, SegmentEntry, SegmentRef};
+use hum_qbh::system::{Backend, QbhConfig, QbhSystem, StoreOptions, TransformKind};
 use proptest::prelude::*;
 
 /// A small database so the O(bytes × bits) sweeps stay fast, but with
@@ -212,22 +214,66 @@ fn failed_save_leaves_the_previous_snapshot_loadable() {
 }
 
 #[test]
-fn save_replaces_a_stale_crashed_temp_file_and_cleans_up() {
+fn save_never_adopts_or_clobbers_a_foreign_temp_file() {
     let (db, config) = sample();
     let file = TempFile::unique("faults-stale");
-    // Simulate a previous process that died mid-save: a torn temp file is
-    // sitting next to the target path.
+    // Simulate a previous writer that died mid-save: a torn temp file is
+    // sitting next to the target path. Temp names are unique per writer
+    // (pid + sequence), so a new save must neither rename this garbage
+    // into place nor touch it — it writes through its own temp.
     let tmp = file.path().with_file_name(format!(
-        "{}.tmp.{}",
+        "{}.tmp.{}.0",
         file.path().file_name().unwrap().to_string_lossy(),
-        std::process::id()
+        std::process::id().wrapping_add(1)
     ));
-    std::fs::write(&tmp, b"HUMIDX02 torn garbage from a crashed writer").unwrap();
+    let garbage: &[u8] = b"HUMIDX02 torn garbage from a crashed writer";
+    std::fs::write(&tmp, garbage).unwrap();
 
-    storage::save(file.path(), &db, &config).expect("save over stale temp");
-    assert!(!tmp.exists(), "temp file must be renamed away, not left behind");
+    storage::save(file.path(), &db, &config).expect("save next to stale temp");
     let (loaded, _) = storage::load(file.path()).expect("snapshot loads");
     assert!(databases_equal(&loaded, &db));
+    // The foreign temp was never adopted (the snapshot is valid, not the
+    // garbage) and never deleted (it is not this writer's to clean up).
+    assert_eq!(std::fs::read(&tmp).unwrap(), garbage, "foreign temp must be untouched");
+}
+
+#[test]
+fn concurrent_saves_to_one_path_never_tear_the_snapshot() {
+    // The old scheme named temps `{path}.tmp.{pid}` — two threads saving
+    // the same path interleaved writes through one temp file and could
+    // rename a torn mixture into place. Unique per-save temps make the
+    // last rename win with a complete file; both snapshots always load.
+    let (db_a, config) = sample();
+    let songbook = SongbookConfig { songs: 5, phrases_per_song: 2, ..SongbookConfig::default() };
+    let db_b = MelodyDatabase::from_songbook(&songbook);
+    let file = TempFile::unique("faults-concurrent");
+
+    for round in 0..8 {
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            let path_a = file.path().to_path_buf();
+            let path_b = file.path().to_path_buf();
+            let (barrier_a, barrier_b) = (&barrier, &barrier);
+            let (db_a, db_b, config) = (&db_a, &db_b, &config);
+            let a = scope.spawn(move || {
+                barrier_a.wait();
+                storage::save(&path_a, db_a, config)
+            });
+            let b = scope.spawn(move || {
+                barrier_b.wait();
+                storage::save(&path_b, db_b, config)
+            });
+            a.join().expect("thread a").expect("save a");
+            b.join().expect("thread b").expect("save b");
+        });
+        // Whichever rename landed last, the file is one complete snapshot.
+        let (loaded, _) =
+            storage::load(file.path()).unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert!(
+            databases_equal(&loaded, &db_a) || databases_equal(&loaded, &db_b),
+            "round {round}: loaded snapshot is neither writer's database"
+        );
+    }
 }
 
 #[test]
@@ -296,6 +342,219 @@ fn try_load_propagates_typed_errors_with_no_partial_state() {
         panic!("loading garbage must fail");
     };
     assert!(matches!(err, StorageError::BadMagic), "got {err:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Segmented-store compaction crash states.
+//
+// Compaction's on-disk order is: write the merged segment (temp + rename),
+// swap the manifest (temp + rename), then delete the replaced segment
+// files. A crash leaves one of four states; the first three must open as
+// the *pre*-compaction view (the swap is the commit point), the last as
+// the post-compaction view — and every state must answer queries
+// identically, because compaction only rearranges bytes.
+
+fn crash_temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qbh-faults-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
+
+/// k-NN answers over a few hums, as `(id, distance bits)` so comparison is
+/// exact.
+fn knn_answers(system: &QbhSystem, db: &MelodyDatabase) -> Vec<Vec<(u64, u64)>> {
+    (0..3)
+        .map(|i| {
+            let target = (i * 5) as u64 % db.len() as u64;
+            let mut singer = HummingSimulator::new(SingerProfile::good(), 900 + i as u64);
+            let hum = singer.sing_series(db.entry(target).unwrap().melody(), 0.01);
+            system
+                .query_series(&hum, 8)
+                .matches
+                .iter()
+                .map(|m| (m.id, m.distance.to_bits()))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn every_compaction_crash_state_opens_and_answers_identically() {
+    let db = MelodyDatabase::from_songbook(&SongbookConfig {
+        songs: 6,
+        phrases_per_song: 3,
+        ..SongbookConfig::default()
+    });
+    let config = QbhConfig::default();
+
+    // Pre-compaction: three segments plus a tombstone, so compaction has
+    // both merging and purging to do.
+    let base = crash_temp_dir("compaction-base");
+    let options = StoreOptions { memtable_capacity: 6, compact_at: usize::MAX };
+    let mut system = QbhSystem::try_create_store(&base, &config, options).unwrap();
+    for entry in db.entries() {
+        let series = entry.melody().to_time_series(config.samples_per_beat);
+        system.try_insert_melody(entry.id(), entry.song(), entry.phrase(), &series).unwrap();
+        if system.needs_flush() {
+            system.flush().unwrap();
+        }
+    }
+    system.flush().unwrap();
+    let victim = db.entries()[4].id();
+    assert!(system.try_remove(victim).unwrap());
+    let expected_len = system.len();
+    let reference = knn_answers(&system, &db);
+    drop(system);
+
+    // Run a real compaction in a scratch copy to obtain the exact bytes a
+    // crashed compaction would have been writing.
+    let done = crash_temp_dir("compaction-done");
+    copy_dir(&base, &done);
+    let mut compacted = QbhSystem::try_open_store(&done).unwrap();
+    assert!(compacted.compact().unwrap());
+    drop(compacted);
+    let base_files: std::collections::BTreeSet<String> = std::fs::read_dir(&base)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    let new_segment_name = std::fs::read_dir(&done)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .find(|name| name.ends_with(".humseg") && !base_files.contains(name))
+        .expect("compaction wrote a fresh segment");
+    let new_segment = std::fs::read(done.join(&new_segment_name)).unwrap();
+    let new_manifest = std::fs::read(done.join(segstore::MANIFEST_FILE)).unwrap();
+
+    let check = |dir: &Path, state: &str| {
+        let system = QbhSystem::try_open_store(dir)
+            .unwrap_or_else(|e| panic!("{state}: store must open, got {e}"));
+        assert_eq!(system.len(), expected_len, "{state}: wrong melody count");
+        assert_eq!(knn_answers(&system, &db), reference, "{state}: answers diverged");
+    };
+
+    // State 1: crashed mid-segment-write — a torn temp next to the store.
+    // Crash states 1-3 precede the manifest swap, so each must open as the
+    // pre-compaction view; state 4 is past the commit point.
+    for cut in [0, new_segment.len() / 2, new_segment.len() - 1] {
+        let dir = crash_temp_dir("compaction-torn-seg");
+        copy_dir(&base, &dir);
+        std::fs::write(
+            dir.join(format!("{new_segment_name}.tmp.4242.0")),
+            &new_segment[..cut],
+        )
+        .unwrap();
+        check(&dir, &format!("torn segment temp (cut {cut})"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // State 2: the merged segment landed, but the manifest swap never ran
+    // — the complete file is an orphan the manifest does not name.
+    let dir = crash_temp_dir("compaction-orphan-seg");
+    copy_dir(&base, &dir);
+    std::fs::write(dir.join(&new_segment_name), &new_segment).unwrap();
+    check(&dir, "orphan merged segment");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // State 3: crashed mid-manifest-write — merged segment plus a torn
+    // manifest temp; the real manifest still names the old segments.
+    for cut in [8, new_manifest.len() / 2, new_manifest.len() - 1] {
+        let dir = crash_temp_dir("compaction-torn-man");
+        copy_dir(&base, &dir);
+        std::fs::write(dir.join(&new_segment_name), &new_segment).unwrap();
+        std::fs::write(
+            dir.join(format!("{}.tmp.4242.0", segstore::MANIFEST_FILE)),
+            &new_manifest[..cut],
+        )
+        .unwrap();
+        check(&dir, &format!("torn manifest temp (cut {cut})"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // State 4: manifest swapped but the replaced segment files were never
+    // deleted — the post-compaction view, with the old segments orphaned.
+    let dir = crash_temp_dir("compaction-undeleted");
+    copy_dir(&base, &dir);
+    std::fs::write(dir.join(&new_segment_name), &new_segment).unwrap();
+    std::fs::write(dir.join(segstore::MANIFEST_FILE), &new_manifest).unwrap();
+    check(&dir, "undeleted old segments");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let _ = std::fs::remove_dir_all(&base);
+    let _ = std::fs::remove_dir_all(&done);
+}
+
+/// The segment and manifest codecs share the storage fault contract: every
+/// write budget fails typed with no bytes beyond the budget, and (sparse
+/// sweep) single-bit corruption of either image never parses.
+#[test]
+fn segment_and_manifest_codecs_fail_typed_under_faults() {
+    let config = QbhConfig::default();
+    let entries: Vec<SegmentEntry> = (0..3)
+        .map(|i| SegmentEntry {
+            id: i,
+            song: i as usize,
+            phrase: 0,
+            series: vec![55.0 + i as f64; config.normal_length],
+        })
+        .collect();
+    let manifest = Manifest {
+        config,
+        segments: vec![SegmentRef { id: 0, count: 2 }, SegmentRef { id: 1, count: 1 }],
+        tombstones: vec![7],
+    };
+
+    let mut segment_image = Vec::new();
+    segstore::write_segment(&mut segment_image, &config, &entries).expect("serialize");
+    let mut manifest_image = Vec::new();
+    segstore::write_manifest(&mut manifest_image, &manifest).expect("serialize");
+
+    for (name, image) in [("segment", &segment_image), ("manifest", &manifest_image)] {
+        for budget in (0..image.len() as u64).step_by(5) {
+            let mut w = FailingWriter::new(Vec::new(), budget, FaultMode::Cutoff);
+            let err = if *name == *"segment" {
+                segstore::write_segment(&mut w, &config, &entries).expect_err("short write")
+            } else {
+                segstore::write_manifest(&mut w, &manifest).expect_err("short write")
+            };
+            assert!(matches!(err, StorageError::Io(_)), "{name} budget {budget}: {err:?}");
+            assert!(w.into_inner().len() as u64 <= budget, "{name}: wrote past the budget");
+        }
+
+        for index in (0..image.len()).step_by(3) {
+            for bit in 0..8u8 {
+                let mut corrupted = image.clone();
+                flip_bit(&mut corrupted, index, bit);
+                let err = if *name == *"segment" {
+                    segstore::read_segment(&mut corrupted.as_slice())
+                        .map(|_| ())
+                        .expect_err("flipped segment bit")
+                } else {
+                    segstore::read_manifest(&mut corrupted.as_slice())
+                        .map(|_| ())
+                        .expect_err("flipped manifest bit")
+                };
+                assert!(
+                    matches!(
+                        err,
+                        StorageError::BadMagic
+                            | StorageError::Corrupt(_)
+                            | StorageError::Checksum(_)
+                            | StorageError::Io(_)
+                    ),
+                    "{name} byte {index} bit {bit}: got {err:?}"
+                );
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

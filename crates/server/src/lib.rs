@@ -45,5 +45,7 @@ pub use protocol::{
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Server, ServerConfig};
-pub use service::{QbhService, ServiceMatch, ServiceOutcome, ServiceQuery};
+pub use service::{
+    MaintenanceReport, QbhService, ServiceError, ServiceMatch, ServiceOutcome, ServiceQuery,
+};
 pub use session::{SessionConfig, SessionError, SessionStore};

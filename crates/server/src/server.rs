@@ -56,7 +56,7 @@ use crate::protocol::{
     self, error_response, ok_response, ErrorKind, FrameRead, Request, PROTOCOL_VERSION,
 };
 use crate::queue::{BoundedQueue, PushError};
-use crate::service::{QbhService, ServiceQuery};
+use crate::service::{QbhService, ServiceError, ServiceQuery};
 use crate::session::{SessionConfig, SessionError, SessionStore};
 
 /// How many consecutive read timeouts a connection tolerates *mid-frame*
@@ -98,6 +98,11 @@ pub struct ServerConfig {
     /// How long a session must idle before the LRU sweep may evict it to
     /// admit a new one (the evicted owner gets a typed `session_evicted`).
     pub session_idle_timeout: Duration,
+    /// When set, a background thread calls [`QbhService::maintain`] behind
+    /// the write lock at this interval — store-backed services flush their
+    /// memtable and compact segments here. `None` (the default) spawns no
+    /// thread; in-memory services have nothing to maintain.
+    pub maintenance_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -113,6 +118,7 @@ impl Default for ServerConfig {
             max_sessions: 64,
             max_session_bytes: 256 * 1024,
             session_idle_timeout: Duration::from_secs(60),
+            maintenance_interval: None,
         }
     }
 }
@@ -196,6 +202,7 @@ pub struct Server<S: QbhService> {
     local_addr: SocketAddr,
     listener: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    maintenance: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -239,6 +246,11 @@ impl<S: QbhService> Server<S> {
             })
             .collect();
 
+        let maintenance = config.maintenance_interval.map(|interval| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || maintenance_loop(&shared, interval))
+        });
+
         let conns = Arc::new(Mutex::new(Vec::new()));
         let listener_handle = {
             let shared = Arc::clone(&shared);
@@ -251,6 +263,7 @@ impl<S: QbhService> Server<S> {
             local_addr,
             listener: Some(listener_handle),
             workers,
+            maintenance,
             conns,
         })
     }
@@ -287,6 +300,11 @@ impl<S: QbhService> Server<S> {
     /// reference, which would be a server bug.
     pub fn shutdown(mut self) -> Option<S> {
         self.shared.request_shutdown();
+        if let Some(maintenance) = self.maintenance.take() {
+            // Wakes immediately via the shutdown condvar; a tick already in
+            // flight finishes first (it holds the write lock).
+            let _ = maintenance.join();
+        }
         if let Some(listener) = self.listener.take() {
             let _ = listener.join();
         }
@@ -624,6 +642,45 @@ fn session_error_response(metrics: &MetricsSink, e: &SessionError) -> Value {
     }
 }
 
+/// Periodic service maintenance: waits on the shutdown condvar with a
+/// timeout, so shutdown interrupts a sleeping tick immediately. Each tick
+/// takes the service write lock (flushes and compactions mutate it);
+/// failures are counted and the loop keeps going — a broken disk must not
+/// take queries down with it.
+fn maintenance_loop<S: QbhService>(shared: &Arc<Shared<S>>, interval: Duration) {
+    let mut flag = match shared.shutdown_flag.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    loop {
+        if *flag {
+            return;
+        }
+        let (guard, timeout) = match shared.shutdown_signal.wait_timeout(flag, interval) {
+            Ok(woken) => woken,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        flag = guard;
+        if *flag {
+            return;
+        }
+        if timeout.timed_out() {
+            // Never hold the shutdown lock across a tick: request_shutdown
+            // must stay responsive while a compaction runs.
+            drop(flag);
+            let result = shared.write_service().maintain();
+            shared.metrics.add(Metric::ServerMaintenanceTicks, 1);
+            if result.is_err() {
+                shared.metrics.add(Metric::ServerMaintenanceErrors, 1);
+            }
+            flag = match shared.shutdown_flag.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+}
+
 fn worker_loop<S: QbhService>(shared: &Arc<Shared<S>>) {
     let mut scratch = QueryScratch::new();
     while let Some(job) = shared.queue.pop() {
@@ -663,19 +720,34 @@ fn execute<S: QbhService>(
                     let len = shared.read_service().len();
                     ok_response(vec![("len", Value::Number(len as f64))])
                 }
-                Err(e) => error_response(ErrorKind::BadRequest, &e.to_string(), None),
+                Err(e) => service_error_response(&e),
             }
         }
         JobOp::Remove { id } => {
             let mut service = shared.write_service();
-            let removed = service.remove(id);
+            let result = service.remove(id);
             let len = service.len();
             drop(service);
-            ok_response(vec![
-                ("removed", Value::Bool(removed)),
-                ("len", Value::Number(len as f64)),
-            ])
+            match result {
+                Ok(removed) => ok_response(vec![
+                    ("removed", Value::Bool(removed)),
+                    ("len", Value::Number(len as f64)),
+                ]),
+                Err(e) => service_error_response(&e),
+            }
         }
+    }
+}
+
+/// Maps a mutation failure to its wire response: an engine rejection is the
+/// client's fault (`bad_request`), a storage failure is the server's
+/// (`internal`) — the client sent a perfectly good melody.
+fn service_error_response(e: &ServiceError) -> Value {
+    match e {
+        ServiceError::Engine(engine) => {
+            error_response(ErrorKind::BadRequest, &engine.to_string(), None)
+        }
+        ServiceError::Storage(_) => error_response(ErrorKind::Internal, &e.to_string(), None),
     }
 }
 

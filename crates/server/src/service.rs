@@ -11,6 +11,48 @@
 use hum_core::engine::{EngineError, EngineStats, QueryBudget, QueryScratch};
 use hum_core::obs::QueryTrace;
 
+/// Why a service mutation failed.
+///
+/// The transport maps [`ServiceError::Engine`] to a client-visible
+/// bad-request (the caller sent something the engine rejects: duplicate id,
+/// non-finite samples, ...) and [`ServiceError::Storage`] to an internal
+/// error (the service's durable store failed; nothing the client sent was
+/// wrong). Storage failures carry the rendered message rather than a typed
+/// error so `hum-server` stays independent of `hum-qbh`'s storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The query engine rejected the mutation.
+    Engine(EngineError),
+    /// The service's durable storage failed.
+    Storage(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Engine(e) => write!(f, "{e}"),
+            ServiceError::Storage(msg) => write!(f, "storage: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        ServiceError::Engine(e)
+    }
+}
+
+/// What one background maintenance tick did (see [`QbhService::maintain`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// The service flushed volatile state to durable storage.
+    pub flushed: bool,
+    /// The service compacted its durable storage.
+    pub compacted: bool,
+}
+
 /// What a served query asks for (the wire-level subset of
 /// [`hum_core::engine::RequestKind`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,16 +114,33 @@ pub trait QbhService: Send + Sync + 'static {
     ) -> Result<ServiceOutcome, EngineError>;
 
     /// Inserts a melody (raw pitch series) under `id` with its provenance.
+    /// Store-backed services may flush to durable storage as part of the
+    /// insert; such failures surface as [`ServiceError::Storage`].
     fn insert(
         &mut self,
         id: u64,
         song: usize,
         phrase: usize,
         pitch_series: &[f64],
-    ) -> Result<(), EngineError>;
+    ) -> Result<(), ServiceError>;
 
-    /// Removes the melody stored under `id`; `true` if it was present.
-    fn remove(&mut self, id: u64) -> bool;
+    /// Removes the melody stored under `id`; `Ok(true)` if it was present.
+    /// Store-backed services make the removal durable before returning, so
+    /// a [`ServiceError::Storage`] failure means the melody is still
+    /// present and queryable.
+    fn remove(&mut self, id: u64) -> Result<bool, ServiceError>;
+
+    /// One background maintenance tick (flush/compaction for store-backed
+    /// services). The server calls this periodically behind the write lock
+    /// when [`crate::ServerConfig::maintenance_interval`] is set; purely
+    /// in-memory services keep the default no-op.
+    ///
+    /// # Errors
+    /// [`ServiceError::Storage`] when durable maintenance fails; the
+    /// service must remain queryable.
+    fn maintain(&mut self) -> Result<MaintenanceReport, ServiceError> {
+        Ok(MaintenanceReport::default())
+    }
 
     /// Number of stored melodies.
     fn len(&self) -> usize;

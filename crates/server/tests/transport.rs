@@ -9,8 +9,8 @@ use std::time::Duration;
 use hum_core::engine::{EngineError, EngineStats, QueryBudget, QueryScratch};
 use hum_core::obs::{Metric, MetricsSink};
 use hum_server::{
-    Client, ClientError, QbhService, QueryOptions, Server, ServerConfig, ServiceOutcome,
-    ServiceQuery,
+    Client, ClientError, QbhService, QueryOptions, Server, ServerConfig, ServiceError,
+    ServiceOutcome, ServiceQuery,
 };
 
 /// Every query announces itself on `started`, then blocks until the test
@@ -58,14 +58,14 @@ impl QbhService for GateService {
         _song: usize,
         _phrase: usize,
         _pitch_series: &[f64],
-    ) -> Result<(), EngineError> {
+    ) -> Result<(), ServiceError> {
         self.len += 1;
         Ok(())
     }
 
-    fn remove(&mut self, _id: u64) -> bool {
+    fn remove(&mut self, _id: u64) -> Result<bool, ServiceError> {
         self.len -= 1;
-        true
+        Ok(true)
     }
 
     fn len(&self) -> usize {
