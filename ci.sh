@@ -60,6 +60,17 @@ HUM_THREADS=8 cargo test -q -p hum-core --test shard
 HUM_THREADS=1 cargo test -q -p hum-qbh --test sharding
 HUM_THREADS=8 cargo test -q -p hum-qbh --test sharding
 
+# Transform planning: the planner must be a pure function of its seeded
+# inputs (property suite), and a store or snapshot created with
+# TransformChoice::Auto must reopen with the identical persisted plan and
+# answer bit-identically to a Fixed rebuild — at both extremes of the
+# thread override, since planning happens once at build time and must not
+# depend on parallelism.
+HUM_THREADS=1 cargo test -q -p hum-core --test plan
+HUM_THREADS=8 cargo test -q -p hum-core --test plan
+HUM_THREADS=1 cargo test -q -p hum-qbh --test plan_store
+HUM_THREADS=8 cargo test -q -p hum-qbh --test plan_store
+
 # Kernel layer: the `simd` feature (and the KernelMode it selects) may
 # change speed but never bits. The property suite runs under both feature
 # states, then the engine digest — answers and counters over a fixed
@@ -81,6 +92,12 @@ cmp "$DIGEST_DIR/scalar_t1.txt" "$DIGEST_DIR/scalar_t8.txt"
 cmp "$DIGEST_DIR/scalar_t1.txt" "$DIGEST_DIR/simd_t1.txt"
 cmp "$DIGEST_DIR/scalar_t1.txt" "$DIGEST_DIR/simd_t8.txt"
 echo "engine_digest bit-identical across simd x threads"
+
+# Scale harness smoke: the planner-vs-fixed decade sweep at quick scale,
+# including its shape check that the chosen transform's measured tightness
+# dominates every rejected candidate. Results land in the throwaway digest
+# dir, not results/ (the committed baseline is regenerated deliberately).
+cargo run -q --release -p hum-bench --bin repro -- scale --quick --out "$DIGEST_DIR/scale"
 
 # Every panic!() in library code must be a documented wrapper around a
 # try_ API (tools/panic_allowlist.txt); hum-qbh and hum-server are

@@ -24,11 +24,11 @@ fn setup() -> (QbhSystem, QbhSystem, Vec<Vec<f64>>) {
     });
     let indexed = QbhSystem::build(
         &db,
-        &QbhConfig { transform: TransformKind::NewPaa, ..QbhConfig::default() },
+        &QbhConfig { transform: TransformKind::NewPaa.into(), ..QbhConfig::default() },
     );
     let keogh = QbhSystem::build(
         &db,
-        &QbhConfig { transform: TransformKind::KeoghPaa, ..QbhConfig::default() },
+        &QbhConfig { transform: TransformKind::KeoghPaa.into(), ..QbhConfig::default() },
     );
     let normal = NormalForm::with_length(LEN);
     let queries: Vec<Vec<f64>> = generate_hums(&db, SingerProfile::good(), 4, 5)

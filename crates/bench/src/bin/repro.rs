@@ -4,14 +4,16 @@
 //! repro [EXPERIMENT ...] [--quick] [--out DIR]
 //!
 //! EXPERIMENT: table2 | table3 | fig6 | fig7 | fig8 | fig9 | fig10 | extras
-//!             | throughput | obs | serve | kernels | stream | ingest | all
+//!             | throughput | obs | serve | kernels | stream | ingest
+//!             | scale | all
 //!             (default: all; `extras` runs the DESIGN.md ablations,
 //!             `throughput` the batched-query scaling sweep, `obs` the
 //!             traced cascade-trajectory run of the Figure-9 workload,
 //!             `serve` the TCP-serving latency/throughput sweep, `kernels`
 //!             the kernel-layer microbenchmarks with bit-identity checks,
 //!             `stream` the sessionful refinement latency/churn sweep,
-//!             `ingest` the segmented-store durable-ingest cost sweep)
+//!             `ingest` the segmented-store durable-ingest cost sweep,
+//!             `scale` the decade-sweep planner-vs-fixed-transform harness)
 //! --quick     small workloads (seconds instead of minutes)
 //! --out DIR   where to write .txt/.csv/.json results (default: results)
 //! ```
@@ -20,14 +22,14 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use hum_bench::experiments::{
-    extras, fig10, fig6, fig7, fig8, fig9, ingest, kernels, obs, serve, stream, table2, table3,
-    throughput,
+    extras, fig10, fig6, fig7, fig8, fig9, ingest, kernels, obs, scale, serve, stream, table2,
+    table3, throughput,
 };
 use hum_bench::report::persist;
 
-const EXPERIMENTS: [&str; 14] = [
+const EXPERIMENTS: [&str; 15] = [
     "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "extras", "throughput", "obs",
-    "serve", "kernels", "stream", "ingest",
+    "serve", "kernels", "stream", "ingest", "scale",
 ];
 
 fn main() {
@@ -186,6 +188,14 @@ fn main() {
                 println!("{text}");
                 persist(&out_dir, name, &text, &table, &serde_json::json!(output));
                 ingest::check(&output)
+            }
+            "scale" => {
+                let params = if quick { scale::Params::quick() } else { scale::Params::paper() };
+                let output = scale::run(&params);
+                let (text, table) = scale::render(&output);
+                println!("{text}");
+                persist(&out_dir, name, &text, &table, &serde_json::json!(output));
+                scale::check(&output)
             }
             _ => unreachable!("validated above"),
         };

@@ -29,7 +29,10 @@
 //! bit-identity and conservativeness enforced by its shape check.
 //! [`ingest`] measures durable bytes per insert and throughput for the
 //! segmented store against the full-snapshot-rewrite baseline, with a
-//! reload bit-identity check.
+//! reload bit-identity check. [`scale`] streams synthetic corpora across
+//! size decades (up to 10^6 melodies) and compares the build-time transform
+//! planner against every fixed transform on build cost, candidate ratio,
+//! and query tail latency.
 
 pub mod extras;
 pub mod fig10;
@@ -40,6 +43,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod obs;
+pub mod scale;
 pub mod serve;
 pub mod stream;
 pub mod sweep;

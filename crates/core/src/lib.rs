@@ -43,6 +43,10 @@
 //!   duration histograms, opt-in per-query cascade traces
 //!   ([`obs::QueryTrace`]), and text/JSON exporters. Counters are
 //!   deterministic and may appear in results; wall-clock timers never do.
+//! * [`plan`] — build-time transform planning: measure every plannable
+//!   `(family, dimension)` candidate's tightness and estimated candidate
+//!   ratio on a seeded corpus sample and emit a deterministic, persistable
+//!   [`plan::TransformPlan`] (tightness-first, cost model breaks ties).
 //! * [`subsequence`] — sliding-window subsequence matching over long series,
 //!   the §3.2 alternative to whole-sequence matching.
 //! * [`l1`] — the same framework under the L1 metric, the "other distance
@@ -91,6 +95,7 @@ pub mod kernel;
 pub mod l1;
 pub mod normal;
 pub mod obs;
+pub mod plan;
 pub mod segment;
 pub mod session;
 pub mod shard;

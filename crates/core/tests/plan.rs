@@ -1,0 +1,97 @@
+//! Property-based tests for the build-time transform planner: given the
+//! same corpus, band, grid, and seeded options the plan is a pure function
+//! of its inputs; the chosen candidate's measured tightness dominates every
+//! rejected one; and every evidence row stays in its documented range.
+
+use hum_core::plan::{plan_transform, PlanFamily, PlannerOptions};
+use proptest::prelude::*;
+
+const LEN: usize = 32;
+
+fn corpus() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-20.0f64..20.0, LEN..=LEN),
+        2..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn same_seed_same_plan(
+        series in corpus(),
+        band in 0usize..6,
+        seed in any::<u64>(),
+        sample in 2usize..32,
+        pair_cap in 8usize..256,
+    ) {
+        let options = PlannerOptions { sample, pair_cap, seed };
+        let grid = [4usize, 8, 16];
+        let a = plan_transform(&series, band, &grid, &options).unwrap();
+        let b = plan_transform(&series, band, &grid, &options).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chosen_tightness_dominates_every_rejected_candidate(
+        series in corpus(),
+        band in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let options = PlannerOptions { sample: 16, pair_cap: 128, seed };
+        let plan = plan_transform(&series, band, &[4, 8, 16], &options).unwrap();
+        let chosen = plan.chosen().expect("chosen candidate is in the evidence");
+        prop_assert_eq!(chosen.mean_tightness, plan.mean_tightness);
+        for c in &plan.candidates {
+            prop_assert!(
+                plan.mean_tightness >= c.mean_tightness,
+                "rejected {}/d{} tighter than the plan: {} > {}",
+                c.family.name(), c.dims, c.mean_tightness, plan.mean_tightness
+            );
+            // Exact tightness ties must fall to the cost model.
+            if c.mean_tightness == plan.mean_tightness {
+                prop_assert!(plan.score >= c.score);
+            }
+        }
+    }
+
+    #[test]
+    fn evidence_stays_in_documented_ranges(
+        series in corpus(),
+        band in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let options = PlannerOptions { sample: 12, pair_cap: 64, seed };
+        let plan = plan_transform(&series, band, &[4, 8], &options).unwrap();
+        prop_assert_eq!(plan.input_len, LEN);
+        prop_assert_eq!(plan.band, band);
+        prop_assert_eq!(plan.seed, seed);
+        prop_assert!(plan.sample_len <= series.len().min(12));
+        for c in &plan.candidates {
+            prop_assert!(c.family.supports(LEN, c.dims));
+            prop_assert!((0.0..=1.0).contains(&c.mean_tightness));
+            prop_assert!((0.0..=1.0).contains(&c.est_candidate_ratio));
+            prop_assert!(c.projection_cost >= 0.0);
+            prop_assert!(c.score.is_finite());
+        }
+        // LEN = 32 is a power of two and divisible by 4 and 8: all four
+        // families are measurable at every grid point.
+        for family in PlanFamily::ALL {
+            prop_assert!(plan.candidates.iter().any(|c| c.family == family));
+        }
+    }
+
+    #[test]
+    fn sample_cap_bounds_the_measurement_not_the_validity(
+        series in corpus(),
+        cap in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let options = PlannerOptions { sample: cap, pair_cap: 64, seed };
+        let plan = plan_transform(&series, 2, &[8], &options).unwrap();
+        prop_assert!(plan.sample_len <= cap);
+        prop_assert!(plan.pairs <= 64);
+        prop_assert!(plan.chosen().is_some());
+    }
+}

@@ -39,11 +39,12 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use hum_core::obs::{Metric, MetricsSink};
+use hum_core::plan::{PlannerOptions, TransformPlan};
 use hum_music::{HummingSimulator, Melody, SingerProfile, Songbook, SongbookConfig};
 use hum_qbh::corpus::{melody_from_smf, melody_to_smf};
 use hum_server::{Server, ServerConfig};
 use hum_qbh::storage::StorageError;
-use hum_qbh::system::{QbhConfig, QbhSystem, StoreOptions};
+use hum_qbh::system::{QbhConfig, QbhSystem, StoreOptions, TransformChoice, TransformKind};
 
 /// CLI failure modes, each with its own exit code so scripts can tell a
 /// misused invocation (2) from a corrupt or unwritable snapshot (3) or a
@@ -126,7 +127,8 @@ fn main() -> ExitCode {
 
 fn usage_text() -> &'static str {
     "usage:\n  qbh generate <dir> [--songs N] [--seed S]\n  qbh info <dir>\n  \
-     qbh index <dir> <out.humidx> [--store] [--memtable N] [--compact-at N]\n  \
+     qbh index <dir> <out.humidx> [--store] [--memtable N] [--compact-at N]\n          \
+[--transform newpaa|keoghpaa|dft|dwt|svd|auto]\n  \
      qbh hum <dir> <name.mid> <out.wav> [--singer good|poor] [--seed S]\n          \
 [--stream ADDR] [--top K] [--chunk-frames N]\n  \
      qbh query <dir|file.humidx> <hum.wav> [--top K]\n  \
@@ -337,6 +339,61 @@ fn stream_hum(
     Ok(())
 }
 
+/// Parses `--transform`. `auto` defers the choice to the build-time planner,
+/// which measures lower-bound tightness over a corpus sample; the named
+/// families pin it, matching `QbhConfig` defaults when the flag is absent.
+fn transform_flag(args: &[String]) -> Result<TransformChoice, CliError> {
+    let value = string_flag(args, "--transform")?;
+    match value.as_deref() {
+        None => Ok(QbhConfig::default().transform),
+        Some("newpaa") => Ok(TransformKind::NewPaa.into()),
+        Some("keoghpaa") => Ok(TransformKind::KeoghPaa.into()),
+        Some("dft") => Ok(TransformKind::Dft.into()),
+        Some("dwt") => Ok(TransformKind::Dwt.into()),
+        Some("svd") => Ok(TransformKind::Svd.into()),
+        Some("auto") => Ok(TransformChoice::Auto(PlannerOptions::default())),
+        Some(other) => {
+            Err(format!("--transform must be newpaa|keoghpaa|dft|dwt|svd|auto, got {other}").into())
+        }
+    }
+}
+
+/// Prints the planner's decision and its full evidence table to stderr:
+/// the chosen family plus every measured candidate, then the `planner.*`
+/// counters so scripted runs can scrape the same numbers the registry holds.
+fn report_plan(plan: &TransformPlan, metrics: &MetricsSink) {
+    eprintln!("Planned transform: {}", plan.summary());
+    for candidate in &plan.candidates {
+        let marker = if candidate.family == plan.family && candidate.dims == plan.dims {
+            "chosen ->"
+        } else {
+            "         "
+        };
+        eprintln!(
+            "  {marker} {:<9} d={:<3} tightness {:.4}  est-candidates {:.4}  cost {:.4}  score {:.4}",
+            candidate.family.name(),
+            candidate.dims,
+            candidate.mean_tightness,
+            candidate.est_candidate_ratio,
+            candidate.projection_cost,
+            candidate.score,
+        );
+    }
+    if let Some(registry) = metrics.registry() {
+        let snapshot = registry.snapshot();
+        eprintln!(
+            "  planner.runs {}  planner.sampled_series {}  planner.sampled_pairs {}  \
+             planner.chosen_family_tag {}  planner.chosen_dims {}  planner.tightness_ppm {}",
+            snapshot.counter(Metric::PlannerRuns),
+            snapshot.counter(Metric::PlannerSampledSeries),
+            snapshot.counter(Metric::PlannerSampledPairs),
+            snapshot.counter(Metric::PlannerChosenFamilyTag),
+            snapshot.counter(Metric::PlannerChosenDims),
+            snapshot.counter(Metric::PlannerTightnessPpm),
+        );
+    }
+}
+
 /// Parses the shared store tuning flags (`--memtable`, `--compact-at`).
 fn store_options(args: &[String]) -> Result<StoreOptions, CliError> {
     let defaults = StoreOptions::default();
@@ -350,6 +407,16 @@ fn store_options(args: &[String]) -> Result<StoreOptions, CliError> {
     })
 }
 
+/// Renders every corpus melody to the raw time series the planner measures.
+/// The planner draws its own seeded sub-sample from this slice, so the
+/// decision is a function of (corpus, planner seed), not CLI iteration order.
+fn plan_sample(db: &hum_qbh::corpus::MelodyDatabase, config: &QbhConfig) -> Vec<Vec<f64>> {
+    db.entries()
+        .iter()
+        .map(|entry| entry.melody().to_time_series(config.samples_per_beat))
+        .collect()
+}
+
 fn cmd_index(args: &[String]) -> Result<(), CliError> {
     let dir = PathBuf::from(args.first().ok_or("index needs a directory")?);
     let out = PathBuf::from(args.get(1).ok_or("index needs an output path")?);
@@ -357,12 +424,21 @@ fn cmd_index(args: &[String]) -> Result<(), CliError> {
     let db = hum_qbh::corpus::MelodyDatabase::from_melodies(
         corpus.values().cloned().collect::<Vec<_>>(),
     );
+    let config = QbhConfig { transform: transform_flag(args)?, ..QbhConfig::default() };
     if args.iter().any(|a| a == "--store") {
-        return index_into_store(&db, &out, store_options(args)?);
+        return index_into_store(&db, &out, store_options(args)?, &config);
+    }
+    // Resolve `--transform auto` once, here at build time: the snapshot then
+    // carries the pinned choice plus the plan evidence, so loads never re-plan.
+    let metrics = MetricsSink::enabled();
+    let sample = plan_sample(&db, &config);
+    let (config, plan) = QbhSystem::resolve_transform(&config, &sample, &metrics)?;
+    if let Some(plan) = &plan {
+        report_plan(plan, &metrics);
     }
     // Atomic, checksummed save: either the complete snapshot lands at `out`
     // or a typed error is reported and any previous file stays intact.
-    let bytes = hum_qbh::storage::save(&out, &db, &QbhConfig::default())?;
+    let bytes = hum_qbh::storage::save_planned(&out, &db, &config, plan.as_ref(), &metrics)?;
     println!("Persisted {} melodies to {} ({bytes} bytes).", db.len(), out.display());
     println!("Note: melody names are not stored; query hits report database ids.");
     Ok(())
@@ -375,11 +451,18 @@ fn index_into_store(
     db: &hum_qbh::corpus::MelodyDatabase,
     out: &Path,
     options: StoreOptions,
+    config: &QbhConfig,
 ) -> Result<(), CliError> {
     std::fs::create_dir_all(out)
         .map_err(|e| CliError::Usage(format!("cannot create {}: {e}", out.display())))?;
-    let config = QbhConfig::default();
-    let mut system = QbhSystem::try_create_store(out, &config, options)?;
+    let metrics = MetricsSink::enabled();
+    let sample = plan_sample(db, config);
+    let mut system =
+        QbhSystem::try_create_store_planned(out, config, options, &sample, &metrics)?;
+    if let Some(plan) = system.plan() {
+        report_plan(plan, &metrics);
+    }
+    let config = *system.config();
     for entry in db.entries() {
         let series = entry.melody().to_time_series(config.samples_per_beat);
         system
@@ -492,6 +575,14 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             system.shard_count(),
             if system.shard_count() == 1 { "" } else { "s" }
         );
+        if let Some(family) = stats.plan_family {
+            eprintln!(
+                "Planned transform (persisted): {} d={} mean-tightness {:.4}.",
+                family.name(),
+                stats.plan_dims,
+                stats.plan_tightness_ppm as f64 / 1e6
+            );
+        }
         system
     } else {
         if maintenance_interval.is_some() {

@@ -81,11 +81,12 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 use hum_core::obs::{Metric, MetricsSink};
+use hum_core::plan::{CandidateEvidence, PlanFamily, TransformPlan};
 use hum_core::shard::shard_for;
 use hum_music::{Melody, Note};
 
 use crate::corpus::{MelodyDatabase, MelodyEntry};
-use crate::system::{Backend, QbhConfig, TransformKind};
+use crate::system::{Backend, QbhConfig, TransformChoice, TransformKind};
 
 /// Legacy file magic (8 bytes): name plus format version 1.
 const MAGIC_V1: &[u8; 8] = b"HUMIDX01";
@@ -95,6 +96,15 @@ const MAGIC_V2: &[u8; 8] = b"HUMIDX02";
 
 /// Current file magic (8 bytes): name plus format version 3 (sharded).
 const MAGIC_V3: &[u8; 8] = b"HUMIDX03";
+
+/// File magic (8 bytes) for version 4: the v3 layout plus a trailing
+/// transform-plan section (see [`write_plan_section`]). Only produced when
+/// there is plan evidence to persist; plan-free snapshots stay `HUMIDX03`.
+const MAGIC_V4: &[u8; 8] = b"HUMIDX04";
+
+/// Hard cap on the candidate-evidence rows a persisted plan may claim
+/// (4 families × a handful of grid dimensions in practice).
+const MAX_PLAN_CANDIDATES: u32 = 1024;
 
 /// Serialized size of the fixed config section body (v1/v2).
 const CONFIG_BODY_LEN: usize = 26;
@@ -390,16 +400,20 @@ pub(crate) fn validate_config(config: &QbhConfig) -> Result<(), String> {
             config.feature_dims, config.normal_length
         ));
     }
-    match config.transform {
-        TransformKind::NewPaa | TransformKind::KeoghPaa
-            if !config.normal_length.is_multiple_of(config.feature_dims) =>
-        {
-            return Err(format!(
-                "PAA frame count {} must divide normal length {}",
-                config.feature_dims, config.normal_length
-            ));
-        }
-        _ => {}
+    let Some(kind) = config.fixed_transform() else {
+        return Err(
+            "unresolved TransformChoice::Auto; the planner must resolve it before a \
+             configuration is persisted or validated"
+                .into(),
+        );
+    };
+    if matches!(kind, TransformKind::NewPaa | TransformKind::KeoghPaa)
+        && !config.normal_length.is_multiple_of(config.feature_dims)
+    {
+        return Err(format!(
+            "PAA frame count {} must divide normal length {}",
+            config.feature_dims, config.normal_length
+        ));
     }
     if config.backend == Backend::RStar {
         let leaf_entry = config.feature_dims * 8 + 8;
@@ -445,6 +459,22 @@ pub fn write_database<W: Write>(
     db: &MelodyDatabase,
     config: &QbhConfig,
 ) -> Result<u64, StorageError> {
+    write_database_planned(out, db, config, None)
+}
+
+/// [`write_database`] with optional transform-plan evidence. With a plan the
+/// file is written as `HUMIDX04`: the exact v3 layout plus one trailing plan
+/// section (before the footer); without one it is byte-identical `HUMIDX03`.
+///
+/// # Errors
+/// As [`write_database`], plus [`StorageError::Unrepresentable`] for a plan
+/// with more than [`MAX_PLAN_CANDIDATES`] evidence rows.
+pub fn write_database_planned<W: Write>(
+    out: &mut W,
+    db: &MelodyDatabase,
+    config: &QbhConfig,
+    plan: Option<&TransformPlan>,
+) -> Result<u64, StorageError> {
     validate_config(config).map_err(StorageError::Unrepresentable)?;
     if db.len() as u64 > MAX_MELODIES {
         return Err(StorageError::Unrepresentable(format!(
@@ -470,7 +500,7 @@ pub fn write_database<W: Write>(
     }
 
     let mut dst = SnapshotWriter::new(out);
-    dst.put(MAGIC_V3)?;
+    dst.put(if plan.is_some() { MAGIC_V4 } else { MAGIC_V3 })?;
     dst.begin_section();
     write_config(&mut dst, config)?;
     dst.put(&as_u32(config.shards, "shard count")?.to_le_bytes())?;
@@ -483,6 +513,9 @@ pub fn write_database<W: Write>(
             write_entry(&mut dst, entry)?;
         }
         dst.finish_section()?;
+    }
+    if let Some(plan) = plan {
+        write_plan_section(&mut dst, plan)?;
     }
     dst.finish_file()?;
     Ok(dst.bytes)
@@ -576,9 +609,187 @@ pub(crate) fn write_config<W: Write>(
     dst.put(&as_u32(config.feature_dims, "feature dims")?.to_le_bytes())?;
     dst.put(&as_u32(config.samples_per_beat, "samples per beat")?.to_le_bytes())?;
     dst.put(&config.warping_width.to_le_bytes())?;
-    dst.put(&[transform_tag(config.transform), backend_tag(config.backend)])?;
+    let kind = config.fixed_transform().ok_or_else(|| {
+        StorageError::Unrepresentable(
+            "cannot persist an unresolved TransformChoice::Auto configuration".into(),
+        )
+    })?;
+    dst.put(&[transform_tag(kind), backend_tag(config.backend)])?;
     dst.put(&as_u32(config.page_bytes, "page size")?.to_le_bytes())?;
     Ok(())
+}
+
+/// Writes one checksummed transform-plan section: the chosen `(family,
+/// dims)` with its measured evidence, then every candidate row. Shared by
+/// the `HUMIDX04` snapshot and the `HUMMAN02` store manifest.
+///
+/// ```text
+/// [ family u8, dims u32, input_len u32, band u32          ]
+/// [ seed u64, sample_len u32, pairs u64                   ]
+/// [ mean_tightness f64, est_candidate_ratio f64, score f64]
+/// [ candidate count u32, then per candidate:              ]
+/// [   family u8, dims u32, tightness f64, ratio f64,      ]
+/// [   projection_cost f64, score f64                      ]
+/// [ CRC32(section body)                           4 bytes ]
+/// ```
+pub(crate) fn write_plan_section<W: Write>(
+    dst: &mut SnapshotWriter<'_, W>,
+    plan: &TransformPlan,
+) -> Result<(), StorageError> {
+    if plan.candidates.len() as u64 > u64::from(MAX_PLAN_CANDIDATES) {
+        return Err(StorageError::Unrepresentable(format!(
+            "plan candidate count {} exceeds the format cap {MAX_PLAN_CANDIDATES}",
+            plan.candidates.len()
+        )));
+    }
+    dst.begin_section();
+    dst.put(&[plan_family_tag(plan.family)])?;
+    dst.put(&as_u32(plan.dims, "plan dims")?.to_le_bytes())?;
+    dst.put(&as_u32(plan.input_len, "plan input length")?.to_le_bytes())?;
+    dst.put(&as_u32(plan.band, "plan band")?.to_le_bytes())?;
+    dst.put(&plan.seed.to_le_bytes())?;
+    dst.put(&as_u32(plan.sample_len, "plan sample size")?.to_le_bytes())?;
+    dst.put(&(plan.pairs as u64).to_le_bytes())?;
+    dst.put(&plan.mean_tightness.to_le_bytes())?;
+    dst.put(&plan.est_candidate_ratio.to_le_bytes())?;
+    dst.put(&plan.score.to_le_bytes())?;
+    dst.put(&as_u32(plan.candidates.len(), "plan candidate count")?.to_le_bytes())?;
+    for candidate in &plan.candidates {
+        dst.put(&[plan_family_tag(candidate.family)])?;
+        dst.put(&as_u32(candidate.dims, "candidate dims")?.to_le_bytes())?;
+        dst.put(&candidate.mean_tightness.to_le_bytes())?;
+        dst.put(&candidate.est_candidate_ratio.to_le_bytes())?;
+        dst.put(&candidate.projection_cost.to_le_bytes())?;
+        dst.put(&candidate.score.to_le_bytes())?;
+    }
+    dst.finish_section()
+}
+
+/// Reads and validates one transform-plan section (see
+/// [`write_plan_section`]): family tags, dimension bounds, `[0, 1]` ranges
+/// on tightness and candidate ratio, finite scores, the candidate-count
+/// cap, and the presence of the chosen `(family, dims)` among the
+/// candidates are all enforced, so untrusted plan bytes surface as typed
+/// [`StorageError::Corrupt`] — never a panic, never an inconsistent plan.
+pub(crate) fn read_plan_section<R: Read>(
+    src: &mut SnapshotReader<'_, R>,
+) -> Result<TransformPlan, StorageError> {
+    src.begin_section();
+    let mut tag = [0u8; 1];
+    src.take(&mut tag)?;
+    let family = plan_family_from_tag(tag[0])?;
+    let dims = src.u32()? as usize;
+    let input_len = src.u32()? as usize;
+    let band = src.u32()? as usize;
+    let seed = src.u64()?;
+    let sample_len = src.u32()? as usize;
+    let pairs = usize::try_from(src.u64()?)
+        .map_err(|_| StorageError::Corrupt("implausible plan pair count".into()))?;
+    let mean_tightness = read_unit_interval(src, "plan mean tightness")?;
+    let est_candidate_ratio = read_unit_interval(src, "plan candidate ratio")?;
+    let score = read_finite(src, "plan score")?;
+    if dims == 0 || dims > input_len {
+        return Err(StorageError::Corrupt(format!(
+            "plan dims {dims} out of range for input length {input_len}"
+        )));
+    }
+    let candidate_count = src.u32()?;
+    if candidate_count > MAX_PLAN_CANDIDATES {
+        return Err(StorageError::Corrupt(format!(
+            "implausible plan candidate count {candidate_count}"
+        )));
+    }
+    let mut candidates = Vec::with_capacity((candidate_count as usize).min(PREALLOC_CAP));
+    for _ in 0..candidate_count {
+        let mut tag = [0u8; 1];
+        src.take(&mut tag)?;
+        let family = plan_family_from_tag(tag[0])?;
+        let dims = src.u32()? as usize;
+        if dims == 0 || dims > input_len {
+            return Err(StorageError::Corrupt(format!(
+                "candidate dims {dims} out of range for input length {input_len}"
+            )));
+        }
+        let mean_tightness = read_unit_interval(src, "candidate tightness")?;
+        let est_candidate_ratio = read_unit_interval(src, "candidate ratio")?;
+        let projection_cost = read_finite(src, "candidate projection cost")?;
+        if projection_cost < 0.0 {
+            return Err(StorageError::Corrupt(format!(
+                "negative candidate projection cost {projection_cost}"
+            )));
+        }
+        let score = read_finite(src, "candidate score")?;
+        candidates.push(CandidateEvidence {
+            family,
+            dims,
+            mean_tightness,
+            est_candidate_ratio,
+            projection_cost,
+            score,
+        });
+    }
+    src.verify_section("plan")?;
+    let plan = TransformPlan {
+        family,
+        dims,
+        input_len,
+        band,
+        seed,
+        sample_len,
+        pairs,
+        mean_tightness,
+        est_candidate_ratio,
+        score,
+        candidates,
+    };
+    if plan.chosen().is_none() {
+        return Err(StorageError::Corrupt(format!(
+            "plan chose {} d={} but holds no matching candidate evidence",
+            plan.family.name(),
+            plan.dims
+        )));
+    }
+    Ok(plan)
+}
+
+/// Reads one `f64` that must land in `[0, 1]`.
+fn read_unit_interval<R: Read>(
+    src: &mut SnapshotReader<'_, R>,
+    what: &str,
+) -> Result<f64, StorageError> {
+    let value = read_finite(src, what)?;
+    if !(0.0..=1.0).contains(&value) {
+        return Err(StorageError::Corrupt(format!("{what} {value} outside [0, 1]")));
+    }
+    Ok(value)
+}
+
+/// Reads one `f64` that must be finite.
+fn read_finite<R: Read>(src: &mut SnapshotReader<'_, R>, what: &str) -> Result<f64, StorageError> {
+    let value = src.f64()?;
+    if !value.is_finite() {
+        return Err(StorageError::Corrupt(format!("non-finite {what}")));
+    }
+    Ok(value)
+}
+
+fn plan_family_tag(family: PlanFamily) -> u8 {
+    match family {
+        PlanFamily::NewPaa => 0,
+        PlanFamily::KeoghPaa => 1,
+        PlanFamily::Dft => 2,
+        PlanFamily::Dwt => 3,
+    }
+}
+
+fn plan_family_from_tag(tag: u8) -> Result<PlanFamily, StorageError> {
+    Ok(match tag {
+        0 => PlanFamily::NewPaa,
+        1 => PlanFamily::KeoghPaa,
+        2 => PlanFamily::Dft,
+        3 => PlanFamily::Dwt,
+        other => return Err(StorageError::Corrupt(format!("unknown plan family tag {other}"))),
+    })
 }
 
 /// Writes one entry (identical layout in v1 and v2), validating every field
@@ -623,25 +834,36 @@ fn write_entry<W: Write>(
 // Readers.
 
 /// Deserializes a database and configuration, accepting `HUMIDX01` (legacy,
-/// unchecksummed), `HUMIDX02` (checksummed, loads as one shard), and
-/// `HUMIDX03` (checksummed, per-shard sections) files.
+/// unchecksummed), `HUMIDX02` (checksummed, loads as one shard), `HUMIDX03`
+/// (checksummed, per-shard sections), and `HUMIDX04` (v3 plus plan
+/// evidence, which this form discards) files.
 pub fn read_database<R: Read>(input: &mut R) -> Result<(MelodyDatabase, QbhConfig), StorageError> {
-    read_database_counted(input).map(|(db, config, _)| (db, config))
+    read_database_counted(input).map(|(db, config, _, _)| (db, config))
 }
 
-/// [`read_database`], also reporting the number of bytes consumed.
-fn read_database_counted<R: Read>(
+/// [`read_database`], also returning the transform-plan evidence a
+/// `HUMIDX04` file carries (`None` for every earlier version).
+pub fn read_database_planned<R: Read>(
     input: &mut R,
-) -> Result<(MelodyDatabase, QbhConfig, u64), StorageError> {
+) -> Result<(MelodyDatabase, QbhConfig, Option<TransformPlan>), StorageError> {
+    read_database_counted(input).map(|(db, config, plan, _)| (db, config, plan))
+}
+
+/// The full read: database, configuration, optional plan, bytes consumed.
+type CountedRead = (MelodyDatabase, QbhConfig, Option<TransformPlan>, u64);
+
+fn read_database_counted<R: Read>(input: &mut R) -> Result<CountedRead, StorageError> {
     let mut src = SnapshotReader::new(input);
     let mut magic = [0u8; 8];
     src.take(&mut magic)?;
     if &magic == MAGIC_V1 {
-        read_v1(&mut src)
+        read_v1(&mut src).map(|(db, config, bytes)| (db, config, None, bytes))
     } else if &magic == MAGIC_V2 {
-        read_v2(&mut src)
+        read_v2(&mut src).map(|(db, config, bytes)| (db, config, None, bytes))
     } else if &magic == MAGIC_V3 {
-        read_v3(&mut src)
+        read_v3(&mut src, false)
+    } else if &magic == MAGIC_V4 {
+        read_v3(&mut src, true)
     } else {
         Err(StorageError::BadMagic)
     }
@@ -684,9 +906,12 @@ fn read_v2<R: Read>(
     Ok((MelodyDatabase::from_provenanced(phrases), config, src.bytes))
 }
 
+/// Reads the shared v3/v4 body after the magic: config section, per-shard
+/// sections, then (for v4) the trailing plan section.
 fn read_v3<R: Read>(
     src: &mut SnapshotReader<'_, R>,
-) -> Result<(MelodyDatabase, QbhConfig, u64), StorageError> {
+    with_plan: bool,
+) -> Result<CountedRead, StorageError> {
     src.begin_section();
     let mut body = [0u8; CONFIG_BODY_LEN_V3];
     src.take(&mut body)?;
@@ -720,6 +945,7 @@ fn read_v3<R: Read>(
         }
         src.verify_section("shard")?;
     }
+    let plan = if with_plan { Some(read_plan_section(src)?) } else { None };
     src.verify_footer()?;
 
     // Rebuilding goes through `MelodyDatabase::from_provenanced`, which
@@ -735,7 +961,7 @@ fn read_v3<R: Read>(
         }
     }
     let phrases = entries.into_iter().map(|(_, song, phrase, melody)| (song, phrase, melody));
-    Ok((MelodyDatabase::from_provenanced(phrases.collect()), config, src.bytes))
+    Ok((MelodyDatabase::from_provenanced(phrases.collect()), config, plan, src.bytes))
 }
 
 /// Parses and validates the 26-byte v1/v2 config body (always one shard).
@@ -748,7 +974,7 @@ fn parse_config(body: &[u8; CONFIG_BODY_LEN]) -> Result<QbhConfig, StorageError>
         feature_dims: le_u32(4) as usize,
         samples_per_beat: le_u32(8) as usize,
         warping_width: f64::from_le_bytes(ww),
-        transform: transform_from_tag(body[20])?,
+        transform: TransformChoice::Fixed(transform_from_tag(body[20])?),
         backend: backend_from_tag(body[21])?,
         page_bytes: le_u32(22) as usize,
         shards: 1,
@@ -865,6 +1091,29 @@ fn save_atomic(path: &Path, db: &MelodyDatabase, config: &QbhConfig) -> Result<u
     atomic_write(path, |out| write_database(out, db, config))
 }
 
+/// [`save_with`] carrying transform-plan evidence: writes `HUMIDX04` when a
+/// plan is present, byte-identical `HUMIDX03` otherwise.
+///
+/// # Errors
+/// As [`save_with`] / [`write_database_planned`].
+pub fn save_planned(
+    path: &Path,
+    db: &MelodyDatabase,
+    config: &QbhConfig,
+    plan: Option<&TransformPlan>,
+    metrics: &MetricsSink,
+) -> Result<u64, StorageError> {
+    let result = atomic_write(path, |out| write_database_planned(out, db, config, plan));
+    match &result {
+        Ok(bytes) => {
+            metrics.add(Metric::StorageSaves, 1);
+            metrics.add(Metric::StorageBytesWritten, *bytes);
+        }
+        Err(_) => metrics.add(Metric::StorageSaveErrors, 1),
+    }
+    result
+}
+
 /// Process-wide sequence for temp-file names. The pid alone is *not*
 /// collision-free: two concurrent saves to the same path from one process
 /// (reachable through the server's live-mutation ops) would share a temp
@@ -937,15 +1186,24 @@ pub fn load_with(
     path: &Path,
     metrics: &MetricsSink,
 ) -> Result<(MelodyDatabase, QbhConfig), StorageError> {
+    load_planned(path, metrics).map(|(db, config, _plan)| (db, config))
+}
+
+/// [`load_with`], also returning the transform-plan evidence a `HUMIDX04`
+/// snapshot carries (`None` for earlier versions).
+pub fn load_planned(
+    path: &Path,
+    metrics: &MetricsSink,
+) -> Result<(MelodyDatabase, QbhConfig, Option<TransformPlan>), StorageError> {
     let result = (|| {
         let mut input = io::BufReader::new(std::fs::File::open(path)?);
         read_database_counted(&mut input)
     })();
     match result {
-        Ok((db, config, bytes)) => {
+        Ok((db, config, plan, bytes)) => {
             metrics.add(Metric::StorageLoads, 1);
             metrics.add(Metric::StorageBytesRead, bytes);
-            Ok((db, config))
+            Ok((db, config, plan))
         }
         Err(e) => {
             metrics.add(Metric::StorageLoadErrors, 1);
@@ -1010,7 +1268,7 @@ mod tests {
             ..SongbookConfig::default()
         });
         let config = QbhConfig {
-            transform: TransformKind::Dft,
+            transform: TransformKind::Dft.into(),
             backend: Backend::Grid,
             warping_width: 0.07,
             ..QbhConfig::default()
@@ -1324,7 +1582,7 @@ mod tests {
         // PAA dims that do not divide the normal length would panic inside
         // QbhSystem::build; the reader must reject them instead.
         let bad = QbhConfig {
-            transform: TransformKind::NewPaa,
+            transform: TransformKind::NewPaa.into(),
             normal_length: 100,
             feature_dims: 7,
             ..QbhConfig::default()
@@ -1332,7 +1590,7 @@ mod tests {
         let err = write_database(&mut Vec::new(), &db, &bad).unwrap_err();
         assert!(matches!(err, StorageError::Unrepresentable(_)), "{err}");
         // Craft the same config through the byte layout to hit the reader.
-        let ok = QbhConfig { transform: TransformKind::Dft, ..QbhConfig::default() };
+        let ok = QbhConfig { transform: TransformKind::Dft.into(), ..QbhConfig::default() };
         let mut bytes = Vec::new();
         write_database_v1(&mut bytes, &db, &ok).unwrap();
         bytes[8..12].copy_from_slice(&100u32.to_le_bytes()); // normal_length

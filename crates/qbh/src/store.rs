@@ -9,8 +9,10 @@
 //!   live inserts arrive as pitch series with no note representation, and
 //!   storing the exact `f64` bits is what keeps a reloaded store
 //!   bit-identical to the memtable it was flushed from.
-//! * **One manifest** (`MANIFEST`, format `HUMMAN01`) — the authoritative,
-//!   atomically-replaced list of live segments and tombstoned melody ids.
+//! * **One manifest** (`MANIFEST`, format `HUMMAN01`, or `HUMMAN02` when
+//!   the store carries transform-plan evidence — the same layout plus one
+//!   trailing plan section) — the authoritative, atomically-replaced list
+//!   of live segments and tombstoned melody ids.
 //!   A segment file not named by the manifest does not exist as far as the
 //!   store is concerned (it is a crash leftover and is ignored), so every
 //!   multi-file state change reduces to one atomic manifest rename.
@@ -51,9 +53,12 @@ use std::collections::BTreeSet;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
+use hum_core::plan::TransformPlan;
+
 use crate::storage::{
-    as_u32, atomic_write, parse_config_v3, validate_config, write_config, SnapshotReader,
-    SnapshotWriter, StorageError, CONFIG_BODY_LEN_V3, MAX_MELODIES,
+    as_u32, atomic_write, parse_config_v3, read_plan_section, validate_config, write_config,
+    write_plan_section, SnapshotReader, SnapshotWriter, StorageError, CONFIG_BODY_LEN_V3,
+    MAX_MELODIES,
 };
 use crate::system::QbhConfig;
 
@@ -62,6 +67,11 @@ const MAGIC_SEG: &[u8; 8] = b"HUMSEG01";
 
 /// Manifest file magic (8 bytes).
 const MAGIC_MAN: &[u8; 8] = b"HUMMAN01";
+
+/// Manifest file magic (8 bytes) for version 2: the v1 layout plus a
+/// trailing transform-plan section. Only produced when there is plan
+/// evidence to persist; plan-free manifests stay `HUMMAN01`.
+const MAGIC_MAN2: &[u8; 8] = b"HUMMAN02";
 
 /// Removal-log file magic (8 bytes) — see [`write_removal_log`].
 const MAGIC_RML: &[u8; 8] = b"HUMRML01";
@@ -109,6 +119,12 @@ pub struct Manifest {
     /// Removed melody ids whose entries still sit in some segment
     /// (cleared by compaction), ascending.
     pub tombstones: Vec<u64>,
+    /// Transform-plan evidence for stores created under
+    /// [`crate::system::TransformChoice::Auto`] (`None` for fixed-transform
+    /// stores and pre-plan manifests). Rewritten verbatim on every flush,
+    /// removal, and compaction, so the evidence survives the store's whole
+    /// lifecycle.
+    pub plan: Option<TransformPlan>,
 }
 
 /// The file name of segment `id` inside a store directory.
@@ -267,7 +283,7 @@ pub fn write_manifest<W: Write>(out: &mut W, manifest: &Manifest) -> Result<u64,
         )));
     }
     let mut dst = SnapshotWriter::new(out);
-    dst.put(MAGIC_MAN)?;
+    dst.put(if manifest.plan.is_some() { MAGIC_MAN2 } else { MAGIC_MAN })?;
     dst.begin_section();
     write_config(&mut dst, &manifest.config)?;
     dst.put(&as_u32(manifest.config.shards, "shard count")?.to_le_bytes())?;
@@ -302,6 +318,9 @@ pub fn write_manifest<W: Write>(out: &mut W, manifest: &Manifest) -> Result<u64,
         dst.put(&id.to_le_bytes())?;
     }
     dst.finish_section()?;
+    if let Some(plan) = &manifest.plan {
+        write_plan_section(&mut dst, plan)?;
+    }
     dst.finish_file()?;
     Ok(dst.bytes())
 }
@@ -316,9 +335,11 @@ pub fn read_manifest<R: Read>(input: &mut R) -> Result<Manifest, StorageError> {
     let mut src = SnapshotReader::new(input);
     let mut magic = [0u8; 8];
     src.take(&mut magic)?;
-    if &magic != MAGIC_MAN {
-        return Err(StorageError::BadMagic);
-    }
+    let with_plan = match &magic {
+        m if m == MAGIC_MAN => false,
+        m if m == MAGIC_MAN2 => true,
+        _ => return Err(StorageError::BadMagic),
+    };
     src.begin_section();
     let mut body = [0u8; CONFIG_BODY_LEN_V3];
     src.take(&mut body)?;
@@ -374,8 +395,9 @@ pub fn read_manifest<R: Read>(input: &mut R) -> Result<Manifest, StorageError> {
         tombstones.push(id);
     }
     src.verify_section("tombstones")?;
+    let plan = if with_plan { Some(read_plan_section(&mut src)?) } else { None };
     src.verify_footer()?;
-    Ok(Manifest { config, segments, tombstones })
+    Ok(Manifest { config, segments, tombstones, plan })
 }
 
 // ---------------------------------------------------------------------------
@@ -431,6 +453,21 @@ pub fn load_manifest(path: &Path) -> Result<Manifest, StorageError> {
 /// already holds a manifest (an existing store is opened, never silently
 /// re-initialized), plus any validation or I/O error.
 pub fn init_store(dir: &Path, config: &QbhConfig) -> Result<(), StorageError> {
+    init_store_planned(dir, config, None)
+}
+
+/// [`init_store`] carrying transform-plan evidence: the initial manifest is
+/// written as `HUMMAN02` with the plan section when a plan is present, so
+/// every later manifest rewrite (which copies the plan verbatim) and every
+/// reopen sees the same evidence the store was created under.
+///
+/// # Errors
+/// As [`init_store`].
+pub fn init_store_planned(
+    dir: &Path,
+    config: &QbhConfig,
+    plan: Option<TransformPlan>,
+) -> Result<(), StorageError> {
     validate_config(config).map_err(StorageError::Unrepresentable)?;
     std::fs::create_dir_all(dir)?;
     let manifest_file = manifest_path(dir);
@@ -440,7 +477,7 @@ pub fn init_store(dir: &Path, config: &QbhConfig) -> Result<(), StorageError> {
             format!("store at {} already has a manifest", dir.display()),
         )));
     }
-    let manifest = Manifest { config: *config, segments: Vec::new(), tombstones: Vec::new() };
+    let manifest = Manifest { config: *config, segments: Vec::new(), tombstones: Vec::new(), plan };
     save_manifest(dir, &manifest)?;
     Ok(())
 }
@@ -647,6 +684,7 @@ mod tests {
             config: QbhConfig::default(),
             segments: vec![SegmentRef { id: 1, count: 10 }, SegmentRef { id: 4, count: 2 }],
             tombstones: vec![3, 17, 29],
+            plan: None,
         };
         let mut image = Vec::new();
         write_manifest(&mut image, &manifest).unwrap();

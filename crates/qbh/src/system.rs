@@ -17,6 +17,7 @@ use hum_core::engine::{
 };
 use hum_core::normal::NormalForm;
 use hum_core::obs::{Metric, MetricsSink, QueryTrace};
+use hum_core::plan::{plan_transform, record_plan, PlanFamily, PlannerOptions, TransformPlan};
 use hum_core::segment::{query_segmented, query_segmented_batch, SegmentMeta, SegmentUnit};
 use hum_core::session::QuerySession;
 use hum_core::shard::ShardedEngine;
@@ -46,6 +47,54 @@ pub enum TransformKind {
     Svd,
 }
 
+impl TransformKind {
+    /// The plannable [`PlanFamily`] for this kind, or `None` for SVD: a
+    /// data-fitted basis cannot be reconstructed from a `(family, dims)`
+    /// plan, so the planner never proposes it.
+    pub fn plan_family(self) -> Option<PlanFamily> {
+        match self {
+            TransformKind::NewPaa => Some(PlanFamily::NewPaa),
+            TransformKind::KeoghPaa => Some(PlanFamily::KeoghPaa),
+            TransformKind::Dft => Some(PlanFamily::Dft),
+            TransformKind::Dwt => Some(PlanFamily::Dwt),
+            TransformKind::Svd => None,
+        }
+    }
+}
+
+/// How the system picks its envelope transform: pinned by the caller, or
+/// measured per corpus by the build-time planner ([`hum_core::plan`]).
+///
+/// `Auto` exists only at build/create time: every persisted artifact
+/// (snapshot or store manifest) carries the *resolved* `Fixed` kind plus
+/// the [`TransformPlan`] evidence in its own checksummed section, so a
+/// reopened index can never silently re-plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransformChoice {
+    /// Use exactly this transform.
+    Fixed(TransformKind),
+    /// Measure the plannable families on a seeded corpus sample at build
+    /// time and use the tightness-maximizing one (see
+    /// [`hum_core::plan::plan_transform`]).
+    Auto(PlannerOptions),
+}
+
+impl From<TransformKind> for TransformChoice {
+    fn from(kind: TransformKind) -> Self {
+        TransformChoice::Fixed(kind)
+    }
+}
+
+/// The engine-constructable kind a plan family maps back to.
+fn kind_for_family(family: PlanFamily) -> TransformKind {
+    match family {
+        PlanFamily::NewPaa => TransformKind::NewPaa,
+        PlanFamily::KeoghPaa => TransformKind::KeoghPaa,
+        PlanFamily::Dft => TransformKind::Dft,
+        PlanFamily::Dwt => TransformKind::Dwt,
+    }
+}
+
 /// Which spatial index backend stores the feature vectors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
@@ -69,8 +118,9 @@ pub struct QbhConfig {
     pub samples_per_beat: usize,
     /// Default warping width δ = (2k+1)/n for queries.
     pub warping_width: f64,
-    /// Envelope transform choice.
-    pub transform: TransformKind,
+    /// Envelope transform choice: a pinned [`TransformKind`] or
+    /// [`TransformChoice::Auto`] to let the build-time planner pick one.
+    pub transform: TransformChoice,
     /// Index backend choice.
     pub backend: Backend,
     /// Page size in bytes for the backend.
@@ -88,12 +138,37 @@ impl Default for QbhConfig {
             feature_dims: 8,
             samples_per_beat: 4,
             warping_width: 0.1,
-            transform: TransformKind::NewPaa,
+            transform: TransformChoice::Fixed(TransformKind::NewPaa),
             backend: Backend::RStar,
             page_bytes: 4096,
             shards: 1,
         }
     }
+}
+
+impl QbhConfig {
+    /// The pinned transform kind, or `None` while the choice is still
+    /// [`TransformChoice::Auto`]. Persisted configurations are always
+    /// resolved, so loaded snapshots and opened stores always return
+    /// `Some`.
+    pub fn fixed_transform(&self) -> Option<TransformKind> {
+        match self.transform {
+            TransformChoice::Fixed(kind) => Some(kind),
+            TransformChoice::Auto(_) => None,
+        }
+    }
+}
+
+/// The typed rejection for persisting or instantiating an unresolved
+/// `Auto` transform choice: every path that builds engines or writes
+/// artifacts must see a planner-resolved configuration.
+fn auto_unresolved_error() -> StorageError {
+    StorageError::Unrepresentable(
+        "TransformChoice::Auto must be resolved by the transform planner before engines are \
+         built or configurations persisted; build paths do this automatically, store creation \
+         needs a planning sample (QbhSystem::try_create_store_planned)"
+            .into(),
+    )
 }
 
 /// One retrieval hit with provenance.
@@ -199,6 +274,13 @@ pub struct StoreStats {
     pub compactions: u64,
     /// Bytes written to segment and manifest files by this instance.
     pub bytes_written: u64,
+    /// The planned transform family, when the store carries plan evidence.
+    pub plan_family: Option<PlanFamily>,
+    /// The planned reduced dimension (0 when no plan is persisted).
+    pub plan_dims: usize,
+    /// The plan's measured mean tightness in parts-per-million (0 when no
+    /// plan is persisted), matching `planner.tightness_ppm`.
+    pub plan_tightness_ppm: u64,
 }
 
 /// What a [`QbhSystem::maintain`] call actually did.
@@ -225,6 +307,55 @@ fn make_index(config: &QbhConfig) -> Box<dyn SpatialIndex + Send + Sync> {
     }
 }
 
+/// The dimension grid the planner measures: the configured `feature_dims`
+/// plus one octave down and one up, filtered to dimensions the page layout
+/// can hold (mirroring `validate_config`'s fan-out floor). Families that
+/// cannot realize a given dimension (PAA divisibility, DWT power-of-two
+/// input) are filtered per family inside the planner itself.
+fn planner_dims_grid(config: &QbhConfig) -> Vec<usize> {
+    let base = config.feature_dims.max(1);
+    let mut grid: Vec<usize> = [base / 2, base, base * 2]
+        .into_iter()
+        .filter(|&d| d >= 1 && d <= config.normal_length)
+        .filter(|&d| config.page_bytes / (d * 8 + 8) >= 4)
+        .collect();
+    grid.sort_unstable();
+    grid.dedup();
+    grid
+}
+
+/// The typed mismatch between persisted plan evidence and the configuration
+/// it rode in with: the plan must describe exactly the transform the
+/// artifact was built under, or a reopen could silently serve an index the
+/// evidence never measured.
+fn validate_plan_against_config(
+    plan: &TransformPlan,
+    config: &QbhConfig,
+) -> Result<(), StorageError> {
+    let Some(kind) = config.fixed_transform() else {
+        return Err(auto_unresolved_error());
+    };
+    if kind.plan_family() != Some(plan.family) {
+        return Err(StorageError::Corrupt(format!(
+            "persisted plan chose {} but the configuration stores {kind:?}",
+            plan.family.name()
+        )));
+    }
+    if plan.dims != config.feature_dims {
+        return Err(StorageError::Corrupt(format!(
+            "persisted plan chose {} dims but the configuration stores {}",
+            plan.dims, config.feature_dims
+        )));
+    }
+    if plan.input_len != config.normal_length {
+        return Err(StorageError::Corrupt(format!(
+            "persisted plan measured input length {} but the configuration stores {}",
+            plan.input_len, config.normal_length
+        )));
+    }
+    Ok(())
+}
+
 /// The typed rejection for data-adaptive transforms in store mode.
 fn svd_store_error() -> StorageError {
     StorageError::Unrepresentable(
@@ -243,9 +374,12 @@ fn svd_store_error() -> StorageError {
 /// data-adaptive basis cannot be fitted on an empty memtable, and refitting
 /// per segment would break the bit-identity contract.
 fn store_engine(config: &QbhConfig) -> Result<QbhEngine, StorageError> {
+    let Some(kind) = config.fixed_transform() else {
+        return Err(auto_unresolved_error());
+    };
     let mut shards = Vec::with_capacity(config.shards.max(1));
     for _ in 0..config.shards.max(1) {
-        let transform: Box<dyn EnvelopeTransform + Send + Sync> = match config.transform {
+        let transform: Box<dyn EnvelopeTransform + Send + Sync> = match kind {
             TransformKind::NewPaa => {
                 Box::new(NewPaa::new(config.normal_length, config.feature_dims))
             }
@@ -286,10 +420,20 @@ pub struct QbhSystem {
     /// Records queries (the engines record their own inserts/removals).
     metrics: MetricsSink,
     store: Option<StoreState>,
+    /// The transform plan that produced this configuration, when the
+    /// system was built or opened under [`TransformChoice::Auto`]. Carried
+    /// through every manifest rewrite so the evidence survives flushes,
+    /// compactions, and reopens.
+    plan: Option<TransformPlan>,
 }
 
 impl QbhSystem {
     /// Builds the system over a melody database.
+    ///
+    /// With [`TransformChoice::Auto`] the transform planner runs *once*
+    /// over the rendered normal forms — the same discipline as the SVD
+    /// fit-once-then-clone below — so every shard (and every shard count)
+    /// indexes under the identical resolved transform.
     ///
     /// # Panics
     /// Panics on an empty database or a configuration the chosen transform
@@ -304,6 +448,15 @@ impl QbhSystem {
             .map(|e| normal.apply(&e.melody().to_time_series(config.samples_per_beat)))
             .collect();
 
+        let (config, plan) = match config.transform {
+            TransformChoice::Fixed(_) => (*config, None),
+            TransformChoice::Auto(options) => {
+                Self::plan_over_normals(config, &normals, options, &MetricsSink::Disabled)
+                    .unwrap_or_else(|e| panic!("{e}"))
+            }
+        };
+        let config = &config;
+
         // SVD is data-adaptive: fit it *once* on the same global sample every
         // shard count sees, then clone the fitted basis into each shard.
         // Feature vectors are therefore shard-count-invariant, which the
@@ -311,19 +464,24 @@ impl QbhSystem {
         let mut svd: Option<SvdTransform> = None;
         let mut make_transform = || -> Box<dyn EnvelopeTransform + Send + Sync> {
             match config.transform {
-                TransformKind::NewPaa => {
+                TransformChoice::Auto(_) => {
+                    // Resolved right above; the arm exists only because the
+                    // type does not encode the resolution.
+                    panic!("TransformChoice::Auto survived planner resolution in build")
+                }
+                TransformChoice::Fixed(TransformKind::NewPaa) => {
                     Box::new(NewPaa::new(config.normal_length, config.feature_dims))
                 }
-                TransformKind::KeoghPaa => {
+                TransformChoice::Fixed(TransformKind::KeoghPaa) => {
                     Box::new(KeoghPaa::new(config.normal_length, config.feature_dims))
                 }
-                TransformKind::Dft => {
+                TransformChoice::Fixed(TransformKind::Dft) => {
                     Box::new(Dft::new(config.normal_length, config.feature_dims))
                 }
-                TransformKind::Dwt => {
+                TransformChoice::Fixed(TransformKind::Dwt) => {
                     Box::new(Dwt::new(config.normal_length, config.feature_dims))
                 }
-                TransformKind::Svd => {
+                TransformChoice::Fixed(TransformKind::Svd) => {
                     let fitted = svd.get_or_insert_with(|| {
                         let sample: Vec<Vec<f64>> =
                             normals.iter().take(500).cloned().collect();
@@ -350,7 +508,59 @@ impl QbhSystem {
             provenance,
             metrics: MetricsSink::Disabled,
             store: None,
+            plan,
         }
+    }
+
+    /// Resolves the configured [`TransformChoice`] against a sample of raw
+    /// (hummed-scale) pitch series: a no-op for `Fixed`, and one planner
+    /// run over the sample's normal forms for `Auto`. Returns the resolved
+    /// configuration — `transform` pinned, `feature_dims` set to the plan's
+    /// dimension — plus the plan evidence. The planner decision is recorded
+    /// into `metrics` (see [`hum_core::plan::record_plan`]).
+    ///
+    /// # Errors
+    /// [`StorageError::Unrepresentable`] when planning fails (no series,
+    /// mismatched lengths, or no family supports the dimension grid).
+    pub fn resolve_transform(
+        config: &QbhConfig,
+        sample_series: &[Vec<f64>],
+        metrics: &MetricsSink,
+    ) -> Result<(QbhConfig, Option<TransformPlan>), StorageError> {
+        match config.transform {
+            TransformChoice::Fixed(_) => Ok((*config, None)),
+            TransformChoice::Auto(options) => {
+                let normal = NormalForm::with_length(config.normal_length);
+                let normals: Vec<Vec<f64>> = sample_series
+                    .iter()
+                    .filter(|s| !s.is_empty())
+                    .map(|s| normal.apply(s))
+                    .collect();
+                Self::plan_over_normals(config, &normals, options, metrics)
+            }
+        }
+    }
+
+    /// The planner invocation shared by every `Auto` entry point: measures
+    /// the dimension grid derived from the configured `feature_dims` over
+    /// already-rendered normal forms and pins the winning `(family, dims)`
+    /// into the returned configuration.
+    fn plan_over_normals(
+        config: &QbhConfig,
+        normals: &[Vec<f64>],
+        options: PlannerOptions,
+        metrics: &MetricsSink,
+    ) -> Result<(QbhConfig, Option<TransformPlan>), StorageError> {
+        let band = band_for_warping_width(config.warping_width, config.normal_length);
+        let grid = planner_dims_grid(config);
+        let plan = plan_transform(normals, band, &grid, &options).map_err(|e| {
+            StorageError::Unrepresentable(format!("transform planning failed: {e}"))
+        })?;
+        record_plan(metrics, &plan);
+        let mut resolved = *config;
+        resolved.transform = TransformChoice::Fixed(kind_for_family(plan.family));
+        resolved.feature_dims = plan.dims;
+        Ok((resolved, Some(plan)))
     }
 
     /// Creates a fresh store-backed system at `dir`: an empty memtable over
@@ -366,11 +576,71 @@ impl QbhSystem {
         config: &QbhConfig,
         options: StoreOptions,
     ) -> Result<Self, StorageError> {
-        if config.transform == TransformKind::Svd {
-            return Err(svd_store_error());
+        match config.fixed_transform() {
+            Some(TransformKind::Svd) => return Err(svd_store_error()),
+            Some(_) => {}
+            None => return Err(auto_unresolved_error()),
         }
         store::init_store(dir, config)?;
         Self::try_open_store_with(dir, options, &MetricsSink::Disabled)
+    }
+
+    /// [`QbhSystem::try_create_store`] for [`TransformChoice::Auto`]
+    /// configurations: resolves the transform by planning over
+    /// `plan_sample` (raw pitch series, e.g. the first few hundred melodies
+    /// of the incoming corpus), then creates the store with the resolved
+    /// configuration and persists the plan evidence in the manifest. A
+    /// `Fixed` configuration skips planning and persists no plan —
+    /// equivalent to [`QbhSystem::try_create_store`].
+    ///
+    /// # Errors
+    /// Everything [`QbhSystem::try_create_store`] can return, plus
+    /// [`StorageError::Unrepresentable`] when planning fails (empty sample
+    /// or no viable `(family, dims)` candidate).
+    pub fn try_create_store_planned(
+        dir: &Path,
+        config: &QbhConfig,
+        options: StoreOptions,
+        plan_sample: &[Vec<f64>],
+        metrics: &MetricsSink,
+    ) -> Result<Self, StorageError> {
+        let (resolved, plan) = Self::resolve_transform(config, plan_sample, metrics)?;
+        match resolved.fixed_transform() {
+            Some(TransformKind::Svd) => return Err(svd_store_error()),
+            Some(_) => {}
+            None => return Err(auto_unresolved_error()),
+        }
+        store::init_store_planned(dir, &resolved, plan)?;
+        Self::try_open_store_with(dir, options, metrics)
+    }
+
+    /// Builds an *empty* in-memory system (no store directory, no corpus),
+    /// resolving [`TransformChoice::Auto`] against `plan_sample` first —
+    /// the scale harness uses this to stream-insert a corpus far larger
+    /// than memory would allow [`QbhSystem::build`] to hold at once.
+    ///
+    /// # Errors
+    /// [`StorageError::Unrepresentable`] when planning fails or the
+    /// resolved transform is SVD (no corpus to fit it on).
+    pub fn try_build_live(
+        config: &QbhConfig,
+        plan_sample: &[Vec<f64>],
+        metrics: &MetricsSink,
+    ) -> Result<Self, StorageError> {
+        let (resolved, plan) = Self::resolve_transform(config, plan_sample, metrics)?;
+        let mut memtable = store_engine(&resolved)?;
+        memtable.set_metrics(metrics.clone());
+        Ok(QbhSystem {
+            memtable,
+            segments: Vec::new(),
+            normal: NormalForm::with_length(resolved.normal_length),
+            band: band_for_warping_width(resolved.warping_width, resolved.normal_length),
+            config: resolved,
+            provenance: HashMap::new(),
+            metrics: metrics.clone(),
+            store: None,
+            plan,
+        })
     }
 
     /// Opens an existing store at `dir` with default [`StoreOptions`] and
@@ -400,6 +670,9 @@ impl QbhSystem {
     ) -> Result<Self, StorageError> {
         let loaded = store::open_store(dir)?;
         let config = loaded.manifest.config;
+        if let Some(plan) = &loaded.manifest.plan {
+            validate_plan_against_config(plan, &config)?;
+        }
         let tombstones: BTreeSet<u64> = loaded.manifest.tombstones.iter().copied().collect();
         let mut provenance = HashMap::new();
         let mut segments = Vec::with_capacity(loaded.segments.len());
@@ -450,6 +723,7 @@ impl QbhSystem {
                 compactions: 0,
                 bytes_written: 0,
             }),
+            plan: loaded.manifest.plan,
         })
     }
 
@@ -490,16 +764,20 @@ impl QbhSystem {
         metrics: &MetricsSink,
         shards: Option<usize>,
     ) -> Result<Self, StorageError> {
-        let (db, mut config) = crate::storage::load_with(path, metrics)?;
+        let (db, mut config, plan) = crate::storage::load_planned(path, metrics)?;
         if db.is_empty() {
             return Err(StorageError::Corrupt(
                 "snapshot holds no melodies; cannot build a query system".into(),
             ));
         }
+        if let Some(plan) = &plan {
+            validate_plan_against_config(plan, &config)?;
+        }
         if let Some(n) = shards {
             config.shards = n.max(1);
         }
         let mut system = Self::build(&db, &config);
+        system.plan = plan;
         system.set_metrics(metrics.clone());
         Ok(system)
     }
@@ -754,6 +1032,7 @@ impl QbhSystem {
             config: self.config,
             segments: self.segments.iter().map(StoreSegment::to_ref).collect(),
             tombstones: tombstones.iter().copied().collect(),
+            plan: self.plan.clone(),
         };
         state.bytes_written += store::save_manifest(&state.dir, &manifest)?;
         state.tombstones = tombstones;
@@ -866,7 +1145,20 @@ impl QbhSystem {
             flushes: state.flushes,
             compactions: state.compactions,
             bytes_written: state.bytes_written,
+            plan_family: self.plan.as_ref().map(|p| p.family),
+            plan_dims: self.plan.as_ref().map_or(0, |p| p.dims),
+            plan_tightness_ppm: self
+                .plan
+                .as_ref()
+                .map_or(0, |p| (p.mean_tightness.clamp(0.0, 1.0) * 1e6).round() as u64),
         })
+    }
+
+    /// The transform plan this system was built, created, or opened under —
+    /// `None` unless the configuration was [`TransformChoice::Auto`] (or the
+    /// on-disk artifact carried persisted plan evidence).
+    pub fn plan(&self) -> Option<&TransformPlan> {
+        self.plan.as_ref()
     }
 
     /// `true` when the memtable has reached [`StoreOptions::memtable_capacity`]
@@ -932,6 +1224,7 @@ impl QbhSystem {
             config: self.config,
             segments: segment_refs,
             tombstones: state.tombstones.iter().copied().collect(),
+            plan: self.plan.clone(),
         };
         written += store::save_manifest(&state.dir, &manifest)?;
         // Durably committed: seal the memtable as the new segment.
@@ -1029,8 +1322,12 @@ impl QbhSystem {
             });
             state.next_segment_id += 1;
         }
-        let manifest =
-            Manifest { config: self.config, segments: segment_refs, tombstones: Vec::new() };
+        let manifest = Manifest {
+            config: self.config,
+            segments: segment_refs,
+            tombstones: Vec::new(),
+            plan: self.plan.clone(),
+        };
         written += store::save_manifest(&state.dir, &manifest)?;
         self.segments = new_segments;
         state.tombstones.clear();
@@ -1142,7 +1439,7 @@ mod tests {
             TransformKind::Svd,
         ] {
             for backend in [Backend::RStar, Backend::Grid, Backend::Linear] {
-                let config = QbhConfig { transform, backend, ..QbhConfig::default() };
+                let config = QbhConfig { transform: transform.into(), backend, ..QbhConfig::default() };
                 let system = QbhSystem::build(&db, &config);
                 let ids: Vec<u64> =
                     system.query_series(&series, 5).matches.iter().map(|m| m.id).collect();
@@ -1163,9 +1460,9 @@ mod tests {
         // clone-per-shard build is what keeps its features shard-invariant.
         for transform in [TransformKind::NewPaa, TransformKind::Svd] {
             let mono =
-                QbhSystem::build(&db, &QbhConfig { transform, ..QbhConfig::default() });
+                QbhSystem::build(&db, &QbhConfig { transform: transform.into(), ..QbhConfig::default() });
             for shards in [2usize, 4, 7] {
-                let config = QbhConfig { transform, shards, ..QbhConfig::default() };
+                let config = QbhConfig { transform: transform.into(), shards, ..QbhConfig::default() };
                 let system = QbhSystem::build(&db, &config);
                 assert_eq!(system.shard_count(), shards);
                 for id in [3u64, 17, 29] {

@@ -1,0 +1,345 @@
+//! The transform plan across the persistence boundary: a store or snapshot
+//! created with `TransformChoice::Auto` must reopen with the identical
+//! persisted plan (never silently re-planning), answer bit-identically to a
+//! rebuild that pins the planned transform as `Fixed`, and turn any
+//! corruption of the persisted plan into a typed [`StorageError`] — never a
+//! panic, never a quietly different plan.
+
+use std::path::{Path, PathBuf};
+
+use hum_core::obs::{Metric, MetricsSink};
+use hum_core::plan::{PlanFamily, PlannerOptions, TransformPlan};
+use hum_music::{HummingSimulator, SingerProfile, SongbookConfig};
+use hum_qbh::corpus::MelodyDatabase;
+use hum_qbh::fault::flip_bit;
+use hum_qbh::storage::{self, StorageError};
+use hum_qbh::store::manifest_path;
+use hum_qbh::system::{QbhConfig, QbhSystem, StoreOptions, TransformChoice, TransformKind};
+
+fn database() -> MelodyDatabase {
+    MelodyDatabase::from_songbook(&SongbookConfig {
+        songs: 8,
+        phrases_per_song: 5,
+        ..SongbookConfig::default()
+    })
+}
+
+fn hums(db: &MelodyDatabase, n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let target = (i * 11) as u64 % db.len() as u64;
+            let mut singer = HummingSimulator::new(SingerProfile::good(), 900 + i as u64);
+            singer.sing_series(db.entry(target).unwrap().melody(), 0.01)
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qbh-plan-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn auto_config() -> QbhConfig {
+    QbhConfig {
+        transform: TransformChoice::Auto(PlannerOptions::default()),
+        ..QbhConfig::default()
+    }
+}
+
+fn sample_series(db: &MelodyDatabase, config: &QbhConfig) -> Vec<Vec<f64>> {
+    db.entries()
+        .iter()
+        .map(|e| e.melody().to_time_series(config.samples_per_beat))
+        .collect()
+}
+
+fn kind_of(family: PlanFamily) -> TransformKind {
+    match family {
+        PlanFamily::NewPaa => TransformKind::NewPaa,
+        PlanFamily::KeoghPaa => TransformKind::KeoghPaa,
+        PlanFamily::Dft => TransformKind::Dft,
+        PlanFamily::Dwt => TransformKind::Dwt,
+    }
+}
+
+/// Ingests the whole database into a freshly planned store at `dir`.
+fn build_auto_store(db: &MelodyDatabase, dir: &Path, memtable: usize) -> QbhSystem {
+    let config = auto_config();
+    let sample = sample_series(db, &config);
+    let options = StoreOptions { memtable_capacity: memtable, ..StoreOptions::default() };
+    let mut system = QbhSystem::try_create_store_planned(
+        dir,
+        &config,
+        options,
+        &sample,
+        &MetricsSink::Disabled,
+    )
+    .unwrap();
+    for entry in db.entries() {
+        let series = entry.melody().to_time_series(config.samples_per_beat);
+        system.try_insert_melody(entry.id(), entry.song(), entry.phrase(), &series).unwrap();
+        if system.needs_flush() {
+            system.flush().unwrap();
+        }
+    }
+    system.flush().unwrap();
+    system
+}
+
+#[test]
+fn auto_store_reopens_with_the_identical_plan_and_never_replans() {
+    let db = database();
+    let dir = temp_dir("reopen");
+    let system = build_auto_store(&db, &dir, 7);
+    let created_plan: TransformPlan = system.plan().expect("auto store carries a plan").clone();
+    let resolved = *system.config();
+    assert_eq!(
+        resolved.transform,
+        TransformChoice::Fixed(kind_of(created_plan.family)),
+        "persisted config must be the resolved Fixed choice"
+    );
+    assert_eq!(resolved.feature_dims, created_plan.dims);
+    drop(system);
+
+    // The manifest of a planned store is the versioned HUMMAN02 form.
+    let manifest = std::fs::read(manifest_path(&dir)).unwrap();
+    assert_eq!(&manifest[..8], b"HUMMAN02");
+
+    let metrics = MetricsSink::enabled();
+    let reopened =
+        QbhSystem::try_open_store_with(&dir, StoreOptions::default(), &metrics).unwrap();
+    assert_eq!(reopened.plan(), Some(&created_plan), "reopen must surface the persisted plan");
+    assert_eq!(*reopened.config(), resolved);
+    let registry = metrics.registry().unwrap();
+    assert_eq!(
+        registry.get(Metric::PlannerRuns),
+        0,
+        "reopening a planned store must never re-plan"
+    );
+
+    let stats = reopened.store_stats().unwrap();
+    assert_eq!(stats.plan_family, Some(created_plan.family));
+    assert_eq!(stats.plan_dims, created_plan.dims);
+    assert_eq!(
+        stats.plan_tightness_ppm,
+        (created_plan.mean_tightness.clamp(0.0, 1.0) * 1e6).round() as u64
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn auto_store_answers_bit_identically_to_a_fixed_rebuild() {
+    let db = database();
+    let queries = hums(&db, 4);
+    let auto_dir = temp_dir("auto-vs-fixed-a");
+    let auto = build_auto_store(&db, &auto_dir, 9);
+    let resolved = *auto.config();
+    assert!(resolved.fixed_transform().is_some());
+
+    // Same corpus, same ingest schedule, but the planner's output pinned
+    // up front as a Fixed configuration: an operator replaying the plan.
+    let fixed_dir = temp_dir("auto-vs-fixed-f");
+    let options = StoreOptions { memtable_capacity: 9, ..StoreOptions::default() };
+    let mut fixed = QbhSystem::try_create_store(&fixed_dir, &resolved, options).unwrap();
+    for entry in db.entries() {
+        let series = entry.melody().to_time_series(resolved.samples_per_beat);
+        fixed.try_insert_melody(entry.id(), entry.song(), entry.phrase(), &series).unwrap();
+        if fixed.needs_flush() {
+            fixed.flush().unwrap();
+        }
+    }
+    fixed.flush().unwrap();
+
+    for (i, q) in queries.iter().enumerate() {
+        let a = auto.query_series(q, 10);
+        let f = fixed.query_series(q, 10);
+        assert_eq!(a.stats, f.stats, "query #{i}: engine counters diverged");
+        assert_eq!(a.matches.len(), f.matches.len(), "query #{i}");
+        for (x, y) in a.matches.iter().zip(&f.matches) {
+            assert_eq!((x.id, x.song, x.phrase), (y.id, y.song, y.phrase), "query #{i}");
+            assert_eq!(x.distance.to_bits(), y.distance.to_bits(), "query #{i}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&auto_dir);
+    let _ = std::fs::remove_dir_all(&fixed_dir);
+}
+
+#[test]
+fn auto_build_matches_fixed_build_at_every_shard_count() {
+    let db = database();
+    let queries = hums(&db, 3);
+    for shards in [1usize, 2, 5] {
+        let config = QbhConfig { shards, ..auto_config() };
+        let auto = QbhSystem::build(&db, &config);
+        let resolved = *auto.config();
+        let fixed = QbhSystem::build(&db, &resolved);
+        for (i, q) in queries.iter().enumerate() {
+            let a = auto.query_series(q, 10);
+            let f = fixed.query_series(q, 10);
+            assert_eq!(a.stats, f.stats, "shards {shards} query #{i}");
+            for (x, y) in a.matches.iter().zip(&f.matches) {
+                assert_eq!(x.distance.to_bits(), y.distance.to_bits(), "shards {shards} #{i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_plan_roundtrips_and_gates_the_file_version() {
+    let db = database();
+    let dir = temp_dir("snapshot");
+    let config = auto_config();
+    let sample = sample_series(&db, &config);
+    let (resolved, plan) =
+        QbhSystem::resolve_transform(&config, &sample, &MetricsSink::Disabled).unwrap();
+    let plan = plan.expect("auto resolution produces a plan");
+
+    // Plan present: the snapshot is the extended HUMIDX04 form and the
+    // plan comes back verbatim.
+    let planned = dir.join("planned.humidx");
+    storage::save_planned(&planned, &db, &resolved, Some(&plan), &MetricsSink::Disabled).unwrap();
+    let bytes = std::fs::read(&planned).unwrap();
+    assert_eq!(&bytes[..8], b"HUMIDX04");
+    let (loaded_db, loaded_config, loaded_plan) =
+        storage::load_planned(&planned, &MetricsSink::Disabled).unwrap();
+    assert_eq!(loaded_db.len(), db.len());
+    assert_eq!(loaded_config, resolved);
+    assert_eq!(loaded_plan.as_ref(), Some(&plan));
+
+    // No plan: byte-identical discipline — the file stays plain HUMIDX03
+    // and loads with no plan attached.
+    let plain = dir.join("plain.humidx");
+    storage::save_planned(&plain, &db, &resolved, None, &MetricsSink::Disabled).unwrap();
+    let bytes = std::fs::read(&plain).unwrap();
+    assert_eq!(&bytes[..8], b"HUMIDX03");
+    let (_, _, no_plan) = storage::load_planned(&plain, &MetricsSink::Disabled).unwrap();
+    assert_eq!(no_plan, None);
+
+    // A planned snapshot loads into a queryable system carrying the plan.
+    let system = QbhSystem::try_load(&planned).unwrap();
+    assert_eq!(system.plan(), Some(&plan));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupting_the_plan_section_is_a_typed_error_never_a_panic() {
+    let db = database();
+    let dir = temp_dir("corrupt");
+    let config = auto_config();
+    let sample = sample_series(&db, &config);
+    let (resolved, plan) =
+        QbhSystem::resolve_transform(&config, &sample, &MetricsSink::Disabled).unwrap();
+    let plan = plan.unwrap();
+
+    let planned = dir.join("planned.humidx");
+    let plain = dir.join("plain.humidx");
+    storage::save_planned(&planned, &db, &resolved, Some(&plan), &MetricsSink::Disabled).unwrap();
+    storage::save_planned(&plain, &db, &resolved, None, &MetricsSink::Disabled).unwrap();
+    let pristine = std::fs::read(&planned).unwrap();
+    let plan_extra = pristine.len() - std::fs::read(&plain).unwrap().len();
+    assert!(plan_extra > 0, "the plan section must occupy bytes");
+
+    // Flip a bit at every byte of the file tail that the plan section (and
+    // the footer guarding it) occupies: each corruption must surface as a
+    // typed error from the load, never a panic and never a silent success.
+    let victim = dir.join("victim.humidx");
+    for offset in pristine.len() - plan_extra..pristine.len() {
+        for bit in [0u8, 7] {
+            let mut bytes = pristine.clone();
+            flip_bit(&mut bytes, offset, bit);
+            std::fs::write(&victim, &bytes).unwrap();
+            let result = storage::load_planned(&victim, &MetricsSink::Disabled);
+            assert!(
+                result.is_err(),
+                "flipping byte {offset} bit {bit} of the plan tail went unnoticed"
+            );
+        }
+    }
+
+    // Truncation anywhere inside the plan section is typed too.
+    for keep in [pristine.len() - 1, pristine.len() - plan_extra / 2] {
+        std::fs::write(&victim, &pristine[..keep]).unwrap();
+        assert!(storage::load_planned(&victim, &MetricsSink::Disabled).is_err());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupting_the_manifest_plan_is_a_typed_error_on_open() {
+    let db = database();
+    let dir = temp_dir("manifest-corrupt");
+    let system = build_auto_store(&db, &dir, 11);
+    drop(system);
+
+    let path = manifest_path(&dir);
+    let pristine = std::fs::read(&path).unwrap();
+    // The plan section sits between the tombstone section and the footer;
+    // flipping bits across the back half of the manifest covers it.
+    for offset in (pristine.len() / 2..pristine.len()).step_by(3) {
+        let mut bytes = pristine.clone();
+        flip_bit(&mut bytes, offset, (offset % 8) as u8);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            QbhSystem::try_open_store(&dir).is_err(),
+            "manifest byte {offset} flip went unnoticed"
+        );
+    }
+    // Restore: the untouched manifest still opens with its plan.
+    std::fs::write(&path, &pristine).unwrap();
+    let reopened = QbhSystem::try_open_store(&dir).unwrap();
+    assert!(reopened.plan().is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_plan_that_contradicts_the_config_is_rejected_on_load() {
+    let db = database();
+    let dir = temp_dir("mismatch");
+    let config = auto_config();
+    let sample = sample_series(&db, &config);
+    let (resolved, plan) =
+        QbhSystem::resolve_transform(&config, &sample, &MetricsSink::Disabled).unwrap();
+    let mut plan = plan.unwrap();
+
+    // Tamper with the evidence so it no longer describes the config: a
+    // well-formed plan for a different dimensionality.
+    plan.dims = if resolved.feature_dims == 4 { 8 } else { 4 };
+    for c in &mut plan.candidates {
+        c.dims = plan.dims;
+    }
+    let path = dir.join("mismatch.humidx");
+    storage::save_planned(&path, &db, &resolved, Some(&plan), &MetricsSink::Disabled).unwrap();
+    match QbhSystem::try_load(&path).map(|_| ()) {
+        Err(StorageError::Corrupt(message)) => {
+            assert!(message.contains("plan"), "unhelpful mismatch message: {message}")
+        }
+        other => panic!("plan/config mismatch must be Corrupt, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unresolved_auto_is_a_typed_error_on_every_persistence_path() {
+    let db = database();
+    let dir = temp_dir("unresolved");
+    let config = auto_config();
+
+    // The plain store constructor has no sample to plan from: typed error.
+    match QbhSystem::try_create_store(&dir.join("store"), &config, StoreOptions::default())
+        .map(|_| ())
+    {
+        Err(StorageError::Unrepresentable(message)) => {
+            assert!(message.contains("Auto"), "unhelpful message: {message}")
+        }
+        other => panic!("expected Unrepresentable, got {other:?}"),
+    }
+
+    // Direct snapshot persistence of an unresolved config: typed error.
+    assert!(matches!(
+        storage::save(&dir.join("auto.humidx"), &db, &config),
+        Err(StorageError::Unrepresentable(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -510,6 +510,7 @@ fn segment_and_manifest_codecs_fail_typed_under_faults() {
         config,
         segments: vec![SegmentRef { id: 0, count: 2 }, SegmentRef { id: 1, count: 1 }],
         tombstones: vec![7],
+        plan: None,
     };
 
     let mut segment_image = Vec::new();
@@ -596,7 +597,8 @@ fn config_strategy() -> impl Strategy<Value = QbhConfig> {
                     2 => TransformKind::Dft,
                     3 => TransformKind::Dwt,
                     _ => TransformKind::Svd,
-                },
+                }
+                .into(),
                 backend: match b {
                     0 => Backend::RStar,
                     1 => Backend::Grid,

@@ -42,7 +42,7 @@ fn main() {
     ] {
         let system = QbhSystem::build(
             &db,
-            &QbhConfig { transform, backend: Backend::RStar, ..QbhConfig::default() },
+            &QbhConfig { transform: transform.into(), backend: Backend::RStar, ..QbhConfig::default() },
         );
         let (mut cand, mut exact, mut pages, mut hits) = (0u64, 0u64, 0u64, 0usize);
         for (hum, &target) in hums.iter().zip(&targets) {

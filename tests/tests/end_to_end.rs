@@ -65,7 +65,7 @@ fn every_configuration_retrieves_its_own_phrases_exactly() {
         for backend in [Backend::RStar, Backend::Grid, Backend::Linear] {
             let system = QbhSystem::build(
                 &db,
-                &QbhConfig { transform, backend, ..QbhConfig::default() },
+                &QbhConfig { transform: transform.into(), backend, ..QbhConfig::default() },
             );
             for id in [0u64, 17, 51, 71] {
                 let series = db.entry(id).unwrap().melody().to_time_series(4);
